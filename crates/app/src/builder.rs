@@ -1,0 +1,261 @@
+//! Builder units: assemble complete events from per-source fragments.
+
+use crate::fragment::FragmentHeader;
+use crate::{xfn, ORG_DAQ};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use xdaq_core::{Delivery, Dispatcher, I2oListener};
+use xdaq_i2o::{DeviceClass, Message, Tid};
+
+/// Shared counters of one builder unit.
+#[derive(Debug, Default)]
+pub struct BuilderStats {
+    /// Fully assembled events.
+    pub events_built: AtomicU64,
+    /// Fragments received.
+    pub fragments: AtomicU64,
+    /// Payload bytes received (headers included).
+    pub bytes: AtomicU64,
+    /// Fragments whose pattern data failed verification.
+    pub corrupt: AtomicU64,
+    /// Duplicate fragments (same event, same source).
+    pub duplicates: AtomicU64,
+    /// Event ids of built events (kept only when `record_events`).
+    pub built_ids: Mutex<Vec<u64>>,
+}
+
+impl BuilderStats {
+    /// Fresh stats handle.
+    pub fn new() -> Arc<BuilderStats> {
+        Arc::new(BuilderStats::default())
+    }
+}
+
+/// One builder unit.
+///
+/// Parameters:
+/// * `filter` — optional TiD (decimal) to forward built events to,
+/// * `evtmgr` — optional TiD (decimal) to send `EVT_DONE` credits to,
+/// * `verify` — `1` to verify fragment pattern data,
+/// * `record` — `1` to record built event ids into the stats.
+pub struct BuilderUnit {
+    stats: Arc<BuilderStats>,
+    /// event_id → (received-source bitmap as Vec<bool>, bytes so far).
+    pending: HashMap<u64, (Vec<bool>, usize)>,
+    filter: Option<Tid>,
+    evtmgr: Option<Tid>,
+    verify: bool,
+    record: bool,
+    configured: bool,
+}
+
+impl BuilderUnit {
+    /// Creates a builder reporting into `stats`.
+    pub fn new(stats: Arc<BuilderStats>) -> BuilderUnit {
+        BuilderUnit {
+            stats,
+            pending: HashMap::new(),
+            filter: None,
+            evtmgr: None,
+            verify: false,
+            record: false,
+            configured: false,
+        }
+    }
+
+    fn configure(&mut self, ctx: &Dispatcher<'_>) {
+        if self.configured {
+            return;
+        }
+        self.filter = ctx
+            .param("filter")
+            .and_then(|s| s.parse::<u16>().ok())
+            .and_then(|v| Tid::new(v).ok());
+        self.evtmgr = ctx
+            .param("evtmgr")
+            .and_then(|s| s.parse::<u16>().ok())
+            .and_then(|v| Tid::new(v).ok());
+        self.verify = ctx.param("verify") == Some("1");
+        self.record = ctx.param("record") == Some("1");
+        self.configured = true;
+    }
+
+    /// Number of partially assembled events (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl I2oListener for BuilderUnit {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        if msg.private.map(|p| p.x_function) != Some(xfn::FRAGMENT) {
+            return;
+        }
+        self.configure(ctx);
+        let payload = msg.payload();
+        let Some(header) = FragmentHeader::decode(payload) else {
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        if self.verify && !header.verify_payload(payload) {
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.stats.fragments.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+
+        let sources = header.total_sources.max(1) as usize;
+        let entry = self
+            .pending
+            .entry(header.event_id)
+            .or_insert_with(|| (vec![false; sources], 0));
+        let idx = (header.source_id as usize).min(sources - 1);
+        if entry.0[idx] {
+            self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        entry.0[idx] = true;
+        entry.1 += payload.len();
+        if !entry.0.iter().all(|&b| b) {
+            return;
+        }
+        // Event complete.
+        let (_, total_bytes) = self.pending.remove(&header.event_id).expect("present");
+        self.stats.events_built.fetch_add(1, Ordering::Relaxed);
+        if self.record {
+            self.stats.built_ids.lock().push(header.event_id);
+        }
+        if let Some(filter) = self.filter {
+            let mut body = Vec::with_capacity(16);
+            body.extend_from_slice(&header.event_id.to_le_bytes());
+            body.extend_from_slice(&(total_bytes as u64).to_le_bytes());
+            let _ = ctx.send(
+                Message::build_private(filter, ctx.own_tid(), ORG_DAQ, xfn::EVENT)
+                    .payload(body)
+                    .finish(),
+            );
+        }
+        if let Some(mgr) = self.evtmgr {
+            let _ = ctx.send(
+                Message::build_private(mgr, ctx.own_tid(), ORG_DAQ, xfn::EVT_DONE)
+                    .payload(header.event_id.to_le_bytes().to_vec())
+                    .finish(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_core::{Executive, ExecutiveConfig};
+
+    fn fragment_msg(dest: Tid, event: u64, source: u16, total: u16, len: u32) -> Message {
+        let h = FragmentHeader { event_id: event, source_id: source, total_sources: total, len };
+        Message::build_private(dest, Tid::HOST, ORG_DAQ, xfn::FRAGMENT)
+            .payload(h.build_payload())
+            .finish()
+    }
+
+    #[test]
+    fn event_completes_when_all_sources_arrive() {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let stats = BuilderStats::new();
+        let bu = exec
+            .register("bu", Box::new(BuilderUnit::new(stats.clone())), &[("record", "1")])
+            .unwrap();
+        exec.enable_all();
+        exec.post(fragment_msg(bu, 7, 0, 3, 64)).unwrap();
+        exec.post(fragment_msg(bu, 7, 1, 3, 64)).unwrap();
+        while exec.run_once() > 0 {}
+        assert_eq!(stats.events_built.load(Ordering::SeqCst), 0, "incomplete");
+        exec.post(fragment_msg(bu, 7, 2, 3, 64)).unwrap();
+        while exec.run_once() > 0 {}
+        assert_eq!(stats.events_built.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.fragments.load(Ordering::SeqCst), 3);
+        assert_eq!(*stats.built_ids.lock(), vec![7]);
+    }
+
+    #[test]
+    fn duplicates_counted_not_double_built() {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let stats = BuilderStats::new();
+        let bu = exec.register("bu", Box::new(BuilderUnit::new(stats.clone())), &[]).unwrap();
+        exec.enable_all();
+        exec.post(fragment_msg(bu, 1, 0, 2, 16)).unwrap();
+        exec.post(fragment_msg(bu, 1, 0, 2, 16)).unwrap();
+        exec.post(fragment_msg(bu, 1, 1, 2, 16)).unwrap();
+        while exec.run_once() > 0 {}
+        assert_eq!(stats.events_built.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.duplicates.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn corrupt_fragment_detected_when_verifying() {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let stats = BuilderStats::new();
+        let bu = exec
+            .register("bu", Box::new(BuilderUnit::new(stats.clone())), &[("verify", "1")])
+            .unwrap();
+        exec.enable_all();
+        let h = FragmentHeader { event_id: 1, source_id: 0, total_sources: 1, len: 32 };
+        let mut payload = h.build_payload();
+        payload[20] ^= 0xFF;
+        exec.post(
+            Message::build_private(bu, Tid::HOST, ORG_DAQ, xfn::FRAGMENT)
+                .payload(payload)
+                .finish(),
+        )
+        .unwrap();
+        while exec.run_once() > 0 {}
+        assert_eq!(stats.corrupt.load(Ordering::SeqCst), 1);
+        assert_eq!(stats.events_built.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn built_event_forwarded_to_filter_and_credit_to_manager() {
+        use std::sync::atomic::AtomicU64;
+        struct Recorder(Arc<AtomicU64>, u16);
+        impl I2oListener for Recorder {
+            fn class(&self) -> DeviceClass {
+                DeviceClass::Application(ORG_DAQ)
+            }
+            fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+                if msg.private.map(|p| p.x_function) == Some(self.1) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let events = Arc::new(AtomicU64::new(0));
+        let credits = Arc::new(AtomicU64::new(0));
+        let filter = exec
+            .register("filter", Box::new(Recorder(events.clone(), xfn::EVENT)), &[])
+            .unwrap();
+        let mgr = exec
+            .register("mgr", Box::new(Recorder(credits.clone(), xfn::EVT_DONE)), &[])
+            .unwrap();
+        let stats = BuilderStats::new();
+        let bu = exec
+            .register(
+                "bu",
+                Box::new(BuilderUnit::new(stats)),
+                &[
+                    ("filter", &filter.raw().to_string()),
+                    ("evtmgr", &mgr.raw().to_string()),
+                ],
+            )
+            .unwrap();
+        exec.enable_all();
+        exec.post(fragment_msg(bu, 3, 0, 1, 8)).unwrap();
+        while exec.run_once() > 0 {}
+        assert_eq!(events.load(Ordering::SeqCst), 1);
+        assert_eq!(credits.load(Ordering::SeqCst), 1);
+    }
+}

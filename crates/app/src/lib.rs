@@ -1,0 +1,55 @@
+//! # xdaq-app — DAQ application device classes
+//!
+//! The application layer of the reproduction: private device classes
+//! in the sense of paper §3.3 (*"an application is merely a new,
+//! private 'device' class"*), namespaced under [`ORG_DAQ`].
+//!
+//! * [`pingpong`] — the flood/echo pair of the blackbox benchmark
+//!   (§5): a [`pingpong::Pinger`] floods a remote [`pingpong::Ponger`]
+//!   with fixed-payload messages and records round-trip times.
+//! * [`fragment`] — event-fragment headers shared by the DAQ classes.
+//! * [`readout`] — readout units: produce detector fragments on
+//!   trigger.
+//! * [`builder`] — builder units: assemble full events from all
+//!   sources (the n×m crossing traffic that gave XDAQ its name).
+//! * [`evtmgr`] — the event manager: trigger generation with a
+//!   credit-based window.
+//! * [`filter`] — filter units: consume built events and accept or
+//!   reject them.
+
+pub mod bstore;
+pub mod builder;
+pub mod evtmgr;
+pub mod filter;
+pub mod fragment;
+pub mod pingpong;
+pub mod readout;
+
+pub use bstore::BlockStorage;
+pub use builder::{BuilderStats, BuilderUnit};
+pub use evtmgr::{EventManager, EvtMgrStats};
+pub use filter::{FilterStats, FilterUnit};
+pub use fragment::FragmentHeader;
+pub use pingpong::{PingState, Pinger, Ponger};
+pub use readout::ReadoutUnit;
+
+/// Organization id of the DAQ application classes.
+pub const ORG_DAQ: u16 = 0x0da0;
+
+/// Private x-function codes of the DAQ protocol.
+pub mod xfn {
+    /// Ping payload (pinger → ponger and echoed back).
+    pub const PING: u16 = 0x0010;
+    /// Kick a pinger into its flood loop.
+    pub const PING_START: u16 = 0x0011;
+    /// Trigger: "produce your fragment of event N".
+    pub const TRIGGER: u16 = 0x0020;
+    /// A detector fragment (readout → builder).
+    pub const FRAGMENT: u16 = 0x0021;
+    /// A fully built event (builder → filter).
+    pub const EVENT: u16 = 0x0022;
+    /// Event-complete credit (builder → event manager).
+    pub const EVT_DONE: u16 = 0x0023;
+    /// Start a run of N events (host → event manager).
+    pub const RUN: u16 = 0x0024;
+}

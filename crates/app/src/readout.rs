@@ -1,0 +1,184 @@
+//! Readout units: the data sources of the event builder.
+//!
+//! On each trigger a readout unit "digitizes" one fragment of the
+//! event and ships it to the builder unit that owns the event. Event
+//! ownership rotates over the builders (`event_id % builders`), which
+//! is exactly the n×m crossing traffic of the paper's footnote: *"In
+//! our DAQ system, n nodes talk to m other nodes in both directions,
+//! thus resulting in communication channels that cross over."*
+
+use crate::fragment::FragmentHeader;
+use crate::{xfn, ORG_DAQ};
+use xdaq_core::{Delivery, Dispatcher, I2oListener};
+use xdaq_i2o::{DeviceClass, Message, Tid};
+
+/// One readout unit.
+///
+/// Parameters:
+/// * `source_id` — this unit's index among the sources,
+/// * `sources` — total number of readout units,
+/// * `builders` — comma-separated TiDs (decimal) of the builder units,
+/// * `size` — fragment payload bytes.
+pub struct ReadoutUnit {
+    source_id: u16,
+    total_sources: u16,
+    builders: Vec<Tid>,
+    size: u32,
+    configured: bool,
+    /// Fragments produced (observable for tests).
+    pub produced: u64,
+}
+
+impl ReadoutUnit {
+    /// Creates an unconfigured readout unit (parameters are read on
+    /// first trigger).
+    pub fn new() -> ReadoutUnit {
+        ReadoutUnit {
+            source_id: 0,
+            total_sources: 1,
+            builders: Vec::new(),
+            size: 1024,
+            configured: false,
+            produced: 0,
+        }
+    }
+
+    fn configure(&mut self, ctx: &Dispatcher<'_>) {
+        if self.configured {
+            return;
+        }
+        if let Some(v) = ctx.param("source_id").and_then(|s| s.parse().ok()) {
+            self.source_id = v;
+        }
+        if let Some(v) = ctx.param("sources").and_then(|s| s.parse().ok()) {
+            self.total_sources = v;
+        }
+        if let Some(v) = ctx.param("size").and_then(|s| s.parse().ok()) {
+            self.size = v;
+        }
+        if let Some(list) = ctx.param("builders") {
+            self.builders = list
+                .split(',')
+                .filter_map(|s| s.trim().parse::<u16>().ok())
+                .filter_map(|v| Tid::new(v).ok())
+                .collect();
+        }
+        self.configured = true;
+    }
+}
+
+impl Default for ReadoutUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl I2oListener for ReadoutUnit {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        if msg.private.map(|p| p.x_function) != Some(xfn::TRIGGER) {
+            return;
+        }
+        self.configure(ctx);
+        if self.builders.is_empty() {
+            return;
+        }
+        let payload = msg.payload();
+        if payload.len() < 8 {
+            return;
+        }
+        let event_id = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let header = FragmentHeader {
+            event_id,
+            source_id: self.source_id,
+            total_sources: self.total_sources,
+            len: self.size,
+        };
+        let dest = self.builders[(event_id % self.builders.len() as u64) as usize];
+        let frag = Message::build_private(dest, ctx.own_tid(), ORG_DAQ, xfn::FRAGMENT)
+            .payload(header.build_payload())
+            .finish();
+        let _ = ctx.send(frag);
+        self.produced += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use xdaq_core::{Executive, ExecutiveConfig};
+
+    struct Collector(Arc<AtomicU64>, Arc<parking_lot::Mutex<Vec<u64>>>);
+    impl I2oListener for Collector {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            if msg.private.map(|p| p.x_function) == Some(xfn::FRAGMENT) {
+                let h = FragmentHeader::decode(msg.payload()).unwrap();
+                assert!(h.verify_payload(msg.payload()));
+                self.0.fetch_add(1, Ordering::SeqCst);
+                self.1.lock().push(h.event_id);
+            }
+        }
+    }
+
+    fn trigger(exec: &Executive, ru: Tid, event: u64) {
+        exec.post(
+            Message::build_private(ru, Tid::HOST, ORG_DAQ, xfn::TRIGGER)
+                .payload(event.to_le_bytes().to_vec())
+                .finish(),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fragments_rotate_over_builders() {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let c0 = (Arc::new(AtomicU64::new(0)), Arc::new(parking_lot::Mutex::new(Vec::new())));
+        let c1 = (Arc::new(AtomicU64::new(0)), Arc::new(parking_lot::Mutex::new(Vec::new())));
+        let b0 = exec
+            .register("b0", Box::new(Collector(c0.0.clone(), c0.1.clone())), &[])
+            .unwrap();
+        let b1 = exec
+            .register("b1", Box::new(Collector(c1.0.clone(), c1.1.clone())), &[])
+            .unwrap();
+        let ru = exec
+            .register(
+                "ru",
+                Box::new(ReadoutUnit::new()),
+                &[
+                    ("source_id", "0"),
+                    ("sources", "1"),
+                    ("size", "256"),
+                    ("builders", &format!("{},{}", b0.raw(), b1.raw())),
+                ],
+            )
+            .unwrap();
+        exec.enable_all();
+        for event in 0..10u64 {
+            trigger(&exec, ru, event);
+        }
+        while exec.run_once() > 0 {}
+        assert_eq!(c0.0.load(Ordering::SeqCst), 5, "even events");
+        assert_eq!(c1.0.load(Ordering::SeqCst), 5, "odd events");
+        assert!(c0.1.lock().iter().all(|e| e % 2 == 0));
+        assert!(c1.1.lock().iter().all(|e| e % 2 == 1));
+    }
+
+    #[test]
+    fn unconfigured_readout_produces_nothing() {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let ru = exec.register("ru", Box::new(ReadoutUnit::new()), &[]).unwrap();
+        exec.enable_all();
+        trigger(&exec, ru, 0);
+        while exec.run_once() > 0 {}
+        // No builders parameter: nothing sent, nothing crashes.
+        assert_eq!(exec.stats().dropped, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Criterion version of the ALLOC ablation: alloc/free cycles per
+//! scheme and working set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::sync::Arc;
+use xdaq_mempool::{FrameAllocator, SimplePool, TablePool};
+
+fn pools() -> Vec<(&'static str, Arc<dyn FrameAllocator>)> {
+    vec![
+        ("simple", SimplePool::with_defaults()),
+        ("table", TablePool::with_defaults()),
+    ]
+}
+
+fn bench_alloc_free_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_free_cycle");
+    for (name, pool) in pools() {
+        for size in [64usize, 4096, 65536] {
+            group.bench_with_input(
+                BenchmarkId::new(name, size),
+                &size,
+                |b, &size| {
+                    b.iter(|| {
+                        let buf = pool.alloc(size).unwrap();
+                        black_box(buf.len());
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_alloc_with_live_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_live_window_512");
+    let sizes = [64usize, 4096, 64, 1024, 4096, 64, 256, 4096];
+    for (name, pool) in pools() {
+        group.bench_function(name, |b| {
+            let mut window = VecDeque::with_capacity(513);
+            let mut i = 0usize;
+            b.iter(|| {
+                let buf = pool.alloc(sizes[i % sizes.len()]).unwrap();
+                i += 1;
+                window.push_back(buf);
+                if window.len() > 512 {
+                    black_box(window.pop_front());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_frames(c: &mut Criterion) {
+    let pool = TablePool::with_defaults();
+    c.bench_function("shared_frame_clone_drop", |b| {
+        let shared = pool.alloc(4096).unwrap().into_shared();
+        b.iter(|| {
+            let c1 = shared.clone();
+            let c2 = shared.clone();
+            black_box((c1.len(), c2.len()));
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_alloc_free_cycle,
+    bench_alloc_with_live_window,
+    bench_shared_frames
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion microbenches of the scheduling queue (7 priority FIFOs
+//! with round-robin device dispatch) and the SPSC "hardware FIFO"
+//! ring — the two queues on every message's path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xdaq_core::{Delivery, SchedQueue};
+use xdaq_gm::ring::spsc_ring;
+use xdaq_i2o::{Message, Priority, Tid};
+use xdaq_mempool::{FrameAllocator, TablePool};
+
+fn mk_delivery(pool: &dyn FrameAllocator, target: u16, pri: u8) -> Delivery {
+    let m = Message::build_private(Tid::new(target).unwrap(), Tid::HOST, 1, 1)
+        .priority(Priority::new(pri).unwrap())
+        .payload(vec![0u8; 64])
+        .finish();
+    Delivery::from_message(&m, pool).unwrap()
+}
+
+fn bench_sched_queue(c: &mut Criterion) {
+    let pool = TablePool::with_defaults();
+    c.bench_function("schedq_push_pop_single_device", |b| {
+        let q = SchedQueue::new();
+        b.iter(|| {
+            q.push(mk_delivery(&*pool, 0x10, 3));
+            black_box(q.pop().unwrap());
+        })
+    });
+    c.bench_function("schedq_push_pop_16_devices_7_priorities", |b| {
+        let q = SchedQueue::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            let tid = 0x10 + (i % 16) as u16;
+            let pri = (i % 7) as u8;
+            i += 1;
+            q.push(mk_delivery(&*pool, tid, pri));
+            black_box(q.pop().unwrap());
+        })
+    });
+}
+
+fn bench_spsc_ring(c: &mut Criterion) {
+    c.bench_function("spsc_ring_push_pop", |b| {
+        let (p, cns) = spsc_ring::<u64>(1024);
+        let mut v = 0u64;
+        b.iter(|| {
+            p.push(v).unwrap();
+            v += 1;
+            black_box(cns.pop().unwrap());
+        })
+    });
+}
+
+fn bench_route_lookup(c: &mut Criterion) {
+    use xdaq_core::RouteTable;
+    let rt = RouteTable::new();
+    for i in 0x10..0x110u16 {
+        rt.add_local(Tid::new(i).unwrap());
+    }
+    rt.add_peer(
+        Tid::new(0x200).unwrap(),
+        "gm://2:0".parse().unwrap(),
+        Tid::new(0x20).unwrap(),
+    );
+    c.bench_function("route_lookup_local", |b| {
+        let tid = Tid::new(0x80).unwrap();
+        b.iter(|| black_box(rt.lookup(tid)))
+    });
+    c.bench_function("route_lookup_peer", |b| {
+        let tid = Tid::new(0x200).unwrap();
+        b.iter(|| black_box(rt.lookup(tid)))
+    });
+}
+
+criterion_group!(benches, bench_sched_queue, bench_spsc_ring, bench_route_lookup);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion microbenches of the individual whitebox activities
+//! (Table 1): frame encode/decode, demultiplex lookup, frameSend path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xdaq_core::{Delivery, Executive, ExecutiveConfig, I2oListener};
+use xdaq_i2o::{Message, MsgHeader, Tid};
+use xdaq_mempool::{FrameAllocator, TablePool};
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let msg = Message::build_private(
+        Tid::new(0x123).unwrap(),
+        Tid::new(0x456).unwrap(),
+        0x0da0,
+        0x10,
+    )
+    .payload(vec![0xA5u8; 1024])
+    .finish();
+    let wire = msg.encode_vec();
+    let mut buf = vec![0u8; wire.len()];
+
+    c.bench_function("frame_encode_1k", |b| {
+        b.iter(|| black_box(msg.encode(&mut buf).unwrap()))
+    });
+    c.bench_function("frame_decode_header", |b| {
+        b.iter(|| black_box(MsgHeader::decode(&wire).unwrap()))
+    });
+    c.bench_function("frame_decode_full", |b| {
+        b.iter(|| black_box(Message::decode(&wire).unwrap()))
+    });
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let pool = TablePool::with_defaults();
+    let msg = Message::build_private(Tid::new(0x10).unwrap(), Tid::new(0x20).unwrap(), 1, 1)
+        .payload(vec![0u8; 1024])
+        .finish();
+    c.bench_function("delivery_from_message_1k", |b| {
+        b.iter(|| black_box(Delivery::from_message(&msg, &*pool).unwrap()))
+    });
+    let wire = msg.encode_vec();
+    c.bench_function("delivery_from_buf_1k", |b| {
+        b.iter(|| {
+            let mut fb = pool.alloc(wire.len()).unwrap();
+            fb.copy_from_slice(&wire);
+            black_box(Delivery::from_buf(fb).unwrap())
+        })
+    });
+}
+
+/// Local dispatch round trip: post a private frame to a no-op device
+/// and run the executive until idle — the demux+upcall+release path
+/// without any transport.
+fn bench_local_dispatch(c: &mut Criterion) {
+    struct Nop;
+    impl I2oListener for Nop {
+        fn class(&self) -> xdaq_i2o::DeviceClass {
+            xdaq_i2o::DeviceClass::Application(1)
+        }
+        fn on_private(&mut self, _ctx: &mut xdaq_core::Dispatcher<'_>, msg: Delivery) {
+            black_box(msg.payload().len());
+        }
+    }
+    let exec = Executive::new(ExecutiveConfig::named("bench"));
+    let tid = exec.register("nop", Box::new(Nop), &[]).unwrap();
+    exec.enable_all();
+    let msg = Message::build_private(tid, Tid::HOST, 1, 1).payload(vec![0u8; 64]).finish();
+    c.bench_function("local_dispatch_64B", |b| {
+        b.iter(|| {
+            exec.post(msg.clone()).unwrap();
+            while exec.run_once() > 0 {}
+        })
+    });
+}
+
+criterion_group!(benches, bench_frame_codec, bench_delivery, bench_local_dispatch);
+criterion_main!(benches);

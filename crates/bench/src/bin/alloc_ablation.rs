@@ -1,0 +1,131 @@
+//! ALLOC — the paper's allocator ablation (§5 in-text): replacing the
+//! original pre-allocated/linear-scan pool with the on-demand,
+//! table-matched pool cuts the blackbox framework overhead from
+//! 8.9 µs to 4.9 µs per call, because `frameAlloc` "shrinks
+//! dramatically for applications that use similar buffer sizes
+//! throughout their lifetimes".
+//!
+//! Two parts:
+//! 1. end-to-end: the FIG6 overhead measurement, once per allocator;
+//! 2. microbench: direct alloc/free cost per scheme across three
+//!    working sets (stable, mixed, adversarial).
+//!
+//! Usage:
+//! ```text
+//! cargo run -p xdaq-bench --release --bin alloc_ablation
+//!     [--calls 20000] [--rounds 100000] [--json alloc.json]
+//! ```
+
+use xdaq_bench::{
+    median_us, raw_gm_pingpong, steady_state, xdaq_gm_pingpong, Args, BlackboxConfig, Summary,
+};
+use xdaq_core::AllocatorKind;
+use xdaq_gm::LatencyModel;
+use xdaq_mempool::{FrameAllocator, SimplePool, TablePool};
+
+fn end_to_end_overhead(allocator: AllocatorKind, calls: u64) -> f64 {
+    let run = xdaq_gm_pingpong(BlackboxConfig {
+        payload: 64,
+        calls,
+        wire: LatencyModel::ZERO,
+        allocator,
+        probes: None,
+    });
+    let xdaq = median_us(steady_state(&run.one_way_ns));
+    let gm = median_us(steady_state(&raw_gm_pingpong(64, calls, LatencyModel::ZERO)));
+    xdaq - gm
+}
+
+/// Direct alloc/free microbench under DAQ-realistic conditions: a
+/// window of `live` buffers stays outstanding (an event builder holds
+/// hundreds of fragments in flight), so the original scheme's free
+/// list is long and mixed — the condition whose search cost the
+/// table-based scheme eliminates. Returns (median, p90) ns per alloc.
+fn microbench(
+    pool: &dyn FrameAllocator,
+    sizes: &[usize],
+    rounds: usize,
+    live: usize,
+) -> (f64, f64) {
+    let mut window = std::collections::VecDeque::with_capacity(live + 1);
+    let mut samples = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let len = sizes[i % sizes.len()];
+        let t0 = std::time::Instant::now();
+        let b = pool.alloc(len).expect("alloc");
+        samples.push(t0.elapsed().as_nanos() as u64);
+        window.push_back(b);
+        if window.len() > live {
+            window.pop_front(); // frees the oldest buffer
+        }
+    }
+    let s = Summary::from_samples(&samples);
+    (s.median_ns, s.p90_ns)
+}
+
+fn main() {
+    let args = Args::parse();
+    let calls: u64 = args.get("calls", 20_000);
+    let rounds: usize = args.get("rounds", 100_000);
+
+    println!("# ALLOC: buffer-pool scheme ablation (paper: 8.9 us -> 4.9 us per call)");
+    println!("#");
+    println!("## end-to-end blackbox overhead (payload 64 B, {calls} calls)");
+    let simple = end_to_end_overhead(AllocatorKind::Simple, calls);
+    let table = end_to_end_overhead(AllocatorKind::Table, calls);
+    println!("{:<28} {:>12} {:>12}", "allocator", "overhead_us", "paper_us");
+    println!("{:<28} {:>12.2} {:>12}", "simple (original scheme)", simple, "8.9");
+    println!("{:<28} {:>12.2} {:>12}", "table (optimized scheme)", table, "4.9");
+    println!(
+        "# optimized/original ratio: {:.2} (paper: {:.2}) — optimized must win",
+        table / simple,
+        4.9 / 8.9
+    );
+    println!("#");
+
+    // Working sets: stable (the paper's "similar buffer sizes
+    // throughout their lifetimes"), mixed, adversarial (every class).
+    let stable = vec![4096usize; 8];
+    let mixed = vec![64usize, 4096, 64, 1024, 4096, 64, 256, 4096];
+    let adversarial: Vec<usize> = (0..13).map(|c| 64usize << c).collect();
+    let live: usize = args.get("live", 512);
+
+    println!("## direct alloc/free cost with {live} buffers in flight,");
+    println!("## median ns (p90 in parens), {rounds} rounds");
+    println!(
+        "{:<14} {:>22} {:>22} {:>22}",
+        "scheme", "stable_ws", "mixed_ws", "adversarial_ws"
+    );
+    let mut json_rows = Vec::new();
+    for scheme in ["simple", "table"] {
+        let pool: std::sync::Arc<dyn FrameAllocator> = match scheme {
+            "simple" => SimplePool::with_defaults(),
+            _ => TablePool::with_defaults(),
+        };
+        let (sm, sp) = microbench(&*pool, &stable, rounds, live);
+        let (mm, mp) = microbench(&*pool, &mixed, rounds, live);
+        let (am, ap) = microbench(&*pool, &adversarial, rounds, live);
+        println!(
+            "{scheme:<14} {:>14.0} ({:>5.0}) {:>14.0} ({:>5.0}) {:>14.0} ({:>5.0})",
+            sm, sp, mm, mp, am, ap
+        );
+        json_rows.push(serde_json::json!({
+            "scheme": scheme,
+            "stable_ns": sm, "mixed_ns": mm, "adversarial_ns": am,
+        }));
+    }
+    println!("#");
+    println!("# paper shape: table-based matching is the win on stable working sets;");
+    println!("# frameAlloc 2.18 us (simple) shrinks 'dramatically' (paper, preliminary test).");
+
+    if args.has("json") {
+        let path = args.get_str("json", "alloc.json");
+        let json = serde_json::json!({
+            "experiment": "alloc_ablation",
+            "end_to_end": { "simple_us": simple, "table_us": table },
+            "microbench": json_rows,
+        });
+        std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
+        println!("# wrote {path}");
+    }
+}

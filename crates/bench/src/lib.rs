@@ -1,0 +1,266 @@
+//! Shared experiment harness for the paper's evaluation (§5).
+//!
+//! All experiments run the *blackbox* setup of the paper: one pinger
+//! device flooding one ponger device on another node, over the
+//! Myrinet/GM substrate. On this machine the two executives are driven
+//! **cooperatively on one thread** (`a.run_once(); b.run_once();` in a
+//! loop): with a single-core host, measuring across preemptive threads
+//! would measure the OS scheduler, not the framework. The paper's
+//! quantity of interest — CPU time added per message by the XDAQ layer
+//! — is exactly what the cooperative drive isolates.
+
+use std::sync::atomic::Ordering;
+
+use xdaq_app::{xfn, PingState, Pinger, Ponger, ORG_DAQ};
+use xdaq_core::{AllocatorKind, Executive, ExecutiveConfig, PtMode};
+use xdaq_gm::{Fabric, GmAddr, GmEvent, LatencyModel, NodeId, PortConfig, PortId};
+use xdaq_i2o::{Message, Tid};
+use xdaq_mempool::{SimplePool, TablePool};
+use xdaq_pt::GmPt;
+
+/// Result of one ping-pong run.
+pub struct PingRun {
+    /// One-way latencies (RTT/2) in nanoseconds, one per call.
+    pub one_way_ns: Vec<u64>,
+    /// The pinger-side executive (for probe/stat readout).
+    pub exec_a: Executive,
+    /// The ponger-side executive.
+    pub exec_b: Executive,
+}
+
+/// Configuration of a blackbox run.
+#[derive(Clone, Copy)]
+pub struct BlackboxConfig {
+    /// Payload bytes per ping.
+    pub payload: usize,
+    /// Round trips to measure.
+    pub calls: u64,
+    /// Wire latency model for the GM fabric.
+    pub wire: LatencyModel,
+    /// Buffer-pool scheme on both executives.
+    pub allocator: AllocatorKind,
+    /// Whitebox probe ring capacity (None = probes off).
+    pub probes: Option<usize>,
+}
+
+impl Default for BlackboxConfig {
+    fn default() -> Self {
+        BlackboxConfig {
+            payload: 1,
+            calls: 10_000,
+            wire: LatencyModel::ZERO,
+            allocator: AllocatorKind::Table,
+            probes: None,
+        }
+    }
+}
+
+/// Runs the paper's blackbox flood/echo test: XDAQ over the GM PT,
+/// two executives driven cooperatively. Returns per-call one-way
+/// latencies.
+pub fn xdaq_gm_pingpong(cfg: BlackboxConfig) -> PingRun {
+    let fabric = Fabric::with_latency(cfg.wire);
+    let mut exec_cfg_a = ExecutiveConfig::named("bench-a");
+    exec_cfg_a.allocator = cfg.allocator;
+    exec_cfg_a.probe_capacity = cfg.probes;
+    let mut exec_cfg_b = ExecutiveConfig::named("bench-b");
+    exec_cfg_b.allocator = cfg.allocator;
+    exec_cfg_b.probe_capacity = cfg.probes;
+    let a = Executive::new(exec_cfg_a);
+    let b = Executive::new(exec_cfg_b);
+
+    let pool_a: xdaq_mempool::DynAllocator = match cfg.allocator {
+        AllocatorKind::Simple => SimplePool::with_defaults(),
+        AllocatorKind::Table => TablePool::with_defaults(),
+    };
+    let pool_b: xdaq_mempool::DynAllocator = match cfg.allocator {
+        AllocatorKind::Simple => SimplePool::with_defaults(),
+        AllocatorKind::Table => TablePool::with_defaults(),
+    };
+    // Polling-mode GM PTs: the executive loop itself scans the port
+    // (paper §4 polling mode, one PT ⇒ the efficient configuration).
+    let pt_a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool_a, a.probes().cloned())
+        .expect("open GM port a");
+    let pt_b = GmPt::open(&fabric, 2, 0, PtMode::Polling, pool_b, b.probes().cloned())
+        .expect("open GM port b");
+    a.register_pt("a.gm", pt_a).unwrap();
+    b.register_pt("b.gm", pt_b).unwrap();
+
+    let state = PingState::new();
+    let pong_tid = b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    let proxy = a.proxy("gm://2:0", pong_tid, None).unwrap();
+    let ping_tid = a
+        .register(
+            "ping",
+            Box::new(Pinger::new(state.clone())),
+            &[
+                ("peer", &proxy.raw().to_string()),
+                ("payload", &cfg.payload.to_string()),
+                ("count", &cfg.calls.to_string()),
+            ],
+        )
+        .unwrap();
+    a.enable_all();
+    b.enable_all();
+    a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+
+    // Cooperative drive.
+    while !state.done.load(Ordering::SeqCst) {
+        a.run_once();
+        b.run_once();
+    }
+    let one_way_ns = state.one_way_ns();
+    PingRun { one_way_ns, exec_a: a, exec_b: b }
+}
+
+/// The baseline of Figure 6: the same flood/echo test **directly on
+/// GM**, no framework. Cooperative single-thread drive, mirroring the
+/// XDAQ run.
+pub fn raw_gm_pingpong(payload: usize, calls: u64, wire: LatencyModel) -> Vec<u64> {
+    let fabric = Fabric::with_latency(wire);
+    let a = fabric
+        .open_port_with(NodeId(1), PortId(0), PortConfig::unlimited())
+        .expect("port a");
+    let b = fabric
+        .open_port_with(NodeId(2), PortId(0), PortConfig::unlimited())
+        .expect("port b");
+    let b_addr = GmAddr { node: NodeId(2), port: PortId(0) };
+    let msg = vec![0xA5u8; payload];
+    let mut rtts = Vec::with_capacity(calls as usize);
+    for _ in 0..calls {
+        let t0 = std::time::Instant::now();
+        a.send(b_addr, &msg, 0).expect("send");
+        // Echo side.
+        loop {
+            match b.poll() {
+                Some(GmEvent::Received { src, data }) => {
+                    b.send(src, &data, 0).expect("echo");
+                    break;
+                }
+                Some(GmEvent::SendCompleted { .. }) | None => std::hint::spin_loop(),
+            }
+        }
+        // Pinger side.
+        loop {
+            match a.poll() {
+                Some(GmEvent::Received { .. }) => break,
+                Some(GmEvent::SendCompleted { .. }) | None => std::hint::spin_loop(),
+            }
+        }
+        rtts.push(t0.elapsed().as_nanos() as u64 / 2);
+    }
+    rtts
+}
+
+/// Simple command-line parsing: `--key value` pairs.
+pub struct Args {
+    pairs: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn parse() -> Args {
+        let mut pairs = std::collections::HashMap::new();
+        let mut iter = std::env::args().skip(1);
+        while let Some(k) = iter.next() {
+            if let Some(key) = k.strip_prefix("--") {
+                let v = iter.next().unwrap_or_else(|| "1".to_string());
+                pairs.insert(key.to_string(), v);
+            }
+        }
+        Args { pairs }
+    }
+
+    /// Typed lookup with default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+
+    /// String lookup with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.pairs.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Presence check.
+    pub fn has(&self, key: &str) -> bool {
+        self.pairs.contains_key(key)
+    }
+}
+
+/// Mean of a sample slice, in microseconds.
+pub fn mean_us(ns: &[u64]) -> f64 {
+    if ns.is_empty() {
+        return 0.0;
+    }
+    ns.iter().map(|&v| v as u128).sum::<u128>() as f64 / ns.len() as f64 / 1000.0
+}
+
+/// Median of a sample slice, in microseconds.
+pub fn median_us(ns: &[u64]) -> f64 {
+    Summary::from_samples(ns).median_us()
+}
+
+/// Drops the warm-up prefix (first 10 %, at least 50 samples when the
+/// run is long enough): the first calls pay pool-population and cache
+/// misses that the steady state does not.
+pub fn steady_state(ns: &[u64]) -> &[u64] {
+    if ns.len() < 100 {
+        return ns;
+    }
+    let skip = (ns.len() / 10).max(50).min(ns.len() / 2);
+    &ns[skip..]
+}
+
+/// Re-export for harness binaries.
+pub use xdaq_probe::{linear_fit, LinearFit, Summary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xdaq_run_completes_and_measures() {
+        let run = xdaq_gm_pingpong(BlackboxConfig {
+            payload: 64,
+            calls: 50,
+            ..Default::default()
+        });
+        assert_eq!(run.one_way_ns.len(), 50);
+        assert!(run.one_way_ns.iter().all(|&v| v > 0));
+        assert!(run.exec_a.stats().sent_peer >= 50);
+    }
+
+    #[test]
+    fn raw_gm_run_measures() {
+        let rtts = raw_gm_pingpong(64, 50, LatencyModel::ZERO);
+        assert_eq!(rtts.len(), 50);
+        assert!(rtts.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn xdaq_is_slower_than_raw_gm() {
+        let raw = mean_us(&raw_gm_pingpong(64, 500, LatencyModel::ZERO));
+        let xdaq =
+            mean_us(&xdaq_gm_pingpong(BlackboxConfig { payload: 64, calls: 500, ..Default::default() }).one_way_ns);
+        assert!(
+            xdaq > raw,
+            "framework must add overhead: xdaq {xdaq:.2}us vs raw {raw:.2}us"
+        );
+    }
+
+    #[test]
+    fn probes_populated_when_enabled() {
+        let run = xdaq_gm_pingpong(BlackboxConfig {
+            payload: 64,
+            calls: 50,
+            probes: Some(1024),
+            allocator: AllocatorKind::Simple,
+            ..Default::default()
+        });
+        let p = run.exec_b.probes().unwrap();
+        assert!(p.pt_processing.len() >= 50);
+        assert!(p.app.len() >= 50);
+        assert!(p.frame_alloc.len() >= 50);
+    }
+}

@@ -1,0 +1,183 @@
+//! Whitebox probe points and the probed allocator.
+//!
+//! This module instruments the executive at exactly the activity
+//! boundaries of the paper's Table 1 so the whitebox experiment can be
+//! regenerated:
+//!
+//! | ring            | paper activity                               |
+//! |-----------------|----------------------------------------------|
+//! | `pt_processing` | "PT GM processing" (recorded by the PT)      |
+//! | `demux`         | "Demultiplexing to functor"                  |
+//! | `upcall`        | "Upcall of Functor"                          |
+//! | `app`           | "Application (incl. frameSend)"              |
+//! | `release`       | "Release frame, call postprocessing"         |
+//! | `frame_alloc`   | "frameAlloc"                                 |
+//! | `frame_free`    | "frameFree"                                  |
+
+use std::sync::Arc;
+use xdaq_mempool::{AllocError, Block, BlockRecycler, FrameAllocator, FrameBuf, PoolStats};
+use xdaq_probe::ProbeRing;
+
+/// The seven probe points of the whitebox experiment.
+pub struct DispatchProbes {
+    /// Time spent in the peer transport's receive path.
+    pub pt_processing: ProbeRing,
+    /// Queue pop → handler resolved.
+    pub demux: ProbeRing,
+    /// Handler resolved → user code entered.
+    pub upcall: ProbeRing,
+    /// User handler duration (includes its frameSend).
+    pub app: ProbeRing,
+    /// Handler return → dispatch loop ready (check-in, accounting).
+    pub release: ProbeRing,
+    /// Pool allocation latency.
+    pub frame_alloc: ProbeRing,
+    /// Pool release latency (recorded wherever the frame drops).
+    pub frame_free: ProbeRing,
+}
+
+impl DispatchProbes {
+    /// Creates all rings with `capacity` samples each (the paper uses
+    /// 100 000).
+    pub fn new(capacity: usize) -> Arc<DispatchProbes> {
+        Arc::new(DispatchProbes {
+            pt_processing: ProbeRing::new("pt_processing", capacity),
+            demux: ProbeRing::new("demux", capacity),
+            upcall: ProbeRing::new("upcall", capacity),
+            app: ProbeRing::new("app", capacity),
+            release: ProbeRing::new("release", capacity),
+            frame_alloc: ProbeRing::new("frameAlloc", capacity),
+            frame_free: ProbeRing::new("frameFree", capacity),
+        })
+    }
+
+    /// Clears every ring.
+    pub fn reset(&self) {
+        for r in self.all() {
+            r.reset();
+        }
+    }
+
+    /// All rings in Table-1 order.
+    pub fn all(&self) -> [&ProbeRing; 7] {
+        [
+            &self.pt_processing,
+            &self.demux,
+            &self.upcall,
+            &self.app,
+            &self.release,
+            &self.frame_alloc,
+            &self.frame_free,
+        ]
+    }
+}
+
+/// Recycler shim that times the pool's recycle (frameFree).
+struct TimedRecycler {
+    inner: Arc<dyn BlockRecycler>,
+    ring: Arc<DispatchProbes>,
+}
+
+impl BlockRecycler for TimedRecycler {
+    fn recycle(&self, block: Block) {
+        let t0 = std::time::Instant::now();
+        self.inner.recycle(block);
+        self.ring.frame_free.record(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// A [`FrameAllocator`] decorator recording frameAlloc/frameFree times.
+///
+/// Buffers it hands out carry a timing recycler, so the `frame_free`
+/// probe fires wherever the buffer is eventually dropped — matching the
+/// paper's measurement, which attributes the free to the call site.
+pub struct ProbedAllocator {
+    inner: Arc<dyn FrameAllocator>,
+    shim: Arc<TimedRecycler>,
+    probes: Arc<DispatchProbes>,
+}
+
+impl ProbedAllocator {
+    /// Wraps a pool. `recycler` must be the pool itself (both concrete
+    /// pools implement [`BlockRecycler`]).
+    pub fn new(
+        inner: Arc<dyn FrameAllocator>,
+        recycler: Arc<dyn BlockRecycler>,
+        probes: Arc<DispatchProbes>,
+    ) -> Arc<ProbedAllocator> {
+        Arc::new(ProbedAllocator {
+            inner,
+            shim: Arc::new(TimedRecycler { inner: recycler, ring: probes.clone() }),
+            probes,
+        })
+    }
+}
+
+impl FrameAllocator for ProbedAllocator {
+    fn alloc(&self, len: usize) -> Result<FrameBuf, AllocError> {
+        let t0 = std::time::Instant::now();
+        let result = self.inner.alloc(len);
+        self.probes.frame_alloc.record(t0.elapsed().as_nanos() as u64);
+        let mut buf = result?;
+        buf.replace_recycler(self.shim.clone());
+        Ok(buf)
+    }
+
+    fn stats(&self) -> PoolStats {
+        self.inner.stats()
+    }
+
+    fn scheme(&self) -> &'static str {
+        self.inner.scheme()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_mempool::TablePool;
+
+    #[test]
+    fn probed_allocator_records_both_sides() {
+        let pool = TablePool::with_defaults();
+        let probes = DispatchProbes::new(16);
+        let pa = ProbedAllocator::new(pool.clone(), pool.clone(), probes.clone());
+        {
+            let _b = pa.alloc(100).unwrap();
+            assert_eq!(probes.frame_alloc.len(), 1);
+            assert_eq!(probes.frame_free.len(), 0);
+        }
+        assert_eq!(probes.frame_free.len(), 1);
+        // The block really went back to the pool.
+        assert_eq!(pool.stats().frees, 1);
+        assert_eq!(pool.stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn probed_allocator_passthrough_failure() {
+        let pool = TablePool::new(0);
+        let probes = DispatchProbes::new(16);
+        let pa = ProbedAllocator::new(pool.clone(), pool.clone(), probes.clone());
+        assert!(pa.alloc(10).is_err());
+        assert_eq!(probes.frame_alloc.len(), 1, "failed allocs timed too");
+    }
+
+    #[test]
+    fn reset_clears_all_rings() {
+        let probes = DispatchProbes::new(4);
+        probes.app.record(1);
+        probes.demux.record(2);
+        probes.reset();
+        assert!(probes.all().iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn stats_and_scheme_delegate() {
+        let pool = TablePool::with_defaults();
+        let probes = DispatchProbes::new(4);
+        let pa = ProbedAllocator::new(pool.clone(), pool.clone(), probes);
+        assert_eq!(pa.scheme(), "table");
+        let _b = pa.alloc(64).unwrap();
+        assert_eq!(pa.stats().allocs, 1);
+    }
+}

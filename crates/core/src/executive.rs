@@ -1,0 +1,1058 @@
+//! The executive: the per-node I2O kernel.
+//!
+//! One executive runs per node (IOP). It owns the memory pool, the
+//! scheduling queue, the routing table, the Peer Transport Agent, the
+//! timer wheel and the device registry, and it performs all message
+//! dispatching on a single loop of control (paper §4). Applications,
+//! peer transports and the executive itself are all I2O devices with
+//! TiDs; control flows through executive-class messages, so a primary
+//! host can drive a whole cluster of executives with frames alone.
+
+use crate::config::{encode_kv, kv, parse_kv, AllocatorKind, ExecutiveConfig};
+use crate::dispatch::{DispatchProbes, ProbedAllocator};
+use crate::error::{ExecError, PtError};
+use crate::listener::{Delivery, Dispatcher, I2oListener, TimerId, UtilOutcome};
+use crate::pta::{PeerAddr, PeerTransport, Pta};
+use crate::queue::SchedQueue;
+use crate::registry::{DeviceMeta, DeviceUnit, LctEntry, Registry};
+use crate::route::{Route, RouteTable};
+use crate::timer::TimerWheel;
+use crate::xfn;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdaq_i2o::{
+    DeviceClass, DeviceState, ExecFn, FunctionCode, Message, MsgFlags, MsgHeader, Priority,
+    ReplyStatus, Tid, TidAllocator, UtilFn, ORG_XDAQ,
+};
+use xdaq_mempool::{FrameAllocator, FrameBuf, SimplePool, TablePool};
+
+/// Factory for runtime module loading (`ExecSwDownload`): given the
+/// configured parameters, produce a listener instance.
+pub type ModuleFactory =
+    Box<dyn Fn(&HashMap<String, String>) -> Box<dyn I2oListener> + Send + Sync>;
+
+#[derive(Default)]
+struct AtomicExecStats {
+    dispatched: AtomicU64,
+    sent_local: AtomicU64,
+    sent_peer: AtomicU64,
+    forwarded: AtomicU64,
+    broadcasts: AtomicU64,
+    dropped: AtomicU64,
+    exec_msgs: AtomicU64,
+    util_msgs: AtomicU64,
+    timers_fired: AtomicU64,
+    watchdog_trips: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// Snapshot of executive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Frames dispatched to devices.
+    pub dispatched: u64,
+    /// Frames routed to local devices.
+    pub sent_local: u64,
+    /// Frames routed to peers via the PTA.
+    pub sent_peer: u64,
+    /// Frames that arrived from a peer and were forwarded onward
+    /// (multi-hop peer operation).
+    pub forwarded: u64,
+    /// Broadcast fan-outs performed.
+    pub broadcasts: u64,
+    /// Frames dropped (unknown target / not accepting).
+    pub dropped: u64,
+    /// Executive-class messages handled.
+    pub exec_msgs: u64,
+    /// Utility-class messages handled.
+    pub util_msgs: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Watchdog budget violations.
+    pub watchdog_trips: u64,
+    /// Devices transitioned to Faulted.
+    pub faults: u64,
+}
+
+/// Shared executive internals (everything the dispatch context and the
+/// public wrapper need).
+pub struct ExecCore {
+    node: String,
+    alloc: Arc<dyn FrameAllocator>,
+    queue: SchedQueue,
+    routes: RouteTable,
+    pta: Pta,
+    timers: TimerWheel,
+    registry: Registry,
+    tids: Mutex<TidAllocator>,
+    proxy_index: Mutex<HashMap<(PeerAddr, Tid), Tid>>,
+    factories: Mutex<HashMap<String, ModuleFactory>>,
+    stats: AtomicExecStats,
+    probes: Option<Arc<DispatchProbes>>,
+    watchdog: Option<Duration>,
+    fault_listener: Mutex<Option<Tid>>,
+    running: AtomicBool,
+    started_at: Instant,
+    dispatch_batch: usize,
+    idle_spins: u32,
+    exec_meta: Mutex<DeviceMeta>,
+}
+
+impl ExecCore {
+    /// Node name.
+    pub fn node_name(&self) -> &str {
+        &self.node
+    }
+
+    /// The frame allocator (probed when probes are enabled).
+    pub fn allocator(&self) -> &dyn FrameAllocator {
+        &*self.alloc
+    }
+
+    /// Allocates a pooled buffer.
+    pub fn alloc(&self, len: usize) -> Result<FrameBuf, xdaq_mempool::AllocError> {
+        self.alloc.alloc(len)
+    }
+
+    /// The timer wheel.
+    pub fn timers(&self) -> &TimerWheel {
+        &self.timers
+    }
+
+    /// Name → TiD lookup (local devices and named proxies).
+    pub fn lookup_name(&self, name: &str) -> Option<Tid> {
+        self.registry.lookup_name(name)
+    }
+
+    /// Routes a delivery to its target: local queue, peer transport, or
+    /// broadcast fan-out.
+    pub fn route(&self, d: Delivery) -> Result<(), ExecError> {
+        let target = d.header.target;
+        if target.is_broadcast() {
+            return self.broadcast(d);
+        }
+        if target == Tid::EXECUTIVE {
+            self.queue.push(d);
+            self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        match self.routes.lookup(target) {
+            Some(Route::Local) => {
+                self.queue.push(d);
+                self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Some(Route::Peer { peer, remote_tid }) => {
+                let mut buf = d.into_buf();
+                MsgHeader::patch_target(&mut buf, remote_tid);
+                self.pta.send(&peer, buf)?;
+                self.stats.sent_peer.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                Err(ExecError::UnknownTid(target))
+            }
+        }
+    }
+
+    fn broadcast(&self, d: Delivery) -> Result<(), ExecError> {
+        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        let bytes = d.frame_bytes();
+        for tid in self.registry.tids() {
+            if tid == d.header.initiator {
+                continue; // do not echo to the sender
+            }
+            let mut buf = match self.alloc(bytes.len()) {
+                Ok(b) => b,
+                Err(e) => return Err(e.into()),
+            };
+            buf.copy_from_slice(bytes);
+            MsgHeader::patch_target(&mut buf, tid);
+            if let Ok(copy) = Delivery::from_buf(buf) {
+                self.queue.push(copy);
+                self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds or creates the proxy TiD for a remote device reached via
+    /// `peer` (paper §3.4: the executive "creates a local TiD for the
+    /// target device along with information how to reach this device").
+    pub fn proxy_for(&self, peer: PeerAddr, remote_tid: Tid) -> Result<Tid, ExecError> {
+        let key = (peer.clone(), remote_tid);
+        let mut index = self.proxy_index.lock();
+        if let Some(tid) = index.get(&key) {
+            return Ok(*tid);
+        }
+        let tid = self.tids.lock().allocate()?;
+        self.routes.add_peer(tid, peer, remote_tid);
+        index.insert(key, tid);
+        Ok(tid)
+    }
+
+    /// Ingest path for frames arriving from a peer transport.
+    ///
+    /// The remote initiator TiD is rewritten to a locally created proxy
+    /// so replies route back transparently; frames whose target is
+    /// itself a proxy are forwarded onward (multi-hop Peer Operation).
+    pub fn ingest_from_peer(&self, mut buf: FrameBuf, src: PeerAddr) {
+        let header = match MsgHeader::decode(&buf) {
+            Ok(h) => h,
+            Err(_) => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        if header.initiator.is_addressable() {
+            match self.proxy_for(src, header.initiator) {
+                Ok(proxy) => MsgHeader::patch_initiator(&mut buf, proxy),
+                Err(_) => {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let d = match Delivery::from_buf(buf) {
+            Ok(d) => d,
+            Err(_) => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        let is_forward = matches!(self.routes.lookup(d.header.target), Some(Route::Peer { .. }));
+        if is_forward {
+            self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = self.route(d);
+    }
+
+    fn snapshot(&self) -> ExecStats {
+        let s = &self.stats;
+        ExecStats {
+            dispatched: s.dispatched.load(Ordering::Relaxed),
+            sent_local: s.sent_local.load(Ordering::Relaxed),
+            sent_peer: s.sent_peer.load(Ordering::Relaxed),
+            forwarded: s.forwarded.load(Ordering::Relaxed),
+            broadcasts: s.broadcasts.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            exec_msgs: s.exec_msgs.load(Ordering::Relaxed),
+            util_msgs: s.util_msgs.load(Ordering::Relaxed),
+            timers_fired: s.timers_fired.load(Ordering::Relaxed),
+            watchdog_trips: s.watchdog_trips.load(Ordering::Relaxed),
+            faults: s.faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The public executive handle. Cloning is cheap (shared core).
+#[derive(Clone)]
+pub struct Executive {
+    core: Arc<ExecCore>,
+}
+
+impl Executive {
+    /// Builds an executive from configuration.
+    pub fn new(config: ExecutiveConfig) -> Executive {
+        let probes = config.probe_capacity.map(DispatchProbes::new);
+        let alloc: Arc<dyn FrameAllocator> = match (config.allocator, &probes) {
+            (AllocatorKind::Simple, None) => SimplePool::with_defaults(),
+            (AllocatorKind::Table, None) => TablePool::with_defaults(),
+            (AllocatorKind::Simple, Some(p)) => {
+                let pool = SimplePool::with_defaults();
+                ProbedAllocator::new(pool.clone(), pool, p.clone())
+            }
+            (AllocatorKind::Table, Some(p)) => {
+                let pool = TablePool::with_defaults();
+                ProbedAllocator::new(pool.clone(), pool, p.clone())
+            }
+        };
+        let exec_meta = DeviceMeta {
+            tid: Tid::EXECUTIVE,
+            name: format!("{}.executive", config.node),
+            class: DeviceClass::Executive,
+            state: DeviceState::Enabled,
+            params: HashMap::new(),
+        };
+        let core = Arc::new(ExecCore {
+            node: config.node,
+            alloc,
+            queue: SchedQueue::new(),
+            routes: RouteTable::new(),
+            pta: Pta::new(),
+            timers: TimerWheel::new(),
+            registry: Registry::new(),
+            tids: Mutex::new(TidAllocator::new()),
+            proxy_index: Mutex::new(HashMap::new()),
+            factories: Mutex::new(HashMap::new()),
+            stats: AtomicExecStats::default(),
+            probes,
+            watchdog: config.watchdog,
+            fault_listener: Mutex::new(None),
+            running: AtomicBool::new(true),
+            started_at: Instant::now(),
+            dispatch_batch: config.dispatch_batch.max(1),
+            idle_spins: config.idle_spins,
+            exec_meta: Mutex::new(exec_meta),
+        });
+        core.routes.add_local(Tid::EXECUTIVE);
+        core.routes.add_local(Tid::PTA);
+        Executive { core }
+    }
+
+    /// Shared internals (dispatch context, tests, benches).
+    pub fn core(&self) -> &Arc<ExecCore> {
+        &self.core
+    }
+
+    /// Node name.
+    pub fn node(&self) -> &str {
+        self.core.node_name()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ExecStats {
+        self.core.snapshot()
+    }
+
+    /// Whitebox probes, when enabled in the config.
+    pub fn probes(&self) -> Option<&Arc<DispatchProbes>> {
+        self.core.probes.as_ref()
+    }
+
+    /// Pool statistics.
+    pub fn pool_stats(&self) -> xdaq_mempool::PoolStats {
+        self.core.alloc.stats()
+    }
+
+    /// Registers a device instance under a unique name, assigning a
+    /// TiD and delivering the `plugged` upcall.
+    pub fn register(
+        &self,
+        name: &str,
+        listener: Box<dyn I2oListener>,
+        params: &[(&str, &str)],
+    ) -> Result<Tid, ExecError> {
+        let params: HashMap<String, String> =
+            params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        self.register_with(name, listener, params)
+    }
+
+    fn register_with(
+        &self,
+        name: &str,
+        listener: Box<dyn I2oListener>,
+        params: HashMap<String, String>,
+    ) -> Result<Tid, ExecError> {
+        let tid = self.core.tids.lock().allocate()?;
+        let meta = DeviceMeta {
+            tid,
+            name: name.to_string(),
+            class: listener.class(),
+            state: DeviceState::Initialized,
+            params,
+        };
+        if let Err(e) = self.core.registry.insert(DeviceUnit { listener, meta }) {
+            let _ = self.core.tids.lock().free(tid);
+            return Err(e);
+        }
+        self.core.routes.add_local(tid);
+        // The paper's plugin upcall: the instance learns its TiD and
+        // reads its parameters.
+        if let Some(mut unit) = self.core.registry.checkout(tid) {
+            let mut ctx = Dispatcher { core: &self.core, meta: &mut unit.meta };
+            unit.listener.plugged(&mut ctx);
+            self.core.registry.checkin(unit);
+        }
+        Ok(tid)
+    }
+
+    /// Registers a module factory for runtime loading via
+    /// `ExecSwDownload` (the paper's dynamic download of device
+    /// classes into running executives).
+    pub fn register_factory(&self, name: &str, factory: ModuleFactory) {
+        self.core.factories.lock().insert(name.to_string(), factory);
+    }
+
+    /// Instantiates a previously registered factory.
+    pub fn load_module(
+        &self,
+        factory: &str,
+        instance: &str,
+        params: HashMap<String, String>,
+    ) -> Result<Tid, ExecError> {
+        let listener = {
+            let factories = self.core.factories.lock();
+            let f = factories
+                .get(factory)
+                .ok_or_else(|| ExecError::UnknownModule(factory.to_string()))?;
+            f(&params)
+        };
+        self.register_with(instance, listener, params)
+    }
+
+    /// Registers a peer transport: it becomes a device (TiD, utility
+    /// messages) *and* the PTA routes frames through it by scheme.
+    pub fn register_pt(&self, name: &str, pt: Arc<dyn PeerTransport>) -> Result<Tid, ExecError> {
+        struct PtDdm {
+            scheme: &'static str,
+        }
+        impl I2oListener for PtDdm {
+            fn class(&self) -> DeviceClass {
+                DeviceClass::PeerTransport
+            }
+            fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, _msg: Delivery) {
+                // Peer transports consume no private frames; data-plane
+                // traffic flows through the PTA send/poll hooks.
+            }
+            fn plugged(&mut self, ctx: &mut Dispatcher<'_>) {
+                let scheme = self.scheme.to_string();
+                ctx.set_param("scheme", &scheme);
+            }
+        }
+        let tid = self.register(name, Box::new(PtDdm { scheme: pt.scheme() }), &[])?;
+        self.core.pta.register(tid, pt);
+        Ok(tid)
+    }
+
+    /// Creates (or finds) a proxy TiD for a remote device, optionally
+    /// giving it a local alias name.
+    pub fn proxy(
+        &self,
+        peer: &str,
+        remote_tid: Tid,
+        alias: Option<&str>,
+    ) -> Result<Tid, ExecError> {
+        let addr: PeerAddr = peer.parse().map_err(ExecError::Transport)?;
+        let tid = self.core.proxy_for(addr, remote_tid)?;
+        if let Some(name) = alias {
+            self.core.registry.alias(name, tid)?;
+        }
+        Ok(tid)
+    }
+
+    /// Injects a message from outside the dispatch loop (host control,
+    /// application threads, tests). The message is encoded into a
+    /// pooled buffer and routed like any frameSend.
+    pub fn post(&self, msg: Message) -> Result<(), ExecError> {
+        let d = Delivery::from_message(&msg, self.core.allocator())?;
+        self.core.route(d)
+    }
+
+    /// Hands a raw encoded frame to the executive as if it arrived from
+    /// the wire of `src`.
+    pub fn ingest_from_peer(&self, buf: FrameBuf, src: PeerAddr) {
+        self.core.ingest_from_peer(buf, src);
+    }
+
+    /// Starts all task-mode PTs, delivering into this executive.
+    pub fn start_transports(&self) -> Result<(), PtError> {
+        let core = self.core.clone();
+        self.core.pta.start_tasks(Arc::new(move |buf, src| {
+            core.ingest_from_peer(buf, src);
+        }))
+    }
+
+    /// Destroys a device: unregisters, purges queues/timers/routes and
+    /// frees its TiD.
+    pub fn destroy(&self, tid: Tid) -> Result<(), ExecError> {
+        let unit = self.core.registry.remove(tid);
+        self.core.routes.remove(tid);
+        self.core.queue.purge(tid);
+        self.core.timers.cancel_owned(tid);
+        self.core.pta.unregister(tid);
+        match unit {
+            Some(mut u) => {
+                u.listener.unplugged();
+                u.meta.state = DeviceState::Destroyed;
+                let _ = self.core.tids.lock().free(tid);
+                Ok(())
+            }
+            None => Err(ExecError::UnknownTid(tid)),
+        }
+    }
+
+    /// Run-control: enable all devices that can be enabled.
+    pub fn enable_all(&self) {
+        self.core.registry.for_each_meta(|m| {
+            if m.state.can_transition(DeviceState::Enabled) {
+                m.state = DeviceState::Enabled;
+            }
+        });
+    }
+
+    /// Run-control: quiesce all enabled devices.
+    pub fn quiesce_all(&self) {
+        self.core.registry.for_each_meta(|m| {
+            if m.state.can_transition(DeviceState::Quiesced) {
+                m.state = DeviceState::Quiesced;
+            }
+        });
+    }
+
+    /// The Logical Configuration Table.
+    pub fn lct(&self) -> Vec<LctEntry> {
+        self.core.registry.lct()
+    }
+
+    /// Pending message count.
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// One scheduler iteration: fire timers, poll polling-mode PTs,
+    /// dispatch up to `dispatch_batch` messages. Returns the number of
+    /// work items performed (0 ⇒ idle).
+    pub fn run_once(&self) -> usize {
+        let core = &self.core;
+        let mut work = 0usize;
+
+        // Timers → XFN_TIMER frames through the normal queue.
+        work += core.timers.fire_due(|owner, id| {
+            core.stats.timers_fired.fetch_add(1, Ordering::Relaxed);
+            let msg = Message::build_private(owner, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_TIMER)
+                .priority(Priority::MAX)
+                .payload(id.0.to_le_bytes().to_vec())
+                .finish();
+            if let Ok(d) = Delivery::from_message(&msg, core.allocator()) {
+                core.queue.push(d);
+            }
+        });
+
+        // Polling-mode PTs (paper: executive periodically scans PTs).
+        work += core.pta.poll_all(|buf, src| core.ingest_from_peer(buf, src));
+
+        // Dispatch a batch.
+        for _ in 0..core.dispatch_batch {
+            match core.queue.pop() {
+                Some(d) => {
+                    self.dispatch(d);
+                    work += 1;
+                }
+                None => break,
+            }
+        }
+        work
+    }
+
+    /// Runs the dispatch loop until [`Executive::stop`] is called.
+    pub fn run(&self) {
+        let mut idle = 0u32;
+        while self.core.running.load(Ordering::Acquire) {
+            if self.run_once() > 0 {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < self.core.idle_spins {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        self.core.pta.stop_all();
+    }
+
+    /// Requests loop termination.
+    pub fn stop(&self) {
+        self.core.running.store(false, Ordering::Release);
+    }
+
+    /// True until [`Executive::stop`].
+    pub fn is_running(&self) -> bool {
+        self.core.running.load(Ordering::Acquire)
+    }
+
+    /// Spawns the dispatch loop on its own thread (starting task-mode
+    /// transports first) and returns a handle.
+    pub fn spawn(&self) -> ExecutiveHandle {
+        let _ = self.start_transports();
+        let me = self.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("xdaq-{}", self.node()))
+            .spawn(move || me.run())
+            .expect("spawn executive thread");
+        ExecutiveHandle { exec: self.clone(), thread: Some(thread) }
+    }
+
+    // ------------------------------------------------------------------
+    // Dispatch internals
+    // ------------------------------------------------------------------
+
+    fn dispatch(&self, d: Delivery) {
+        let core = &self.core;
+        core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+        let target = d.header.target;
+        if target == Tid::EXECUTIVE {
+            self.handle_executive(d);
+            return;
+        }
+
+        let t_demux = core.probes.as_ref().map(|_| Instant::now());
+        let unit = core.registry.checkout(target);
+        let function = d.header.function_code();
+        if let (Some(p), Some(t0)) = (&core.probes, t_demux) {
+            p.demux.record(t0.elapsed().as_nanos() as u64);
+        }
+        let Some(mut unit) = unit else {
+            core.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.error_reply(&d, ReplyStatus::UnknownTarget);
+            return;
+        };
+
+        match function {
+            FunctionCode::Private => {
+                self.dispatch_private(&mut unit, d);
+            }
+            // Replies to standard-function requests this device sent.
+            _ if d.header.flags.contains(MsgFlags::IS_REPLY) => {
+                let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+                unit.listener.on_reply(&mut ctx, d);
+            }
+            FunctionCode::Util(f) => {
+                core.stats.util_msgs.fetch_add(1, Ordering::Relaxed);
+                self.dispatch_util(&mut unit, f, d);
+            }
+            FunctionCode::Exec(_) | FunctionCode::Unknown(_) => {
+                // Fault-tolerant default (paper §3.2): unknown standard
+                // messages get a well-formed error reply instead of
+                // crashing or stalling the node.
+                let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+                let _ = ctx.reply(&d, ReplyStatus::UnsupportedFunction, &[]);
+            }
+        }
+        core.registry.checkin(unit);
+    }
+
+    fn dispatch_private(&self, unit: &mut DeviceUnit, d: Delivery) {
+        let core = &self.core;
+        // Framework-internal events ride private XDAQ frames.
+        if let Some(p) = d.private {
+            if p.org_id == ORG_XDAQ && xfn::is_reserved(p.x_function) {
+                if p.x_function == xfn::XFN_TIMER {
+                    let mut id = [0u8; 8];
+                    let payload = d.payload();
+                    if payload.len() >= 8 {
+                        id.copy_from_slice(&payload[..8]);
+                        let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+                        unit.listener.on_timer(&mut ctx, TimerId(u64::from_le_bytes(id)));
+                    }
+                    return;
+                }
+                // Other reserved events (watchdog/fault/LCT) are
+                // delivered as ordinary private frames below so
+                // monitoring listeners can observe them.
+            }
+        }
+        if !unit.meta.state.accepts_private() {
+            core.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.error_reply(&d, ReplyStatus::Busy);
+            return;
+        }
+        let probes = core.probes.clone();
+        let t_upcall = probes.as_ref().map(|_| Instant::now());
+        let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+        let t_app = Instant::now();
+        if let (Some(p), Some(t0)) = (&probes, t_upcall) {
+            p.upcall.record(t0.elapsed().as_nanos() as u64);
+        }
+        unit.listener.on_private(&mut ctx, d);
+        let app_elapsed = t_app.elapsed();
+        let t_release = Instant::now();
+        if let Some(p) = &probes {
+            p.app.record(app_elapsed.as_nanos() as u64);
+        }
+        // Watchdog (paper §4: detect handlers that monopolize the CPU).
+        if let Some(budget) = core.watchdog {
+            if app_elapsed > budget {
+                core.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                if unit.meta.state.can_transition(DeviceState::Faulted) {
+                    unit.meta.state = DeviceState::Faulted;
+                    core.stats.faults.fetch_add(1, Ordering::Relaxed);
+                }
+                self.notify_fault(unit.meta.tid, app_elapsed);
+            }
+        }
+        if let Some(p) = &probes {
+            p.release.record(t_release.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn dispatch_util(&self, unit: &mut DeviceUnit, f: UtilFn, d: Delivery) {
+        let core = &self.core;
+        if !unit.meta.state.accepts_utility() {
+            self.error_reply(&d, ReplyStatus::Busy);
+            return;
+        }
+        let outcome = {
+            let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+            unit.listener.on_util(&mut ctx, f, &d)
+        };
+        if outcome == UtilOutcome::Handled {
+            return;
+        }
+        self.default_util(&mut unit.meta, f, &d);
+    }
+
+    /// The executive's default utility procedures (paper §3.2: "The
+    /// system can provide default procedures if for a given event no
+    /// code is supplied").
+    fn default_util(&self, meta: &mut DeviceMeta, f: UtilFn, d: &Delivery) {
+        let core = &self.core;
+        let mut ctx = Dispatcher { core, meta };
+        match f {
+            UtilFn::Nop => {
+                let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+            }
+            UtilFn::ParamsGet => {
+                let body = encode_kv(&ctx.meta.params);
+                let _ = ctx.reply(d, ReplyStatus::Success, &body);
+            }
+            UtilFn::ParamsSet => match parse_kv(d.payload()) {
+                Ok(map) => {
+                    for (k, v) in map {
+                        ctx.meta.params.insert(k, v);
+                    }
+                    let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+                }
+                Err(e) => {
+                    let _ = ctx.reply(d, ReplyStatus::BadFrame, e.as_bytes());
+                }
+            },
+            UtilFn::Claim => {
+                let owner = format!("{}", d.header.initiator.raw());
+                if ctx.meta.params.contains_key("claimed_by") {
+                    let _ = ctx.reply(d, ReplyStatus::Busy, b"already claimed");
+                } else {
+                    ctx.meta.params.insert("claimed_by".into(), owner);
+                    let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+                }
+            }
+            UtilFn::ClaimRelease => {
+                ctx.meta.params.remove("claimed_by");
+                let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+            }
+            UtilFn::Abort => {
+                let purged = core.queue.purge(ctx.meta.tid);
+                let body = format!("purged={purged}");
+                let _ = ctx.reply(d, ReplyStatus::Aborted, body.as_bytes());
+            }
+            UtilFn::EventRegister => {
+                *core.fault_listener.lock() = Some(d.header.initiator);
+                let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+            }
+            UtilFn::EventAck | UtilFn::ReplyFaultNotify => {
+                // Pure notifications: nothing to do.
+            }
+        }
+    }
+
+    /// Executive-class messages addressed to TiD 1 — the management
+    /// surface a primary host drives.
+    fn handle_executive(&self, d: Delivery) {
+        let core = &self.core;
+        core.stats.exec_msgs.fetch_add(1, Ordering::Relaxed);
+        // Replies to executive-originated requests terminate here —
+        // never interpret a reply as a command (loop protection).
+        if d.header.flags.contains(MsgFlags::IS_REPLY) {
+            return;
+        }
+        let function = d.header.function_code();
+        let mut meta = core.exec_meta.lock();
+        match function {
+            FunctionCode::Util(f) => {
+                core.stats.util_msgs.fetch_add(1, Ordering::Relaxed);
+                let mut m = meta.clone();
+                drop(meta);
+                self.default_util(&mut m, f, &d);
+                *core.exec_meta.lock() = m;
+                return;
+            }
+            FunctionCode::Exec(e) => {
+                drop(meta);
+                self.handle_exec_fn(e, &d);
+                return;
+            }
+            _ => {
+                let mut ctx = Dispatcher { core, meta: &mut meta };
+                let _ = ctx.reply(&d, ReplyStatus::UnsupportedFunction, &[]);
+            }
+        }
+    }
+
+    fn exec_reply(&self, d: &Delivery, status: ReplyStatus, body: &[u8]) {
+        let core = &self.core;
+        let mut meta = core.exec_meta.lock().clone();
+        let mut ctx = Dispatcher { core, meta: &mut meta };
+        let _ = ctx.reply(d, status, body);
+    }
+
+    /// True when `e` mutates cluster state and is therefore gated by a
+    /// host claim (paper §3.5: secondary hosts must apply for control
+    /// rights before driving a node).
+    fn is_mutating(e: ExecFn) -> bool {
+        !matches!(
+            e,
+            ExecFn::StatusGet | ExecFn::OutboundInit | ExecFn::HrtGet | ExecFn::LctNotify
+        )
+    }
+
+    fn handle_exec_fn(&self, e: ExecFn, d: &Delivery) {
+        let core = &self.core;
+        // Control-rights check: once a host has claimed this executive
+        // (UtilClaim on TiD 1), mutating commands from other initiators
+        // are refused with Busy.
+        if Self::is_mutating(e) {
+            let claimed = core.exec_meta.lock().params.get("claimed_by").cloned();
+            if let Some(owner) = claimed {
+                if owner != d.header.initiator.raw().to_string() {
+                    self.exec_reply(d, ReplyStatus::Busy, b"claimed by another host");
+                    return;
+                }
+            }
+        }
+        match e {
+            ExecFn::StatusGet => {
+                let s = core.snapshot();
+                let body = kv(&[
+                    ("node", core.node_name()),
+                    ("devices", &core.registry.len().to_string()),
+                    ("queued", &core.queue.len().to_string()),
+                    ("dispatched", &s.dispatched.to_string()),
+                    ("uptime_ns", &core.started_at.elapsed().as_nanos().to_string()),
+                    ("allocator", core.alloc.scheme()),
+                ]);
+                self.exec_reply(d, ReplyStatus::Success, &body);
+            }
+            ExecFn::OutboundInit => {
+                self.exec_reply(d, ReplyStatus::Success, b"ack=1\n");
+            }
+            ExecFn::SysEnable => {
+                self.enable_all();
+                self.exec_reply(d, ReplyStatus::Success, &[]);
+            }
+            ExecFn::SysQuiesce => {
+                self.quiesce_all();
+                self.exec_reply(d, ReplyStatus::Success, &[]);
+            }
+            ExecFn::IopClear => {
+                let mut purged = 0;
+                for tid in core.registry.tids() {
+                    purged += core.queue.purge(tid);
+                }
+                let body = format!("purged={purged}\n");
+                self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
+            }
+            ExecFn::IopReset => {
+                core.registry.for_each_meta(|m| m.state = DeviceState::Initialized);
+                for tid in core.registry.tids() {
+                    core.queue.purge(tid);
+                    core.timers.cancel_owned(tid);
+                }
+                self.exec_reply(d, ReplyStatus::Success, &[]);
+            }
+            ExecFn::DdmDestroy => match self.control_tid(d) {
+                Ok(tid) => match self.destroy(tid) {
+                    Ok(()) => self.exec_reply(d, ReplyStatus::Success, &[]),
+                    Err(_) => self.exec_reply(d, ReplyStatus::UnknownTarget, &[]),
+                },
+                Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.to_string().as_bytes()),
+            },
+            ExecFn::SwDownload => match parse_kv(d.payload()) {
+                Ok(map) => {
+                    let factory = map.get("factory").cloned().unwrap_or_default();
+                    let name = map.get("name").cloned().unwrap_or_default();
+                    let params: HashMap<String, String> = map
+                        .iter()
+                        .filter_map(|(k, v)| {
+                            k.strip_prefix("param.").map(|p| (p.to_string(), v.clone()))
+                        })
+                        .collect();
+                    match self.load_module(&factory, &name, params) {
+                        Ok(tid) => {
+                            let body = format!("tid={}\n", tid.raw());
+                            self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
+                        }
+                        Err(err) => self.exec_reply(
+                            d,
+                            ReplyStatus::DeviceError,
+                            err.to_string().as_bytes(),
+                        ),
+                    }
+                }
+                Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.as_bytes()),
+            },
+            ExecFn::IopConnect => match parse_kv(d.payload()) {
+                Ok(map) => {
+                    let peer = map.get("peer").cloned().unwrap_or_default();
+                    let remote: u16 = map
+                        .get("remote_tid")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0);
+                    match Tid::new(remote) {
+                        Ok(rt) if rt.is_addressable() => {
+                            let alias = map.get("alias").map(|s| s.as_str());
+                            match self.proxy(&peer, rt, alias) {
+                                Ok(tid) => {
+                                    let body = format!("tid={}\n", tid.raw());
+                                    self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
+                                }
+                                Err(err) => self.exec_reply(
+                                    d,
+                                    ReplyStatus::DeviceError,
+                                    err.to_string().as_bytes(),
+                                ),
+                            }
+                        }
+                        _ => self.exec_reply(d, ReplyStatus::BadFrame, b"bad remote_tid"),
+                    }
+                }
+                Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.as_bytes()),
+            },
+            ExecFn::SysTabSet => match parse_kv(d.payload()) {
+                Ok(map) => {
+                    let mut body = String::new();
+                    let mut ok = true;
+                    for (k, v) in &map {
+                        let Some(n) = k.strip_prefix("route.") else { continue };
+                        let Some((peer, tid_s)) = v.split_once('|') else {
+                            ok = false;
+                            continue;
+                        };
+                        let rt = tid_s.parse::<u16>().ok().and_then(|t| Tid::new(t).ok());
+                        match rt {
+                            Some(rt) => match self.proxy(peer, rt, None) {
+                                Ok(tid) => {
+                                    body.push_str(&format!("tid.{n}={}\n", tid.raw()));
+                                }
+                                Err(_) => ok = false,
+                            },
+                            None => ok = false,
+                        }
+                    }
+                    let status =
+                        if ok { ReplyStatus::Success } else { ReplyStatus::DeviceError };
+                    self.exec_reply(d, status, body.as_bytes());
+                }
+                Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.as_bytes()),
+            },
+            ExecFn::HrtGet => {
+                let ps = core.alloc.stats();
+                let body = kv(&[
+                    ("allocator", core.alloc.scheme()),
+                    ("allocs", &ps.allocs.to_string()),
+                    ("hits", &ps.hits.to_string()),
+                    ("misses", &ps.misses.to_string()),
+                    ("live_blocks", &ps.live_blocks.to_string()),
+                    ("bytes_created", &ps.bytes_created.to_string()),
+                ]);
+                self.exec_reply(d, ReplyStatus::Success, &body);
+            }
+            ExecFn::LctNotify => {
+                let mut body = String::new();
+                for (i, row) in core.registry.lct().iter().enumerate() {
+                    body.push_str(&format!(
+                        "dev.{i}={}|{}|{}|{:?}\n",
+                        row.tid.raw(),
+                        row.name,
+                        row.class,
+                        row.state
+                    ));
+                }
+                self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
+            }
+            ExecFn::PathQuiesce | ExecFn::PathEnable => match self.control_tid(d) {
+                Ok(tid) => {
+                    let want = if e == ExecFn::PathEnable {
+                        DeviceState::Enabled
+                    } else {
+                        DeviceState::Quiesced
+                    };
+                    let mut done = false;
+                    core.registry.for_each_meta(|m| {
+                        if m.tid == tid && m.state.can_transition(want) {
+                            m.state = want;
+                            done = true;
+                        }
+                    });
+                    let status =
+                        if done { ReplyStatus::Success } else { ReplyStatus::DeviceError };
+                    self.exec_reply(d, status, &[]);
+                }
+                Err(err) => {
+                    self.exec_reply(d, ReplyStatus::BadFrame, err.to_string().as_bytes())
+                }
+            },
+        }
+    }
+
+    /// Parses the `tid=<raw>` control payload.
+    fn control_tid(&self, d: &Delivery) -> Result<Tid, ExecError> {
+        let map = parse_kv(d.payload()).map_err(ExecError::BadControl)?;
+        let raw: u16 = map
+            .get("tid")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ExecError::BadControl("missing tid".into()))?;
+        Tid::new(raw).map_err(ExecError::Tid)
+    }
+
+    /// Sends an error reply when the request asked for one.
+    fn error_reply(&self, d: &Delivery, status: ReplyStatus) {
+        if !d.header.flags.contains(MsgFlags::REPLY_EXPECTED)
+            || d.header.flags.contains(MsgFlags::IS_REPLY)
+        {
+            return;
+        }
+        self.exec_reply(d, status, &[]);
+    }
+
+    /// Notifies the registered fault listener about a watchdog trip.
+    fn notify_fault(&self, tid: Tid, elapsed: Duration) {
+        let listener = *self.core.fault_listener.lock();
+        let Some(dest) = listener else { return };
+        let body = kv(&[
+            ("tid", &tid.raw().to_string()),
+            ("elapsed_ns", &elapsed.as_nanos().to_string()),
+        ]);
+        let msg = Message::build_private(dest, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_WATCHDOG)
+            .priority(Priority::MAX)
+            .payload(body)
+            .finish();
+        let _ = self.post(msg);
+    }
+}
+
+/// Handle to a spawned executive thread. Stops and joins on drop.
+pub struct ExecutiveHandle {
+    exec: Executive,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ExecutiveHandle {
+    /// The executive being driven.
+    pub fn executive(&self) -> &Executive {
+        &self.exec
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_join();
+    }
+
+    fn stop_join(&mut self) {
+        self.exec.stop();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ExecutiveHandle {
+    fn drop(&mut self) {
+        self.stop_join();
+    }
+}

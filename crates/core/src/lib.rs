@@ -1,0 +1,58 @@
+//! # xdaq-core — the XDAQ I2O executive
+//!
+//! The heart of the reproduction: the per-node *executive* described in
+//! §4 of the paper.
+//!
+//! > *"The executive accepts incoming messages and forwards them to the
+//! > device classes. To avoid efficiency loss that might be induced
+//! > with unpredictable growth of threads if each and every single
+//! > active object was modeled as a task, the loop of control remains
+//! > in the executive framework. There exist multiple dispatch tables
+//! > for all the device class instances, but the executive performs the
+//! > dispatching. Furthermore the executive has control over all the
+//! > memory that can be accessed by the registered modules. ... After
+//! > all, the executive is very lean as it acts only as a delegate."*
+//!
+//! What lives here:
+//!
+//! * [`Executive`] — the per-node kernel: owns the memory pool, the
+//!   [`SchedQueue`] (seven priority FIFOs with round-robin device
+//!   dispatch), the [`RouteTable`] (TiD addressing + proxy TiDs), the
+//!   [`Pta`] (Peer Transport Agent), the [`TimerWheel`], and the device
+//!   registry.
+//! * [`I2oListener`] — the device-class trait applications implement
+//!   (the paper's `i2oListener` C++ class): react to private frames,
+//!   utility frames and timer events; default utility handling is
+//!   provided ("the system can provide default procedures if for a
+//!   given event no code is supplied").
+//! * [`PeerTransport`] — the transport DDM interface; concrete
+//!   transports (TCP, GM, PCI, loopback) live in `xdaq-pt` and
+//!   register here like any other device.
+//! * [`DispatchProbes`] — the whitebox probe points of Table 1.
+
+pub mod chainio;
+pub mod config;
+pub mod dispatch;
+pub mod error;
+pub mod executive;
+pub mod listener;
+pub mod pta;
+pub mod queue;
+pub mod registry;
+pub mod rmi;
+pub mod route;
+pub mod timer;
+pub mod xfn;
+
+pub use chainio::ChainCollector;
+pub use config::{AllocatorKind, ExecutiveConfig};
+pub use dispatch::{DispatchProbes, ProbedAllocator};
+pub use error::{ExecError, PtError};
+pub use executive::{Executive, ExecutiveHandle, ExecStats};
+pub use listener::{Delivery, Dispatcher, I2oListener, TimerId};
+pub use pta::{IngestSink, PeerAddr, PeerTransport, Pta, PtMode};
+pub use queue::SchedQueue;
+pub use registry::{DeviceMeta, Registry};
+pub use rmi::{ArgReader, ArgWriter, MarshalError, Skeleton, Stub};
+pub use route::{Route, RouteTable};
+pub use timer::TimerWheel;

@@ -1,0 +1,348 @@
+//! The device-class listener trait and the dispatch context.
+//!
+//! Paper §4: *"A device class is programmed in C++ by inheriting from
+//! an i2oListener class. Similar to the Java Event model, the class
+//! inherits the interfaces from the i2oExecutive, i2oUtility and
+//! private classes."* — in Rust, a device class implements
+//! [`I2oListener`]; the utility interface has default method bodies
+//! (the paper's "default procedures ... for a homogeneous view of
+//! software components with fault tolerant behaviour").
+
+use crate::error::ExecError;
+use crate::executive::ExecCore;
+use crate::registry::DeviceMeta;
+use xdaq_i2o::{
+    DeviceClass, DeviceState, FrameError, Message, MsgHeader, Priority, PrivateHeader,
+    ReplyStatus, Tid, UtilFn, HEADER_LEN, PRIVATE_HEADER_LEN,
+};
+use xdaq_mempool::FrameBuf;
+
+/// Identifier of a registered timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// One frame as delivered to (or sent by) a device: the pooled buffer
+/// holding the encoded frame plus its decoded headers.
+///
+/// This is the zero-copy currency of the executive — the buffer a PT
+/// received into is the buffer the listener reads the payload from.
+#[derive(Debug)]
+pub struct Delivery {
+    /// Decoded standard header.
+    pub header: MsgHeader,
+    /// Decoded private extension, iff the frame is private.
+    pub private: Option<PrivateHeader>,
+    buf: FrameBuf,
+}
+
+impl Delivery {
+    /// Decodes an encoded frame held in a pooled buffer.
+    pub fn from_buf(buf: FrameBuf) -> Result<Delivery, FrameError> {
+        let header = MsgHeader::decode(&buf)?;
+        let private = if header.is_private() {
+            if (header.payload_len as usize) < 4 {
+                return Err(FrameError::PrivateTooShort(buf.len()));
+            }
+            Some(PrivateHeader::decode(&buf)?)
+        } else {
+            None
+        };
+        Ok(Delivery { header, private, buf })
+    }
+
+    /// Encodes an owned [`Message`] into a pooled buffer.
+    pub fn from_message(
+        msg: &Message,
+        alloc: &dyn xdaq_mempool::FrameAllocator,
+    ) -> Result<Delivery, ExecError> {
+        let len = msg.wire_len();
+        let mut buf = alloc.alloc(len)?;
+        msg.encode(&mut buf)?;
+        Delivery::from_buf(buf).map_err(ExecError::Frame)
+    }
+
+    /// Application payload bytes (after the private extension if any).
+    pub fn payload(&self) -> &[u8] {
+        let start = if self.private.is_some() { PRIVATE_HEADER_LEN } else { HEADER_LEN };
+        let end = HEADER_LEN + self.header.payload_len as usize;
+        &self.buf[start..end]
+    }
+
+    /// The full encoded frame.
+    pub fn frame_bytes(&self) -> &[u8] {
+        &self.buf[..self.header.frame_len()]
+    }
+
+    /// Scheduling priority.
+    pub fn priority(&self) -> Priority {
+        self.header.flags.priority()
+    }
+
+    /// Converts to an owned [`Message`] (copies the payload).
+    pub fn to_message(&self) -> Message {
+        Message {
+            header: self.header,
+            private: self.private,
+            payload: bytes::Bytes::copy_from_slice(self.payload()),
+        }
+    }
+
+    /// Consumes the delivery, returning the underlying buffer (e.g. to
+    /// hand it to a peer transport for the wire).
+    pub fn into_buf(self) -> FrameBuf {
+        self.buf
+    }
+
+    /// For replies: the status byte and remaining body.
+    pub fn reply_status(&self) -> Option<(ReplyStatus, &[u8])> {
+        if !self.header.flags.contains(xdaq_i2o::MsgFlags::IS_REPLY) {
+            return None;
+        }
+        let p = self.payload();
+        if p.is_empty() {
+            return None;
+        }
+        Some((ReplyStatus::from_u8(p[0]), &p[1..]))
+    }
+}
+
+/// What a listener's utility handler decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UtilOutcome {
+    /// Let the executive apply its default procedure for this event.
+    Default,
+    /// The listener handled (and, if needed, replied to) the event.
+    Handled,
+}
+
+/// The interface a device class implements.
+///
+/// All methods run on the executive's dispatch thread — the loop of
+/// control stays in the executive (paper §4), so implementations need
+/// no internal locking for their own state.
+pub trait I2oListener: Send {
+    /// Device class of this instance.
+    fn class(&self) -> DeviceClass;
+
+    /// Called once after registration, when the instance has its TiD
+    /// and parameters (the paper's "plugin method that is not defined
+    /// by I2O": *"At this point the newly created class can obtain its
+    /// TiD and retrieve parameter settings from the executive."*).
+    fn plugged(&mut self, ctx: &mut Dispatcher<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when the device is destroyed or the executive stops.
+    fn unplugged(&mut self) {}
+
+    /// A private (application) frame arrived.
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery);
+
+    /// A utility-class frame arrived. Return [`UtilOutcome::Default`]
+    /// to use the executive's built-in behaviour.
+    fn on_util(&mut self, ctx: &mut Dispatcher<'_>, f: UtilFn, msg: &Delivery) -> UtilOutcome {
+        let _ = (ctx, f, msg);
+        UtilOutcome::Default
+    }
+
+    /// A reply to a **standard-function** (utility/executive) request
+    /// this device initiated. Private replies arrive at
+    /// [`I2oListener::on_private`] like any private frame.
+    fn on_reply(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let _ = (ctx, msg);
+    }
+
+    /// A timer registered via [`Dispatcher::start_timer`] expired.
+    fn on_timer(&mut self, ctx: &mut Dispatcher<'_>, id: TimerId) {
+        let _ = (ctx, id);
+    }
+}
+
+/// Handle given to listeners during upcalls: the window through which a
+/// device talks to its executive (frameSend/frameReply, timers, memory,
+/// parameters).
+pub struct Dispatcher<'a> {
+    pub(crate) core: &'a ExecCore,
+    pub(crate) meta: &'a mut DeviceMeta,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// The current device's TiD.
+    pub fn own_tid(&self) -> Tid {
+        self.meta.tid
+    }
+
+    /// The current device's instance name.
+    pub fn own_name(&self) -> &str {
+        &self.meta.name
+    }
+
+    /// Node (IOP) name of this executive.
+    pub fn node(&self) -> &str {
+        self.core.node_name()
+    }
+
+    /// Current device state.
+    pub fn state(&self) -> DeviceState {
+        self.meta.state
+    }
+
+    /// Marks the current device faulted (only utility traffic will be
+    /// delivered until a reset).
+    pub fn fault(&mut self) {
+        if self.meta.state.can_transition(DeviceState::Faulted) {
+            self.meta.state = DeviceState::Faulted;
+        }
+    }
+
+    /// Reads one of the device's configuration parameters.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.meta.params.get(key).map(|s| s.as_str())
+    }
+
+    /// Sets a configuration parameter.
+    pub fn set_param(&mut self, key: &str, value: &str) {
+        self.meta.params.insert(key.to_string(), value.to_string());
+    }
+
+    /// Allocates a pooled buffer (counts toward frameAlloc probes).
+    pub fn alloc(&self, len: usize) -> Result<FrameBuf, ExecError> {
+        Ok(self.core.alloc(len)?)
+    }
+
+    /// The paper's `frameSend`: routes an owned message. The initiator
+    /// field is forced to this device's TiD.
+    pub fn send(&mut self, mut msg: Message) -> Result<(), ExecError> {
+        msg.header.initiator = self.meta.tid;
+        let d = Delivery::from_message(&msg, self.core.allocator())?;
+        self.core.route(d)
+    }
+
+    /// Zero-copy `frameSend` of a pre-encoded frame.
+    pub fn send_delivery(&mut self, d: Delivery) -> Result<(), ExecError> {
+        self.core.route(d)
+    }
+
+    /// The paper's `frameReply`: builds and routes the reply to `msg`.
+    pub fn reply(
+        &mut self,
+        msg: &Delivery,
+        status: ReplyStatus,
+        body: &[u8],
+    ) -> Result<(), ExecError> {
+        let mut header = msg.header.reply_header();
+        let private = msg.private;
+        let ext = if private.is_some() { 4usize } else { 0 };
+        header.payload_len = (1 + body.len() + ext) as u32;
+        let total = header.frame_len();
+        let mut buf = self.core.alloc(total)?;
+        header.encode(&mut buf)?;
+        let mut off = HEADER_LEN;
+        if let Some(p) = &private {
+            p.encode(&mut buf)?;
+            off = PRIVATE_HEADER_LEN;
+        }
+        buf[off] = status as u8;
+        buf[off + 1..off + 1 + body.len()].copy_from_slice(body);
+        let d = Delivery::from_buf(buf).map_err(ExecError::Frame)?;
+        self.core.route(d)
+    }
+
+    /// Registers a one-shot timer; an [`I2oListener::on_timer`] upcall
+    /// arrives (as a queued XFN_TIMER message) after `delay`.
+    pub fn start_timer(&self, delay: std::time::Duration) -> TimerId {
+        self.core.timers().register(self.meta.tid, delay, false)
+    }
+
+    /// Registers a periodic timer.
+    pub fn start_periodic(&self, period: std::time::Duration) -> TimerId {
+        self.core.timers().register(self.meta.tid, period, true)
+    }
+
+    /// Cancels a timer; `true` if it existed.
+    pub fn cancel_timer(&self, id: TimerId) -> bool {
+        self.core.timers().cancel(id)
+    }
+
+    /// Finds a local device instance by name (configuration-time
+    /// discovery; remote devices appear here once a proxy TiD has been
+    /// created for them).
+    pub fn lookup(&self, name: &str) -> Option<Tid> {
+        self.core.lookup_name(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_i2o::FunctionCode;
+    use xdaq_mempool::{FrameAllocator, TablePool};
+
+    fn t(v: u16) -> Tid {
+        Tid::new(v).unwrap()
+    }
+
+    #[test]
+    fn delivery_roundtrip_private() {
+        let pool = TablePool::with_defaults();
+        let msg = Message::build_private(t(0x40), t(0x41), 0x0cec, 0x10)
+            .payload(&b"payload!"[..])
+            .priority(Priority::new(2).unwrap())
+            .finish();
+        let d = Delivery::from_message(&msg, &*pool).unwrap();
+        assert_eq!(d.payload(), b"payload!");
+        assert_eq!(d.private.unwrap().x_function, 0x10);
+        assert_eq!(d.priority().level(), 2);
+        assert_eq!(d.to_message(), msg);
+    }
+
+    #[test]
+    fn delivery_roundtrip_standard() {
+        let pool = TablePool::with_defaults();
+        let msg = Message::build(t(1), t(2), FunctionCode::Util(UtilFn::Nop))
+            .payload(&b"x"[..])
+            .finish();
+        let d = Delivery::from_message(&msg, &*pool).unwrap();
+        assert!(d.private.is_none());
+        assert_eq!(d.payload(), b"x");
+    }
+
+    #[test]
+    fn delivery_rejects_garbage() {
+        let buf = FrameBuf::from_bytes(&[0u8; 32]);
+        assert!(Delivery::from_buf(buf).is_err());
+    }
+
+    #[test]
+    fn frame_bytes_reencode() {
+        let pool = TablePool::with_defaults();
+        let msg = Message::build_private(t(3), t(4), 1, 2).payload(&b"abc"[..]).finish();
+        let d = Delivery::from_message(&msg, &*pool).unwrap();
+        assert_eq!(d.frame_bytes(), &msg.encode_vec()[..]);
+    }
+
+    #[test]
+    fn reply_status_parsing() {
+        let pool = TablePool::with_defaults();
+        let req = Message::build_private(t(3), t(4), 1, 2).finish();
+        let rep = req.reply(ReplyStatus::Busy, b"later");
+        let d = Delivery::from_message(&rep, &*pool).unwrap();
+        let (status, body) = d.reply_status().unwrap();
+        assert_eq!(status, ReplyStatus::Busy);
+        assert_eq!(body, b"later");
+        // Requests have no reply status.
+        let dr = Delivery::from_message(&req, &*pool).unwrap();
+        assert!(dr.reply_status().is_none());
+    }
+
+    #[test]
+    fn pool_recycles_delivery_buffers() {
+        let pool = TablePool::with_defaults();
+        let msg = Message::build_private(t(3), t(4), 1, 2).payload(vec![0u8; 100]).finish();
+        {
+            let _d = Delivery::from_message(&msg, &*pool).unwrap();
+        }
+        assert_eq!(pool.stats().live_blocks, 0);
+        assert_eq!(pool.stats().frees, 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! The Peer Transport Agent and the peer-transport interface.
+//!
+//! Paper §3.4/§4: *"The modules that take care of performing the actual
+//! communication are designed as Device Driver Modules themselves. They
+//! are just granted a special name: the Peer Transports that are
+//! controlled by the Peer Transport Agent."* and *"Concerning Peer
+//! Transports we distinguish two ways of operation. In polling mode,
+//! the executive periodically scans all registered PTs for pending
+//! data. In task mode each PT has its own thread of control, reporting
+//! to the executive whenever data have arrived."*
+
+use crate::error::PtError;
+use core::fmt;
+use parking_lot::RwLock;
+use std::str::FromStr;
+use std::sync::Arc;
+use xdaq_i2o::Tid;
+use xdaq_mempool::FrameBuf;
+
+/// A transport-agnostic peer address: `scheme://rest`.
+///
+/// The executive never interprets `rest`; each PT parses its own
+/// format (paper §3.4's answer to the "Babylonic confusion" of address
+/// formats — applications only ever see TiDs, addresses appear solely
+/// in configuration data).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PeerAddr {
+    scheme: String,
+    rest: String,
+}
+
+impl PeerAddr {
+    /// Builds an address from parts.
+    pub fn new(scheme: &str, rest: &str) -> PeerAddr {
+        PeerAddr { scheme: scheme.to_ascii_lowercase(), rest: rest.to_string() }
+    }
+
+    /// The transport selector.
+    pub fn scheme(&self) -> &str {
+        &self.scheme
+    }
+
+    /// The transport-specific part.
+    pub fn rest(&self) -> &str {
+        &self.rest
+    }
+}
+
+impl FromStr for PeerAddr {
+    type Err = PtError;
+
+    fn from_str(s: &str) -> Result<PeerAddr, PtError> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| PtError::BadAddress(s.to_string()))?;
+        if scheme.is_empty() || rest.is_empty() {
+            return Err(PtError::BadAddress(s.to_string()));
+        }
+        Ok(PeerAddr::new(scheme, rest))
+    }
+}
+
+impl fmt::Display for PeerAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.rest)
+    }
+}
+
+/// How a PT is driven (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtMode {
+    /// The executive scans the PT inside its dispatch loop.
+    Polling,
+    /// The PT owns a thread and pushes frames through the ingest sink.
+    Task,
+}
+
+/// Sink through which task-mode PTs (and tests) hand received frames to
+/// the executive, together with the sender's **canonical** peer address
+/// (its configured listen address, not an ephemeral one) so the
+/// executive can create reply proxies that match configured routes.
+pub type IngestSink = Arc<dyn Fn(FrameBuf, PeerAddr) + Send + Sync>;
+
+/// The interface every peer transport implements.
+///
+/// A PT is an ordinary device (it gets a TiD and answers utility
+/// messages through its DDM wrapper); this trait covers only the
+/// data-plane hooks the PTA drives.
+pub trait PeerTransport: Send + Sync {
+    /// Address scheme served, e.g. `"tcp"`, `"gm"`, `"loop"`, `"pci"`.
+    fn scheme(&self) -> &'static str;
+
+    /// Operating mode.
+    fn mode(&self) -> PtMode;
+
+    /// Sends one encoded frame to a peer. The frame buffer is consumed
+    /// (zero-copy hand-off to the wire).
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError>;
+
+    /// Polling mode: returns one received frame (with the sender's
+    /// canonical address) if available. Task-mode PTs may return
+    /// `None` unconditionally.
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)>;
+
+    /// Task mode: start the receive thread, delivering frames through
+    /// `sink`. Polling-mode PTs ignore this.
+    fn start(&self, sink: IngestSink) -> Result<(), PtError> {
+        let _ = sink;
+        Ok(())
+    }
+
+    /// Stop threads / close sockets. Must be idempotent.
+    fn stop(&self);
+}
+
+struct PtEntry {
+    tid: Tid,
+    pt: Arc<dyn PeerTransport>,
+}
+
+/// The Peer Transport Agent: owns all registered PTs and fans frames
+/// out to them by address scheme.
+#[derive(Default)]
+pub struct Pta {
+    entries: RwLock<Vec<PtEntry>>,
+}
+
+impl Pta {
+    /// Empty agent.
+    pub fn new() -> Pta {
+        Pta::default()
+    }
+
+    /// Registers a transport under the TiD the executive assigned to
+    /// its DDM.
+    pub fn register(&self, tid: Tid, pt: Arc<dyn PeerTransport>) {
+        self.entries.write().push(PtEntry { tid, pt });
+    }
+
+    /// Unregisters (and stops) the transport with the given TiD.
+    pub fn unregister(&self, tid: Tid) -> bool {
+        let mut entries = self.entries.write();
+        if let Some(i) = entries.iter().position(|e| e.tid == tid) {
+            let e = entries.remove(i);
+            e.pt.stop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Finds the transport serving `scheme`.
+    pub fn transport_for(&self, scheme: &str) -> Option<Arc<dyn PeerTransport>> {
+        self.entries
+            .read()
+            .iter()
+            .find(|e| e.pt.scheme() == scheme)
+            .map(|e| e.pt.clone())
+    }
+
+    /// Sends a frame via the scheme-matching transport.
+    pub fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        match self.transport_for(dest.scheme()) {
+            Some(pt) => pt.send(dest, frame),
+            None => Err(PtError::Unreachable(dest.to_string())),
+        }
+    }
+
+    /// Polls every polling-mode PT once, invoking `f` per frame;
+    /// returns the number of frames harvested.
+    ///
+    /// Paper §4 advises at most one polling-mode PT when low latency
+    /// matters; the round-robin scan here is what makes a slow PT
+    /// poison the loop — measurable with the `ptmode` bench.
+    pub fn poll_all(&self, mut f: impl FnMut(FrameBuf, PeerAddr)) -> usize {
+        let entries = self.entries.read();
+        let mut n = 0;
+        for e in entries.iter() {
+            if e.pt.mode() == PtMode::Polling {
+                while let Some((frame, src)) = e.pt.poll() {
+                    f(frame, src);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Starts all task-mode PTs with the given sink.
+    pub fn start_tasks(&self, sink: IngestSink) -> Result<(), PtError> {
+        for e in self.entries.read().iter() {
+            if e.pt.mode() == PtMode::Task {
+                e.pt.start(sink.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stops every PT.
+    pub fn stop_all(&self) {
+        for e in self.entries.read().iter() {
+            e.pt.stop();
+        }
+    }
+
+    /// Registered transport count.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when no PTs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn peer_addr_parsing() {
+        let a: PeerAddr = "tcp://127.0.0.1:9000".parse().unwrap();
+        assert_eq!(a.scheme(), "tcp");
+        assert_eq!(a.rest(), "127.0.0.1:9000");
+        assert_eq!(a.to_string(), "tcp://127.0.0.1:9000");
+        assert!("nonsense".parse::<PeerAddr>().is_err());
+        assert!("://x".parse::<PeerAddr>().is_err());
+        assert!("tcp://".parse::<PeerAddr>().is_err());
+    }
+
+    #[test]
+    fn scheme_case_insensitive() {
+        let a: PeerAddr = "GM://1:0".parse().unwrap();
+        assert_eq!(a.scheme(), "gm");
+    }
+
+    struct FakePt {
+        mode: PtMode,
+        sent: Mutex<Vec<(PeerAddr, usize)>>,
+        rx: Mutex<Vec<FrameBuf>>,
+        stopped: std::sync::atomic::AtomicBool,
+    }
+
+    impl FakePt {
+        fn new(mode: PtMode) -> Arc<FakePt> {
+            Arc::new(FakePt {
+                mode,
+                sent: Mutex::new(Vec::new()),
+                rx: Mutex::new(Vec::new()),
+                stopped: std::sync::atomic::AtomicBool::new(false),
+            })
+        }
+    }
+
+    impl PeerTransport for FakePt {
+        fn scheme(&self) -> &'static str {
+            "fake"
+        }
+        fn mode(&self) -> PtMode {
+            self.mode
+        }
+        fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+            self.sent.lock().push((dest.clone(), frame.len()));
+            Ok(())
+        }
+        fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+            self.rx
+                .lock()
+                .pop()
+                .map(|f| (f, PeerAddr::new("fake", "peer")))
+        }
+        fn stop(&self) {
+            self.stopped.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    fn tid(v: u16) -> Tid {
+        Tid::new(v).unwrap()
+    }
+
+    #[test]
+    fn send_routes_by_scheme() {
+        let pta = Pta::new();
+        let pt = FakePt::new(PtMode::Polling);
+        pta.register(tid(0x10), pt.clone());
+        let dest: PeerAddr = "fake://somewhere".parse().unwrap();
+        pta.send(&dest, FrameBuf::from_bytes(&[1, 2, 3])).unwrap();
+        assert_eq!(pt.sent.lock().len(), 1);
+        let missing: PeerAddr = "gone://x".parse().unwrap();
+        assert!(matches!(
+            pta.send(&missing, FrameBuf::from_bytes(&[0])),
+            Err(PtError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn poll_all_harvests_polling_pts_only() {
+        let pta = Pta::new();
+        let polling = FakePt::new(PtMode::Polling);
+        polling.rx.lock().push(FrameBuf::from_bytes(&[1]));
+        polling.rx.lock().push(FrameBuf::from_bytes(&[2]));
+        let task = FakePt::new(PtMode::Task);
+        task.rx.lock().push(FrameBuf::from_bytes(&[3]));
+        pta.register(tid(0x10), polling);
+        pta.register(tid(0x11), task.clone());
+        let mut got = Vec::new();
+        let n = pta.poll_all(|f, _src| got.push(f.len()));
+        assert_eq!(n, 2);
+        assert_eq!(task.rx.lock().len(), 1, "task-mode PT not polled");
+    }
+
+    #[test]
+    fn unregister_stops_pt() {
+        let pta = Pta::new();
+        let pt = FakePt::new(PtMode::Polling);
+        pta.register(tid(0x10), pt.clone());
+        assert!(pta.unregister(tid(0x10)));
+        assert!(pt.stopped.load(std::sync::atomic::Ordering::SeqCst));
+        assert!(!pta.unregister(tid(0x10)));
+        assert!(pta.is_empty());
+    }
+}

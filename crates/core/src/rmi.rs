@@ -1,0 +1,343 @@
+//! RMI-style adapters: typed calls over I2O frames.
+//!
+//! Paper §4: *"To further shield users from these details, adapters can
+//! be provided that allow a remote method invocation style
+//! communication scheme. The stub part will take the call parameters
+//! and marshal them into a standard message, whereas the skeleton part
+//! scans the message and provides typed pointers to its contents."*
+//!
+//! The marshalling format is a flat TLV sequence — deliberately simple
+//! and allocation-light (the paper's whole point is that the marshal
+//! engine must be exchangeable and cheap, unlike a CORBA ORB's):
+//!
+//! ```text
+//! value := tag:u8 payload
+//! tag 0x01 = u32 (4 bytes LE)      tag 0x02 = u64 (8 bytes LE)
+//! tag 0x03 = i64 (8 bytes LE)      tag 0x04 = bytes (u32 len + data)
+//! tag 0x05 = str  (u32 len + utf8) tag 0x06 = bool (1 byte)
+//! ```
+//!
+//! A [`Stub`] marshals arguments into a private frame and correlates
+//! the reply; a [`Skeleton`] unmarshals on the server side and
+//! marshals the result. Both sides stay ordinary [`crate::I2oListener`]
+//! code — the adapters do not bypass the executive.
+
+use crate::listener::{Delivery, Dispatcher};
+use core::fmt;
+use xdaq_i2o::{Message, OrgId, Priority, ReplyStatus, Tid};
+
+/// Marshalling/unmarshalling failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarshalError {
+    /// Buffer ended inside a value.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Expected a different type at this position.
+    TypeMismatch { expected: &'static str, got: u8 },
+    /// String payload was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for MarshalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarshalError::Truncated => write!(f, "marshalled buffer truncated"),
+            MarshalError::BadTag(t) => write!(f, "unknown marshal tag {t:#04x}"),
+            MarshalError::TypeMismatch { expected, got } => {
+                write!(f, "expected {expected}, found tag {got:#04x}")
+            }
+            MarshalError::BadUtf8 => write!(f, "string value is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for MarshalError {}
+
+/// Argument writer (the stub's marshalling half).
+#[derive(Default, Debug, Clone)]
+pub struct ArgWriter {
+    buf: Vec<u8>,
+}
+
+impl ArgWriter {
+    /// Empty writer.
+    pub fn new() -> ArgWriter {
+        ArgWriter::default()
+    }
+
+    /// Appends a u32.
+    pub fn u32(mut self, v: u32) -> ArgWriter {
+        self.buf.push(0x01);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a u64.
+    pub fn u64(mut self, v: u64) -> ArgWriter {
+        self.buf.push(0x02);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an i64.
+    pub fn i64(mut self, v: i64) -> ArgWriter {
+        self.buf.push(0x03);
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(mut self, v: &[u8]) -> ArgWriter {
+        self.buf.push(0x04);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a string.
+    pub fn str(mut self, v: &str) -> ArgWriter {
+        self.buf.push(0x05);
+        self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(v.as_bytes());
+        self
+    }
+
+    /// Appends a bool.
+    pub fn bool(mut self, v: bool) -> ArgWriter {
+        self.buf.push(0x06);
+        self.buf.push(v as u8);
+        self
+    }
+
+    /// Finishes, returning the marshalled bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Argument reader (the skeleton's "typed pointers into the message").
+///
+/// Reads values in order directly from the frame payload — zero-copy
+/// for `bytes`/`str` (they borrow the delivery buffer).
+pub struct ArgReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArgReader<'a> {
+    /// Reader over marshalled bytes.
+    pub fn new(buf: &'a [u8]) -> ArgReader<'a> {
+        ArgReader { buf, pos: 0 }
+    }
+
+    fn tag(&mut self, expected_tag: u8, expected: &'static str) -> Result<(), MarshalError> {
+        let t = *self.buf.get(self.pos).ok_or(MarshalError::Truncated)?;
+        if t != expected_tag {
+            return Err(MarshalError::TypeMismatch { expected, got: t });
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MarshalError> {
+        let end = self.pos.checked_add(n).ok_or(MarshalError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(MarshalError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a u32.
+    pub fn u32(&mut self) -> Result<u32, MarshalError> {
+        self.tag(0x01, "u32")?;
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a u64.
+    pub fn u64(&mut self) -> Result<u64, MarshalError> {
+        self.tag(0x02, "u64")?;
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an i64.
+    pub fn i64(&mut self) -> Result<i64, MarshalError> {
+        self.tag(0x03, "i64")?;
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a byte slice (borrowed).
+    pub fn bytes(&mut self) -> Result<&'a [u8], MarshalError> {
+        self.tag(0x04, "bytes")?;
+        let len = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        self.take(len)
+    }
+
+    /// Reads a string slice (borrowed).
+    pub fn str(&mut self) -> Result<&'a str, MarshalError> {
+        self.tag(0x05, "str")?;
+        let len = u32::from_le_bytes(self.take(4)?.try_into().unwrap()) as usize;
+        std::str::from_utf8(self.take(len)?).map_err(|_| MarshalError::BadUtf8)
+    }
+
+    /// Reads a bool.
+    pub fn bool(&mut self) -> Result<bool, MarshalError> {
+        self.tag(0x06, "bool")?;
+        Ok(self.take(1)?[0] != 0)
+    }
+
+    /// True when all values were consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// The client-side adapter: marshals calls to one remote method of one
+/// target device and matches replies by context.
+pub struct Stub {
+    target: Tid,
+    org: OrgId,
+    x_function: u16,
+    next_ctx: u32,
+}
+
+impl Stub {
+    /// Stub for `(org, x_function)` on `target` (usually a proxy TiD).
+    pub fn new(target: Tid, org: OrgId, x_function: u16) -> Stub {
+        Stub { target, org, x_function, next_ctx: 1 }
+    }
+
+    /// The method's x-function code.
+    pub fn x_function(&self) -> u16 {
+        self.x_function
+    }
+
+    /// Issues a call (a private frame with `REPLY_EXPECTED`); returns
+    /// the context to correlate the reply with.
+    pub fn call(
+        &mut self,
+        ctx: &mut Dispatcher<'_>,
+        args: ArgWriter,
+    ) -> Result<u32, crate::error::ExecError> {
+        let call_ctx = self.next_ctx;
+        self.next_ctx = self.next_ctx.wrapping_add(1).max(1);
+        let msg = Message::build_private(self.target, ctx.own_tid(), self.org, self.x_function)
+            .priority(Priority::NORMAL)
+            .context(call_ctx)
+            .expect_reply()
+            .payload(args.finish())
+            .finish();
+        ctx.send(msg)?;
+        Ok(call_ctx)
+    }
+
+    /// Checks whether `msg` is the reply to one of this stub's calls;
+    /// returns `(context, status, result-reader)`.
+    pub fn match_reply<'m>(
+        &self,
+        msg: &'m Delivery,
+    ) -> Option<(u32, ReplyStatus, ArgReader<'m>)> {
+        let p = msg.private?;
+        if p.org_id != self.org || p.x_function != self.x_function {
+            return None;
+        }
+        let (status, body) = msg.reply_status()?;
+        Some((msg.header.initiator_context, status, ArgReader::new(body)))
+    }
+}
+
+/// The server-side adapter: recognizes calls to one method and replies
+/// with a marshalled result.
+pub struct Skeleton {
+    org: OrgId,
+    x_function: u16,
+}
+
+impl Skeleton {
+    /// Skeleton for `(org, x_function)`.
+    pub fn new(org: OrgId, x_function: u16) -> Skeleton {
+        Skeleton { org, x_function }
+    }
+
+    /// If `msg` is a call to this method, runs `f(args)` and replies
+    /// with its marshalled result. Returns `true` when handled.
+    pub fn serve(
+        &self,
+        ctx: &mut Dispatcher<'_>,
+        msg: &Delivery,
+        f: impl FnOnce(&mut ArgReader<'_>) -> Result<ArgWriter, MarshalError>,
+    ) -> bool {
+        let Some(p) = msg.private else { return false };
+        if p.org_id != self.org
+            || p.x_function != self.x_function
+            || msg.header.flags.contains(xdaq_i2o::MsgFlags::IS_REPLY)
+        {
+            return false;
+        }
+        let mut reader = ArgReader::new(msg.payload());
+        match f(&mut reader) {
+            Ok(result) => {
+                let _ = ctx.reply(msg, ReplyStatus::Success, &result.finish());
+            }
+            Err(e) => {
+                let _ = ctx.reply(msg, ReplyStatus::BadFrame, e.to_string().as_bytes());
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip_all_types() {
+        let buf = ArgWriter::new()
+            .u32(42)
+            .u64(1 << 40)
+            .i64(-7)
+            .bytes(b"raw")
+            .str("hello")
+            .bool(true)
+            .finish();
+        let mut r = ArgReader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -7);
+        assert_eq!(r.bytes().unwrap(), b"raw");
+        assert_eq!(r.str().unwrap(), "hello");
+        assert!(r.bool().unwrap());
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn type_mismatch_detected() {
+        let buf = ArgWriter::new().u32(1).finish();
+        let mut r = ArgReader::new(&buf);
+        let e = r.u64().unwrap_err();
+        assert_eq!(e, MarshalError::TypeMismatch { expected: "u64", got: 0x01 });
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = ArgWriter::new().str("long string here").finish();
+        buf.truncate(8);
+        let mut r = ArgReader::new(&buf);
+        assert_eq!(r.str().unwrap_err(), MarshalError::Truncated);
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut buf = ArgWriter::new().str("ab").finish();
+        let n = buf.len();
+        buf[n - 1] = 0xFF;
+        let mut r = ArgReader::new(&buf);
+        assert_eq!(r.str().unwrap_err(), MarshalError::BadUtf8);
+    }
+
+    #[test]
+    fn empty_reader_is_exhausted() {
+        let r = ArgReader::new(&[]);
+        assert!(r.is_exhausted());
+    }
+}

@@ -1,0 +1,140 @@
+//! TiD routing: local devices and proxy TiDs for remote ones.
+//!
+//! Paper §3.4: *"To communicate with a remote device, the executive
+//! creates a local TiD for the target device along with information how
+//! to reach this device. The principle is not new. It can be compared
+//! to the Proxy pattern. That is how we can obtain total transparency
+//! of location. The caller never needs to know, if a device is really
+//! local or if the call is redirected."*
+
+use crate::pta::PeerAddr;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use xdaq_i2o::Tid;
+
+/// Where a TiD leads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// A device registered on this executive.
+    Local,
+    /// A proxy: forward over `via` to `peer`, readdressed to
+    /// `remote_tid` on the remote IOP.
+    Peer {
+        /// Peer transport address (scheme selects the PT).
+        peer: PeerAddr,
+        /// The device's TiD on the remote node.
+        remote_tid: Tid,
+    },
+}
+
+/// The per-executive routing table.
+#[derive(Default)]
+pub struct RouteTable {
+    routes: RwLock<HashMap<Tid, Route>>,
+}
+
+impl RouteTable {
+    /// Empty table.
+    pub fn new() -> RouteTable {
+        RouteTable::default()
+    }
+
+    /// Registers a local device TiD.
+    pub fn add_local(&self, tid: Tid) {
+        self.routes.write().insert(tid, Route::Local);
+    }
+
+    /// Registers a proxy TiD.
+    pub fn add_peer(&self, local_proxy: Tid, peer: PeerAddr, remote_tid: Tid) {
+        self.routes.write().insert(local_proxy, Route::Peer { peer, remote_tid });
+    }
+
+    /// Looks up a TiD.
+    pub fn lookup(&self, tid: Tid) -> Option<Route> {
+        self.routes.read().get(&tid).cloned()
+    }
+
+    /// True when the TiD routes locally.
+    pub fn is_local(&self, tid: Tid) -> bool {
+        matches!(self.routes.read().get(&tid), Some(Route::Local))
+    }
+
+    /// Removes a TiD (device destroyed / peer disconnected).
+    pub fn remove(&self, tid: Tid) -> Option<Route> {
+        self.routes.write().remove(&tid)
+    }
+
+    /// All proxy TiDs pointing at a given peer (used when a peer goes
+    /// away).
+    pub fn proxies_via(&self, peer: &PeerAddr) -> Vec<Tid> {
+        self.routes
+            .read()
+            .iter()
+            .filter_map(|(tid, r)| match r {
+                Route::Peer { peer: p, .. } if p == peer => Some(*tid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.routes.read().len()
+    }
+
+    /// True when no routes exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u16) -> Tid {
+        Tid::new(v).unwrap()
+    }
+
+    fn addr(s: &str) -> PeerAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn local_and_peer_routes() {
+        let rt = RouteTable::new();
+        rt.add_local(t(0x10));
+        rt.add_peer(t(0x11), addr("gm://2:0"), t(0x20));
+        assert!(rt.is_local(t(0x10)));
+        assert!(!rt.is_local(t(0x11)));
+        match rt.lookup(t(0x11)).unwrap() {
+            Route::Peer { peer, remote_tid } => {
+                assert_eq!(peer.scheme(), "gm");
+                assert_eq!(remote_tid, t(0x20));
+            }
+            _ => panic!("expected peer route"),
+        }
+        assert_eq!(rt.lookup(t(0x99)), None);
+    }
+
+    #[test]
+    fn remove_routes() {
+        let rt = RouteTable::new();
+        rt.add_local(t(0x10));
+        assert!(rt.remove(t(0x10)).is_some());
+        assert!(rt.lookup(t(0x10)).is_none());
+        assert!(rt.remove(t(0x10)).is_none());
+    }
+
+    #[test]
+    fn proxies_via_filters_by_peer() {
+        let rt = RouteTable::new();
+        rt.add_peer(t(0x11), addr("tcp://a:1"), t(0x20));
+        rt.add_peer(t(0x12), addr("tcp://a:1"), t(0x21));
+        rt.add_peer(t(0x13), addr("tcp://b:1"), t(0x22));
+        rt.add_local(t(0x14));
+        let mut via_a = rt.proxies_via(&addr("tcp://a:1"));
+        via_a.sort();
+        assert_eq!(via_a, vec![t(0x11), t(0x12)]);
+    }
+}

@@ -1,0 +1,254 @@
+//! The timer facility.
+//!
+//! Paper §3.2: timer expirations are events like any other — they
+//! *"trigger messages that are sent to device modules, if they have
+//! registered to listen to such an event"*. The wheel tracks deadlines;
+//! the executive's loop calls [`TimerWheel::fire_due`] and converts
+//! each expiry into an `XFN_TIMER` private frame queued to the owning
+//! device — so timer handling obeys the same priority scheduling as
+//! all other traffic. §4 also notes a handler-runaway guard *"can be
+//! implemented making use of the I2O core timer facilities"*; the
+//! executive's watchdog builds on this wheel.
+
+use crate::listener::TimerId;
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::{Duration, Instant};
+use xdaq_i2o::Tid;
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    deadline: Instant,
+    id: TimerId,
+    owner: Tid,
+    period: Option<Duration>,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.deadline.cmp(&other.deadline).then(self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    heap: BinaryHeap<Reverse<Entry>>,
+    cancelled: HashSet<TimerId>,
+    next_id: u64,
+    live: usize,
+}
+
+/// Deadline tracker for device timers.
+#[derive(Default)]
+pub struct TimerWheel {
+    inner: Mutex<Inner>,
+}
+
+impl TimerWheel {
+    /// Empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Registers a timer owned by `owner`; periodic timers re-arm on
+    /// fire.
+    pub fn register(&self, owner: Tid, delay: Duration, periodic: bool) -> TimerId {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = TimerId(inner.next_id);
+        inner.heap.push(Reverse(Entry {
+            deadline: Instant::now() + delay,
+            id,
+            owner,
+            period: periodic.then_some(delay),
+        }));
+        inner.live += 1;
+        id
+    }
+
+    /// Cancels a timer. Returns `false` for unknown/already-fired ids.
+    pub fn cancel(&self, id: TimerId) -> bool {
+        let mut inner = self.inner.lock();
+        if id.0 == 0 || id.0 > inner.next_id {
+            return false;
+        }
+        // Lazy deletion: mark and skip at fire time.
+        if inner.cancelled.insert(id) {
+            if inner.live > 0 {
+                inner.live -= 1;
+                return true;
+            }
+            inner.cancelled.remove(&id);
+        }
+        false
+    }
+
+    /// Pops every expired timer, invoking `f(owner, id)` per expiry.
+    /// Periodic timers are re-armed. Returns the number fired.
+    pub fn fire_due(&self, mut f: impl FnMut(Tid, TimerId)) -> usize {
+        let now = Instant::now();
+        let mut fired = 0;
+        loop {
+            let (owner, id, period) = {
+                let mut inner = self.inner.lock();
+                match inner.heap.peek() {
+                    Some(Reverse(e)) if e.deadline <= now => {
+                        let Reverse(e) = inner.heap.pop().expect("peeked");
+                        if inner.cancelled.remove(&e.id) {
+                            continue;
+                        }
+                        if let Some(p) = e.period {
+                            inner.heap.push(Reverse(Entry {
+                                deadline: now + p,
+                                id: e.id,
+                                owner: e.owner,
+                                period: e.period,
+                            }));
+                        } else {
+                            inner.live -= 1;
+                        }
+                        (e.owner, e.id, e.period)
+                    }
+                    _ => break,
+                }
+            };
+            let _ = period;
+            f(owner, id);
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Deadline of the next armed timer (for idle sleeping).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        let inner = self.inner.lock();
+        inner
+            .heap
+            .iter()
+            .filter(|Reverse(e)| !inner.cancelled.contains(&e.id))
+            .map(|Reverse(e)| e.deadline)
+            .min()
+    }
+
+    /// Number of armed (non-cancelled) timers.
+    pub fn len(&self) -> usize {
+        self.inner.lock().live
+    }
+
+    /// True when no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all timers owned by `tid` (device destroyed). Returns the
+    /// number cancelled.
+    pub fn cancel_owned(&self, tid: Tid) -> usize {
+        let mut inner = self.inner.lock();
+        let ids: Vec<TimerId> = inner
+            .heap
+            .iter()
+            .filter(|Reverse(e)| e.owner == tid && !inner.cancelled.contains(&e.id))
+            .map(|Reverse(e)| e.id)
+            .collect();
+        let n = ids.len();
+        for id in ids {
+            inner.cancelled.insert(id);
+        }
+        inner.live -= n;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u16) -> Tid {
+        Tid::new(v).unwrap()
+    }
+
+    #[test]
+    fn one_shot_fires_once() {
+        let w = TimerWheel::new();
+        let id = w.register(t(0x10), Duration::from_millis(1), false);
+        assert_eq!(w.len(), 1);
+        std::thread::sleep(Duration::from_millis(5));
+        let mut fired = Vec::new();
+        w.fire_due(|owner, tid| fired.push((owner, tid)));
+        assert_eq!(fired, vec![(t(0x10), id)]);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.fire_due(|_, _| {}), 0);
+    }
+
+    #[test]
+    fn not_due_not_fired() {
+        let w = TimerWheel::new();
+        w.register(t(1), Duration::from_secs(60), false);
+        assert_eq!(w.fire_due(|_, _| panic!("not due")), 0);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let w = TimerWheel::new();
+        let id = w.register(t(1), Duration::from_millis(1), false);
+        assert!(w.cancel(id));
+        assert!(!w.cancel(id), "double cancel");
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(w.fire_due(|_, _| panic!("cancelled")), 0);
+    }
+
+    #[test]
+    fn periodic_rearms() {
+        let w = TimerWheel::new();
+        let id = w.register(t(1), Duration::from_millis(1), true);
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(w.fire_due(|_, _| {}), 1);
+        assert_eq!(w.len(), 1, "still armed");
+        std::thread::sleep(Duration::from_millis(3));
+        assert_eq!(w.fire_due(|_, _| {}), 1);
+        assert!(w.cancel(id));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn ordering_earliest_first() {
+        let w = TimerWheel::new();
+        w.register(t(2), Duration::from_millis(2), false);
+        w.register(t(1), Duration::from_millis(1), false);
+        std::thread::sleep(Duration::from_millis(5));
+        let mut order = Vec::new();
+        w.fire_due(|owner, _| order.push(owner));
+        assert_eq!(order, vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn cancel_owned_sweeps() {
+        let w = TimerWheel::new();
+        w.register(t(1), Duration::from_secs(10), false);
+        w.register(t(1), Duration::from_secs(10), true);
+        w.register(t(2), Duration::from_secs(10), false);
+        assert_eq!(w.cancel_owned(t(1)), 2);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn next_deadline_reflects_earliest() {
+        let w = TimerWheel::new();
+        assert!(w.next_deadline().is_none());
+        let id = w.register(t(1), Duration::from_secs(5), false);
+        w.register(t(1), Duration::from_secs(10), false);
+        let d = w.next_deadline().unwrap();
+        assert!(d <= Instant::now() + Duration::from_secs(5));
+        w.cancel(id);
+        let d2 = w.next_deadline().unwrap();
+        assert!(d2 > d);
+    }
+}

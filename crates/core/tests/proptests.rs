@@ -1,0 +1,121 @@
+//! Property-based tests of the scheduler queue and routing invariants.
+
+use proptest::prelude::*;
+use xdaq_core::{Delivery, RouteTable, SchedQueue};
+use xdaq_i2o::{Message, Priority, Tid};
+use xdaq_mempool::TablePool;
+
+fn mk(target: u16, pri: u8, tag: u32) -> Delivery {
+    let pool = TablePool::with_defaults();
+    let m = Message::build_private(Tid::new(target).unwrap(), Tid::HOST, 1, 1)
+        .priority(Priority::new(pri).unwrap())
+        .transaction(tag)
+        .finish();
+    Delivery::from_message(&m, &*pool).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever goes in comes out: no loss, no duplication, and within
+    /// one (priority, device) pair strictly FIFO.
+    #[test]
+    fn queue_conserves_and_orders_messages(
+        msgs in proptest::collection::vec((0x10u16..0x18, 0u8..7), 1..200)
+    ) {
+        let q = SchedQueue::new();
+        for (i, (tid, pri)) in msgs.iter().enumerate() {
+            q.push(mk(*tid, *pri, i as u32));
+        }
+        prop_assert_eq!(q.len(), msgs.len());
+        let mut out = Vec::new();
+        while let Some(d) = q.pop() {
+            out.push((
+                d.header.target.raw(),
+                d.priority().level(),
+                d.header.transaction_context,
+            ));
+        }
+        prop_assert_eq!(out.len(), msgs.len());
+        // Conservation: multiset equality via sorted tags.
+        let mut tags: Vec<u32> = out.iter().map(|(_, _, t)| *t).collect();
+        tags.sort_unstable();
+        let expect: Vec<u32> = (0..msgs.len() as u32).collect();
+        prop_assert_eq!(tags, expect);
+        // Global priority monotonicity: a higher priority never appears
+        // after a lower one *when both were pushed before any pop*
+        // (we popped only after all pushes, so this must hold exactly).
+        for w in out.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "priority order violated: {:?}", out);
+        }
+        // Per-(device, priority) FIFO.
+        use std::collections::HashMap;
+        let mut last: HashMap<(u16, u8), u32> = HashMap::new();
+        for (tid, pri, tag) in &out {
+            if let Some(prev) = last.insert((*tid, *pri), *tag) {
+                prop_assert!(prev < *tag, "FIFO violated for device {tid:#x} pri {pri}");
+            }
+        }
+    }
+
+    /// Purging one device never affects others' messages.
+    #[test]
+    fn queue_purge_is_isolated(
+        msgs in proptest::collection::vec((0x10u16..0x14, 0u8..7), 1..100),
+        victim in 0x10u16..0x14,
+    ) {
+        let q = SchedQueue::new();
+        for (i, (tid, pri)) in msgs.iter().enumerate() {
+            q.push(mk(*tid, *pri, i as u32));
+        }
+        let victim_count = msgs.iter().filter(|(t, _)| *t == victim).count();
+        let purged = q.purge(Tid::new(victim).unwrap());
+        prop_assert_eq!(purged, victim_count);
+        prop_assert_eq!(q.len(), msgs.len() - victim_count);
+        while let Some(d) = q.pop() {
+            prop_assert_ne!(d.header.target.raw(), victim);
+        }
+    }
+
+    /// Route tables behave like maps: last write wins, removal is
+    /// complete, and proxy queries see exactly the matching peers.
+    #[test]
+    fn route_table_map_semantics(
+        entries in proptest::collection::vec(
+            (0x10u16..0x40, 0u8..4, 0x10u16..0x40), 1..64
+        )
+    ) {
+        let rt = RouteTable::new();
+        let mut model = std::collections::HashMap::new();
+        for (tid, peer_idx, remote) in &entries {
+            let tid = Tid::new(*tid).unwrap();
+            let peer: xdaq_core::PeerAddr =
+                format!("loop://n{peer_idx}").parse().unwrap();
+            rt.add_peer(tid, peer.clone(), Tid::new(*remote).unwrap());
+            model.insert(tid, (peer, Tid::new(*remote).unwrap()));
+        }
+        prop_assert_eq!(rt.len(), model.len());
+        for (tid, (peer, remote)) in &model {
+            match rt.lookup(*tid) {
+                Some(xdaq_core::Route::Peer { peer: p, remote_tid }) => {
+                    prop_assert_eq!(&p, peer);
+                    prop_assert_eq!(&remote_tid, remote);
+                }
+                other => prop_assert!(false, "expected peer route, got {other:?}"),
+            }
+        }
+        // proxies_via returns exactly the model's subset.
+        for idx in 0u8..4 {
+            let peer: xdaq_core::PeerAddr = format!("loop://n{idx}").parse().unwrap();
+            let mut got = rt.proxies_via(&peer);
+            got.sort();
+            let mut want: Vec<Tid> = model
+                .iter()
+                .filter(|(_, (p, _))| *p == peer)
+                .map(|(t, _)| *t)
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

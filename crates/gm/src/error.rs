@@ -1,0 +1,58 @@
+//! GM error codes.
+
+use core::fmt;
+
+/// Failures surfaced by the GM-like API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmError {
+    /// Destination node is not registered with the fabric.
+    UnknownNode(u16),
+    /// Destination (node, port) pair has no open port.
+    UnknownPort { node: u16, port: u8 },
+    /// A port with this id is already open on the node.
+    PortInUse { node: u16, port: u8 },
+    /// All send tokens are outstanding; poll for completions first.
+    NoSendTokens,
+    /// The destination inbound queue is full (bounded fabric).
+    QueueFull { node: u16, port: u8 },
+    /// Message exceeds [`crate::GM_MAX_MESSAGE`].
+    MessageTooLarge(usize),
+    /// The port has been closed.
+    PortClosed,
+}
+
+impl fmt::Display for GmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmError::UnknownNode(n) => write!(f, "unknown GM node {n}"),
+            GmError::UnknownPort { node, port } => {
+                write!(f, "no open port {port} on GM node {node}")
+            }
+            GmError::PortInUse { node, port } => {
+                write!(f, "GM port {port} on node {node} already open")
+            }
+            GmError::NoSendTokens => write!(f, "no GM send tokens available"),
+            GmError::QueueFull { node, port } => {
+                write!(f, "inbound queue full at GM node {node} port {port}")
+            }
+            GmError::MessageTooLarge(n) => {
+                write!(f, "message of {n} bytes exceeds GM maximum {}", crate::GM_MAX_MESSAGE)
+            }
+            GmError::PortClosed => write!(f, "GM port is closed"),
+        }
+    }
+}
+
+impl std::error::Error for GmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        assert!(GmError::UnknownNode(3).to_string().contains('3'));
+        assert!(GmError::NoSendTokens.to_string().contains("token"));
+        assert!(GmError::MessageTooLarge(1).to_string().contains("exceeds"));
+    }
+}

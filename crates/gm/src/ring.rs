@@ -1,0 +1,301 @@
+//! A lock-free single-producer/single-consumer ring buffer.
+//!
+//! This is the "hardware FIFO" primitive: the paper's IOP-480 board
+//! (§7) gives I2O support through hardware FIFOs, and GM's
+//! LANai-to-host channel is an SPSC descriptor ring in pinned memory.
+//! The implementation follows the classic Lamport queue with acquire/
+//! release pairs on head and tail (cf. *Rust Atomics and Locks*,
+//! ch. 5): the producer owns `tail`, the consumer owns `head`, and each
+//! only ever *reads* the other's index.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot the consumer will read. Only the consumer writes it.
+    head: AtomicUsize,
+    /// Next slot the producer will write. Only the producer writes it.
+    tail: AtomicUsize,
+    /// Set when either side is dropped.
+    closed: AtomicBool,
+    capacity: usize,
+}
+
+// SAFETY: slots are only accessed by the single producer (between tail
+// claim and publish) or the single consumer (between head read and
+// advance); the acquire/release pairs on head/tail order those
+// accesses.
+unsafe impl<T: Send> Send for Shared<T> {}
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+/// Creates a connected SPSC ring of `capacity` slots (rounded up to a
+/// power of two, minimum 2).
+pub fn spsc_ring<T: Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+    let capacity = capacity.max(2).next_power_of_two();
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect();
+    let shared = Arc::new(Shared {
+        slots,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+        closed: AtomicBool::new(false),
+        capacity,
+    });
+    (
+        SpscProducer { shared: shared.clone() },
+        SpscConsumer { shared },
+    )
+}
+
+/// Convenience namespace so callers can write `SpscRing::with_capacity`.
+pub struct SpscRing;
+
+impl SpscRing {
+    /// Alias for [`spsc_ring`].
+    pub fn with_capacity<T: Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>) {
+        spsc_ring(capacity)
+    }
+}
+
+/// Producer half.
+pub struct SpscProducer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half.
+pub struct SpscConsumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Push failure.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// Ring full; value returned.
+    Full(T),
+    /// Consumer dropped; value returned.
+    Closed(T),
+}
+
+impl<T: Send> SpscProducer<T> {
+    /// Attempts to push without blocking.
+    pub fn push(&self, value: T) -> Result<(), PushError<T>> {
+        let s = &*self.shared;
+        if s.closed.load(Ordering::Relaxed) {
+            return Err(PushError::Closed(value));
+        }
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == s.capacity {
+            return Err(PushError::Full(value));
+        }
+        let idx = tail & (s.capacity - 1);
+        // SAFETY: slot `idx` is not visible to the consumer until the
+        // release store of `tail` below, and the producer is unique.
+        unsafe { (*s.slots[idx].get()).write(value) };
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.load(Ordering::Relaxed).wrapping_sub(s.head.load(Ordering::Acquire))
+    }
+
+    /// True if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the consumer is gone.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Send> SpscConsumer<T> {
+    /// Attempts to pop without blocking.
+    pub fn pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let idx = head & (s.capacity - 1);
+        // SAFETY: the acquire load of `tail` synchronizes with the
+        // producer's release store, so the slot is initialized; the
+        // consumer is unique.
+        let value = unsafe { (*s.slots[idx].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Peeks at the front element without consuming it.
+    pub fn peek<R>(&self, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let idx = head & (s.capacity - 1);
+        // SAFETY: as in `pop`, but the value is only borrowed.
+        let r = unsafe { f((*s.slots[idx].get()).assume_init_ref()) };
+        Some(r)
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.load(Ordering::Acquire).wrapping_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// True if the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the producer is gone.
+    pub fn is_closed(&self) -> bool {
+        self.shared.closed.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for SpscProducer<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for SpscConsumer<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Relaxed);
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Drain any remaining initialized slots.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            let idx = i & (self.capacity - 1);
+            // SAFETY: exclusive access in Drop; slots in [head, tail)
+            // are initialized.
+            unsafe { (*self.slots[idx].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let (p, c) = spsc_ring::<u32>(4);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        assert_eq!(c.pop(), Some(1));
+        assert_eq!(c.pop(), Some(2));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        let (p, _c) = spsc_ring::<u8>(3);
+        p.push(1).unwrap();
+        p.push(2).unwrap();
+        p.push(3).unwrap();
+        p.push(4).unwrap(); // capacity rounded to 4
+        assert!(matches!(p.push(5), Err(PushError::Full(5))));
+    }
+
+    #[test]
+    fn full_then_drain_then_reuse() {
+        let (p, c) = spsc_ring::<usize>(2);
+        p.push(10).unwrap();
+        p.push(11).unwrap();
+        assert!(matches!(p.push(12), Err(PushError::Full(12))));
+        assert_eq!(c.pop(), Some(10));
+        p.push(12).unwrap();
+        assert_eq!(c.pop(), Some(11));
+        assert_eq!(c.pop(), Some(12));
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (p, c) = spsc_ring::<String>(2);
+        p.push("a".into()).unwrap();
+        assert_eq!(c.peek(|s| s.clone()), Some("a".to_string()));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop(), Some("a".to_string()));
+    }
+
+    #[test]
+    fn close_detected_by_producer() {
+        let (p, c) = spsc_ring::<u8>(2);
+        drop(c);
+        assert!(p.is_closed());
+        assert!(matches!(p.push(1), Err(PushError::Closed(1))));
+    }
+
+    #[test]
+    fn leftover_items_dropped_cleanly() {
+        let drops = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        #[derive(Debug)]
+        struct D(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (p, c) = spsc_ring::<D>(8);
+        p.push(D(drops.clone())).unwrap();
+        p.push(D(drops.clone())).unwrap();
+        let popped = c.pop().unwrap();
+        drop(popped);
+        assert_eq!(drops.load(Ordering::Relaxed), 1);
+        drop(p);
+        drop(c);
+        assert_eq!(drops.load(Ordering::Relaxed), 2, "queued item dropped with ring");
+    }
+
+    #[test]
+    fn cross_thread_throughput() {
+        let (p, c) = spsc_ring::<u64>(256);
+        const N: u64 = 100_000;
+        let producer = std::thread::spawn(move || {
+            for v in 0..N {
+                let mut v = v;
+                loop {
+                    match p.push(v) {
+                        Ok(()) => break,
+                        Err(PushError::Full(ret)) => {
+                            v = ret;
+                            std::hint::spin_loop();
+                        }
+                        Err(PushError::Closed(_)) => panic!("closed"),
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < N {
+            if let Some(v) = c.pop() {
+                assert_eq!(v, expected, "strict FIFO across threads");
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

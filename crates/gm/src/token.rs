@@ -1,0 +1,101 @@
+//! GM send-token accounting.
+//!
+//! GM flow control: a port owns a fixed number of send tokens. Each
+//! `gm_send` consumes one; the token returns when the send-complete
+//! callback fires. Running out of tokens is an application error in GM
+//! (`GM_SEND_TOKEN_VIOLATION`); we surface it as a recoverable
+//! [`crate::GmError::NoSendTokens`] so callers can poll completions and
+//! retry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counting semaphore without blocking: acquire fails fast.
+#[derive(Debug)]
+pub struct TokenCounter {
+    available: AtomicUsize,
+    max: usize,
+}
+
+impl TokenCounter {
+    /// Creates a counter with `max` tokens, all available.
+    pub fn new(max: usize) -> TokenCounter {
+        TokenCounter { available: AtomicUsize::new(max), max }
+    }
+
+    /// Takes one token; `false` when none are available.
+    pub fn try_acquire(&self) -> bool {
+        self.available
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Returns one token.
+    ///
+    /// # Panics
+    /// If more tokens are released than were acquired (accounting bug).
+    pub fn release(&self) {
+        let prev = self.available.fetch_add(1, Ordering::AcqRel);
+        assert!(prev < self.max, "token over-release: {prev} >= {}", self.max);
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Acquire)
+    }
+
+    /// Configured maximum.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Tokens currently outstanding (consumed, not yet released).
+    pub fn outstanding(&self) -> usize {
+        self.max - self.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let t = TokenCounter::new(2);
+        assert!(t.try_acquire());
+        assert!(t.try_acquire());
+        assert!(!t.try_acquire());
+        assert_eq!(t.outstanding(), 2);
+        t.release();
+        assert!(t.try_acquire());
+    }
+
+    #[test]
+    #[should_panic(expected = "over-release")]
+    fn over_release_panics() {
+        let t = TokenCounter::new(1);
+        t.release();
+    }
+
+    #[test]
+    fn concurrent_acquire_never_exceeds_max() {
+        let t = std::sync::Arc::new(TokenCounter::new(16));
+        let acquired = std::sync::Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let t = t.clone();
+                let acquired = acquired.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        if t.try_acquire() {
+                            let now = acquired.fetch_add(1, Ordering::AcqRel) + 1;
+                            assert!(now <= 16);
+                            acquired.fetch_sub(1, Ordering::AcqRel);
+                            t.release();
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.available(), 16);
+    }
+}

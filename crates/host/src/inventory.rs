@@ -1,0 +1,237 @@
+//! Declarative cluster inventories.
+//!
+//! The paper's system-management requirement (§2, third dimension):
+//! *"A successful scheme has to allow configuring all cluster
+//! components, whether the hardware, the framework or the
+//! applications, according to one common scheme."* An inventory is
+//! that scheme as data: nodes, the modules to load on them, and the
+//! routes between module instances. [`ClusterInventory::apply`] walks
+//! it and issues the corresponding I2O control messages.
+
+use crate::control::{ControlError, ControlHost};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xdaq_i2o::Tid;
+
+/// A module instance to load on a node.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ModuleSpec {
+    /// Factory name registered on the target executive.
+    pub factory: String,
+    /// Instance name, unique per node.
+    pub instance: String,
+    /// Construction parameters.
+    #[serde(default)]
+    pub params: HashMap<String, String>,
+}
+
+/// A node (one executive) in the cluster.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Cluster-unique node name.
+    pub name: String,
+    /// How the *host* reaches it, e.g. `loop://ru0` or
+    /// `tcp://10.0.0.7:4000`.
+    pub url: String,
+    /// Modules to load, in order.
+    #[serde(default)]
+    pub modules: Vec<ModuleSpec>,
+}
+
+/// A route: `on` gets a proxy for `target_instance` living on
+/// `target_node`; optionally the proxy TiD is written into a parameter
+/// of a local instance so applications can find their peers.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct RouteSpec {
+    /// Node that receives the proxy TiD.
+    pub on: String,
+    /// Node hosting the target device.
+    pub target_node: String,
+    /// Instance name of the target device.
+    pub target_instance: String,
+    /// When set: `(local_instance, param_key)` — the proxy TiD (as a
+    /// decimal string) is stored into that instance's parameter.
+    #[serde(default)]
+    pub set_param: Option<(String, String)>,
+}
+
+/// The whole cluster description.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+pub struct ClusterInventory {
+    /// Nodes to configure.
+    pub nodes: Vec<NodeSpec>,
+    /// Routes to establish after all modules are loaded.
+    #[serde(default)]
+    pub routes: Vec<RouteSpec>,
+}
+
+/// What [`ClusterInventory::apply`] built.
+#[derive(Debug, Default)]
+pub struct AppliedCluster {
+    /// Host-side proxy TiD of each node's executive.
+    pub node_tids: HashMap<String, Tid>,
+    /// Remote TiD of each loaded instance, keyed by (node, instance).
+    pub module_tids: HashMap<(String, String), Tid>,
+}
+
+/// Inventory application failures, annotated with the failing step.
+#[derive(Debug)]
+pub struct ApplyError {
+    /// Which step failed, e.g. `load ru0/readout0`.
+    pub step: String,
+    /// Underlying control error.
+    pub source: ControlError,
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inventory step '{}' failed: {}", self.step, self.source)
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+impl ClusterInventory {
+    /// Parses an inventory from JSON.
+    pub fn from_json(json: &str) -> Result<ClusterInventory, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes to pretty JSON (for generated configuration files).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("inventory serializes")
+    }
+
+    /// Node URL lookup.
+    fn url_of(&self, node: &str) -> Option<&str> {
+        self.nodes.iter().find(|n| n.name == node).map(|n| n.url.as_str())
+    }
+
+    /// Applies the inventory: connect every node, load every module,
+    /// then wire every route. Returns the TiD maps.
+    pub fn apply(&self, host: &ControlHost) -> Result<AppliedCluster, ApplyError> {
+        let step = |s: String, e: ControlError| ApplyError { step: s, source: e };
+        let mut out = AppliedCluster::default();
+
+        for node in &self.nodes {
+            let tid = host
+                .connect_node(&node.url, Some(&format!("node.{}", node.name)))
+                .map_err(|e| step(format!("connect {}", node.name), e))?;
+            out.node_tids.insert(node.name.clone(), tid);
+        }
+
+        for node in &self.nodes {
+            let node_tid = out.node_tids[&node.name];
+            for m in &node.modules {
+                let params: Vec<(&str, &str)> =
+                    m.params.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let tid = host
+                    .load(node_tid, &m.factory, &m.instance, &params)
+                    .map_err(|e| step(format!("load {}/{}", node.name, m.instance), e))?;
+                out.module_tids.insert((node.name.clone(), m.instance.clone()), tid);
+            }
+        }
+
+        for route in &self.routes {
+            let on_tid = *out
+                .node_tids
+                .get(&route.on)
+                .ok_or_else(|| step(format!("route on {}", route.on),
+                    ControlError::BadReply(format!("unknown node '{}'", route.on))))?;
+            let target_tid = *out
+                .module_tids
+                .get(&(route.target_node.clone(), route.target_instance.clone()))
+                .ok_or_else(|| {
+                    step(
+                        format!("route to {}/{}", route.target_node, route.target_instance),
+                        ControlError::BadReply("unknown target instance".into()),
+                    )
+                })?;
+            let target_url = self.url_of(&route.target_node).ok_or_else(|| {
+                step(
+                    format!("route to {}", route.target_node),
+                    ControlError::BadReply("unknown target node".into()),
+                )
+            })?;
+            let alias = format!("{}.{}", route.target_node, route.target_instance);
+            let proxy = host
+                .connect(on_tid, target_url, target_tid, Some(&alias))
+                .map_err(|e| step(format!("connect {} -> {}", route.on, alias), e))?;
+
+            if let Some((local_instance, key)) = &route.set_param {
+                // Set the parameter on the local instance through a
+                // host-side device proxy.
+                let local_tid = *out
+                    .module_tids
+                    .get(&(route.on.clone(), local_instance.clone()))
+                    .ok_or_else(|| {
+                        step(
+                            format!("set_param on {}/{}", route.on, local_instance),
+                            ControlError::BadReply("unknown local instance".into()),
+                        )
+                    })?;
+                let on_url = self.url_of(&route.on).expect("node resolved above");
+                let dev = host
+                    .device_proxy(on_url, local_tid)
+                    .map_err(|e| step(format!("proxy {}/{}", route.on, local_instance), e))?;
+                host.params_set(dev, &[(key, &proxy.raw().to_string())])
+                    .map_err(|e| step(format!("params_set {}/{}", route.on, local_instance), e))?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ClusterInventory {
+        ClusterInventory {
+            nodes: vec![
+                NodeSpec {
+                    name: "ru0".into(),
+                    url: "loop://ru0".into(),
+                    modules: vec![ModuleSpec {
+                        factory: "readout".into(),
+                        instance: "r0".into(),
+                        params: [("size".to_string(), "4096".to_string())].into(),
+                    }],
+                },
+                NodeSpec { name: "bu0".into(), url: "loop://bu0".into(), modules: vec![] },
+            ],
+            routes: vec![RouteSpec {
+                on: "bu0".into(),
+                target_node: "ru0".into(),
+                target_instance: "r0".into(),
+                set_param: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let inv = sample();
+        let json = inv.to_json();
+        let back = ClusterInventory::from_json(&json).unwrap();
+        assert_eq!(back, inv);
+    }
+
+    #[test]
+    fn json_defaults_are_optional() {
+        let inv = ClusterInventory::from_json(
+            r#"{"nodes":[{"name":"a","url":"loop://a"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(inv.nodes.len(), 1);
+        assert!(inv.nodes[0].modules.is_empty());
+        assert!(inv.routes.is_empty());
+    }
+
+    #[test]
+    fn url_lookup() {
+        let inv = sample();
+        assert_eq!(inv.url_of("ru0"), Some("loop://ru0"));
+        assert_eq!(inv.url_of("nope"), None);
+    }
+}

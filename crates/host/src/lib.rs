@@ -1,0 +1,29 @@
+//! # xdaq-host — cluster control points
+//!
+//! Paper §3.5: *"In a distributed I2O environment in which IOPs do not
+//! reside on the same bus segment, a primary host controls all
+//! processing nodes. Secondary hosts may register and subsequently
+//! apply for control rights."* and §4: *"Configuration and control of
+//! the executive is done through I2O executive messages. They are sent
+//! from a Tcl script that resides on the primary host to all executives
+//! in the distributed system. In principle, however, we can choose any
+//! configuration language, as long as we follow I2O message format."*
+//!
+//! This crate provides:
+//!
+//! * [`ControlHost`] — a host attachment that addresses any executive
+//!   in the cluster through executive-class frames and synchronously
+//!   collects replies (primary/secondary control rights via claims).
+//! * [`xcl`] — the *xcl* configuration language, our stand-in for the
+//!   paper's Tcl: a small line-oriented script interpreter whose
+//!   commands translate one-to-one into I2O executive messages.
+//! * [`inventory`] — declarative cluster descriptions (nodes, modules,
+//!   routes) that compile into configuration scripts.
+
+pub mod control;
+pub mod inventory;
+pub mod xcl;
+
+pub use control::{ControlError, ControlHost, ControlReply};
+pub use inventory::{ClusterInventory, ModuleSpec, NodeSpec, RouteSpec};
+pub use xcl::{XclError, XclInterpreter, XclOutcome};

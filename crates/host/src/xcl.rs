@@ -1,0 +1,283 @@
+//! xcl — the configuration and control script language.
+//!
+//! The paper drives its clusters from Tcl scripts on the primary host;
+//! §4 notes *"in principle, however, we can choose any configuration
+//! language, as long as we follow I2O message format."* xcl is that
+//! principle made concrete: a deliberately small line-oriented language
+//! whose every command is one I2O executive/utility message.
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! node   ru0 loop://ru0          # proxy the executive of a node
+//! claim  ru0                     # take control rights
+//! load   ru0 readout r0 size=4096
+//! proxy  r0far loop://ru0 16     # proxy an arbitrary remote device
+//! connect ru0 loop://bu0 16 peer # ru0-side proxy for bu0's device 16
+//! set    r0far rate=100
+//! get    r0far
+//! status ru0
+//! lct    ru0
+//! enable ru0
+//! quiesce ru0
+//! reset  ru0
+//! destroy ru0 16
+//! release ru0
+//! sleep  10                      # milliseconds
+//! echo   text...
+//! ```
+
+use crate::control::{ControlError, ControlHost};
+use std::collections::HashMap;
+use xdaq_i2o::Tid;
+
+/// A script failure, located by line.
+#[derive(Debug)]
+pub struct XclError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for XclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xcl line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for XclError {}
+
+/// Result of a script run: one log line per executed command.
+#[derive(Debug, Default)]
+pub struct XclOutcome {
+    /// Human-readable results, in execution order.
+    pub log: Vec<String>,
+    /// Handles defined by `node`/`proxy`/`load`/`connect` commands.
+    pub handles: HashMap<String, Tid>,
+}
+
+/// The interpreter. Holds name → TiD handles across commands.
+pub struct XclInterpreter<'a> {
+    host: &'a ControlHost,
+    handles: HashMap<String, Tid>,
+}
+
+impl<'a> XclInterpreter<'a> {
+    /// New interpreter bound to a host.
+    pub fn new(host: &'a ControlHost) -> XclInterpreter<'a> {
+        XclInterpreter { host, handles: HashMap::new() }
+    }
+
+    /// Pre-defines a handle (e.g. a TiD obtained programmatically).
+    pub fn define(&mut self, name: &str, tid: Tid) {
+        self.handles.insert(name.to_string(), tid);
+    }
+
+    fn resolve(&self, name: &str, line: usize) -> Result<Tid, XclError> {
+        self.handles
+            .get(name)
+            .copied()
+            .ok_or_else(|| XclError { line, message: format!("unknown handle '{name}'") })
+    }
+
+    fn fail(line: usize, e: ControlError) -> XclError {
+        XclError { line, message: e.to_string() }
+    }
+
+    /// Runs a whole script, stopping at the first error.
+    pub fn run(&mut self, script: &str) -> Result<XclOutcome, XclError> {
+        let mut out = XclOutcome::default();
+        for (i, raw) in script.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let words: Vec<&str> = line.split_whitespace().collect();
+            let log = self.exec_command(&words, line_no)?;
+            out.log.push(log);
+        }
+        out.handles = self.handles.clone();
+        Ok(out)
+    }
+
+    fn parse_params<'w>(words: &[&'w str]) -> Result<Vec<(&'w str, &'w str)>, String> {
+        words
+            .iter()
+            .map(|w| w.split_once('=').ok_or_else(|| format!("expected k=v, got '{w}'")))
+            .collect()
+    }
+
+    fn exec_command(&mut self, words: &[&str], line: usize) -> Result<String, XclError> {
+        let err = |m: String| XclError { line, message: m };
+        match words {
+            ["node", name, url] => {
+                let tid = self
+                    .host
+                    .connect_node(url, None)
+                    .map_err(|e| Self::fail(line, e))?;
+                self.handles.insert(name.to_string(), tid);
+                Ok(format!("node {name} -> {tid}"))
+            }
+            ["proxy", name, url, raw] => {
+                let remote: u16 =
+                    raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
+                let remote = Tid::new(remote).map_err(|e| err(e.to_string()))?;
+                let tid = self
+                    .host
+                    .device_proxy(url, remote)
+                    .map_err(|e| Self::fail(line, e))?;
+                self.handles.insert(name.to_string(), tid);
+                Ok(format!("proxy {name} -> {tid}"))
+            }
+            ["claim", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.claim(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("claimed {node}"))
+            }
+            ["release", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.release(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("released {node}"))
+            }
+            ["status", node] => {
+                let t = self.resolve(node, line)?;
+                let map = self.host.status(t).map_err(|e| Self::fail(line, e))?;
+                let mut kv: Vec<String> =
+                    map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                kv.sort();
+                Ok(format!("status {node}: {}", kv.join(" ")))
+            }
+            ["lct", node] => {
+                let t = self.resolve(node, line)?;
+                let text = self.host.lct(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("lct {node}:\n{text}"))
+            }
+            ["enable", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.enable(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("enabled {node}"))
+            }
+            ["quiesce", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.quiesce(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("quiesced {node}"))
+            }
+            ["reset", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.reset(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("reset {node}"))
+            }
+            ["clear", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.clear(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("cleared {node}"))
+            }
+            ["load", node, factory, instance, rest @ ..] => {
+                let t = self.resolve(node, line)?;
+                let params = Self::parse_params(rest).map_err(err)?;
+                let tid = self
+                    .host
+                    .load(t, factory, instance, &params)
+                    .map_err(|e| Self::fail(line, e))?;
+                self.handles.insert(instance.to_string(), tid);
+                Ok(format!("loaded {instance} on {node} -> remote {tid}"))
+            }
+            ["destroy", node, raw] => {
+                let t = self.resolve(node, line)?;
+                let dev: u16 = raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
+                let dev = Tid::new(dev).map_err(|e| err(e.to_string()))?;
+                self.host.destroy(t, dev).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("destroyed {dev} on {node}"))
+            }
+            ["connect", node, url, raw, rest @ ..] => {
+                let t = self.resolve(node, line)?;
+                let remote: u16 =
+                    raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
+                let remote = Tid::new(remote).map_err(|e| err(e.to_string()))?;
+                let alias = rest.first().copied();
+                let tid = self
+                    .host
+                    .connect(t, url, remote, alias)
+                    .map_err(|e| Self::fail(line, e))?;
+                Ok(format!("connected {node} -> {url} tid {tid}"))
+            }
+            ["set", handle, rest @ ..] => {
+                let t = self.resolve(handle, line)?;
+                let params = Self::parse_params(rest).map_err(err)?;
+                self.host.params_set(t, &params).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("set {handle}: {} params", params.len()))
+            }
+            ["get", handle] => {
+                let t = self.resolve(handle, line)?;
+                let map = self.host.params_get(t).map_err(|e| Self::fail(line, e))?;
+                let mut kv: Vec<String> =
+                    map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                kv.sort();
+                Ok(format!("get {handle}: {}", kv.join(" ")))
+            }
+            ["watch", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.watch_events(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("watching {node}"))
+            }
+            ["sleep", ms] => {
+                let ms: u64 = ms.parse().map_err(|_| err(format!("bad duration '{ms}'")))?;
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(format!("slept {ms}ms"))
+            }
+            ["echo", rest @ ..] => Ok(rest.join(" ")),
+            [cmd, ..] => Err(err(format!("unknown command '{cmd}'"))),
+            [] => unreachable!("blank lines filtered"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Interpreter-level parse tests that need no cluster. End-to-end
+    // script runs live in the crate's integration tests.
+
+    #[test]
+    fn parse_params_accepts_kv() {
+        let p = XclInterpreter::parse_params(&["a=1", "b=two"]).unwrap();
+        assert_eq!(p, vec![("a", "1"), ("b", "two")]);
+        assert!(XclInterpreter::parse_params(&["oops"]).is_err());
+    }
+
+    #[test]
+    fn unknown_handle_reported_with_line() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        let err = x.run("\n\nstatus nowhere\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn unknown_command_reported() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        let err = x.run("frobnicate all").unwrap_err();
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn comments_and_echo() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        let out = x.run("# comment\necho hello world\n\nsleep 1\n").unwrap();
+        assert_eq!(out.log, vec!["hello world".to_string(), "slept 1ms".to_string()]);
+    }
+
+    #[test]
+    fn define_pre_seeds_handles() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        x.define("pre", Tid::new(0x42).unwrap());
+        let out = x.run("echo ok").unwrap();
+        assert_eq!(out.handles.get("pre"), Some(&Tid::new(0x42).unwrap()));
+    }
+}

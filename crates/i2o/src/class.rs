@@ -1,0 +1,211 @@
+//! Device classes and the per-device operational state machine.
+//!
+//! Paper §3.3: *"Messages are combined to sets that form device
+//! classes. So, each concrete I2O device has to implement executive and
+//! utility events that allow the configuration and control of the
+//! device. Finally it must implement the interface of one of the I2O
+//! devices ... In our view, an application is merely a new, private
+//! 'device' class."*
+
+use crate::OrgId;
+use core::fmt;
+
+/// The class a device instance belongs to.
+///
+/// Peer transports and even the executive itself are ordinary devices
+/// with TiDs (paper §3.5: *"they are all valid I2O devices"*).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeviceClass {
+    /// The per-node executive (exactly one, TiD 1).
+    Executive,
+    /// The Peer Transport Agent (TiD 2).
+    PeerTransportAgent,
+    /// A peer transport DDM (TCP, GM, PCI, loopback, ...).
+    PeerTransport,
+    /// A host attachment (primary or secondary control point).
+    HostAgent,
+    /// Standard I2O block-storage class (implemented as an example of a
+    /// "classic" DDM).
+    BlockStorage,
+    /// Standard I2O LAN class.
+    Lan,
+    /// A private application class, namespaced by organization id.
+    Application(OrgId),
+}
+
+impl DeviceClass {
+    /// Stable numeric code used in LCT entries and wire tables.
+    pub fn code(self) -> u32 {
+        match self {
+            DeviceClass::Executive => 0x000,
+            DeviceClass::PeerTransportAgent => 0x001,
+            DeviceClass::PeerTransport => 0x002,
+            DeviceClass::HostAgent => 0x003,
+            DeviceClass::BlockStorage => 0x010,
+            DeviceClass::Lan => 0x020,
+            DeviceClass::Application(org) => 0x1000 | (org as u32) << 16,
+        }
+    }
+
+    /// Inverse of [`DeviceClass::code`].
+    pub fn from_code(c: u32) -> Option<DeviceClass> {
+        Some(match c {
+            0x000 => DeviceClass::Executive,
+            0x001 => DeviceClass::PeerTransportAgent,
+            0x002 => DeviceClass::PeerTransport,
+            0x003 => DeviceClass::HostAgent,
+            0x010 => DeviceClass::BlockStorage,
+            0x020 => DeviceClass::Lan,
+            c if c & 0x1000 != 0 => DeviceClass::Application((c >> 16) as u16),
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceClass::Executive => write!(f, "exec"),
+            DeviceClass::PeerTransportAgent => write!(f, "pta"),
+            DeviceClass::PeerTransport => write!(f, "pt"),
+            DeviceClass::HostAgent => write!(f, "host"),
+            DeviceClass::BlockStorage => write!(f, "bstore"),
+            DeviceClass::Lan => write!(f, "lan"),
+            DeviceClass::Application(org) => write!(f, "app:{org:#06x}"),
+        }
+    }
+}
+
+/// Operational state of a device instance.
+///
+/// Transitions are driven by executive messages (`ExecPathQuiesce`,
+/// `ExecPathEnable`, `ExecDdmDestroy`, fault notifications) and follow
+/// the run-control discipline of the paper's DAQ setting: a device
+/// accepts application traffic only while `Enabled`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DeviceState {
+    /// Registered, parameters retrievable, not yet processing.
+    #[default]
+    Initialized,
+    /// Fully operational.
+    Enabled,
+    /// Stopped accepting new work; outstanding work drains.
+    Quiesced,
+    /// A handler failed; only utility messages are serviced.
+    Faulted,
+    /// Unregistered; TiD pending recycling.
+    Destroyed,
+}
+
+/// A rejected state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the device was in.
+    pub from: DeviceState,
+    /// State that was requested.
+    pub to: DeviceState,
+}
+
+impl fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid device state transition {:?} -> {:?}", self.from, self.to)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+impl DeviceState {
+    /// True if the transition `self -> to` is allowed.
+    pub fn can_transition(self, to: DeviceState) -> bool {
+        use DeviceState::*;
+        matches!(
+            (self, to),
+            (Initialized, Enabled)
+                | (Initialized, Destroyed)
+                | (Enabled, Quiesced)
+                | (Enabled, Faulted)
+                | (Quiesced, Enabled)
+                | (Quiesced, Destroyed)
+                | (Quiesced, Faulted)
+                | (Faulted, Initialized) // reset
+                | (Faulted, Destroyed)
+        )
+    }
+
+    /// Performs a checked transition.
+    pub fn transition(self, to: DeviceState) -> Result<DeviceState, InvalidTransition> {
+        if self.can_transition(to) {
+            Ok(to)
+        } else {
+            Err(InvalidTransition { from: self, to })
+        }
+    }
+
+    /// True when the device may receive application (private) frames.
+    pub fn accepts_private(self) -> bool {
+        self == DeviceState::Enabled
+    }
+
+    /// True when the device may receive utility frames (everything but
+    /// destroyed).
+    pub fn accepts_utility(self) -> bool {
+        self != DeviceState::Destroyed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DeviceState::*;
+
+    #[test]
+    fn class_code_roundtrip() {
+        for c in [
+            DeviceClass::Executive,
+            DeviceClass::PeerTransportAgent,
+            DeviceClass::PeerTransport,
+            DeviceClass::HostAgent,
+            DeviceClass::BlockStorage,
+            DeviceClass::Lan,
+            DeviceClass::Application(0x0cec),
+            DeviceClass::Application(0xFFFF),
+        ] {
+            assert_eq!(DeviceClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(DeviceClass::from_code(0x999), None);
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let s = Initialized;
+        let s = s.transition(Enabled).unwrap();
+        let s = s.transition(Quiesced).unwrap();
+        let s = s.transition(Enabled).unwrap();
+        let s = s.transition(Faulted).unwrap();
+        let s = s.transition(Initialized).unwrap();
+        assert_eq!(s, Initialized);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        assert!(Initialized.transition(Quiesced).is_err());
+        assert!(Enabled.transition(Initialized).is_err());
+        assert!(Destroyed.transition(Enabled).is_err());
+        assert!(Faulted.transition(Enabled).is_err());
+        let e = Enabled.transition(Destroyed).unwrap_err();
+        assert_eq!(e.from, Enabled);
+        assert_eq!(e.to, Destroyed);
+    }
+
+    #[test]
+    fn traffic_acceptance_by_state() {
+        assert!(Enabled.accepts_private());
+        assert!(!Quiesced.accepts_private());
+        assert!(!Faulted.accepts_private());
+        assert!(Quiesced.accepts_utility());
+        assert!(Faulted.accepts_utility());
+        assert!(!Destroyed.accepts_utility());
+    }
+}

@@ -1,0 +1,429 @@
+//! The standard I2O message frame header and its private extension.
+//!
+//! Paper Fig. 5: a frame is a *standard frame* — message flags,
+//! size, target address (TiD), initiator address, function, initiator
+//! context, transaction context — optionally followed by the *private
+//! frame extension* (organization id + x-function code) and the
+//! payload.
+//!
+//! Wire layout (little-endian), 16 bytes:
+//!
+//! ```text
+//! +0  version_offset : u8   low nibble = format version (0x2)
+//!                           bits 4-5   = payload pad count (0..=3)
+//! +1  msg_flags      : u8   see MsgFlags
+//! +2  message_size   : u16  total frame size in 32-bit words
+//! +4  address        : u32  target TiD (12) | initiator TiD (12) | function (8)
+//! +8  initiator_ctx  : u32  returned verbatim in the reply
+//! +12 transaction_ctx: u32  application transaction correlation
+//! ```
+//!
+//! Private frames carry an extra 4-byte extension directly after the
+//! header: `x_function : u16`, `org_id : u16`.
+//!
+//! Frame sizes are counted in 32-bit words as in I2O; payloads of
+//! arbitrary byte length are supported by recording the pad count in
+//! `version_offset` so decode recovers the exact length.
+
+use crate::flags::MsgFlags;
+use crate::function::FunctionCode;
+use crate::tid::Tid;
+use crate::OrgId;
+use core::fmt;
+
+/// Size of the standard frame header in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Size of the standard header plus the private extension.
+pub const PRIVATE_HEADER_LEN: usize = HEADER_LEN + 4;
+/// Format version this crate encodes (low nibble of `version_offset`).
+pub const FRAME_VERSION: u8 = 0x2;
+/// Largest payload a single frame can carry: the u16 word-count field
+/// bounds the whole frame to 65535 words.
+pub const MAX_PAYLOAD_LEN: usize = 0xFFFF * 4 - HEADER_LEN;
+
+/// Errors from frame header encoding/decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer shorter than the fixed header.
+    TooShort { got: usize, need: usize },
+    /// The version nibble is not [`FRAME_VERSION`].
+    BadVersion(u8),
+    /// `message_size` disagrees with the buffer length.
+    SizeMismatch { declared: usize, actual: usize },
+    /// Payload exceeds [`MAX_PAYLOAD_LEN`].
+    PayloadTooLong(usize),
+    /// A private frame shorter than the private extension header.
+    PrivateTooShort(usize),
+    /// The pad count claims more pad bytes than the payload holds.
+    BadPad { pad: u8, payload: usize },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort { got, need } => {
+                write!(f, "frame buffer too short: {got} bytes, need {need}")
+            }
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v:#x}"),
+            FrameError::SizeMismatch { declared, actual } => {
+                write!(f, "message_size declares {declared} bytes but buffer has {actual}")
+            }
+            FrameError::PayloadTooLong(n) => {
+                write!(f, "payload of {n} bytes exceeds frame limit of {MAX_PAYLOAD_LEN}")
+            }
+            FrameError::PrivateTooShort(n) => {
+                write!(f, "private frame of {n} bytes lacks the 4-byte extension")
+            }
+            FrameError::BadPad { pad, payload } => {
+                write!(f, "pad count {pad} exceeds payload length {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Decoded standard frame header.
+///
+/// This is a value type; the wire representation is produced by
+/// [`MsgHeader::encode`] and parsed by [`MsgHeader::decode`]. The
+/// payload itself lives in a pooled buffer owned by the executive — the
+/// header never owns payload bytes, preserving zero-copy operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MsgHeader {
+    /// Frame flags (priority, reply bits, chaining).
+    pub flags: MsgFlags,
+    /// Destination device on the *local* IOP (possibly a proxy TiD).
+    pub target: Tid,
+    /// Originating device; replies are routed back to it.
+    pub initiator: Tid,
+    /// Function code (0xFF ⇒ private extension follows).
+    pub function: u8,
+    /// Opaque initiator context, echoed in replies (the paper's
+    /// transaction-context scheme for correlating request/reply).
+    pub initiator_context: u32,
+    /// Application-level transaction context.
+    pub transaction_context: u32,
+    /// Exact payload length in bytes (excludes both headers).
+    pub payload_len: u32,
+}
+
+impl MsgHeader {
+    /// Creates a header for a standard-function frame.
+    pub fn new(target: Tid, initiator: Tid, function: FunctionCode) -> MsgHeader {
+        MsgHeader {
+            flags: MsgFlags::empty(),
+            target,
+            initiator,
+            function: function.to_u8(),
+            initiator_context: 0,
+            transaction_context: 0,
+            payload_len: 0,
+        }
+    }
+
+    /// Decoded function field.
+    pub fn function_code(&self) -> FunctionCode {
+        FunctionCode::from_u8(self.function)
+    }
+
+    /// True for private (application) frames.
+    pub fn is_private(&self) -> bool {
+        self.function == crate::function::PRIVATE_FUNCTION
+    }
+
+    /// Total encoded frame length in bytes (headers + payload + pad).
+    pub fn frame_len(&self) -> usize {
+        let body = HEADER_LEN + self.payload_len as usize;
+        (body + 3) & !3
+    }
+
+    /// Encodes the header into the first [`HEADER_LEN`] bytes of `buf`.
+    ///
+    /// `buf` must be at least [`MsgHeader::frame_len`] long; the caller
+    /// writes the payload at `buf[HEADER_LEN..]`. Returns the total
+    /// frame length written (the padded length).
+    pub fn encode(&self, buf: &mut [u8]) -> Result<usize, FrameError> {
+        let total = self.frame_len();
+        if self.payload_len as usize > MAX_PAYLOAD_LEN {
+            return Err(FrameError::PayloadTooLong(self.payload_len as usize));
+        }
+        if buf.len() < total {
+            return Err(FrameError::TooShort { got: buf.len(), need: total });
+        }
+        let pad = (total - HEADER_LEN - self.payload_len as usize) as u8;
+        debug_assert!(pad < 4);
+        buf[0] = FRAME_VERSION | (pad << 4);
+        buf[1] = self.flags.bits();
+        let words = (total / 4) as u16;
+        buf[2..4].copy_from_slice(&words.to_le_bytes());
+        let addr: u32 = (self.target.raw() as u32)
+            | ((self.initiator.raw() as u32) << 12)
+            | ((self.function as u32) << 24);
+        buf[4..8].copy_from_slice(&addr.to_le_bytes());
+        buf[8..12].copy_from_slice(&self.initiator_context.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.transaction_context.to_le_bytes());
+        // Zero the pad bytes so encoded frames are deterministic.
+        for b in &mut buf[total - pad as usize..total] {
+            *b = 0;
+        }
+        Ok(total)
+    }
+
+    /// Decodes a header from `buf`, validating version and size fields.
+    ///
+    /// Returns the header; the payload occupies
+    /// `buf[HEADER_LEN .. HEADER_LEN + header.payload_len]`.
+    pub fn decode(buf: &[u8]) -> Result<MsgHeader, FrameError> {
+        if buf.len() < HEADER_LEN {
+            return Err(FrameError::TooShort { got: buf.len(), need: HEADER_LEN });
+        }
+        let version = buf[0] & 0x0F;
+        if version != FRAME_VERSION {
+            return Err(FrameError::BadVersion(version));
+        }
+        let pad = (buf[0] >> 4) & 0x3;
+        let flags = MsgFlags::from_bits(buf[1]);
+        let words = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+        let declared = words * 4;
+        if declared < HEADER_LEN || declared > buf.len() {
+            return Err(FrameError::SizeMismatch { declared, actual: buf.len() });
+        }
+        let padded_payload = declared - HEADER_LEN;
+        if (pad as usize) > padded_payload {
+            return Err(FrameError::BadPad { pad, payload: padded_payload });
+        }
+        let payload_len = (padded_payload - pad as usize) as u32;
+        let addr = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        Ok(MsgHeader {
+            flags,
+            target: Tid::from_raw_masked((addr & 0xFFF) as u16),
+            initiator: Tid::from_raw_masked(((addr >> 12) & 0xFFF) as u16),
+            function: (addr >> 24) as u8,
+            initiator_context: u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            transaction_context: u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            payload_len,
+        })
+    }
+
+    /// Rewrites the target TiD of an **encoded** frame in place.
+    ///
+    /// Used by the executive when forwarding a frame through a proxy
+    /// TiD: the wire frame must address the device's TiD on the remote
+    /// IOP (paper §3.4's redirection).
+    pub fn patch_target(buf: &mut [u8], tid: Tid) {
+        assert!(buf.len() >= HEADER_LEN);
+        let mut addr = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        addr = (addr & !0xFFF) | tid.raw() as u32;
+        buf[4..8].copy_from_slice(&addr.to_le_bytes());
+    }
+
+    /// Rewrites the initiator TiD of an **encoded** frame in place.
+    ///
+    /// Used on reception from a peer: the remote initiator TiD is
+    /// replaced with a locally created proxy TiD so replies route back
+    /// transparently.
+    pub fn patch_initiator(buf: &mut [u8], tid: Tid) {
+        assert!(buf.len() >= HEADER_LEN);
+        let mut addr = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        addr = (addr & !(0xFFF << 12)) | ((tid.raw() as u32) << 12);
+        buf[4..8].copy_from_slice(&addr.to_le_bytes());
+    }
+
+    /// Builds the header of the reply to this frame: target/initiator
+    /// swapped, `IS_REPLY` set, contexts echoed, same priority.
+    pub fn reply_header(&self) -> MsgHeader {
+        MsgHeader {
+            flags: self
+                .flags
+                .without(MsgFlags::REPLY_EXPECTED)
+                .with(MsgFlags::IS_REPLY),
+            target: self.initiator,
+            initiator: self.target,
+            function: self.function,
+            initiator_context: self.initiator_context,
+            transaction_context: self.transaction_context,
+            payload_len: 0,
+        }
+    }
+}
+
+/// The private frame extension (paper Fig. 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PrivateHeader {
+    /// Application-defined function code ("XFunctionCode").
+    pub x_function: u16,
+    /// Namespace of `x_function` ("OrganizationID").
+    pub org_id: OrgId,
+}
+
+impl PrivateHeader {
+    /// Creates a private extension header.
+    pub const fn new(org_id: OrgId, x_function: u16) -> PrivateHeader {
+        PrivateHeader { x_function, org_id }
+    }
+
+    /// Writes the 4-byte extension at `buf[HEADER_LEN..]`.
+    pub fn encode(&self, buf: &mut [u8]) -> Result<(), FrameError> {
+        if buf.len() < PRIVATE_HEADER_LEN {
+            return Err(FrameError::PrivateTooShort(buf.len()));
+        }
+        buf[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&self.x_function.to_le_bytes());
+        buf[HEADER_LEN + 2..HEADER_LEN + 4].copy_from_slice(&self.org_id.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads the extension of a private frame.
+    pub fn decode(buf: &[u8]) -> Result<PrivateHeader, FrameError> {
+        if buf.len() < PRIVATE_HEADER_LEN {
+            return Err(FrameError::PrivateTooShort(buf.len()));
+        }
+        Ok(PrivateHeader {
+            x_function: u16::from_le_bytes([buf[HEADER_LEN], buf[HEADER_LEN + 1]]),
+            org_id: u16::from_le_bytes([buf[HEADER_LEN + 2], buf[HEADER_LEN + 3]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{ExecFn, UtilFn};
+    use crate::Priority;
+
+    fn t(v: u16) -> Tid {
+        Tid::new(v).unwrap()
+    }
+
+    #[test]
+    fn header_roundtrip_zero_payload() {
+        let h = MsgHeader::new(t(0x123), t(0x456), FunctionCode::Exec(ExecFn::StatusGet));
+        let mut buf = vec![0u8; h.frame_len()];
+        let n = h.encode(&mut buf).unwrap();
+        assert_eq!(n, HEADER_LEN);
+        let d = MsgHeader::decode(&buf).unwrap();
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn header_roundtrip_unaligned_payloads() {
+        for len in [1u32, 2, 3, 4, 5, 7, 63, 64, 65, 4095, 4096, 4097] {
+            let mut h = MsgHeader::new(t(5), t(6), FunctionCode::Util(UtilFn::Nop));
+            h.payload_len = len;
+            h.flags = MsgFlags::empty()
+                .with(MsgFlags::REPLY_EXPECTED)
+                .with_priority(Priority::new(4).unwrap());
+            h.initiator_context = 0xDEAD_BEEF;
+            h.transaction_context = 0xCAFE_F00D;
+            let mut buf = vec![0u8; h.frame_len()];
+            let n = h.encode(&mut buf).unwrap();
+            assert_eq!(n % 4, 0, "frames are word aligned");
+            let d = MsgHeader::decode(&buf).unwrap();
+            assert_eq!(d.payload_len, len, "len {len}");
+            assert_eq!(d, h);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        assert!(matches!(
+            MsgHeader::decode(&[0u8; 8]),
+            Err(FrameError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let h = MsgHeader::new(t(1), t(2), FunctionCode::Private);
+        let mut buf = vec![0u8; h.frame_len()];
+        h.encode(&mut buf).unwrap();
+        buf[0] = (buf[0] & 0xF0) | 0x7;
+        assert_eq!(MsgHeader::decode(&buf), Err(FrameError::BadVersion(0x7)));
+    }
+
+    #[test]
+    fn decode_rejects_size_mismatch() {
+        let mut h = MsgHeader::new(t(1), t(2), FunctionCode::Private);
+        h.payload_len = 100;
+        let mut buf = vec![0u8; h.frame_len()];
+        h.encode(&mut buf).unwrap();
+        // Truncate: declared size now exceeds the buffer.
+        buf.truncate(HEADER_LEN + 50);
+        assert!(matches!(
+            MsgHeader::decode(&buf),
+            Err(FrameError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_oversized_payload() {
+        let mut h = MsgHeader::new(t(1), t(2), FunctionCode::Private);
+        h.payload_len = (MAX_PAYLOAD_LEN + 1) as u32;
+        let mut buf = vec![0u8; MAX_PAYLOAD_LEN + HEADER_LEN + 8];
+        assert!(matches!(h.encode(&mut buf), Err(FrameError::PayloadTooLong(_))));
+    }
+
+    #[test]
+    fn reply_header_swaps_and_flags() {
+        let mut h = MsgHeader::new(t(0x10), t(0x20), FunctionCode::Private);
+        h.flags = MsgFlags::empty()
+            .with(MsgFlags::REPLY_EXPECTED)
+            .with_priority(Priority::MAX);
+        h.initiator_context = 7;
+        let r = h.reply_header();
+        assert_eq!(r.target, t(0x20));
+        assert_eq!(r.initiator, t(0x10));
+        assert!(r.flags.contains(MsgFlags::IS_REPLY));
+        assert!(!r.flags.contains(MsgFlags::REPLY_EXPECTED));
+        assert_eq!(r.flags.priority(), Priority::MAX);
+        assert_eq!(r.initiator_context, 7);
+    }
+
+    #[test]
+    fn private_header_roundtrip() {
+        let mut h = MsgHeader::new(t(9), t(8), FunctionCode::Private);
+        h.payload_len = 12;
+        let mut buf = vec![0u8; h.frame_len()];
+        h.encode(&mut buf).unwrap();
+        let p = PrivateHeader::new(crate::ORG_XDAQ, 0xBEEF);
+        p.encode(&mut buf).unwrap();
+        assert_eq!(PrivateHeader::decode(&buf).unwrap(), p);
+    }
+
+    #[test]
+    fn private_header_needs_room() {
+        let buf = [0u8; HEADER_LEN + 2];
+        assert!(matches!(
+            PrivateHeader::decode(&buf),
+            Err(FrameError::PrivateTooShort(_))
+        ));
+    }
+
+    #[test]
+    fn patch_target_and_initiator_in_place() {
+        let mut h = MsgHeader::new(t(0x111), t(0x222), FunctionCode::Private);
+        h.payload_len = 8;
+        h.initiator_context = 0x55;
+        let mut buf = vec![0u8; h.frame_len()];
+        h.encode(&mut buf).unwrap();
+        MsgHeader::patch_target(&mut buf, t(0xABC));
+        MsgHeader::patch_initiator(&mut buf, t(0xDEF));
+        let d = MsgHeader::decode(&buf).unwrap();
+        assert_eq!(d.target, t(0xABC));
+        assert_eq!(d.initiator, t(0xDEF));
+        assert_eq!(d.function, 0xFF, "function untouched");
+        assert_eq!(d.initiator_context, 0x55, "context untouched");
+        assert_eq!(d.payload_len, 8);
+    }
+
+    #[test]
+    fn frame_len_is_word_padded() {
+        let mut h = MsgHeader::new(t(1), t(2), FunctionCode::Private);
+        for (payload, expect) in [(0u32, 16usize), (1, 20), (4, 20), (5, 24)] {
+            h.payload_len = payload;
+            assert_eq!(h.frame_len(), expect, "payload {payload}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Stream-oriented wire codec.
+//!
+//! Peer transports that run over byte streams (TCP) need to find frame
+//! boundaries; transports with message semantics (GM, PCI FIFOs) carry
+//! one frame per datagram. The I2O frame is self-delimiting — the
+//! header's `message_size` field gives the total length — so no extra
+//! length prefix is needed. This module provides the incremental
+//! decoder used by stream transports and a one-shot encoder.
+
+use crate::frame::{FrameError, HEADER_LEN};
+use crate::message::Message;
+use core::fmt;
+
+/// Errors from the stream codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame-level validation failed; the stream is unrecoverable.
+    Frame(FrameError),
+    /// Declared frame length exceeds the configured maximum — treated
+    /// as stream corruption to bound memory usage.
+    OversizedFrame { declared: usize, max: usize },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Frame(e) => write!(f, "frame error: {e}"),
+            WireError::OversizedFrame { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds stream limit {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<FrameError> for WireError {
+    fn from(e: FrameError) -> WireError {
+        WireError::Frame(e)
+    }
+}
+
+/// Encodes a message to its wire bytes (alias for
+/// [`Message::encode_vec`], provided for symmetry with
+/// [`decode_frame`]).
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    msg.encode_vec()
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((msg, consumed)))` when a complete frame is
+/// present, `Ok(None)` when more bytes are needed, and `Err` on
+/// corruption.
+pub fn decode_frame(buf: &[u8], max_frame: usize) -> Result<Option<(Message, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    // Peek the size field without full validation: version first.
+    let version = buf[0] & 0x0F;
+    if version != crate::frame::FRAME_VERSION {
+        return Err(FrameError::BadVersion(version).into());
+    }
+    let words = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+    let total = words * 4;
+    if total < HEADER_LEN {
+        return Err(FrameError::SizeMismatch { declared: total, actual: buf.len() }.into());
+    }
+    if total > max_frame {
+        return Err(WireError::OversizedFrame { declared: total, max: max_frame });
+    }
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let msg = Message::decode(&buf[..total])?;
+    Ok(Some((msg, total)))
+}
+
+/// Incremental frame decoder holding a reassembly buffer.
+///
+/// Feed it arbitrary chunks from the stream; it yields complete
+/// messages and compacts its buffer.
+#[derive(Debug)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    read_at: usize,
+    max_frame: usize,
+}
+
+impl StreamDecoder {
+    /// Creates a decoder bounding frames at `max_frame` bytes.
+    pub fn new(max_frame: usize) -> StreamDecoder {
+        StreamDecoder { buf: Vec::with_capacity(4096), read_at: 0, max_frame }
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing if more than half the buffer is dead.
+        if self.read_at > 0 && self.read_at * 2 >= self.buf.len() {
+            self.buf.drain(..self.read_at);
+            self.read_at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if any.
+    pub fn next_frame(&mut self) -> Result<Option<Message>, WireError> {
+        match decode_frame(&self.buf[self.read_at..], self.max_frame)? {
+            Some((msg, consumed)) => {
+                self.read_at += consumed;
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.read_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::UtilFn;
+    use crate::tid::Tid;
+
+    fn msg(n: usize) -> Message {
+        Message::build_private(Tid::new(0x11).unwrap(), Tid::new(0x22).unwrap(), 1, 42)
+            .payload(vec![0x5Au8; n])
+            .finish()
+    }
+
+    #[test]
+    fn one_shot_roundtrip() {
+        let m = msg(100);
+        let wire = encode_frame(&m);
+        let (d, n) = decode_frame(&wire, 1 << 20).unwrap().unwrap();
+        assert_eq!(n, wire.len());
+        assert_eq!(d, m);
+    }
+
+    #[test]
+    fn partial_header_yields_none() {
+        let wire = encode_frame(&msg(8));
+        assert!(decode_frame(&wire[..10], 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn partial_body_yields_none() {
+        let wire = encode_frame(&msg(64));
+        assert!(decode_frame(&wire[..wire.len() - 1], 1 << 20).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let wire = encode_frame(&msg(4096));
+        assert!(matches!(
+            decode_frame(&wire, 256),
+            Err(WireError::OversizedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_decoder_reassembles_byte_by_byte() {
+        let msgs: Vec<Message> = (0..5).map(|i| msg(i * 37)).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        let mut dec = StreamDecoder::new(1 << 20);
+        let mut got = Vec::new();
+        for b in wire {
+            dec.feed(&[b]);
+            while let Some(m) = dec.next_frame().unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got, msgs);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn stream_decoder_handles_batched_frames() {
+        let msgs: Vec<Message> = (0..10).map(|i| msg(i)).collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            wire.extend_from_slice(&encode_frame(m));
+        }
+        let mut dec = StreamDecoder::new(1 << 20);
+        dec.feed(&wire);
+        let mut got = Vec::new();
+        while let Some(m) = dec.next_frame().unwrap() {
+            got.push(m);
+        }
+        assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn corrupted_version_is_an_error() {
+        let mut wire = encode_frame(&msg(4));
+        wire[0] = 0x09;
+        let mut dec = StreamDecoder::new(1 << 20);
+        dec.feed(&wire);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn standard_frames_also_stream() {
+        let m = Message::util(Tid::EXECUTIVE, Tid::HOST, UtilFn::Nop).finish();
+        let mut dec = StreamDecoder::new(4096);
+        dec.feed(&encode_frame(&m));
+        assert_eq!(dec.next_frame().unwrap().unwrap(), m);
+    }
+}

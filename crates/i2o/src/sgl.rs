@@ -1,0 +1,346 @@
+//! Scatter-Gather Lists (SGL).
+//!
+//! Paper §4: *"Making use of I2O's Scatter-Gather Lists (SGL) or
+//! chaining blocks helps to transmit arbitrary length information"* —
+//! frame payloads live in fixed-size pooled blocks of at most 256 KB,
+//! so larger logical payloads are described as a list of segments.
+//!
+//! An SGL is a sequence of [`SglElement`]s. Each element addresses one
+//! contiguous segment of a logical buffer. In hardware I2O the address
+//! is a PCI bus address; in this reproduction it is a (block handle,
+//! offset) pair packed into 64 bits — the memory-pool crate defines the
+//! handle space, this crate only defines the wire format and the
+//! invariants:
+//!
+//! * every element but the last has neither `LAST` nor `CHAIN` set,
+//! * the final element carries `LAST`,
+//! * a `CHAIN` element points at a continuation frame and must be last
+//!   in its own list,
+//! * total logical length is the sum of element lengths (chain
+//!   elements contribute 0).
+
+use core::fmt;
+
+/// Per-element flag bits.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SglFlags(u8);
+
+impl SglFlags {
+    /// Final element of the list.
+    pub const LAST: SglFlags = SglFlags(0b01);
+    /// Element addresses a continuation frame, not payload data.
+    pub const CHAIN: SglFlags = SglFlags(0b10);
+
+    /// Empty flag set.
+    pub const fn empty() -> SglFlags {
+        SglFlags(0)
+    }
+
+    /// Raw bits.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits (extra bits are preserved).
+    pub const fn from_bits(b: u8) -> SglFlags {
+        SglFlags(b)
+    }
+
+    /// True if all bits of `other` are set.
+    pub const fn contains(self, other: SglFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union.
+    #[must_use]
+    pub const fn with(self, other: SglFlags) -> SglFlags {
+        SglFlags(self.0 | other.0)
+    }
+}
+
+impl fmt::Debug for SglFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(SglFlags::LAST) {
+            parts.push("LAST");
+        }
+        if self.contains(SglFlags::CHAIN) {
+            parts.push("CHAIN");
+        }
+        write!(f, "SglFlags({})", parts.join("|"))
+    }
+}
+
+/// One scatter-gather element: 16 bytes on the wire.
+///
+/// ```text
+/// +0  flags : u8
+/// +1  rsvd  : u8 (zero)
+/// +2  rsvd  : u16 (zero)
+/// +4  len   : u32  segment length in bytes
+/// +8  addr  : u64  segment address (pool handle << 32 | offset)
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SglElement {
+    /// Element flags.
+    pub flags: SglFlags,
+    /// Segment length in bytes.
+    pub len: u32,
+    /// Segment address: opaque to this crate; the memory pool packs
+    /// `(block_handle << 32) | offset`.
+    pub addr: u64,
+}
+
+/// Encoded size of one element.
+pub const SGL_ELEMENT_LEN: usize = 16;
+
+impl SglElement {
+    /// A data element.
+    pub const fn data(addr: u64, len: u32) -> SglElement {
+        SglElement { flags: SglFlags::empty(), len, addr }
+    }
+
+    /// The final data element of a list.
+    pub const fn last(addr: u64, len: u32) -> SglElement {
+        SglElement { flags: SglFlags::LAST, len, addr }
+    }
+
+    /// A chain element referencing a continuation frame.
+    pub const fn chain(addr: u64) -> SglElement {
+        SglElement { flags: SglFlags(0b11), len: 0, addr }
+    }
+
+    /// Encodes into exactly [`SGL_ELEMENT_LEN`] bytes.
+    pub fn encode(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= SGL_ELEMENT_LEN);
+        buf[0] = self.flags.bits();
+        buf[1] = 0;
+        buf[2..4].copy_from_slice(&0u16.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.len.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.addr.to_le_bytes());
+    }
+
+    /// Decodes from exactly [`SGL_ELEMENT_LEN`] bytes.
+    pub fn decode(buf: &[u8]) -> Option<SglElement> {
+        if buf.len() < SGL_ELEMENT_LEN {
+            return None;
+        }
+        Some(SglElement {
+            flags: SglFlags::from_bits(buf[0]),
+            len: u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            addr: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        })
+    }
+}
+
+/// Errors detected by [`Sgl::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SglError {
+    /// List contains no elements.
+    Empty,
+    /// `LAST` appears before the final element.
+    EarlyLast(usize),
+    /// Final element lacks `LAST`.
+    MissingLast,
+    /// A `CHAIN` element is not the final element.
+    ChainNotLast(usize),
+    /// Buffer did not contain a whole number of elements.
+    Truncated,
+}
+
+impl fmt::Display for SglError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SglError::Empty => write!(f, "SGL has no elements"),
+            SglError::EarlyLast(i) => write!(f, "LAST flag on non-final element {i}"),
+            SglError::MissingLast => write!(f, "final SGL element lacks LAST flag"),
+            SglError::ChainNotLast(i) => write!(f, "CHAIN element {i} is not final"),
+            SglError::Truncated => write!(f, "SGL buffer is not a whole number of elements"),
+        }
+    }
+}
+
+impl std::error::Error for SglError {}
+
+/// An owned scatter-gather list.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Sgl {
+    elements: Vec<SglElement>,
+}
+
+impl Sgl {
+    /// Empty list (invalid until elements are pushed).
+    pub fn new() -> Sgl {
+        Sgl { elements: Vec::new() }
+    }
+
+    /// Builds a well-formed list over `(addr, len)` segments.
+    pub fn from_segments<I: IntoIterator<Item = (u64, u32)>>(segs: I) -> Sgl {
+        let mut elements: Vec<SglElement> =
+            segs.into_iter().map(|(a, l)| SglElement::data(a, l)).collect();
+        if let Some(last) = elements.last_mut() {
+            last.flags = last.flags.with(SglFlags::LAST);
+        }
+        Sgl { elements }
+    }
+
+    /// Appends an element (caller maintains the LAST invariant or calls
+    /// [`Sgl::seal`]).
+    pub fn push(&mut self, e: SglElement) {
+        self.elements.push(e);
+    }
+
+    /// Marks the final element `LAST`, clearing any earlier `LAST`.
+    pub fn seal(&mut self) {
+        let n = self.elements.len();
+        for (i, e) in self.elements.iter_mut().enumerate() {
+            if i + 1 == n {
+                e.flags = e.flags.with(SglFlags::LAST);
+            } else {
+                e.flags = SglFlags::from_bits(e.flags.bits() & !SglFlags::LAST.bits());
+            }
+        }
+    }
+
+    /// The elements in order.
+    pub fn elements(&self) -> &[SglElement] {
+        &self.elements
+    }
+
+    /// Sum of data-element lengths — the logical payload size.
+    pub fn total_len(&self) -> u64 {
+        self.elements
+            .iter()
+            .filter(|e| !e.flags.contains(SglFlags::CHAIN))
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Checks the structural invariants.
+    pub fn validate(&self) -> Result<(), SglError> {
+        let n = self.elements.len();
+        if n == 0 {
+            return Err(SglError::Empty);
+        }
+        for (i, e) in self.elements.iter().enumerate() {
+            let is_final = i + 1 == n;
+            if e.flags.contains(SglFlags::CHAIN) && !is_final {
+                return Err(SglError::ChainNotLast(i));
+            }
+            if e.flags.contains(SglFlags::LAST) && !is_final {
+                return Err(SglError::EarlyLast(i));
+            }
+        }
+        if !self.elements[n - 1].flags.contains(SglFlags::LAST) {
+            return Err(SglError::MissingLast);
+        }
+        Ok(())
+    }
+
+    /// Encoded byte length.
+    pub fn encoded_len(&self) -> usize {
+        self.elements.len() * SGL_ELEMENT_LEN
+    }
+
+    /// Serializes all elements into `buf`; returns bytes written.
+    pub fn encode(&self, buf: &mut [u8]) -> usize {
+        assert!(buf.len() >= self.encoded_len());
+        for (i, e) in self.elements.iter().enumerate() {
+            e.encode(&mut buf[i * SGL_ELEMENT_LEN..]);
+        }
+        self.encoded_len()
+    }
+
+    /// Parses a buffer that consists solely of SGL elements.
+    pub fn decode(buf: &[u8]) -> Result<Sgl, SglError> {
+        if buf.len() % SGL_ELEMENT_LEN != 0 {
+            return Err(SglError::Truncated);
+        }
+        let mut elements = Vec::with_capacity(buf.len() / SGL_ELEMENT_LEN);
+        for chunk in buf.chunks_exact(SGL_ELEMENT_LEN) {
+            elements.push(SglElement::decode(chunk).ok_or(SglError::Truncated)?);
+        }
+        let sgl = Sgl { elements };
+        sgl.validate()?;
+        Ok(sgl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_segments_builds_valid_list() {
+        let s = Sgl::from_segments([(0x100, 64), (0x200, 128), (0x300, 32)]);
+        s.validate().unwrap();
+        assert_eq!(s.total_len(), 224);
+        assert!(s.elements()[2].flags.contains(SglFlags::LAST));
+        assert!(!s.elements()[0].flags.contains(SglFlags::LAST));
+    }
+
+    #[test]
+    fn empty_list_is_invalid() {
+        assert_eq!(Sgl::new().validate(), Err(SglError::Empty));
+    }
+
+    #[test]
+    fn early_last_detected() {
+        let mut s = Sgl::new();
+        s.push(SglElement::last(0, 8));
+        s.push(SglElement::last(8, 8));
+        assert_eq!(s.validate(), Err(SglError::EarlyLast(0)));
+    }
+
+    #[test]
+    fn missing_last_detected() {
+        let mut s = Sgl::new();
+        s.push(SglElement::data(0, 8));
+        assert_eq!(s.validate(), Err(SglError::MissingLast));
+        s.seal();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn chain_must_be_final() {
+        let mut s = Sgl::new();
+        s.push(SglElement::chain(0xAA));
+        s.push(SglElement::last(0, 4));
+        assert_eq!(s.validate(), Err(SglError::ChainNotLast(0)));
+    }
+
+    #[test]
+    fn chain_contributes_no_length() {
+        let mut s = Sgl::new();
+        s.push(SglElement::data(0, 100));
+        s.push(SglElement::chain(0xBB));
+        assert_eq!(s.total_len(), 100);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = Sgl::from_segments([(0xDEAD_BEEF_0000, 4096), (0xFEED_0000, 1)]);
+        let mut buf = vec![0u8; s.encoded_len()];
+        assert_eq!(s.encode(&mut buf), 32);
+        let d = Sgl::decode(&buf).unwrap();
+        assert_eq!(d, s);
+    }
+
+    #[test]
+    fn decode_rejects_ragged_buffer() {
+        assert_eq!(Sgl::decode(&[0u8; 17]), Err(SglError::Truncated));
+    }
+
+    #[test]
+    fn seal_clears_stale_last_flags() {
+        let mut s = Sgl::new();
+        s.push(SglElement::last(0, 1));
+        s.push(SglElement::data(1, 1));
+        s.seal();
+        s.validate().unwrap();
+        assert!(!s.elements()[0].flags.contains(SglFlags::LAST));
+    }
+}

@@ -1,0 +1,324 @@
+//! Target identifiers (TiDs) — the I2O addressing scheme.
+//!
+//! Paper §3.4: *"I2O challenges the Babylonic confusion by replacing all
+//! addressing with a unique destination identification scheme. That is,
+//! each device instance, software or hardware module gets assigned a
+//! numeric identifier, the TiD (Target ID). It is unique within one I/O
+//! processor card."*
+//!
+//! TiDs are 12-bit values as in the I2O specification. A handful of
+//! values are architecturally reserved; the rest are handed out by the
+//! executive's [`TidAllocator`]. Remote devices are reached through
+//! locally allocated *proxy* TiDs — the caller never learns whether a
+//! TiD is local or a proxy (paper §3.4, the Proxy pattern).
+
+use core::fmt;
+
+/// A 12-bit I2O target identifier, unique within one IOP (node).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tid(u16);
+
+/// Errors produced by TiD construction and allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TidError {
+    /// Value does not fit in 12 bits.
+    OutOfRange(u16),
+    /// The allocator has no free TiDs left.
+    Exhausted,
+    /// Attempt to free a TiD that is not currently allocated.
+    NotAllocated(Tid),
+    /// Attempt to free or use a reserved TiD.
+    Reserved(Tid),
+}
+
+impl fmt::Display for TidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TidError::OutOfRange(v) => write!(f, "value {v:#x} does not fit in a 12-bit TiD"),
+            TidError::Exhausted => write!(f, "TiD space exhausted (4080 assignable ids in use)"),
+            TidError::NotAllocated(t) => write!(f, "TiD {t} is not allocated"),
+            TidError::Reserved(t) => write!(f, "TiD {t} is architecturally reserved"),
+        }
+    }
+}
+
+impl std::error::Error for TidError {}
+
+impl Tid {
+    /// The null TiD. Frames addressed to it are dropped; it is also the
+    /// initiator address of unsolicited executive-generated frames.
+    pub const NULL: Tid = Tid(0);
+    /// The local executive itself (every executive is a valid I2O
+    /// device and answers executive-class messages).
+    pub const EXECUTIVE: Tid = Tid(1);
+    /// The local Peer Transport Agent.
+    pub const PTA: Tid = Tid(2);
+    /// The host (primary/secondary control point) attachment point.
+    pub const HOST: Tid = Tid(3);
+    /// Broadcast to every registered device on the local IOP.
+    pub const BROADCAST: Tid = Tid(0xFFF);
+
+    /// First TiD handed out for ordinary device instances.
+    pub const FIRST_DYNAMIC: u16 = 0x010;
+    /// Last assignable TiD (0xFFF is broadcast).
+    pub const LAST_DYNAMIC: u16 = 0xFFE;
+
+    /// Creates a TiD, checking the 12-bit range.
+    pub const fn new(v: u16) -> Result<Tid, TidError> {
+        if v > 0xFFF {
+            Err(TidError::OutOfRange(v))
+        } else {
+            Ok(Tid(v))
+        }
+    }
+
+    /// Creates a TiD without range checking; the value is masked to 12
+    /// bits. Intended for decoding packed wire fields.
+    pub const fn from_raw_masked(v: u16) -> Tid {
+        Tid(v & 0xFFF)
+    }
+
+    /// Raw 12-bit value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// True for the architecturally reserved values (null, executive,
+    /// PTA, host, broadcast and the rest of the static range).
+    pub const fn is_reserved(self) -> bool {
+        self.0 < Self::FIRST_DYNAMIC || self.0 == 0xFFF
+    }
+
+    /// True if this TiD can be a frame destination (anything but null).
+    pub const fn is_addressable(self) -> bool {
+        self.0 != 0
+    }
+
+    /// True for the broadcast TiD.
+    pub const fn is_broadcast(self) -> bool {
+        self.0 == 0xFFF
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tid({:#05x})", self.0)
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Tid::NULL => write!(f, "tid:null"),
+            Tid::EXECUTIVE => write!(f, "tid:exec"),
+            Tid::PTA => write!(f, "tid:pta"),
+            Tid::HOST => write!(f, "tid:host"),
+            Tid::BROADCAST => write!(f, "tid:bcast"),
+            Tid(v) => write!(f, "tid:{v:#05x}"),
+        }
+    }
+}
+
+impl TryFrom<u16> for Tid {
+    type Error = TidError;
+    fn try_from(v: u16) -> Result<Tid, TidError> {
+        Tid::new(v)
+    }
+}
+
+impl From<Tid> for u16 {
+    fn from(t: Tid) -> u16 {
+        t.0
+    }
+}
+
+/// Allocator for the dynamic TiD range of one IOP.
+///
+/// The executive owns one of these per node. Allocation is first-fit
+/// from a free list so that freed TiDs are recycled promptly — the
+/// paper's plugin model loads and unloads device classes at runtime, so
+/// TiD churn is expected.
+#[derive(Debug)]
+pub struct TidAllocator {
+    /// Bitmap over the full 12-bit space; bit set = allocated.
+    used: Box<[u64; 64]>,
+    /// Next value to try, to keep allocation O(1) amortized.
+    cursor: u16,
+    /// Number of dynamic TiDs currently allocated.
+    live: usize,
+}
+
+impl Default for TidAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TidAllocator {
+    /// Creates an allocator with all reserved TiDs pre-marked used.
+    pub fn new() -> Self {
+        let mut a = TidAllocator {
+            used: Box::new([0u64; 64]),
+            cursor: Tid::FIRST_DYNAMIC,
+            live: 0,
+        };
+        for v in 0..Tid::FIRST_DYNAMIC {
+            a.mark(v, true);
+        }
+        a.mark(0xFFF, true);
+        a
+    }
+
+    fn mark(&mut self, v: u16, on: bool) {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        if on {
+            self.used[w] |= 1 << b;
+        } else {
+            self.used[w] &= !(1 << b);
+        }
+    }
+
+    fn is_used(&self, v: u16) -> bool {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        self.used[w] & (1 << b) != 0
+    }
+
+    /// Allocates the next free dynamic TiD.
+    pub fn allocate(&mut self) -> Result<Tid, TidError> {
+        let span = (Tid::LAST_DYNAMIC - Tid::FIRST_DYNAMIC + 1) as usize;
+        if self.live >= span {
+            return Err(TidError::Exhausted);
+        }
+        let mut v = self.cursor;
+        for _ in 0..=span {
+            if v > Tid::LAST_DYNAMIC {
+                v = Tid::FIRST_DYNAMIC;
+            }
+            if !self.is_used(v) {
+                self.mark(v, true);
+                self.live += 1;
+                self.cursor = v + 1;
+                return Ok(Tid(v));
+            }
+            v += 1;
+        }
+        Err(TidError::Exhausted)
+    }
+
+    /// Claims a specific dynamic TiD (used when restoring a saved
+    /// system table on a secondary host).
+    pub fn claim(&mut self, tid: Tid) -> Result<(), TidError> {
+        if tid.is_reserved() {
+            return Err(TidError::Reserved(tid));
+        }
+        if self.is_used(tid.0) {
+            return Err(TidError::OutOfRange(tid.0)); // already taken
+        }
+        self.mark(tid.0, true);
+        self.live += 1;
+        Ok(())
+    }
+
+    /// Returns a TiD to the free pool.
+    pub fn free(&mut self, tid: Tid) -> Result<(), TidError> {
+        if tid.is_reserved() {
+            return Err(TidError::Reserved(tid));
+        }
+        if !self.is_used(tid.0) {
+            return Err(TidError::NotAllocated(tid));
+        }
+        self.mark(tid.0, false);
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Number of dynamic TiDs currently live.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// True if the given TiD is currently allocated (or reserved).
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.is_used(tid.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_constants_are_reserved() {
+        assert!(Tid::NULL.is_reserved());
+        assert!(Tid::EXECUTIVE.is_reserved());
+        assert!(Tid::PTA.is_reserved());
+        assert!(Tid::HOST.is_reserved());
+        assert!(Tid::BROADCAST.is_reserved());
+        assert!(!Tid::new(Tid::FIRST_DYNAMIC).unwrap().is_reserved());
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Tid::new(0x1000), Err(TidError::OutOfRange(0x1000)));
+        assert!(Tid::new(0xFFF).is_ok());
+    }
+
+    #[test]
+    fn from_raw_masks() {
+        assert_eq!(Tid::from_raw_masked(0x1FFF), Tid::BROADCAST);
+        assert_eq!(Tid::from_raw_masked(0x1001).raw(), 1);
+    }
+
+    #[test]
+    fn allocator_hands_out_distinct_dynamic_tids() {
+        let mut a = TidAllocator::new();
+        let t1 = a.allocate().unwrap();
+        let t2 = a.allocate().unwrap();
+        assert_ne!(t1, t2);
+        assert!(!t1.is_reserved());
+        assert!(!t2.is_reserved());
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn allocator_recycles_freed_tids() {
+        let mut a = TidAllocator::new();
+        let t1 = a.allocate().unwrap();
+        a.free(t1).unwrap();
+        assert_eq!(a.live(), 0);
+        // Allocate the full span; the freed id must come back eventually.
+        let span = (Tid::LAST_DYNAMIC - Tid::FIRST_DYNAMIC + 1) as usize;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..span {
+            seen.insert(a.allocate().unwrap());
+        }
+        assert!(seen.contains(&t1));
+        assert_eq!(a.allocate(), Err(TidError::Exhausted));
+    }
+
+    #[test]
+    fn allocator_rejects_double_free_and_reserved_free() {
+        let mut a = TidAllocator::new();
+        let t = a.allocate().unwrap();
+        a.free(t).unwrap();
+        assert_eq!(a.free(t), Err(TidError::NotAllocated(t)));
+        assert_eq!(a.free(Tid::EXECUTIVE), Err(TidError::Reserved(Tid::EXECUTIVE)));
+    }
+
+    #[test]
+    fn claim_specific_tid() {
+        let mut a = TidAllocator::new();
+        let t = Tid::new(0x123).unwrap();
+        a.claim(t).unwrap();
+        assert!(a.contains(t));
+        assert!(a.claim(t).is_err());
+        assert!(a.claim(Tid::EXECUTIVE).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tid::EXECUTIVE.to_string(), "tid:exec");
+        assert_eq!(Tid::new(0x42).unwrap().to_string(), "tid:0x042");
+    }
+}

@@ -1,0 +1,113 @@
+//! Raw pooled memory blocks.
+
+use std::sync::Arc;
+
+/// One fixed-size storage block.
+///
+/// Blocks are the unit of pooling: capacity never changes after
+/// creation, only the valid length does. Capacity is always a
+/// power-of-two-friendly pool size ≤ 256 KB chosen by the allocator.
+#[derive(Debug)]
+pub struct Block {
+    storage: Box<[u8]>,
+    /// Valid prefix of `storage`.
+    len: usize,
+}
+
+impl Block {
+    /// Creates a zeroed block of exactly `capacity` bytes.
+    pub fn new(capacity: usize) -> Block {
+        Block { storage: vec![0u8; capacity].into_boxed_slice(), len: 0 }
+    }
+
+    /// Fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.storage.len()
+    }
+
+    /// Valid length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no valid bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the valid length (must not exceed capacity).
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= self.capacity(), "len {len} > capacity {}", self.capacity());
+        self.len = len;
+    }
+
+    /// Valid bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.storage[..self.len]
+    }
+
+    /// Mutable valid bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.storage[..self.len]
+    }
+
+    /// Whole backing store, regardless of valid length.
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        &mut self.storage
+    }
+}
+
+/// Recycling sink a [`crate::FrameBuf`] returns its block to on drop.
+///
+/// Implemented by each pool. The indirection keeps `FrameBuf`
+/// allocator-agnostic so frames from different pools can coexist in
+/// one executive (e.g. a PT-owned receive pool and the executive's
+/// send pool).
+pub trait BlockRecycler: Send + Sync {
+    /// Accepts a block back. Implementations must not panic: recycling
+    /// happens in `Drop`.
+    fn recycle(&self, block: Block);
+}
+
+/// A recycler that simply drops blocks (used by tests and by
+/// [`crate::FrameBuf::detached`] buffers that bypass pooling).
+#[derive(Debug, Default)]
+pub struct DropRecycler;
+
+impl BlockRecycler for DropRecycler {
+    fn recycle(&self, _block: Block) {}
+}
+
+/// Shared handle to the drop-recycler singleton.
+pub fn drop_recycler() -> Arc<dyn BlockRecycler> {
+    static ONCE: std::sync::OnceLock<Arc<DropRecycler>> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| Arc::new(DropRecycler)).clone() as Arc<dyn BlockRecycler>
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_len_tracking() {
+        let mut b = Block::new(64);
+        assert_eq!(b.capacity(), 64);
+        assert!(b.is_empty());
+        b.set_len(10);
+        assert_eq!(b.len(), 10);
+        b.bytes_mut().copy_from_slice(&[7u8; 10]);
+        assert_eq!(b.bytes(), &[7u8; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn set_len_beyond_capacity_panics() {
+        Block::new(8).set_len(9);
+    }
+
+    #[test]
+    fn raw_mut_exposes_whole_store() {
+        let mut b = Block::new(16);
+        assert_eq!(b.raw_mut().len(), 16);
+    }
+}

@@ -1,0 +1,297 @@
+//! Frame chaining: transmitting arbitrary-length payloads over
+//! fixed-size pooled blocks.
+//!
+//! Paper §4: *"Making use of I2O's Scatter-Gather Lists (SGL) or
+//! chaining blocks helps to transmit arbitrary length information."*
+//! This module implements the chaining half: a logical payload larger
+//! than one frame is split across several frames that share the
+//! initiator/transaction contexts; every frame but the last carries the
+//! `MORE` flag. Peer transports deliver frames of one (initiator,
+//! transaction) pair in order, so reassembly is a concatenation with
+//! integrity checks.
+
+use crate::frame_buf::FrameBuf;
+use crate::{AllocError, FrameAllocator};
+use core::fmt;
+use xdaq_i2o::{FrameError, MsgFlags, MsgHeader, PrivateHeader, HEADER_LEN, PRIVATE_HEADER_LEN};
+
+/// Chaining failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// Underlying pool refused an allocation.
+    Alloc(AllocError),
+    /// Frame-level encode/decode failure.
+    Frame(FrameError),
+    /// `max_payload` too small to carry even the private extension.
+    SegmentTooSmall(usize),
+    /// Reassembly input was empty.
+    NoFrames,
+    /// A non-final frame lacked `MORE`, or the final frame carried it.
+    BadMoreFlag { index: usize },
+    /// Frames disagree on initiator/transaction context.
+    ContextMismatch { index: usize },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Alloc(e) => write!(f, "chain allocation failed: {e}"),
+            ChainError::Frame(e) => write!(f, "chain frame error: {e}"),
+            ChainError::SegmentTooSmall(n) => {
+                write!(f, "segment budget of {n} bytes cannot carry a frame")
+            }
+            ChainError::NoFrames => write!(f, "no frames to reassemble"),
+            ChainError::BadMoreFlag { index } => {
+                write!(f, "frame {index} has an inconsistent MORE flag")
+            }
+            ChainError::ContextMismatch { index } => {
+                write!(f, "frame {index} belongs to a different transaction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<AllocError> for ChainError {
+    fn from(e: AllocError) -> ChainError {
+        ChainError::Alloc(e)
+    }
+}
+
+impl From<FrameError> for ChainError {
+    fn from(e: FrameError) -> ChainError {
+        ChainError::Frame(e)
+    }
+}
+
+/// Computes the payload split for `total` bytes at `max_seg` bytes per
+/// segment. Zero-length payloads yield one zero-length segment (a
+/// chain is never empty).
+pub fn segment_lengths(total: usize, max_seg: usize) -> Vec<usize> {
+    assert!(max_seg > 0, "segment size must be positive");
+    if total == 0 {
+        return vec![0];
+    }
+    let mut out = Vec::with_capacity(total.div_ceil(max_seg));
+    let mut rest = total;
+    while rest > 0 {
+        let n = rest.min(max_seg);
+        out.push(n);
+        rest -= n;
+    }
+    out
+}
+
+/// Splits `payload` into a chain of fully-encoded frames allocated from
+/// `pool`.
+///
+/// `header` supplies addressing, flags and contexts; its `payload_len`
+/// is overwritten per frame. The private extension (if any) is carried
+/// by **every** frame of the chain so each frame is independently
+/// routable. `max_payload` bounds the per-frame payload (extension
+/// included), modelling the pool's block budget.
+pub fn split_into_frames(
+    pool: &dyn FrameAllocator,
+    header: MsgHeader,
+    private: Option<PrivateHeader>,
+    payload: &[u8],
+    max_payload: usize,
+) -> Result<Vec<FrameBuf>, ChainError> {
+    let ext = if private.is_some() { 4usize } else { 0 };
+    if max_payload <= ext {
+        return Err(ChainError::SegmentTooSmall(max_payload));
+    }
+    let data_per_frame = max_payload - ext;
+    let segments = segment_lengths(payload.len(), data_per_frame);
+    let n = segments.len();
+    let mut frames = Vec::with_capacity(n);
+    let mut off = 0usize;
+    for (i, seg) in segments.into_iter().enumerate() {
+        let mut h = header;
+        h.payload_len = (seg + ext) as u32;
+        h.flags = if i + 1 < n {
+            h.flags.with(MsgFlags::MORE)
+        } else {
+            h.flags.without(MsgFlags::MORE)
+        };
+        let total = h.frame_len();
+        let mut buf = pool.alloc(total)?;
+        h.encode(&mut buf)?;
+        let mut data_off = HEADER_LEN;
+        if let Some(p) = &private {
+            p.encode(&mut buf)?;
+            data_off = PRIVATE_HEADER_LEN;
+        }
+        buf[data_off..data_off + seg].copy_from_slice(&payload[off..off + seg]);
+        off += seg;
+        frames.push(buf);
+    }
+    Ok(frames)
+}
+
+/// Reassembles a chain of encoded frames back into
+/// `(header, private, payload)`.
+///
+/// The returned header is the first frame's header with `MORE` cleared
+/// and `payload_len` covering the whole logical payload (extension
+/// included when private).
+pub fn reassemble<'a, I>(frames: I) -> Result<(MsgHeader, Option<PrivateHeader>, Vec<u8>), ChainError>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut iter = frames.into_iter().peekable();
+    let mut payload = Vec::new();
+    let mut first: Option<(MsgHeader, Option<PrivateHeader>)> = None;
+    let mut index = 0usize;
+    while let Some(bytes) = iter.next() {
+        let h = MsgHeader::decode(bytes)?;
+        let is_last = iter.peek().is_none();
+        let has_more = h.flags.contains(MsgFlags::MORE);
+        if has_more == is_last {
+            return Err(ChainError::BadMoreFlag { index });
+        }
+        let (private, data_off, ext) = if h.is_private() {
+            (Some(PrivateHeader::decode(bytes)?), PRIVATE_HEADER_LEN, 4usize)
+        } else {
+            (None, HEADER_LEN, 0)
+        };
+        match &first {
+            None => first = Some((h, private)),
+            Some((h0, _)) => {
+                if h.initiator_context != h0.initiator_context
+                    || h.transaction_context != h0.transaction_context
+                    || h.target != h0.target
+                    || h.initiator != h0.initiator
+                {
+                    return Err(ChainError::ContextMismatch { index });
+                }
+            }
+        }
+        let data_len = h.payload_len as usize - ext;
+        payload.extend_from_slice(&bytes[data_off..data_off + data_len]);
+        index += 1;
+    }
+    let (mut header, private) = first.ok_or(ChainError::NoFrames)?;
+    header.flags = header.flags.without(MsgFlags::MORE);
+    let ext = if private.is_some() { 4 } else { 0 };
+    header.payload_len = (payload.len() + ext) as u32;
+    Ok((header, private, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TablePool;
+    use xdaq_i2o::{FunctionCode, Tid};
+
+    fn header() -> MsgHeader {
+        let mut h = MsgHeader::new(
+            Tid::new(0x111).unwrap(),
+            Tid::new(0x222).unwrap(),
+            FunctionCode::Private,
+        );
+        h.initiator_context = 0xAB;
+        h.transaction_context = 0xCD;
+        h
+    }
+
+    fn private() -> Option<PrivateHeader> {
+        Some(PrivateHeader::new(xdaq_i2o::ORG_XDAQ, 9))
+    }
+
+    #[test]
+    fn segment_lengths_cover_payload() {
+        assert_eq!(segment_lengths(0, 10), vec![0]);
+        assert_eq!(segment_lengths(10, 10), vec![10]);
+        assert_eq!(segment_lengths(11, 10), vec![10, 1]);
+        assert_eq!(segment_lengths(30, 10), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn single_frame_chain_roundtrip() {
+        let pool = TablePool::with_defaults();
+        let payload = vec![7u8; 100];
+        let frames = split_into_frames(&*pool, header(), private(), &payload, 1024).unwrap();
+        assert_eq!(frames.len(), 1);
+        let (h, p, data) = reassemble(frames.iter().map(|f| &f[..])).unwrap();
+        assert_eq!(data, payload);
+        assert_eq!(p, private());
+        assert!(!h.flags.contains(MsgFlags::MORE));
+        assert_eq!(h.payload_len as usize, payload.len() + 4);
+    }
+
+    #[test]
+    fn multi_frame_chain_roundtrip() {
+        let pool = TablePool::with_defaults();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let frames = split_into_frames(&*pool, header(), private(), &payload, 1000).unwrap();
+        assert_eq!(frames.len(), 11, "996 data bytes per frame");
+        for (i, f) in frames.iter().enumerate() {
+            let h = MsgHeader::decode(f).unwrap();
+            assert_eq!(h.flags.contains(MsgFlags::MORE), i + 1 < frames.len());
+        }
+        let (_, _, data) = reassemble(frames.iter().map(|f| &f[..])).unwrap();
+        assert_eq!(data, payload);
+    }
+
+    #[test]
+    fn standard_frames_chain_without_extension() {
+        let pool = TablePool::with_defaults();
+        let mut h = header();
+        h.function = 0x06; // UtilParamsGet
+        let payload = vec![1u8; 50];
+        let frames = split_into_frames(&*pool, h, None, &payload, 20).unwrap();
+        assert_eq!(frames.len(), 3);
+        let (rh, p, data) = reassemble(frames.iter().map(|f| &f[..])).unwrap();
+        assert!(p.is_none());
+        assert_eq!(data, payload);
+        assert_eq!(rh.payload_len, 50);
+    }
+
+    #[test]
+    fn empty_payload_yields_one_frame() {
+        let pool = TablePool::with_defaults();
+        let frames = split_into_frames(&*pool, header(), private(), &[], 256).unwrap();
+        assert_eq!(frames.len(), 1);
+        let (_, _, data) = reassemble(frames.iter().map(|f| &f[..])).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn segment_too_small_rejected() {
+        let pool = TablePool::with_defaults();
+        assert!(matches!(
+            split_into_frames(&*pool, header(), private(), b"xx", 4),
+            Err(ChainError::SegmentTooSmall(4))
+        ));
+    }
+
+    #[test]
+    fn reassemble_detects_missing_tail() {
+        let pool = TablePool::with_defaults();
+        let payload = vec![3u8; 300];
+        let frames = split_into_frames(&*pool, header(), private(), &payload, 100).unwrap();
+        // Drop the last frame: the new last frame still carries MORE.
+        let err = reassemble(frames[..frames.len() - 1].iter().map(|f| &f[..])).unwrap_err();
+        assert!(matches!(err, ChainError::BadMoreFlag { .. }));
+    }
+
+    #[test]
+    fn reassemble_detects_foreign_frame() {
+        let pool = TablePool::with_defaults();
+        let a = split_into_frames(&*pool, header(), private(), &[1u8; 200], 100).unwrap();
+        let mut h2 = header();
+        h2.transaction_context = 0x9999;
+        let b = split_into_frames(&*pool, h2, private(), &[2u8; 200], 100).unwrap();
+        let mixed: Vec<&[u8]> = vec![&a[0][..], &b[1][..], &a[1][..]];
+        let err = reassemble(mixed).unwrap_err();
+        assert!(matches!(err, ChainError::ContextMismatch { index: 1 }));
+    }
+
+    #[test]
+    fn reassemble_empty_input() {
+        let frames: Vec<&[u8]> = vec![];
+        assert!(matches!(reassemble(frames), Err(ChainError::NoFrames)));
+    }
+}

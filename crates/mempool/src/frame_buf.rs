@@ -1,0 +1,270 @@
+//! RAII frame buffers with recycle-on-drop.
+
+use crate::block::{drop_recycler, Block, BlockRecycler};
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A uniquely-owned pooled buffer holding one encoded I2O frame.
+///
+/// `FrameBuf` is the currency of the zero-copy path: a peer transport
+/// receives wire bytes directly into a `FrameBuf`, the executive
+/// dispatches the *same* buffer to the listener, and the reply is
+/// built into another pooled buffer. When the buffer is dropped the
+/// block goes back to its pool — the paper's "automatic garbage
+/// collection".
+pub struct FrameBuf {
+    /// `Some` until drop or conversion into [`SharedFrameBuf`].
+    block: Option<Block>,
+    recycler: Arc<dyn BlockRecycler>,
+}
+
+impl FrameBuf {
+    /// Wraps a block with its home pool.
+    pub fn new(block: Block, recycler: Arc<dyn BlockRecycler>) -> FrameBuf {
+        FrameBuf { block: Some(block), recycler }
+    }
+
+    /// A buffer that is not pooled at all (config path, tests).
+    pub fn detached(len: usize) -> FrameBuf {
+        let mut b = Block::new(len);
+        b.set_len(len);
+        FrameBuf::new(b, drop_recycler())
+    }
+
+    /// A detached buffer initialized from `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> FrameBuf {
+        let mut f = FrameBuf::detached(bytes.len());
+        f.copy_from_slice(bytes);
+        f
+    }
+
+    fn block_ref(&self) -> &Block {
+        self.block.as_ref().expect("FrameBuf accessed after take")
+    }
+
+    fn block_mut(&mut self) -> &mut Block {
+        self.block.as_mut().expect("FrameBuf accessed after take")
+    }
+
+    /// Valid length in bytes.
+    pub fn len(&self) -> usize {
+        self.block_ref().len()
+    }
+
+    /// True when the valid length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity of the underlying block.
+    pub fn capacity(&self) -> usize {
+        self.block_ref().capacity()
+    }
+
+    /// Adjusts the valid length (≤ capacity).
+    pub fn set_len(&mut self, len: usize) {
+        self.block_mut().set_len(len);
+    }
+
+    /// Full backing store for receive paths that fill then trim.
+    pub fn raw_mut(&mut self) -> &mut [u8] {
+        self.block_mut().raw_mut()
+    }
+
+    /// Replaces the recycler, returning the previous one.
+    ///
+    /// Lets instrumentation wrap the pool's recycler with a timing shim
+    /// (the whitebox `frameFree` probe) without the pool knowing.
+    pub fn replace_recycler(
+        &mut self,
+        recycler: Arc<dyn BlockRecycler>,
+    ) -> Arc<dyn BlockRecycler> {
+        std::mem::replace(&mut self.recycler, recycler)
+    }
+
+    /// Converts into a shareable, immutable buffer. O(1), no copy.
+    pub fn into_shared(mut self) -> SharedFrameBuf {
+        let block = self.block.take().expect("fresh FrameBuf");
+        SharedFrameBuf {
+            inner: Arc::new(SharedInner { block: Some(block), recycler: self.recycler.clone() }),
+        }
+    }
+}
+
+impl Deref for FrameBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.block_ref().bytes()
+    }
+}
+
+impl DerefMut for FrameBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.block_mut().bytes_mut()
+    }
+}
+
+impl Drop for FrameBuf {
+    fn drop(&mut self) {
+        if let Some(block) = self.block.take() {
+            self.recycler.recycle(block);
+        }
+    }
+}
+
+impl std::fmt::Debug for FrameBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameBuf(len={}, cap={})", self.len(), self.capacity())
+    }
+}
+
+struct SharedInner {
+    /// `None` only after `try_unshare` reclaimed the block.
+    block: Option<Block>,
+    recycler: Arc<dyn BlockRecycler>,
+}
+
+impl Drop for SharedInner {
+    fn drop(&mut self) {
+        if let Some(block) = self.block.take() {
+            self.recycler.recycle(block);
+        }
+    }
+}
+
+/// A reference-counted immutable frame buffer.
+///
+/// Cloning is O(1); the underlying block is recycled when the last
+/// clone drops. Used when one received fragment fans out to several
+/// consumers (paper §3.2's event model allows several listeners).
+#[derive(Clone)]
+pub struct SharedFrameBuf {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedFrameBuf {
+    /// Number of live references (diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// Valid length in bytes.
+    pub fn len(&self) -> usize {
+        self.block().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn block(&self) -> &Block {
+        self.inner.block.as_ref().expect("shared block present")
+    }
+
+    /// Attempts to recover unique ownership (succeeds only for the
+    /// last reference), allowing in-place reuse of the block.
+    pub fn try_unshare(self) -> Result<FrameBuf, SharedFrameBuf> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(mut inner) => {
+                let block = inner.block.take().expect("shared block present");
+                Ok(FrameBuf::new(block, inner.recycler.clone()))
+            }
+            Err(inner) => Err(SharedFrameBuf { inner }),
+        }
+    }
+}
+
+impl Deref for SharedFrameBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.block().bytes()
+    }
+}
+
+impl std::fmt::Debug for SharedFrameBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedFrameBuf(len={}, refs={})", self.len(), self.ref_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Records recycled block capacities.
+    #[derive(Default)]
+    struct Recorder {
+        recycled: Mutex<Vec<usize>>,
+    }
+
+    impl BlockRecycler for Recorder {
+        fn recycle(&self, block: Block) {
+            self.recycled.lock().push(block.capacity());
+        }
+    }
+
+    #[test]
+    fn drop_returns_block_to_pool() {
+        let rec = Arc::new(Recorder::default());
+        {
+            let mut b = Block::new(128);
+            b.set_len(5);
+            let _f = FrameBuf::new(b, rec.clone());
+        }
+        assert_eq!(*rec.recycled.lock(), vec![128]);
+    }
+
+    #[test]
+    fn deref_sees_valid_prefix_only() {
+        let mut f = FrameBuf::detached(4);
+        f.copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(&f[..], &[1, 2, 3, 4]);
+        f.set_len(2);
+        assert_eq!(&f[..], &[1, 2]);
+        assert_eq!(f.capacity(), 4);
+    }
+
+    #[test]
+    fn shared_recycles_once_on_last_drop() {
+        let rec = Arc::new(Recorder::default());
+        let mut b = Block::new(64);
+        b.set_len(8);
+        let s = FrameBuf::new(b, rec.clone()).into_shared();
+        let s2 = s.clone();
+        let s3 = s2.clone();
+        drop(s);
+        drop(s2);
+        assert!(rec.recycled.lock().is_empty());
+        drop(s3);
+        assert_eq!(*rec.recycled.lock(), vec![64]);
+    }
+
+    #[test]
+    fn try_unshare_last_reference() {
+        let rec = Arc::new(Recorder::default());
+        let mut b = Block::new(32);
+        b.set_len(3);
+        let s = FrameBuf::new(b, rec.clone()).into_shared();
+        let f = s.try_unshare().expect("sole owner");
+        assert_eq!(f.len(), 3);
+        assert!(rec.recycled.lock().is_empty(), "no recycle during unshare");
+        drop(f);
+        assert_eq!(*rec.recycled.lock(), vec![32]);
+    }
+
+    #[test]
+    fn try_unshare_fails_with_other_refs() {
+        let s = FrameBuf::detached(4).into_shared();
+        let s2 = s.clone();
+        assert!(s.try_unshare().is_err());
+        drop(s2);
+    }
+
+    #[test]
+    fn from_bytes_copies() {
+        let f = FrameBuf::from_bytes(b"abc");
+        assert_eq!(&f[..], b"abc");
+    }
+}

@@ -1,0 +1,107 @@
+//! Pool accounting counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Snapshot of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Allocations served from the free list (recycled blocks).
+    pub hits: u64,
+    /// Allocations that had to create a fresh block.
+    pub misses: u64,
+    /// Blocks returned to the pool.
+    pub frees: u64,
+    /// Failed allocations.
+    pub failures: u64,
+    /// Blocks currently handed out.
+    pub live_blocks: u64,
+    /// Total bytes of block capacity ever created.
+    pub bytes_created: u64,
+}
+
+impl PoolStats {
+    /// Recycling effectiveness in [0, 1]; `None` before any allocs.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.allocs == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / self.allocs as f64)
+        }
+    }
+}
+
+/// Internal atomic counters shared by both pool implementations.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicStats {
+    pub allocs: AtomicU64,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub frees: AtomicU64,
+    pub failures: AtomicU64,
+    pub live_blocks: AtomicU64,
+    pub bytes_created: AtomicU64,
+}
+
+impl AtomicStats {
+    pub fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            allocs: self.allocs.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            live_blocks: self.live_blocks.load(Ordering::Relaxed),
+            bytes_created: self.bytes_created.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn on_alloc(&self, hit: bool, created_bytes: usize) {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.bytes_created.fetch_add(created_bytes as u64, Ordering::Relaxed);
+        }
+        self.live_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn on_free(&self) {
+        self.frees.fetch_add(1, Ordering::Relaxed);
+        self.live_blocks.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn on_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_none_before_allocs() {
+        assert_eq!(PoolStats::default().hit_rate(), None);
+    }
+
+    #[test]
+    fn atomic_stats_snapshot() {
+        let s = AtomicStats::default();
+        s.on_alloc(false, 100);
+        s.on_alloc(true, 0);
+        s.on_free();
+        s.on_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.allocs, 2);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.frees, 1);
+        assert_eq!(snap.failures, 1);
+        assert_eq!(snap.live_blocks, 1);
+        assert_eq!(snap.bytes_created, 100);
+        assert_eq!(snap.hit_rate(), Some(0.5));
+    }
+}

@@ -1,0 +1,114 @@
+//! Least-squares linear fit.
+//!
+//! Figure 6 of the paper reports linear fits to the latency series
+//! ("Linear fit to XDAQ overhead ... y = -7E-05x + 9.105"); this module
+//! provides the same analysis for the reproduction harness.
+
+/// Result of fitting `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope (units of y per unit of x).
+    pub slope: f64,
+    /// Intercept (units of y).
+    pub intercept: f64,
+    /// Coefficient of determination in [0, 1].
+    pub r2: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Formats like the paper's chart annotation, e.g.
+    /// `y = -7.0E-5x + 9.105`.
+    pub fn equation(&self) -> String {
+        format!("y = {:.3e}x + {:.3}", self.slope, self.intercept)
+    }
+}
+
+/// Fits a line through `(x, y)` pairs.
+///
+/// Returns `None` for fewer than two points or a degenerate
+/// (all-equal-x) input.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mean_x;
+        let dy = ys[i] - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LinearFit { slope, intercept, r2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x - 7.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 2.5).abs() < 1e-12);
+        assert!((f.intercept + 7.0).abs() < 1e-9);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!((f.at(10.0) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_series_has_zero_slope() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.105; 4];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert!((f.intercept - 9.105).abs() < 1e-12);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn noisy_line_r2_reasonable() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 3.0 * x + 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 0.01);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_fit(&[], &[]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[5.0, 5.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn equation_format() {
+        let f = LinearFit { slope: -7e-5, intercept: 9.105, r2: 1.0 };
+        assert_eq!(f.equation(), "y = -7.000e-5x + 9.105");
+    }
+}

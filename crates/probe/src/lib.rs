@@ -1,0 +1,21 @@
+//! # xdaq-probe — lightweight time probes and measurement statistics
+//!
+//! Paper §5 (whitebox method): *"we instrumented our code with time
+//! probes. We measure the time difference between two probes in
+//! nanoseconds. ... we used lightweight high-resolution time probes
+//! based on reading the CPU clock ticks into some reserved memory
+//! region."*
+//!
+//! [`ProbeRing`] reproduces that scheme: a pre-allocated, fixed-size
+//! sample array written with relaxed atomics — no allocation, no lock,
+//! no syscall on the record path. The analysis side ([`Summary`],
+//! [`fit`]) provides the medians, standard deviations and least-squares
+//! linear fits the paper reports (Table 1 medians; Figure 6 fits).
+
+pub mod fit;
+pub mod probe;
+pub mod stats;
+
+pub use fit::{linear_fit, LinearFit};
+pub use probe::{ProbeRing, Stopwatch};
+pub use stats::Summary;

@@ -1,0 +1,192 @@
+//! The recording primitives.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A pre-allocated ring of nanosecond samples.
+///
+/// Recording is wait-free: one `fetch_add` to claim a slot and one
+/// relaxed store. When the ring wraps, the oldest samples are
+/// overwritten — size the ring for the experiment (the paper uses
+/// 100 000 samples per probe point).
+pub struct ProbeRing {
+    name: &'static str,
+    slots: Box<[AtomicU64]>,
+    next: AtomicUsize,
+}
+
+impl ProbeRing {
+    /// Creates a ring holding `capacity` samples.
+    pub fn new(name: &'static str, capacity: usize) -> ProbeRing {
+        assert!(capacity > 0, "probe ring needs capacity");
+        let slots = (0..capacity).map(|_| AtomicU64::new(u64::MAX)).collect();
+        ProbeRing { name, slots, next: AtomicUsize::new(0) }
+    }
+
+    /// Probe-point name (used in reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one duration in nanoseconds.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[i].store(nanos, Ordering::Relaxed);
+    }
+
+    /// Records the elapsed time of `f` and returns its result.
+    #[inline]
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Number of samples recorded so far (saturating at capacity).
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// True before the first sample.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the recorded samples (unordered once wrapped).
+    pub fn samples(&self) -> Vec<u64> {
+        let n = self.len();
+        let total = self.next.load(Ordering::Relaxed);
+        let mut out = Vec::with_capacity(n);
+        for (i, slot) in self.slots.iter().enumerate() {
+            // Skip never-written slots when the ring has not wrapped.
+            if total < self.slots.len() && i >= total {
+                break;
+            }
+            let v = slot.load(Ordering::Relaxed);
+            if v != u64::MAX {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        self.next.store(0, Ordering::Relaxed);
+        for s in self.slots.iter() {
+            s.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Convenience: summary statistics over the current samples.
+    pub fn summary(&self) -> crate::stats::Summary {
+        crate::stats::Summary::from_samples(&self.samples())
+    }
+}
+
+impl std::fmt::Debug for ProbeRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProbeRing({}, {} samples)", self.name, self.len())
+    }
+}
+
+/// An explicit start/stop pair for timing a region across function
+/// boundaries (where a closure does not fit).
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    #[inline]
+    pub fn start() -> Stopwatch {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Stops and records into `ring`.
+    #[inline]
+    pub fn stop_into(&self, ring: &ProbeRing) {
+        ring.record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let r = ProbeRing::new("x", 8);
+        r.record(10);
+        r.record(20);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.samples(), vec![10, 20]);
+    }
+
+    #[test]
+    fn wrapping_keeps_latest() {
+        let r = ProbeRing::new("x", 4);
+        for v in 0..10u64 {
+            r.record(v);
+        }
+        let mut s = r.samples();
+        s.sort_unstable();
+        assert_eq!(s, vec![6, 7, 8, 9]);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = ProbeRing::new("x", 4);
+        r.record(1);
+        r.reset();
+        assert!(r.is_empty());
+        assert!(r.samples().is_empty());
+    }
+
+    #[test]
+    fn time_measures_closure() {
+        let r = ProbeRing::new("x", 4);
+        let v = r.time(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(r.samples()[0] >= 2_000_000);
+    }
+
+    #[test]
+    fn stopwatch_records() {
+        let r = ProbeRing::new("x", 4);
+        let w = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        w.stop_into(&r);
+        assert!(r.samples()[0] >= 1_000_000);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let r = std::sync::Arc::new(ProbeRing::new("x", 1024));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for v in 0..256u64 {
+                        r.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.len(), 1024);
+        assert_eq!(r.samples().len(), 1024);
+    }
+}

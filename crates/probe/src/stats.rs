@@ -1,0 +1,180 @@
+//! Summary statistics over nanosecond samples.
+
+/// Descriptive statistics of one probe point.
+///
+/// The paper reports *medians* in Table 1 (robust against scheduler
+/// outliers) and means ± standard deviation in the blackbox test; this
+/// struct carries both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean in nanoseconds.
+    pub mean_ns: f64,
+    /// Median in nanoseconds.
+    pub median_ns: f64,
+    /// Sample standard deviation in nanoseconds.
+    pub stddev_ns: f64,
+    /// Minimum.
+    pub min_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+    /// 10th percentile.
+    pub p10_ns: f64,
+    /// 90th percentile.
+    pub p90_ns: f64,
+}
+
+impl Summary {
+    /// An empty summary (count 0, all zeros).
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean_ns: 0.0,
+            median_ns: 0.0,
+            stddev_ns: 0.0,
+            min_ns: 0,
+            max_ns: 0,
+            p10_ns: 0.0,
+            p90_ns: 0.0,
+        }
+    }
+
+    /// Computes statistics over `samples` (copied and sorted
+    /// internally).
+    pub fn from_samples(samples: &[u64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::empty();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let mean = sum as f64 / count as f64;
+        let var = if count > 1 {
+            sorted
+                .iter()
+                .map(|&v| {
+                    let d = v as f64 - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / (count - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean_ns: mean,
+            median_ns: percentile(&sorted, 50.0),
+            stddev_ns: var.sqrt(),
+            min_ns: sorted[0],
+            max_ns: sorted[count - 1],
+            p10_ns: percentile(&sorted, 10.0),
+            p90_ns: percentile(&sorted, 90.0),
+        }
+    }
+
+    /// Median in microseconds — the unit of the paper's Table 1.
+    pub fn median_us(&self) -> f64 {
+        self.median_ns / 1000.0
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns / 1000.0
+    }
+
+    /// Standard deviation in microseconds.
+    pub fn stddev_us(&self) -> f64 {
+        self.stddev_ns / 1000.0
+    }
+}
+
+/// Linear-interpolated percentile over a **sorted** slice.
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples() {
+        let s = Summary::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_samples(&[1000]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.median_ns, 1000.0);
+        assert_eq!(s.stddev_ns, 0.0);
+        assert_eq!(s.min_ns, 1000);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn known_distribution() {
+        // 1..=9: mean 5, median 5.
+        let v: Vec<u64> = (1..=9).collect();
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.mean_ns, 5.0);
+        assert_eq!(s.median_ns, 5.0);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+        // Sample stddev of 1..9 = sqrt(60/8) ≈ 2.7386.
+        assert!((s.stddev_ns - 2.7386).abs() < 1e-3);
+    }
+
+    #[test]
+    fn even_count_median_interpolates() {
+        let s = Summary::from_samples(&[1, 2, 3, 4]);
+        assert_eq!(s.median_ns, 2.5);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let s = Summary::from_samples(&[9, 1, 5, 3, 7]);
+        assert_eq!(s.median_ns, 5.0);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let s = Summary::from_samples(&[8900, 9100]);
+        assert!((s.median_us() - 9.0).abs() < 1e-9);
+        assert!((s.mean_us() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let v: Vec<u64> = (0..1000).collect();
+        let s = Summary::from_samples(&v);
+        assert!(s.p10_ns < s.median_ns);
+        assert!(s.median_ns < s.p90_ns);
+        assert!((s.p10_ns - 99.9).abs() < 0.2);
+        assert!((s.p90_ns - 899.1).abs() < 0.2);
+    }
+
+    #[test]
+    fn robust_to_outliers_median_vs_mean() {
+        let mut v = vec![100u64; 99];
+        v.push(1_000_000);
+        let s = Summary::from_samples(&v);
+        assert_eq!(s.median_ns, 100.0);
+        assert!(s.mean_ns > 100.0);
+    }
+}

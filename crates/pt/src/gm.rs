@@ -1,0 +1,258 @@
+//! The Myrinet/GM peer transport — the transport of the paper's
+//! evaluation (§5).
+//!
+//! *"We implemented a peer transport based on the Myrinet GM 1.1.3
+//! library for our XDAQ I2O executive and performed the round-trip
+//! test. The Myrinet/GM PT ran as a thread."* — this PT wraps an
+//! [`xdaq_gm::Port`] and supports both task mode (the paper's setup)
+//! and polling mode.
+//!
+//! The receive path is instrumented with the whitebox `pt_processing`
+//! probe: everything from the GM event to the frame being ready for
+//! the executive (pool allocation + copy out of the "DMA" buffer)
+//! counts, mirroring Table 1's "PT GM processing" row (which includes
+//! `frameAlloc` but excludes the GM library itself).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdaq_core::{DispatchProbes, IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_gm::{Fabric, GmAddr, GmEvent, NodeId, Port, PortConfig, PortId};
+use xdaq_mempool::{DynAllocator, FrameBuf};
+
+/// Parses `gm://<node>:<port>`.
+fn parse_gm_addr(addr: &PeerAddr) -> Result<GmAddr, PtError> {
+    if addr.scheme() != "gm" {
+        return Err(PtError::BadAddress(addr.to_string()));
+    }
+    let (node, port) = addr
+        .rest()
+        .split_once(':')
+        .ok_or_else(|| PtError::BadAddress(addr.to_string()))?;
+    let node: u16 = node.parse().map_err(|_| PtError::BadAddress(addr.to_string()))?;
+    let port: u8 = port.parse().map_err(|_| PtError::BadAddress(addr.to_string()))?;
+    Ok(GmAddr { node: NodeId(node), port: PortId(port) })
+}
+
+fn to_peer_addr(a: GmAddr) -> PeerAddr {
+    PeerAddr::new("gm", &format!("{}:{}", a.node.0, a.port.0))
+}
+
+/// The GM peer transport.
+pub struct GmPt {
+    port: Arc<Port>,
+    alloc: DynAllocator,
+    probes: Option<Arc<DispatchProbes>>,
+    mode: PtMode,
+    stopped: Arc<AtomicBool>,
+    task: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl GmPt {
+    /// Opens a GM port on `fabric` at `node:port` and wraps it.
+    pub fn open(
+        fabric: &Arc<Fabric>,
+        node: u16,
+        port: u8,
+        mode: PtMode,
+        alloc: DynAllocator,
+        probes: Option<Arc<DispatchProbes>>,
+    ) -> Result<Arc<GmPt>, PtError> {
+        let gm_port = fabric
+            .open_port_with(NodeId(node), PortId(port), PortConfig::unlimited())
+            .map_err(|e| PtError::Io(e.to_string()))?;
+        Ok(Arc::new(GmPt {
+            port: Arc::new(gm_port),
+            alloc,
+            probes,
+            mode,
+            stopped: Arc::new(AtomicBool::new(false)),
+            task: Mutex::new(None),
+        }))
+    }
+
+    /// This PT's canonical address.
+    pub fn addr(&self) -> PeerAddr {
+        to_peer_addr(self.port.addr())
+    }
+
+    /// Copies a received GM buffer into a pooled frame, timing the
+    /// whole PT receive path (Table 1 "PT GM processing").
+    fn process_received(
+        alloc: &DynAllocator,
+        probes: &Option<Arc<DispatchProbes>>,
+        src: GmAddr,
+        data: Box<[u8]>,
+    ) -> Option<(FrameBuf, PeerAddr)> {
+        let t0 = Instant::now();
+        let mut buf = alloc.alloc(data.len()).ok()?;
+        buf.copy_from_slice(&data);
+        let out = (buf, to_peer_addr(src));
+        if let Some(p) = probes {
+            p.pt_processing.record(t0.elapsed().as_nanos() as u64);
+        }
+        Some(out)
+    }
+}
+
+impl PeerTransport for GmPt {
+    fn scheme(&self) -> &'static str {
+        "gm"
+    }
+
+    fn mode(&self) -> PtMode {
+        self.mode
+    }
+
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(PtError::Closed);
+        }
+        let gm_dest = parse_gm_addr(dest)?;
+        // The GM library copies into its own (simulated DMA) buffer;
+        // the pooled frame recycles on drop here.
+        self.port
+            .send(gm_dest, &frame, 0)
+            .map_err(|e| match e {
+                xdaq_gm::GmError::NoSendTokens => PtError::WouldBlock,
+                xdaq_gm::GmError::QueueFull { .. } => PtError::WouldBlock,
+                other => PtError::Unreachable(format!("{dest}: {other}")),
+            })
+    }
+
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        loop {
+            match self.port.poll()? {
+                GmEvent::Received { src, data } => {
+                    return Self::process_received(&self.alloc, &self.probes, src, data);
+                }
+                GmEvent::SendCompleted { .. } => continue,
+            }
+        }
+    }
+
+    fn start(&self, sink: IngestSink) -> Result<(), PtError> {
+        if self.mode != PtMode::Task {
+            return Ok(());
+        }
+        let port = self.port.clone();
+        let alloc = self.alloc.clone();
+        let probes = self.probes.clone();
+        let stopped = self.stopped.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("gm-pt-{}", self.port.addr()))
+            .spawn(move || {
+                while !stopped.load(Ordering::Acquire) {
+                    match port.blocking_poll(Duration::from_millis(50)) {
+                        Some(GmEvent::Received { src, data }) => {
+                            if let Some((buf, peer)) =
+                                GmPt::process_received(&alloc, &probes, src, data)
+                            {
+                                sink(buf, peer);
+                            }
+                        }
+                        Some(GmEvent::SendCompleted { .. }) | None => {}
+                    }
+                }
+            })
+            .map_err(|e| PtError::Io(e.to_string()))?;
+        *self.task.lock() = Some(handle);
+        Ok(())
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        if let Some(t) = self.task.lock().take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_mempool::TablePool;
+
+    fn pool() -> DynAllocator {
+        TablePool::with_defaults()
+    }
+
+    #[test]
+    fn addr_parsing() {
+        let a = parse_gm_addr(&"gm://3:1".parse().unwrap()).unwrap();
+        assert_eq!(a.node, NodeId(3));
+        assert_eq!(a.port, PortId(1));
+        assert!(parse_gm_addr(&"gm://3".parse().unwrap()).is_err());
+        assert!(parse_gm_addr(&"gm://x:y".parse().unwrap()).is_err());
+        assert!(parse_gm_addr(&"tcp://1:2".parse().unwrap()).is_err());
+    }
+
+    #[test]
+    fn polling_roundtrip() {
+        let fabric = Fabric::new();
+        let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
+        let b = GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), None).unwrap();
+        a.send(&b.addr(), FrameBuf::from_bytes(b"hello")).unwrap();
+        let (f, src) = b.poll().unwrap();
+        assert_eq!(&f[..], b"hello");
+        assert_eq!(src.to_string(), "gm://1:0");
+        assert!(b.poll().is_none());
+    }
+
+    #[test]
+    fn task_mode_delivers_via_sink() {
+        let fabric = Fabric::new();
+        let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
+        let b = GmPt::open(&fabric, 2, 0, PtMode::Task, pool(), None).unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let got2 = got.clone();
+        b.start(Arc::new(move |f, src| {
+            got2.lock().push((f.len(), src.to_string()));
+        }))
+        .unwrap();
+        a.send(&b.addr(), FrameBuf::from_bytes(&[9u8; 64])).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.lock().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        b.stop();
+        let g = got.lock();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0], (64, "gm://1:0".to_string()));
+    }
+
+    #[test]
+    fn probes_record_pt_processing() {
+        let fabric = Fabric::new();
+        let probes = DispatchProbes::new(16);
+        let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
+        let b =
+            GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), Some(probes.clone())).unwrap();
+        a.send(&b.addr(), FrameBuf::from_bytes(&[1u8; 128])).unwrap();
+        let _ = b.poll().unwrap();
+        assert_eq!(probes.pt_processing.len(), 1);
+    }
+
+    #[test]
+    fn send_after_stop_fails() {
+        let fabric = Fabric::new();
+        let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
+        let b = GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), None).unwrap();
+        a.stop();
+        assert!(matches!(
+            a.send(&b.addr(), FrameBuf::from_bytes(b"x")),
+            Err(PtError::Closed)
+        ));
+    }
+
+    #[test]
+    fn unreachable_peer_reported() {
+        let fabric = Fabric::new();
+        let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
+        assert!(matches!(
+            a.send(&"gm://9:0".parse().unwrap(), FrameBuf::from_bytes(b"x")),
+            Err(PtError::Unreachable(_))
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! # xdaq-pt — Peer Transports
+//!
+//! Concrete [`xdaq_core::PeerTransport`] implementations. Paper §4:
+//! *"The Peer Transports (PT) perform the actual communication. They
+//! encapsulate all details about a specific transport layer. As it is
+//! possible to configure each device instance with a route, we can use
+//! multiple transports to send and receive in parallel."*
+//!
+//! | transport | scheme | address format | mode |
+//! |-----------|--------|----------------------|------|
+//! | [`LoopbackPt`] | `loop` | `loop://<node>` | polling or task |
+//! | [`GmPt`] | `gm` | `gm://<node>:<port>` | polling or task (paper: thread) |
+//! | [`TcpPt`] | `tcp` | `tcp://<ip>:<port>` | task (blocking sockets) |
+//! | [`PciPt`] | `pci` | `pci://<segment>/<slot>` | polling (hardware FIFOs) |
+//!
+//! Every PT reports received frames together with the sender's
+//! **canonical** address so the executive can create reply proxies
+//! (see `xdaq_core::pta::IngestSink`).
+
+pub mod gm;
+pub mod loopback;
+pub mod pcisim;
+pub mod tcp;
+
+pub use gm::GmPt;
+pub use loopback::{LoopbackHub, LoopbackPt};
+pub use pcisim::{FifoKind, PciBus, PciPt};
+pub use tcp::TcpPt;

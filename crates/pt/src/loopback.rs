@@ -1,0 +1,213 @@
+//! The loopback transport: in-process "network" connecting executives
+//! through plain queues.
+//!
+//! This is the reference PT: no wire format, no latency, no copies
+//! beyond the mandatory frame hand-off. It exists to (a) run whole
+//! multi-node topologies inside one process for tests and examples,
+//! and (b) serve as the zero-cost baseline that isolates executive
+//! overhead from transport overhead in the benches.
+//!
+//! A [`LoopbackHub`] plays the role of the fabric; each executive
+//! attaches one [`LoopbackPt`] under a node name. With
+//! `copy_frames = true` the PT clones every frame into a fresh pool
+//! buffer — the feature-flagged copy path that quantifies the paper's
+//! zero-copy claim (DESIGN.md §5).
+
+use crossbeam::queue::SegQueue;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_mempool::{DynAllocator, FrameBuf};
+
+struct Mailbox {
+    queue: SegQueue<(FrameBuf, PeerAddr)>,
+}
+
+/// The in-process switch connecting loopback PTs by node name.
+#[derive(Default)]
+pub struct LoopbackHub {
+    nodes: RwLock<HashMap<String, Arc<Mailbox>>>,
+}
+
+impl LoopbackHub {
+    /// Empty hub.
+    pub fn new() -> Arc<LoopbackHub> {
+        Arc::new(LoopbackHub::default())
+    }
+
+    fn attach(&self, node: &str) -> Arc<Mailbox> {
+        let mut nodes = self.nodes.write();
+        nodes
+            .entry(node.to_string())
+            .or_insert_with(|| Arc::new(Mailbox { queue: SegQueue::new() }))
+            .clone()
+    }
+
+    fn lookup(&self, node: &str) -> Option<Arc<Mailbox>> {
+        self.nodes.read().get(node).cloned()
+    }
+
+    /// Attached node count.
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// True when no nodes are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One executive's attachment to a [`LoopbackHub`].
+pub struct LoopbackPt {
+    hub: Arc<LoopbackHub>,
+    mailbox: Arc<Mailbox>,
+    self_addr: PeerAddr,
+    mode: PtMode,
+    stopped: AtomicBool,
+    /// When set, frames are copied into buffers from this pool instead
+    /// of handed off zero-copy (the copy-path ablation).
+    copy_pool: Option<DynAllocator>,
+}
+
+impl LoopbackPt {
+    /// Attaches a polling-mode loopback PT for `node`.
+    pub fn new(hub: &Arc<LoopbackHub>, node: &str) -> Arc<LoopbackPt> {
+        Self::with_options(hub, node, PtMode::Polling, None)
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        hub: &Arc<LoopbackHub>,
+        node: &str,
+        mode: PtMode,
+        copy_pool: Option<DynAllocator>,
+    ) -> Arc<LoopbackPt> {
+        let mailbox = hub.attach(node);
+        Arc::new(LoopbackPt {
+            hub: hub.clone(),
+            mailbox,
+            self_addr: PeerAddr::new("loop", node),
+            mode,
+            stopped: AtomicBool::new(false),
+            copy_pool,
+        })
+    }
+
+    /// This PT's canonical address.
+    pub fn addr(&self) -> &PeerAddr {
+        &self.self_addr
+    }
+}
+
+impl PeerTransport for LoopbackPt {
+    fn scheme(&self) -> &'static str {
+        "loop"
+    }
+
+    fn mode(&self) -> PtMode {
+        self.mode
+    }
+
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(PtError::Closed);
+        }
+        let target = self
+            .hub
+            .lookup(dest.rest())
+            .ok_or_else(|| PtError::Unreachable(dest.to_string()))?;
+        let frame = match &self.copy_pool {
+            None => frame,
+            Some(pool) => {
+                // Deliberate copy path for the zero-copy ablation.
+                let mut copy = pool
+                    .alloc(frame.len())
+                    .map_err(|e| PtError::Io(e.to_string()))?;
+                copy.copy_from_slice(&frame);
+                copy
+            }
+        };
+        target.queue.push((frame, self.self_addr.clone()));
+        Ok(())
+    }
+
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        self.mailbox.queue.pop()
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_mempool::{FrameAllocator, TablePool};
+
+    fn frame(n: usize) -> FrameBuf {
+        FrameBuf::from_bytes(&vec![0xABu8; n])
+    }
+
+    #[test]
+    fn send_and_poll_between_nodes() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        let b = LoopbackPt::new(&hub, "b");
+        a.send(&"loop://b".parse().unwrap(), frame(10)).unwrap();
+        let (f, src) = b.poll().unwrap();
+        assert_eq!(f.len(), 10);
+        assert_eq!(src.to_string(), "loop://a");
+        assert!(a.poll().is_none());
+    }
+
+    #[test]
+    fn unreachable_node() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        assert!(matches!(
+            a.send(&"loop://ghost".parse().unwrap(), frame(1)),
+            Err(PtError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn stop_prevents_send() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        let _b = LoopbackPt::new(&hub, "b");
+        a.stop();
+        assert!(matches!(
+            a.send(&"loop://b".parse().unwrap(), frame(1)),
+            Err(PtError::Closed)
+        ));
+    }
+
+    #[test]
+    fn copy_path_allocates_from_pool() {
+        let hub = LoopbackHub::new();
+        let pool = TablePool::with_defaults();
+        let a = LoopbackPt::with_options(
+            &hub,
+            "a",
+            PtMode::Polling,
+            Some(pool.clone() as DynAllocator),
+        );
+        let b = LoopbackPt::new(&hub, "b");
+        a.send(&"loop://b".parse().unwrap(), frame(100)).unwrap();
+        assert_eq!(pool.stats().allocs, 1, "copy went through the pool");
+        let (f, _) = b.poll().unwrap();
+        assert_eq!(&f[..], &vec![0xABu8; 100][..]);
+    }
+
+    #[test]
+    fn self_send_loops_back() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        a.send(&"loop://a".parse().unwrap(), frame(5)).unwrap();
+        assert!(a.poll().is_some());
+    }
+}

@@ -1,0 +1,351 @@
+//! The TCP peer transport.
+//!
+//! In the paper's benchmark setup *"another PT thread was handling TCP
+//! communication for configuration and control purposes"* — TCP is the
+//! commodity control-plane transport next to the fast data-plane GM PT
+//! (the multiple-transports-in-parallel capability §4 highlights as
+//! "vital functionality that is not covered by other comparable
+//! middleware products yet").
+//!
+//! Protocol: on connect, the initiating side sends a fixed hello
+//! `XDAQPT1 <canonical-addr>\n` identifying its own listen address;
+//! after that the stream is a back-to-back sequence of self-delimiting
+//! I2O frames. One reader thread per accepted connection; outgoing
+//! connections are cached per destination.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdaq_core::{IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_i2o::HEADER_LEN;
+use xdaq_mempool::{DynAllocator, FrameBuf};
+
+const HELLO_PREFIX: &str = "XDAQPT1 ";
+const MAX_FRAME: usize = xdaq_i2o::MAX_BLOCK_LEN;
+
+/// The TCP peer transport (task mode).
+pub struct TcpPt {
+    listener: TcpListener,
+    self_addr: PeerAddr,
+    alloc: DynAllocator,
+    stopped: Arc<AtomicBool>,
+    conns: Mutex<HashMap<String, TcpStream>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpPt {
+    /// Binds a listener. `listen` is `ip:port`; port 0 picks a free
+    /// port (the canonical address reflects the actual one).
+    pub fn bind(listen: &str, alloc: DynAllocator) -> Result<Arc<TcpPt>, PtError> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let actual = listener.local_addr()?;
+        Ok(Arc::new(TcpPt {
+            listener,
+            self_addr: PeerAddr::new("tcp", &actual.to_string()),
+            alloc,
+            stopped: Arc::new(AtomicBool::new(false)),
+            conns: Mutex::new(HashMap::new()),
+            threads: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// This PT's canonical address.
+    pub fn addr(&self) -> PeerAddr {
+        self.self_addr.clone()
+    }
+
+    fn connect(&self, dest: &PeerAddr) -> Result<TcpStream, PtError> {
+        let stream = TcpStream::connect(dest.rest())
+            .map_err(|e| PtError::Unreachable(format!("{dest}: {e}")))?;
+        stream.set_nodelay(true)?;
+        let mut s = stream.try_clone()?;
+        s.write_all(format!("{HELLO_PREFIX}{}\n", self.self_addr).as_bytes())?;
+        Ok(stream)
+    }
+
+    /// Reads frames off one accepted connection until EOF/stop.
+    fn reader_loop(
+        mut stream: TcpStream,
+        alloc: DynAllocator,
+        sink: IngestSink,
+        stopped: Arc<AtomicBool>,
+    ) {
+        stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+        // Hello line first.
+        let mut hello = Vec::new();
+        let mut byte = [0u8; 1];
+        loop {
+            if stopped.load(Ordering::Acquire) {
+                return;
+            }
+            match stream.read(&mut byte) {
+                Ok(0) => return,
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    hello.push(byte[0]);
+                    if hello.len() > 256 {
+                        return; // not our protocol
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue
+                }
+                Err(_) => return,
+            }
+        }
+        let hello = match String::from_utf8(hello) {
+            Ok(h) => h,
+            Err(_) => return,
+        };
+        let Some(peer_str) = hello.strip_prefix(HELLO_PREFIX) else { return };
+        let Ok(peer) = peer_str.trim().parse::<PeerAddr>() else { return };
+
+        // Frame loop: header first, then the declared remainder.
+        let mut header = [0u8; HEADER_LEN];
+        'frames: loop {
+            let mut got = 0usize;
+            while got < HEADER_LEN {
+                if stopped.load(Ordering::Acquire) {
+                    return;
+                }
+                match stream.read(&mut header[got..]) {
+                    Ok(0) => return,
+                    Ok(n) => got += n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => return,
+                }
+            }
+            let words = u16::from_le_bytes([header[2], header[3]]) as usize;
+            let total = words * 4;
+            if !(HEADER_LEN..=MAX_FRAME).contains(&total) {
+                return; // corrupt stream
+            }
+            let Ok(mut buf) = alloc.alloc(total) else { return };
+            buf[..HEADER_LEN].copy_from_slice(&header);
+            let mut off = HEADER_LEN;
+            while off < total {
+                if stopped.load(Ordering::Acquire) {
+                    return;
+                }
+                match stream.read(&mut buf[off..total]) {
+                    Ok(0) => return,
+                    Ok(n) => off += n,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => return,
+                }
+            }
+            sink(buf, peer.clone());
+            continue 'frames;
+        }
+    }
+}
+
+impl PeerTransport for TcpPt {
+    fn scheme(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn mode(&self) -> PtMode {
+        PtMode::Task
+    }
+
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        if self.stopped.load(Ordering::Acquire) {
+            return Err(PtError::Closed);
+        }
+        let key = dest.rest().to_string();
+        let mut conns = self.conns.lock();
+        if !conns.contains_key(&key) {
+            let stream = self.connect(dest)?;
+            conns.insert(key.clone(), stream);
+        }
+        let stream = conns.get_mut(&key).expect("just inserted");
+        match stream.write_all(&frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Drop the broken connection; the next send reconnects.
+                conns.remove(&key);
+                Err(PtError::Io(e.to_string()))
+            }
+        }
+    }
+
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        None // task mode only
+    }
+
+    fn start(&self, sink: IngestSink) -> Result<(), PtError> {
+        let listener = self.listener.try_clone()?;
+        let alloc = self.alloc.clone();
+        let stopped = self.stopped.clone();
+        let threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let threads_in = threads.clone();
+        let accept = std::thread::Builder::new()
+            .name(format!("tcp-pt-accept-{}", self.self_addr.rest()))
+            .spawn(move || {
+                while !stopped.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let alloc = alloc.clone();
+                            let sink = sink.clone();
+                            let stopped = stopped.clone();
+                            let h = std::thread::Builder::new()
+                                .name("tcp-pt-reader".into())
+                                .spawn(move || {
+                                    TcpPt::reader_loop(stream, alloc, sink, stopped)
+                                })
+                                .expect("spawn reader");
+                            threads_in.lock().push(h);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .map_err(|e| PtError::Io(e.to_string()))?;
+        self.threads.lock().push(accept);
+        Ok(())
+    }
+
+    fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        self.conns.lock().clear();
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use xdaq_i2o::{Message, Tid};
+    use xdaq_mempool::TablePool;
+
+    fn pool() -> DynAllocator {
+        TablePool::with_defaults()
+    }
+
+    fn frame(payload: &[u8]) -> FrameBuf {
+        let msg = Message::build_private(
+            Tid::new(0x10).unwrap(),
+            Tid::new(0x20).unwrap(),
+            1,
+            7,
+        )
+        .payload(payload.to_vec())
+        .finish();
+        FrameBuf::from_bytes(&msg.encode_vec())
+    }
+
+    fn wait_for<T>(rx: &Mutex<Vec<T>>, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rx.lock().len() < n && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn frames_flow_between_two_tcp_pts() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let got_b: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let gb = got_b.clone();
+        b.start(Arc::new(move |f, src| gb.lock().push((f.len(), src.to_string()))))
+            .unwrap();
+        a.start(Arc::new(|_, _| {})).unwrap();
+
+        a.send(&b.addr(), frame(b"one")).unwrap();
+        a.send(&b.addr(), frame(&[0u8; 1000])).unwrap();
+        wait_for(&got_b, 2);
+        let g = got_b.lock().clone();
+        assert_eq!(g.len(), 2);
+        // Source is A's canonical (listen) address, not the ephemeral
+        // connection port.
+        assert_eq!(g[0].1, a.addr().to_string());
+        a.stop();
+        b.stop();
+    }
+
+    #[test]
+    fn reply_direction_uses_reverse_connection() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let got_a: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let ga = got_a.clone();
+        a.start(Arc::new(move |f, _| ga.lock().push(f.len()))).unwrap();
+        let got_b: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let gb = got_b.clone();
+        b.start(Arc::new(move |_, src| gb.lock().push(src.to_string()))).unwrap();
+
+        a.send(&b.addr(), frame(b"req")).unwrap();
+        wait_for(&got_b, 1);
+        // B replies to the canonical address it learned.
+        let back: PeerAddr = got_b.lock()[0].parse().unwrap();
+        b.send(&back, frame(b"rsp")).unwrap();
+        wait_for(&got_a, 1);
+        assert_eq!(got_a.lock().len(), 1);
+        a.stop();
+        b.stop();
+    }
+
+    #[test]
+    fn unreachable_destination() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        // Port 1 is almost certainly closed.
+        let dest: PeerAddr = "tcp://127.0.0.1:1".parse().unwrap();
+        assert!(matches!(a.send(&dest, frame(b"x")), Err(PtError::Unreachable(_))));
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_closes() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        a.start(Arc::new(|_, _| {})).unwrap();
+        a.stop();
+        a.stop();
+        assert!(matches!(
+            a.send(&"tcp://127.0.0.1:9".parse().unwrap(), frame(b"x")),
+            Err(PtError::Closed)
+        ));
+    }
+
+    #[test]
+    fn many_frames_back_to_back_survive_segmentation() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let got: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        b.start(Arc::new(move |f, _| g.lock().push(f.len()))).unwrap();
+        for i in 0..200usize {
+            a.send(&b.addr(), frame(&vec![0xAA; i * 7 % 512])).unwrap();
+        }
+        wait_for(&got, 200);
+        assert_eq!(got.lock().len(), 200);
+        a.stop();
+        b.stop();
+    }
+}

@@ -1,0 +1,204 @@
+//! A distributed n×m event builder — the workload that named XDAQ.
+//!
+//! Paper footnote 1: *"We called the toolkit XDAQ (pronounce: cross
+//! duck) because it allows data acquisition modules to communicate in
+//! peer-to-peer style. In our DAQ system, n nodes talk to m other
+//! nodes in both directions, thus resulting in communication channels
+//! that cross over."*
+//!
+//! Topology built here (all in one process over the loopback PT, one
+//! executive per "machine"):
+//!
+//! ```text
+//!   event manager ──triggers──▶ 4 readout nodes
+//!   readout nodes ──fragments─▶ 3 builder nodes   (4×3 crossing mesh)
+//!   builder nodes ──events────▶ 1 filter node
+//!   builder nodes ──credits───▶ event manager
+//! ```
+//!
+//! Run with: `cargo run --release --example event_builder`
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use xdaq::app::{
+    xfn, BuilderStats, BuilderUnit, EventManager, EvtMgrStats, FilterStats, FilterUnit,
+    ReadoutUnit, ORG_DAQ,
+};
+use xdaq::core::{Executive, ExecutiveConfig};
+use xdaq::i2o::{Message, Tid};
+use xdaq::pt::{LoopbackHub, LoopbackPt};
+
+const READOUTS: usize = 4;
+const BUILDERS: usize = 3;
+const FRAGMENT_SIZE: u32 = 2_048;
+
+/// Events to run; override with `EVENTS=<n>`.
+fn event_count() -> u64 {
+    std::env::var("EVENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000)
+}
+
+fn node(hub: &std::sync::Arc<LoopbackHub>, name: &str) -> Executive {
+    let exec = Executive::new(ExecutiveConfig::named(name));
+    exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(hub, name)).unwrap();
+    exec
+}
+
+fn main() {
+    let hub = LoopbackHub::new();
+
+    // One executive per machine.
+    let mgr_node = node(&hub, "mgr");
+    let filter_node = node(&hub, "flt");
+    let ru_nodes: Vec<Executive> =
+        (0..READOUTS).map(|i| node(&hub, &format!("ru{i}"))).collect();
+    let bu_nodes: Vec<Executive> =
+        (0..BUILDERS).map(|i| node(&hub, &format!("bu{i}"))).collect();
+
+    // Filter on its own node.
+    let f_stats = FilterStats::new();
+    let filter_tid = filter_node
+        .register("filter0", Box::new(FilterUnit::new(f_stats.clone())), &[("accept_percent", "25")])
+        .unwrap();
+
+    // Event manager.
+    let m_stats = EvtMgrStats::new();
+    let mgr_tid = mgr_node
+        .register("evm", Box::new(EventManager::new(m_stats.clone())), &[("window", "32")])
+        .unwrap();
+
+    // Builders: each needs proxies for the filter and the manager.
+    let mut builder_stats = Vec::new();
+    let mut bu_tids = Vec::new();
+    for (i, bu) in bu_nodes.iter().enumerate() {
+        let filter_proxy = bu.proxy("loop://flt", filter_tid, None).unwrap();
+        let mgr_proxy = bu.proxy("loop://mgr", mgr_tid, None).unwrap();
+        let stats = BuilderStats::new();
+        let tid = bu
+            .register(
+                &format!("builder{i}"),
+                Box::new(BuilderUnit::new(stats.clone())),
+                &[
+                    ("filter", &filter_proxy.raw().to_string()),
+                    ("evtmgr", &mgr_proxy.raw().to_string()),
+                    ("verify", "1"),
+                ],
+            )
+            .unwrap();
+        builder_stats.push(stats);
+        bu_tids.push(tid);
+    }
+
+    // Readouts: each needs proxies for every builder (the crossing
+    // mesh) — built once at configuration time, per the paper.
+    let mut ru_tids = Vec::new();
+    for (i, ru) in ru_nodes.iter().enumerate() {
+        let builder_proxies: Vec<String> = bu_tids
+            .iter()
+            .enumerate()
+            .map(|(b, tid)| {
+                ru.proxy(&format!("loop://bu{b}"), *tid, None).unwrap().raw().to_string()
+            })
+            .collect();
+        let tid = ru
+            .register(
+                &format!("readout{i}"),
+                Box::new(ReadoutUnit::new()),
+                &[
+                    ("source_id", &i.to_string()),
+                    ("sources", &READOUTS.to_string()),
+                    ("size", &FRAGMENT_SIZE.to_string()),
+                    ("builders", &builder_proxies.join(",")),
+                ],
+            )
+            .unwrap();
+        ru_tids.push(tid);
+    }
+
+    // Manager needs proxies for every readout.
+    let ru_proxies: Vec<String> = ru_tids
+        .iter()
+        .enumerate()
+        .map(|(i, tid)| {
+            mgr_node.proxy(&format!("loop://ru{i}"), *tid, None).unwrap().raw().to_string()
+        })
+        .collect();
+    mgr_node
+        .post(
+            Message::util(mgr_tid, Tid::HOST, xdaq::i2o::UtilFn::ParamsSet)
+                .payload(xdaq::core::config::kv(&[("readouts", &ru_proxies.join(","))]))
+                .finish(),
+        )
+        .unwrap();
+
+    // Enable everything and spawn the dispatch loops.
+    let mut handles = Vec::new();
+    for exec in std::iter::once(&mgr_node)
+        .chain(std::iter::once(&filter_node))
+        .chain(ru_nodes.iter())
+        .chain(bu_nodes.iter())
+    {
+        exec.enable_all();
+        handles.push(exec.spawn());
+    }
+
+    // Start the run.
+    let events = event_count();
+    println!(
+        "running {events} events: {READOUTS} readouts x {BUILDERS} builders, \
+         {FRAGMENT_SIZE} B fragments"
+    );
+    let t0 = Instant::now();
+    mgr_node
+        .post(
+            Message::build_private(mgr_tid, Tid::HOST, ORG_DAQ, xfn::RUN)
+                .payload(events.to_le_bytes().to_vec())
+                .finish(),
+        )
+        .unwrap();
+    let mut last = 0;
+    let mut stuck = 0;
+    while !m_stats.run_done.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+        let done = m_stats.completed.load(Ordering::SeqCst);
+        if done == last {
+            stuck += 1;
+            if stuck > 50 {
+                eprintln!(
+                    "stalled at {done}/{events} (triggered {})",
+                    m_stats.triggered.load(Ordering::SeqCst)
+                );
+                std::process::exit(1);
+            }
+        } else {
+            stuck = 0;
+            last = done;
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    let built: u64 = builder_stats.iter().map(|s| s.events_built.load(Ordering::SeqCst)).sum();
+    let bytes: u64 = builder_stats.iter().map(|s| s.bytes.load(Ordering::SeqCst)).sum();
+    println!("built {built} events in {:.3} s", elapsed.as_secs_f64());
+    println!(
+        "event rate {:.0} Hz, aggregate builder throughput {:.1} MB/s",
+        built as f64 / elapsed.as_secs_f64(),
+        bytes as f64 / elapsed.as_secs_f64() / 1e6
+    );
+    for (i, s) in builder_stats.iter().enumerate() {
+        println!(
+            "  builder{i}: events={} fragments={} corrupt={}",
+            s.events_built.load(Ordering::SeqCst),
+            s.fragments.load(Ordering::SeqCst),
+            s.corrupt.load(Ordering::SeqCst)
+        );
+    }
+    println!(
+        "filter: received={} accepted={} ({:.1}%)",
+        f_stats.received.load(Ordering::SeqCst),
+        f_stats.accepted.load(Ordering::SeqCst),
+        f_stats.accept_rate() * 100.0
+    );
+    for h in handles {
+        h.shutdown();
+    }
+}

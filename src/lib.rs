@@ -1,0 +1,54 @@
+//! # xdaq — architectural software support for processing clusters
+//!
+//! A from-scratch Rust reproduction of the XDAQ/I2O cluster middleware
+//! described in J. Gutleber et al., *"Architectural Software Support
+//! for Processing Clusters"* (IEEE CLUSTER 2000): an event-driven,
+//! message-passing application framework for high-performance data
+//! acquisition clusters, built on the Intelligent I/O (I2O) split
+//! driver architecture.
+//!
+//! This crate is the facade: it re-exports the workspace crates under
+//! stable module names.
+//!
+//! ```
+//! use xdaq::core::{Executive, ExecutiveConfig};
+//! use xdaq::app::{PingState, Pinger, Ponger};
+//!
+//! let exec = Executive::new(ExecutiveConfig::named("node0"));
+//! let state = PingState::new();
+//! let pong = exec.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+//! let _ping = exec.register(
+//!     "ping",
+//!     Box::new(Pinger::new(state)),
+//!     &[("peer", &pong.raw().to_string()), ("payload", "64"), ("count", "3")],
+//! ).unwrap();
+//! exec.enable_all();
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module map and `EXPERIMENTS.md` for the reproduced
+//! evaluation.
+
+/// I2O message layer: frames, function codes, TiDs, SGL.
+pub use xdaq_i2o as i2o;
+
+/// Zero-copy frame buffer pools (simple + table allocators).
+pub use xdaq_mempool as mempool;
+
+/// Myrinet/GM-like user-level messaging substrate.
+pub use xdaq_gm as gm;
+
+/// The executive: dispatching, routing, scheduling, PTA.
+pub use xdaq_core as core;
+
+/// Peer transports: loopback, TCP, GM, simulated PCI.
+pub use xdaq_pt as pt;
+
+/// Control hosts and the xcl configuration language.
+pub use xdaq_host as host;
+
+/// Time probes and measurement statistics.
+pub use xdaq_probe as probe;
+
+/// DAQ application device classes.
+pub use xdaq_app as app;

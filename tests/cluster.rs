@@ -1,0 +1,466 @@
+//! Whole-cluster integration tests: several executives connected by
+//! peer transports, configured and controlled by a host — the paper's
+//! Peer Operation model end to end.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use xdaq::app::{xfn, PingState, Pinger, Ponger, ORG_DAQ};
+use xdaq::core::{Executive, ExecutiveConfig, PtMode};
+use xdaq::host::{ClusterInventory, ControlHost, ModuleSpec, NodeSpec, RouteSpec, XclInterpreter};
+use xdaq::i2o::{Message, Tid};
+use xdaq::pt::{LoopbackHub, LoopbackPt};
+
+fn wait_until(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    cond()
+}
+
+/// Builds an executive on a loopback hub under `name`.
+fn node_on(hub: &std::sync::Arc<LoopbackHub>, name: &str) -> Executive {
+    let exec = Executive::new(ExecutiveConfig::named(name));
+    let pt = LoopbackPt::new(hub, name);
+    exec.register_pt(&format!("{name}.pt"), pt).unwrap();
+    exec
+}
+
+#[test]
+fn ping_pong_across_two_executives_via_loopback() {
+    let hub = LoopbackHub::new();
+    let node_a = node_on(&hub, "a");
+    let node_b = node_on(&hub, "b");
+
+    // Devices on each side.
+    let state = PingState::new();
+    let pong_tid = node_b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    // A-side proxy for the remote ponger (paper §3.4 proxy TiDs).
+    let pong_proxy = node_a.proxy("loop://b", pong_tid, Some("b.pong")).unwrap();
+    let ping_tid = node_a
+        .register(
+            "ping",
+            Box::new(Pinger::new(state.clone())),
+            &[
+                ("peer", &pong_proxy.raw().to_string()),
+                ("payload", "256"),
+                ("count", "500"),
+            ],
+        )
+        .unwrap();
+    node_a.enable_all();
+    node_b.enable_all();
+
+    let ha = node_a.spawn();
+    let hb = node_b.spawn();
+    node_a
+        .post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+    assert!(
+        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        "ping-pong did not finish: {} of 500",
+        state.completed.load(Ordering::SeqCst)
+    );
+    assert_eq!(state.completed.load(Ordering::SeqCst), 500);
+    assert_eq!(state.rtts_ns.lock().len(), 500);
+    // Both directions crossed the peer transport.
+    assert!(node_a.stats().sent_peer >= 500);
+    assert!(node_b.stats().sent_peer >= 500);
+    ha.shutdown();
+    hb.shutdown();
+}
+
+#[test]
+fn host_controls_remote_node_via_exec_messages() {
+    let hub = LoopbackHub::new();
+    let node = node_on(&hub, "worker");
+    node.register_factory(
+        "ponger",
+        Box::new(|_params| Box::new(Ponger::new()) as Box<dyn xdaq::core::I2oListener>),
+    );
+    let nh = node.spawn();
+
+    let host = ControlHost::new("ctl");
+    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.start();
+
+    let worker = host.connect_node("loop://worker", Some("worker")).unwrap();
+    // Status.
+    let status = host.status(worker).unwrap();
+    assert_eq!(status["node"], "worker");
+    // Claim control rights; a mutating command then succeeds.
+    host.claim(worker).unwrap();
+    let remote_tid = host.load(worker, "ponger", "pong0", &[("k", "v")]).unwrap();
+    assert!(remote_tid.is_addressable());
+    host.enable(worker).unwrap();
+    let lct = host.lct(worker).unwrap();
+    assert!(lct.contains("pong0"), "{lct}");
+    // Parameter access through a device proxy.
+    let dev = host.device_proxy("loop://worker", remote_tid).unwrap();
+    host.params_set(dev, &[("rate", "99")]).unwrap();
+    let params = host.params_get(dev).unwrap();
+    assert_eq!(params["rate"], "99");
+    assert_eq!(params["k"], "v", "load-time params visible");
+    // Quiesce and destroy.
+    host.quiesce(worker).unwrap();
+    host.destroy(worker, remote_tid).unwrap();
+    let lct = host.lct(worker).unwrap();
+    assert!(!lct.contains("pong0"));
+    host.release(worker).unwrap();
+    host.stop();
+    nh.shutdown();
+}
+
+#[test]
+fn second_host_is_refused_while_claimed() {
+    let hub = LoopbackHub::new();
+    let node = node_on(&hub, "worker");
+    let nh = node.spawn();
+
+    let primary = ControlHost::new("primary");
+    primary
+        .executive()
+        .register_pt("p.pt", LoopbackPt::new(&hub, "primary"))
+        .unwrap();
+    primary.start();
+    let secondary = ControlHost::new("secondary");
+    secondary
+        .executive()
+        .register_pt("s.pt", LoopbackPt::new(&hub, "secondary"))
+        .unwrap();
+    secondary.start();
+
+    let w1 = primary.connect_node("loop://worker", None).unwrap();
+    let w2 = secondary.connect_node("loop://worker", None).unwrap();
+    primary.claim(w1).unwrap();
+    // Secondary cannot claim or mutate...
+    assert!(secondary.claim(w2).is_err());
+    assert!(secondary.enable(w2).is_err());
+    // ...but read-only status still works (monitoring rights).
+    assert_eq!(secondary.status(w2).unwrap()["node"], "worker");
+    // After release, the secondary takes over.
+    primary.release(w1).unwrap();
+    secondary.claim(w2).unwrap();
+    secondary.enable(w2).unwrap();
+    primary.stop();
+    secondary.stop();
+    nh.shutdown();
+}
+
+#[test]
+fn xcl_script_drives_cluster() {
+    let hub = LoopbackHub::new();
+    let node = node_on(&hub, "ru0");
+    node.register_factory(
+        "ponger",
+        Box::new(|_| Box::new(Ponger::new()) as Box<dyn xdaq::core::I2oListener>),
+    );
+    let nh = node.spawn();
+
+    let host = ControlHost::new("ctl");
+    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.start();
+
+    let mut interp = XclInterpreter::new(&host);
+    let out = interp
+        .run(
+            "# bring up one node\n\
+             node ru0 loop://ru0\n\
+             claim ru0\n\
+             load ru0 ponger pong0 depth=4\n\
+             enable ru0\n\
+             status ru0\n\
+             lct ru0\n\
+             release ru0\n\
+             echo done\n",
+        )
+        .unwrap();
+    assert_eq!(out.log.last().unwrap(), "done");
+    assert!(out.log.iter().any(|l| l.contains("status ru0") && l.contains("node=ru0")));
+    assert!(out.handles.contains_key("ru0"));
+    assert!(out.handles.contains_key("pong0"));
+    host.stop();
+    nh.shutdown();
+}
+
+#[test]
+fn inventory_apply_builds_distributed_pingpong() {
+    let hub = LoopbackHub::new();
+    // Two worker nodes with factories.
+    let state = PingState::new();
+    let node_a = node_on(&hub, "na");
+    let node_b = node_on(&hub, "nb");
+    let st = state.clone();
+    node_a.register_factory(
+        "pinger",
+        Box::new(move |_| Box::new(Pinger::new(st.clone())) as Box<dyn xdaq::core::I2oListener>),
+    );
+    node_b.register_factory(
+        "ponger",
+        Box::new(|_| Box::new(Ponger::new()) as Box<dyn xdaq::core::I2oListener>),
+    );
+    let ha = node_a.spawn();
+    let hb = node_b.spawn();
+
+    let host = ControlHost::new("ctl");
+    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.start();
+
+    let inv = ClusterInventory {
+        nodes: vec![
+            NodeSpec {
+                name: "na".into(),
+                url: "loop://na".into(),
+                modules: vec![ModuleSpec {
+                    factory: "pinger".into(),
+                    instance: "ping0".into(),
+                    params: [
+                        ("payload".to_string(), "128".to_string()),
+                        ("count".to_string(), "100".to_string()),
+                    ]
+                    .into(),
+                }],
+            },
+            NodeSpec {
+                name: "nb".into(),
+                url: "loop://nb".into(),
+                modules: vec![ModuleSpec {
+                    factory: "ponger".into(),
+                    instance: "pong0".into(),
+                    params: Default::default(),
+                }],
+            },
+        ],
+        routes: vec![RouteSpec {
+            on: "na".into(),
+            target_node: "nb".into(),
+            target_instance: "pong0".into(),
+            set_param: Some(("ping0".into(), "peer".into())),
+        }],
+    };
+    let applied = inv.apply(&host).unwrap();
+    let na = applied.node_tids["na"];
+    host.enable(na).unwrap();
+    host.enable(applied.node_tids["nb"]).unwrap();
+
+    // Kick the pinger through a host-side device proxy.
+    let ping_remote = applied.module_tids[&("na".to_string(), "ping0".to_string())];
+    let ping_dev = host.device_proxy("loop://na", ping_remote).unwrap();
+    host.executive()
+        .post(
+            Message::build_private(ping_dev, host.agent_tid(), ORG_DAQ, xfn::PING_START)
+                .finish(),
+        )
+        .unwrap();
+    assert!(
+        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        "distributed run incomplete: {}",
+        state.completed.load(Ordering::SeqCst)
+    );
+    assert_eq!(state.completed.load(Ordering::SeqCst), 100);
+    host.stop();
+    ha.shutdown();
+    hb.shutdown();
+}
+
+#[test]
+fn three_hop_forwarding_through_intermediate_node() {
+    // a -> b (proxy chain): a's proxy routes to b, where the target is
+    // itself a proxy to c — multi-hop Peer Operation (paper fig. 4).
+    let hub = LoopbackHub::new();
+    let a = node_on(&hub, "a");
+    let b = node_on(&hub, "b");
+    let c = node_on(&hub, "c");
+
+    let sink_state = PingState::new();
+    let pong_tid = c.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    // b-side proxy for c's ponger.
+    let b_proxy = b.proxy("loop://c", pong_tid, None).unwrap();
+    // a-side proxy pointing at *b's proxy*.
+    let a_proxy = a.proxy("loop://b", b_proxy, None).unwrap();
+    let ping_tid = a
+        .register(
+            "ping",
+            Box::new(Pinger::new(sink_state.clone())),
+            &[("peer", &a_proxy.raw().to_string()), ("payload", "64"), ("count", "50")],
+        )
+        .unwrap();
+    a.enable_all();
+    b.enable_all();
+    c.enable_all();
+    let ha = a.spawn();
+    let hb = b.spawn();
+    let hc = c.spawn();
+    a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+    assert!(
+        wait_until(|| sink_state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        "3-hop run incomplete: {}",
+        sink_state.completed.load(Ordering::SeqCst)
+    );
+    assert!(b.stats().forwarded >= 50, "intermediate forwarded: {}", b.stats().forwarded);
+    ha.shutdown();
+    hb.shutdown();
+    hc.shutdown();
+}
+
+#[test]
+fn gm_transport_carries_cluster_traffic() {
+    use xdaq::gm::Fabric;
+    use xdaq::mempool::TablePool;
+    use xdaq::pt::GmPt;
+
+    let fabric = Fabric::new();
+    let a = Executive::new(ExecutiveConfig::named("a"));
+    let b = Executive::new(ExecutiveConfig::named("b"));
+    let pt_a = GmPt::open(&fabric, 1, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap();
+    let pt_b = GmPt::open(&fabric, 2, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap();
+    a.register_pt("a.gm", pt_a).unwrap();
+    b.register_pt("b.gm", pt_b).unwrap();
+
+    let state = PingState::new();
+    let pong_tid = b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    let proxy = a.proxy("gm://2:0", pong_tid, None).unwrap();
+    let ping_tid = a
+        .register(
+            "ping",
+            Box::new(Pinger::new(state.clone())),
+            &[("peer", &proxy.raw().to_string()), ("payload", "1024"), ("count", "200")],
+        )
+        .unwrap();
+    a.enable_all();
+    b.enable_all();
+    let ha = a.spawn();
+    let hb = b.spawn();
+    a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+    assert!(
+        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        "gm run incomplete: {}",
+        state.completed.load(Ordering::SeqCst)
+    );
+    assert_eq!(state.completed.load(Ordering::SeqCst), 200);
+    ha.shutdown();
+    hb.shutdown();
+}
+
+#[test]
+fn tcp_transport_carries_cluster_traffic() {
+    use xdaq::mempool::TablePool;
+    use xdaq::pt::TcpPt;
+
+    let a = Executive::new(ExecutiveConfig::named("a"));
+    let b = Executive::new(ExecutiveConfig::named("b"));
+    let pt_a = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap();
+    let pt_b = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap();
+    let b_url = pt_b.addr().to_string();
+    a.register_pt("a.tcp", pt_a).unwrap();
+    b.register_pt("b.tcp", pt_b).unwrap();
+
+    let state = PingState::new();
+    let pong_tid = b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    let proxy = a.proxy(&b_url, pong_tid, None).unwrap();
+    let ping_tid = a
+        .register(
+            "ping",
+            Box::new(Pinger::new(state.clone())),
+            &[("peer", &proxy.raw().to_string()), ("payload", "512"), ("count", "100")],
+        )
+        .unwrap();
+    a.enable_all();
+    b.enable_all();
+    let ha = a.spawn();
+    let hb = b.spawn();
+    a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+    assert!(
+        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(30)),
+        "tcp run incomplete: {}",
+        state.completed.load(Ordering::SeqCst)
+    );
+    assert_eq!(state.completed.load(Ordering::SeqCst), 100);
+    ha.shutdown();
+    hb.shutdown();
+}
+
+#[test]
+fn chained_bulk_transfer_across_nodes() {
+    use xdaq::core::{ChainCollector, Delivery, Dispatcher, I2oListener};
+    use xdaq::i2o::DeviceClass;
+
+    const XFN_BULK: u16 = 0x0042;
+    const XFN_KICK: u16 = 0x0041;
+
+    struct Tx {
+        payload: Vec<u8>,
+    }
+    impl I2oListener for Tx {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            if msg.private.map(|p| p.x_function) == Some(XFN_KICK) {
+                let dest = ctx
+                    .param("dest")
+                    .and_then(|s| s.parse::<u16>().ok())
+                    .and_then(|v| Tid::new(v).ok())
+                    .expect("dest param");
+                // 100 KB payload in 2 KB frames: 50+ frames on the wire.
+                ctx.send_chained(dest, ORG_DAQ, XFN_BULK, 99, &self.payload, 2048)
+                    .unwrap();
+            }
+        }
+    }
+    struct Rx {
+        collector: ChainCollector,
+        done: std::sync::Arc<parking_lot::Mutex<Option<Vec<u8>>>>,
+    }
+    impl I2oListener for Rx {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            if msg.private.map(|p| p.x_function) == Some(XFN_BULK) {
+                if let Some((_, chain_id, data)) = self.collector.push(&msg) {
+                    assert_eq!(chain_id, 99);
+                    *self.done.lock() = Some(data);
+                }
+            }
+        }
+    }
+
+    let hub = LoopbackHub::new();
+    let a = node_on(&hub, "a");
+    let b = node_on(&hub, "b");
+    let done = std::sync::Arc::new(parking_lot::Mutex::new(None));
+    let rx_tid = b
+        .register("rx", Box::new(Rx { collector: ChainCollector::new(), done: done.clone() }), &[])
+        .unwrap();
+    let proxy = a.proxy("loop://b", rx_tid, None).unwrap();
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    let tx_tid = a
+        .register(
+            "tx",
+            Box::new(Tx { payload: payload.clone() }),
+            &[("dest", &proxy.raw().to_string())],
+        )
+        .unwrap();
+    a.enable_all();
+    b.enable_all();
+    let ha = a.spawn();
+    let hb = b.spawn();
+    a.post(
+        xdaq::i2o::Message::build_private(tx_tid, Tid::HOST, ORG_DAQ, XFN_KICK).finish(),
+    )
+    .unwrap();
+    assert!(
+        wait_until(|| done.lock().is_some(), Duration::from_secs(20)),
+        "bulk transfer incomplete"
+    );
+    assert_eq!(done.lock().take().unwrap(), payload);
+    ha.shutdown();
+    hb.shutdown();
+}
