@@ -70,18 +70,17 @@ impl BlockStorage {
             .param("block_size")
             .and_then(|s| s.parse().ok())
             .unwrap_or(512usize);
-        let blocks = ctx.param("blocks").and_then(|s| s.parse().ok()).unwrap_or(1024usize);
+        let blocks = ctx
+            .param("blocks")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1024usize);
         self.block_size = block_size;
         self.data = vec![0u8; block_size * blocks];
         self.configured = true;
     }
 
     fn blocks(&self) -> usize {
-        if self.block_size == 0 {
-            0
-        } else {
-            self.data.len() / self.block_size
-        }
+        self.data.len().checked_div(self.block_size).unwrap_or(0)
     }
 }
 
@@ -125,25 +124,30 @@ impl I2oListener for BlockStorage {
         // WRITE
         let data = &mut self.data;
         let mut writes = self.writes;
-        if self.write_skel.serve(ctx, &msg, |args: &mut ArgReader<'_>| {
-            let block = args.u32()? as usize;
-            let bytes = args.bytes()?;
-            let start = block * block_size;
-            if start + bytes.len() > data.len() {
-                return Err(MarshalError::Truncated); // out of range
-            }
-            data[start..start + bytes.len()].copy_from_slice(bytes);
-            writes += 1;
-            let blocks_written = bytes.len().div_ceil(block_size.max(1)) as u32;
-            Ok(ArgWriter::new().u32(blocks_written))
-        }) {
+        if self
+            .write_skel
+            .serve(ctx, &msg, |args: &mut ArgReader<'_>| {
+                let block = args.u32()? as usize;
+                let bytes = args.bytes()?;
+                let start = block * block_size;
+                if start + bytes.len() > data.len() {
+                    return Err(MarshalError::Truncated); // out of range
+                }
+                data[start..start + bytes.len()].copy_from_slice(bytes);
+                writes += 1;
+                let blocks_written = bytes.len().div_ceil(block_size.max(1)) as u32;
+                Ok(ArgWriter::new().u32(blocks_written))
+            })
+        {
             self.writes = writes;
             return;
         }
 
         // INFO
         self.info_skel.serve(ctx, &msg, |_args| {
-            Ok(ArgWriter::new().u32(block_size as u32).u32(total_blocks as u32))
+            Ok(ArgWriter::new()
+                .u32(block_size as u32)
+                .u32(total_blocks as u32))
         });
     }
 }
@@ -156,10 +160,12 @@ mod tests {
     use xdaq_core::{Executive, ExecutiveConfig, Stub};
     use xdaq_i2o::{ReplyStatus, Tid};
 
+    type ReplyLog = Arc<Mutex<Vec<(u32, ReplyStatus, Vec<u8>)>>>;
+
     /// Client device driving the block store via stubs.
     struct Client {
         store: Tid,
-        log: Arc<Mutex<Vec<(u32, ReplyStatus, Vec<u8>)>>>,
+        log: ReplyLog,
         read: Stub,
         write: Stub,
         info: Stub,
@@ -197,8 +203,10 @@ mod tests {
             // Replies from the store: record the raw marshalled result.
             for stub in [&self.read, &self.write, &self.info] {
                 if let Some((ctx_id, status, _args)) = stub.match_reply(&msg) {
-                    let raw =
-                        msg.reply_status().map(|(_, b)| b.to_vec()).unwrap_or_default();
+                    let raw = msg
+                        .reply_status()
+                        .map(|(_, b)| b.to_vec())
+                        .unwrap_or_default();
                     self.log.lock().push((ctx_id, status, raw));
                     return;
                 }
@@ -245,7 +253,10 @@ mod tests {
         assert_eq!(ArgReader::new(&log[0].2).u32().unwrap(), 2);
         // Read returned the written pattern.
         assert!(log[1].1.is_ok());
-        assert_eq!(ArgReader::new(&log[1].2).bytes().unwrap(), &[0xABu8; 128][..]);
+        assert_eq!(
+            ArgReader::new(&log[1].2).bytes().unwrap(),
+            &[0xABu8; 128][..]
+        );
         // Info reports the configured geometry.
         assert!(log[2].1.is_ok());
         let mut info = ArgReader::new(&log[2].2);

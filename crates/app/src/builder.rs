@@ -108,7 +108,9 @@ impl I2oListener for BuilderUnit {
             return;
         }
         self.stats.fragments.fetch_add(1, Ordering::Relaxed);
-        self.stats.bytes.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
 
         let sources = header.total_sources.max(1) as usize;
         let entry = self
@@ -157,7 +159,12 @@ mod tests {
     use xdaq_core::{Executive, ExecutiveConfig};
 
     fn fragment_msg(dest: Tid, event: u64, source: u16, total: u16, len: u32) -> Message {
-        let h = FragmentHeader { event_id: event, source_id: source, total_sources: total, len };
+        let h = FragmentHeader {
+            event_id: event,
+            source_id: source,
+            total_sources: total,
+            len,
+        };
         Message::build_private(dest, Tid::HOST, ORG_DAQ, xfn::FRAGMENT)
             .payload(h.build_payload())
             .finish()
@@ -168,7 +175,11 @@ mod tests {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let stats = BuilderStats::new();
         let bu = exec
-            .register("bu", Box::new(BuilderUnit::new(stats.clone())), &[("record", "1")])
+            .register(
+                "bu",
+                Box::new(BuilderUnit::new(stats.clone())),
+                &[("record", "1")],
+            )
             .unwrap();
         exec.enable_all();
         exec.post(fragment_msg(bu, 7, 0, 3, 64)).unwrap();
@@ -186,7 +197,9 @@ mod tests {
     fn duplicates_counted_not_double_built() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let stats = BuilderStats::new();
-        let bu = exec.register("bu", Box::new(BuilderUnit::new(stats.clone())), &[]).unwrap();
+        let bu = exec
+            .register("bu", Box::new(BuilderUnit::new(stats.clone())), &[])
+            .unwrap();
         exec.enable_all();
         exec.post(fragment_msg(bu, 1, 0, 2, 16)).unwrap();
         exec.post(fragment_msg(bu, 1, 0, 2, 16)).unwrap();
@@ -201,10 +214,19 @@ mod tests {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let stats = BuilderStats::new();
         let bu = exec
-            .register("bu", Box::new(BuilderUnit::new(stats.clone())), &[("verify", "1")])
+            .register(
+                "bu",
+                Box::new(BuilderUnit::new(stats.clone())),
+                &[("verify", "1")],
+            )
             .unwrap();
         exec.enable_all();
-        let h = FragmentHeader { event_id: 1, source_id: 0, total_sources: 1, len: 32 };
+        let h = FragmentHeader {
+            event_id: 1,
+            source_id: 0,
+            total_sources: 1,
+            len: 32,
+        };
         let mut payload = h.build_payload();
         payload[20] ^= 0xFF;
         exec.post(
@@ -236,10 +258,18 @@ mod tests {
         let events = Arc::new(AtomicU64::new(0));
         let credits = Arc::new(AtomicU64::new(0));
         let filter = exec
-            .register("filter", Box::new(Recorder(events.clone(), xfn::EVENT)), &[])
+            .register(
+                "filter",
+                Box::new(Recorder(events.clone(), xfn::EVENT)),
+                &[],
+            )
             .unwrap();
         let mgr = exec
-            .register("mgr", Box::new(Recorder(credits.clone(), xfn::EVT_DONE)), &[])
+            .register(
+                "mgr",
+                Box::new(Recorder(credits.clone(), xfn::EVT_DONE)),
+                &[],
+            )
             .unwrap();
         let stats = BuilderStats::new();
         let bu = exec

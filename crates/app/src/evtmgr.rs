@@ -193,7 +193,11 @@ mod tests {
         assert_eq!(mgr_stats.triggered.load(Ordering::SeqCst), 20);
         assert_eq!(mgr_stats.completed.load(Ordering::SeqCst), 20);
         assert_eq!(b_stats.events_built.load(Ordering::SeqCst), 20);
-        assert_eq!(b_stats.fragments.load(Ordering::SeqCst), 60, "3 sources x 20 events");
+        assert_eq!(
+            b_stats.fragments.load(Ordering::SeqCst),
+            60,
+            "3 sources x 20 events"
+        );
     }
 
     #[test]

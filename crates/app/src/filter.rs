@@ -54,7 +54,11 @@ pub struct FilterUnit {
 impl FilterUnit {
     /// Creates a filter reporting into `stats`.
     pub fn new(stats: Arc<FilterStats>) -> FilterUnit {
-        FilterUnit { stats, accept_percent: 100, configured: false }
+        FilterUnit {
+            stats,
+            accept_percent: 100,
+            configured: false,
+        }
     }
 
     fn configure(&mut self, ctx: &Dispatcher<'_>) {
@@ -112,14 +116,18 @@ mod tests {
         let mut body = Vec::new();
         body.extend_from_slice(&event.to_le_bytes());
         body.extend_from_slice(&size.to_le_bytes());
-        Message::build_private(dest, Tid::HOST, ORG_DAQ, xfn::EVENT).payload(body).finish()
+        Message::build_private(dest, Tid::HOST, ORG_DAQ, xfn::EVENT)
+            .payload(body)
+            .finish()
     }
 
     #[test]
     fn accept_all_by_default() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let stats = FilterStats::new();
-        let f = exec.register("f", Box::new(FilterUnit::new(stats.clone())), &[]).unwrap();
+        let f = exec
+            .register("f", Box::new(FilterUnit::new(stats.clone())), &[])
+            .unwrap();
         exec.enable_all();
         for e in 0..50 {
             exec.post(event_msg(f, e, 1000)).unwrap();
@@ -160,7 +168,9 @@ mod tests {
     fn short_event_frames_ignored() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let stats = FilterStats::new();
-        let f = exec.register("f", Box::new(FilterUnit::new(stats.clone())), &[]).unwrap();
+        let f = exec
+            .register("f", Box::new(FilterUnit::new(stats.clone())), &[])
+            .unwrap();
         exec.enable_all();
         exec.post(
             Message::build_private(f, Tid::HOST, ORG_DAQ, xfn::EVENT)

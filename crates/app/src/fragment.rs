@@ -50,7 +50,9 @@ impl FragmentHeader {
     pub fn build_payload(&self) -> Vec<u8> {
         let mut out = vec![0u8; FRAGMENT_HEADER_LEN + self.len as usize];
         self.encode(&mut out);
-        let seed = (self.event_id as u32).wrapping_mul(31).wrapping_add(self.source_id as u32);
+        let seed = (self.event_id as u32)
+            .wrapping_mul(31)
+            .wrapping_add(self.source_id as u32);
         for (i, b) in out[FRAGMENT_HEADER_LEN..].iter_mut().enumerate() {
             *b = (seed.wrapping_add(i as u32) % 251) as u8;
         }
@@ -62,7 +64,9 @@ impl FragmentHeader {
         if payload.len() != FRAGMENT_HEADER_LEN + self.len as usize {
             return false;
         }
-        let seed = (self.event_id as u32).wrapping_mul(31).wrapping_add(self.source_id as u32);
+        let seed = (self.event_id as u32)
+            .wrapping_mul(31)
+            .wrapping_add(self.source_id as u32);
         payload[FRAGMENT_HEADER_LEN..]
             .iter()
             .enumerate()
@@ -76,7 +80,12 @@ mod tests {
 
     #[test]
     fn header_roundtrip() {
-        let h = FragmentHeader { event_id: 0xDEAD_BEEF_1234, source_id: 7, total_sources: 16, len: 4096 };
+        let h = FragmentHeader {
+            event_id: 0xDEAD_BEEF_1234,
+            source_id: 7,
+            total_sources: 16,
+            len: 4096,
+        };
         let mut buf = [0u8; FRAGMENT_HEADER_LEN];
         h.encode(&mut buf);
         assert_eq!(FragmentHeader::decode(&buf), Some(h));
@@ -89,7 +98,12 @@ mod tests {
 
     #[test]
     fn payload_builds_and_verifies() {
-        let h = FragmentHeader { event_id: 42, source_id: 3, total_sources: 4, len: 100 };
+        let h = FragmentHeader {
+            event_id: 42,
+            source_id: 3,
+            total_sources: 4,
+            len: 100,
+        };
         let p = h.build_payload();
         assert_eq!(p.len(), 116);
         assert!(h.verify_payload(&p));
@@ -101,8 +115,18 @@ mod tests {
 
     #[test]
     fn different_sources_differ() {
-        let a = FragmentHeader { event_id: 1, source_id: 0, total_sources: 2, len: 32 };
-        let b = FragmentHeader { event_id: 1, source_id: 1, total_sources: 2, len: 32 };
+        let a = FragmentHeader {
+            event_id: 1,
+            source_id: 0,
+            total_sources: 2,
+            len: 32,
+        };
+        let b = FragmentHeader {
+            event_id: 1,
+            source_id: 1,
+            total_sources: 2,
+            len: 32,
+        };
         assert_ne!(a.build_payload()[16..], b.build_payload()[16..]);
     }
 }

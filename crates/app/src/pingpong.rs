@@ -145,7 +145,9 @@ pub struct Ponger {
 impl Ponger {
     /// Creates a ponger.
     pub fn new() -> Ponger {
-        Ponger { echoed: Arc::new(AtomicU64::new(0)) }
+        Ponger {
+            echoed: Arc::new(AtomicU64::new(0)),
+        }
     }
 }
 
@@ -199,10 +201,8 @@ mod tests {
             )
             .unwrap();
         exec.enable_all();
-        exec.post(
-            Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish(),
-        )
-        .unwrap();
+        exec.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+            .unwrap();
         while exec.run_once() > 0 {}
         assert!(state.done.load(Ordering::SeqCst));
         assert_eq!(state.completed.load(Ordering::SeqCst), 10);
@@ -215,13 +215,12 @@ mod tests {
     fn pinger_without_peer_stays_idle() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
         let state = PingState::new();
-        let ping_tid =
-            exec.register("ping", Box::new(Pinger::new(state.clone())), &[]).unwrap();
+        let ping_tid = exec
+            .register("ping", Box::new(Pinger::new(state.clone())), &[])
+            .unwrap();
         exec.enable_all();
-        exec.post(
-            Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish(),
-        )
-        .unwrap();
+        exec.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+            .unwrap();
         while exec.run_once() > 0 {}
         assert!(!state.done.load(Ordering::SeqCst));
         assert_eq!(state.completed.load(Ordering::SeqCst), 0);
@@ -234,7 +233,8 @@ mod tests {
         let echoed = ponger.echoed.clone();
         let tid = exec.register("pong", Box::new(ponger), &[]).unwrap();
         exec.enable_all();
-        exec.post(Message::build_private(tid, Tid::HOST, ORG_DAQ, 0x7777).finish()).unwrap();
+        exec.post(Message::build_private(tid, Tid::HOST, ORG_DAQ, 0x7777).finish())
+            .unwrap();
         while exec.run_once() > 0 {}
         assert_eq!(echoed.load(Ordering::SeqCst), 0);
     }

@@ -140,8 +140,14 @@ mod tests {
     #[test]
     fn fragments_rotate_over_builders() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
-        let c0 = (Arc::new(AtomicU64::new(0)), Arc::new(parking_lot::Mutex::new(Vec::new())));
-        let c1 = (Arc::new(AtomicU64::new(0)), Arc::new(parking_lot::Mutex::new(Vec::new())));
+        let c0 = (
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(parking_lot::Mutex::new(Vec::new())),
+        );
+        let c1 = (
+            Arc::new(AtomicU64::new(0)),
+            Arc::new(parking_lot::Mutex::new(Vec::new())),
+        );
         let b0 = exec
             .register("b0", Box::new(Collector(c0.0.clone(), c0.1.clone())), &[])
             .unwrap();
@@ -174,7 +180,9 @@ mod tests {
     #[test]
     fn unconfigured_readout_produces_nothing() {
         let exec = Executive::new(ExecutiveConfig::named("n"));
-        let ru = exec.register("ru", Box::new(ReadoutUnit::new()), &[]).unwrap();
+        let ru = exec
+            .register("ru", Box::new(ReadoutUnit::new()), &[])
+            .unwrap();
         exec.enable_all();
         trigger(&exec, ru, 0);
         while exec.run_once() > 0 {}

@@ -18,16 +18,12 @@ fn bench_alloc_free_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("alloc_free_cycle");
     for (name, pool) in pools() {
         for size in [64usize, 4096, 65536] {
-            group.bench_with_input(
-                BenchmarkId::new(name, size),
-                &size,
-                |b, &size| {
-                    b.iter(|| {
-                        let buf = pool.alloc(size).unwrap();
-                        black_box(buf.len());
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, &size| {
+                b.iter(|| {
+                    let buf = pool.alloc(size).unwrap();
+                    black_box(buf.len());
+                })
+            });
         }
     }
     group.finish();

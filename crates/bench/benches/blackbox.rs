@@ -24,10 +24,24 @@ impl Rig {
         let fabric = Fabric::new();
         let a = Executive::new(ExecutiveConfig::named("ba"));
         let b = Executive::new(ExecutiveConfig::named("bb"));
-        let pt_a =
-            GmPt::open(&fabric, 1, 0, PtMode::Polling, TablePool::with_defaults(), None).unwrap();
-        let pt_b =
-            GmPt::open(&fabric, 2, 0, PtMode::Polling, TablePool::with_defaults(), None).unwrap();
+        let pt_a = GmPt::open(
+            &fabric,
+            1,
+            0,
+            PtMode::Polling,
+            TablePool::with_defaults(),
+            None,
+        )
+        .unwrap();
+        let pt_b = GmPt::open(
+            &fabric,
+            2,
+            0,
+            PtMode::Polling,
+            TablePool::with_defaults(),
+            None,
+        )
+        .unwrap();
         a.register_pt("a.gm", pt_a).unwrap();
         b.register_pt("b.gm", pt_b).unwrap();
         let state = PingState::new();
@@ -37,12 +51,20 @@ impl Rig {
             .register(
                 "ping",
                 Box::new(Pinger::new(state.clone())),
-                &[("peer", &proxy.raw().to_string()), ("payload", &payload.to_string())],
+                &[
+                    ("peer", &proxy.raw().to_string()),
+                    ("payload", &payload.to_string()),
+                ],
             )
             .unwrap();
         a.enable_all();
         b.enable_all();
-        Rig { a, b, ping_tid, state }
+        Rig {
+            a,
+            b,
+            ping_tid,
+            state,
+        }
     }
 
     /// Runs `n` round trips and returns when they completed.
@@ -59,8 +81,7 @@ impl Rig {
             .unwrap();
         self.a
             .post(
-                Message::build_private(self.ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START)
-                    .finish(),
+                Message::build_private(self.ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish(),
             )
             .unwrap();
         while !self.state.done.load(Ordering::SeqCst) {
@@ -96,7 +117,10 @@ fn bench_raw_gm_roundtrip(c: &mut Criterion) {
         let b = fabric
             .open_port_with(NodeId(2), PortId(0), PortConfig::unlimited())
             .unwrap();
-        let dest = GmAddr { node: NodeId(2), port: PortId(0) };
+        let dest = GmAddr {
+            node: NodeId(2),
+            port: PortId(0),
+        };
         let msg = vec![0u8; payload];
         group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |bch, _| {
             bch.iter(|| {

@@ -72,5 +72,10 @@ fn bench_route_lookup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sched_queue, bench_spsc_ring, bench_route_lookup);
+criterion_group!(
+    benches,
+    bench_sched_queue,
+    bench_spsc_ring,
+    bench_route_lookup
+);
 criterion_main!(benches);

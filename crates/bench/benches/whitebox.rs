@@ -64,7 +64,9 @@ fn bench_local_dispatch(c: &mut Criterion) {
     let exec = Executive::new(ExecutiveConfig::named("bench"));
     let tid = exec.register("nop", Box::new(Nop), &[]).unwrap();
     exec.enable_all();
-    let msg = Message::build_private(tid, Tid::HOST, 1, 1).payload(vec![0u8; 64]).finish();
+    let msg = Message::build_private(tid, Tid::HOST, 1, 1)
+        .payload(vec![0u8; 64])
+        .finish();
     c.bench_function("local_dispatch_64B", |b| {
         b.iter(|| {
             exec.post(msg.clone()).unwrap();
@@ -73,5 +75,10 @@ fn bench_local_dispatch(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_frame_codec, bench_delivery, bench_local_dispatch);
+criterion_group!(
+    benches,
+    bench_frame_codec,
+    bench_delivery,
+    bench_local_dispatch
+);
 criterion_main!(benches);

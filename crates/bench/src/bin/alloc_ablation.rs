@@ -32,7 +32,11 @@ fn end_to_end_overhead(allocator: AllocatorKind, calls: u64) -> f64 {
         probes: None,
     });
     let xdaq = median_us(steady_state(&run.one_way_ns));
-    let gm = median_us(steady_state(&raw_gm_pingpong(64, calls, LatencyModel::ZERO)));
+    let gm = median_us(steady_state(&raw_gm_pingpong(
+        64,
+        calls,
+        LatencyModel::ZERO,
+    )));
     xdaq - gm
 }
 
@@ -73,9 +77,18 @@ fn main() {
     println!("## end-to-end blackbox overhead (payload 64 B, {calls} calls)");
     let simple = end_to_end_overhead(AllocatorKind::Simple, calls);
     let table = end_to_end_overhead(AllocatorKind::Table, calls);
-    println!("{:<28} {:>12} {:>12}", "allocator", "overhead_us", "paper_us");
-    println!("{:<28} {:>12.2} {:>12}", "simple (original scheme)", simple, "8.9");
-    println!("{:<28} {:>12.2} {:>12}", "table (optimized scheme)", table, "4.9");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "allocator", "overhead_us", "paper_us"
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12}",
+        "simple (original scheme)", simple, "8.9"
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12}",
+        "table (optimized scheme)", table, "4.9"
+    );
     println!(
         "# optimized/original ratio: {:.2} (paper: {:.2}) — optimized must win",
         table / simple,

@@ -15,9 +15,7 @@
 
 use std::sync::atomic::Ordering;
 use std::time::Instant;
-use xdaq_app::{
-    xfn, BuilderStats, BuilderUnit, EventManager, EvtMgrStats, ReadoutUnit, ORG_DAQ,
-};
+use xdaq_app::{xfn, BuilderStats, BuilderUnit, EventManager, EvtMgrStats, ReadoutUnit, ORG_DAQ};
 use xdaq_bench::Args;
 use xdaq_core::{Executive, ExecutiveConfig};
 use xdaq_i2o::{Message, Tid};
@@ -32,7 +30,8 @@ fn run_evb(readouts: usize, builders: usize, frag_size: u32, events: u64) -> Evb
     let hub = LoopbackHub::new();
     let node = |name: &str| {
         let exec = Executive::new(ExecutiveConfig::named(name));
-        exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(&hub, name)).unwrap();
+        exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(&hub, name))
+            .unwrap();
         exec
     };
     let mgr_node = node("mgr");
@@ -41,7 +40,11 @@ fn run_evb(readouts: usize, builders: usize, frag_size: u32, events: u64) -> Evb
 
     let m_stats = EvtMgrStats::new();
     let mgr_tid = mgr_node
-        .register("evm", Box::new(EventManager::new(m_stats.clone())), &[("window", "16")])
+        .register(
+            "evm",
+            Box::new(EventManager::new(m_stats.clone())),
+            &[("window", "16")],
+        )
         .unwrap();
 
     let mut b_stats = Vec::new();
@@ -66,7 +69,10 @@ fn run_evb(readouts: usize, builders: usize, frag_size: u32, events: u64) -> Evb
             .iter()
             .enumerate()
             .map(|(b, tid)| {
-                ru.proxy(&format!("loop://bu{b}"), *tid, None).unwrap().raw().to_string()
+                ru.proxy(&format!("loop://bu{b}"), *tid, None)
+                    .unwrap()
+                    .raw()
+                    .to_string()
             })
             .collect();
         let tid = ru
@@ -87,13 +93,20 @@ fn run_evb(readouts: usize, builders: usize, frag_size: u32, events: u64) -> Evb
         .iter()
         .enumerate()
         .map(|(i, tid)| {
-            mgr_node.proxy(&format!("loop://ru{i}"), *tid, None).unwrap().raw().to_string()
+            mgr_node
+                .proxy(&format!("loop://ru{i}"), *tid, None)
+                .unwrap()
+                .raw()
+                .to_string()
         })
         .collect();
     mgr_node
         .post(
             Message::util(mgr_tid, Tid::HOST, xdaq_i2o::UtilFn::ParamsSet)
-                .payload(xdaq_core::config::kv(&[("readouts", &ru_proxies.join(","))]))
+                .payload(xdaq_core::config::kv(&[(
+                    "readouts",
+                    &ru_proxies.join(","),
+                )]))
                 .finish(),
         )
         .unwrap();
@@ -125,7 +138,10 @@ fn run_evb(readouts: usize, builders: usize, frag_size: u32, events: u64) -> Evb
     }
     let dt = t0.elapsed().as_secs_f64();
     let bytes: u64 = b_stats.iter().map(|s| s.bytes.load(Ordering::SeqCst)).sum();
-    EvbResult { rate_hz: events as f64 / dt, mbytes_per_s: bytes as f64 / dt / 1e6 }
+    EvbResult {
+        rate_hz: events as f64 / dt,
+        mbytes_per_s: bytes as f64 / dt / 1e6,
+    }
 }
 
 fn main() {
@@ -143,7 +159,10 @@ fn main() {
     for &(n, m) in &[(2usize, 2usize), (4, 2), (4, 4), (8, 4), (8, 8)] {
         for &frag in &[512u32, 2048, 8192] {
             let r = run_evb(n, m, frag, events);
-            println!("{n:>4} {m:>4} {frag:>10} {:>12.0} {:>12.1}", r.rate_hz, r.mbytes_per_s);
+            println!(
+                "{n:>4} {m:>4} {frag:>10} {:>12.0} {:>12.1}",
+                r.rate_hz, r.mbytes_per_s
+            );
             rows.push((n, m, frag, r.rate_hz, r.mbytes_per_s));
         }
     }

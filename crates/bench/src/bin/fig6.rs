@@ -26,16 +26,26 @@ fn main() {
     let args = Args::parse();
     let calls: u64 = args.get("calls", 20_000);
     let wire_on: u32 = args.get("wire", 1);
-    let wire = if wire_on != 0 { LatencyModel::myrinet_lanai7() } else { LatencyModel::ZERO };
+    let wire = if wire_on != 0 {
+        LatencyModel::myrinet_lanai7()
+    } else {
+        LatencyModel::ZERO
+    };
     let allocator = match args.get_str("alloc", "table").as_str() {
         "simple" => AllocatorKind::Simple,
         _ => AllocatorKind::Table,
     };
 
-    println!("# FIG6: blackbox ping-pong latency (one-way, averaged over {calls} calls each direction)");
+    println!(
+        "# FIG6: blackbox ping-pong latency (one-way, averaged over {calls} calls each direction)"
+    );
     println!(
         "# wire model: {} | allocator: {allocator:?}",
-        if wire_on != 0 { "Myrinet LANai-7 (18us + 21.5ns/B)" } else { "none (pure software path)" }
+        if wire_on != 0 {
+            "Myrinet LANai-7 (18us + 21.5ns/B)"
+        } else {
+            "none (pure software path)"
+        }
     );
     println!("#");
     println!(
@@ -52,7 +62,13 @@ fn main() {
     for &payload in PAYLOADS {
         // XDAQ series (medians over the steady state: the paper's
         // 100 000-call averages play the same outlier-rejection role).
-        let run = xdaq_gm_pingpong(BlackboxConfig { payload, calls, wire, allocator, probes: None });
+        let run = xdaq_gm_pingpong(BlackboxConfig {
+            payload,
+            calls,
+            wire,
+            allocator,
+            probes: None,
+        });
         let xdaq_us = median_us(steady_state(&run.one_way_ns));
         // Baseline series on an identical fabric.
         let gm_us = median_us(steady_state(&raw_gm_pingpong(payload, calls, wire)));
@@ -67,13 +83,24 @@ fn main() {
 
     println!("#");
     if let Some(f) = linear_fit(&xs, &xdaq_ys) {
-        println!("# linear fit, XDAQ/GM     : {} (r2={:.4})", f.equation(), f.r2);
+        println!(
+            "# linear fit, XDAQ/GM     : {} (r2={:.4})",
+            f.equation(),
+            f.r2
+        );
     }
     if let Some(f) = linear_fit(&xs, &gm_ys) {
-        println!("# linear fit, GM direct   : {} (r2={:.4})", f.equation(), f.r2);
+        println!(
+            "# linear fit, GM direct   : {} (r2={:.4})",
+            f.equation(),
+            f.r2
+        );
     }
     if let Some(f) = linear_fit(&xs, &overhead_ys) {
-        println!("# linear fit, overhead    : {}  <- paper: y = -7E-05x + 9.105", f.equation());
+        println!(
+            "# linear fit, overhead    : {}  <- paper: y = -7E-05x + 9.105",
+            f.equation()
+        );
         let mean_overhead = overhead_ys.iter().sum::<f64>() / overhead_ys.len() as f64;
         let var = overhead_ys
             .iter()

@@ -58,7 +58,10 @@ fn main() {
     println!("# HWFIFO: messenger-instance queues in 'hardware' vs software (paper §7)");
     println!("# ping-pong one-way latency over a simulated PCI segment, {calls} calls");
     println!("#");
-    println!("{:>8} {:>16} {:>16} {:>10}", "bytes", "hw_fifo_us", "sw_queue_us", "hw/sw");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "bytes", "hw_fifo_us", "sw_queue_us", "hw/sw"
+    );
     let mut rows = Vec::new();
     for payload in [1usize, 256, 1024, 4096] {
         let hw = run(FifoKind::Hardware { depth: 64 }, calls, payload);

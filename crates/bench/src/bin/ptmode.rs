@@ -53,11 +53,7 @@ impl PeerTransport for SlowPt {
     fn stop(&self) {}
 }
 
-fn pingpong(
-    calls: u64,
-    slow_pt: Option<Duration>,
-    copy_path: bool,
-) -> f64 {
+fn pingpong(calls: u64, slow_pt: Option<Duration>, copy_path: bool) -> f64 {
     let hub = LoopbackHub::new();
     let a = Executive::new(ExecutiveConfig::named("a"));
     let b = Executive::new(ExecutiveConfig::named("b"));
@@ -129,9 +125,18 @@ fn main() {
     println!("## 2. zero-copy vs copy-path frame hand-off");
     let zero_copy = pingpong(calls, None, false);
     let copied = pingpong(calls, None, true);
-    println!("{:<44} {:>12.2}", "zero-copy (pooled buffer hand-off)", zero_copy);
-    println!("{:<44} {:>12.2}", "copy path (alloc + memcpy per hop)", copied);
-    println!("# copy penalty: {:+.2} us per one-way hop", copied - zero_copy);
+    println!(
+        "{:<44} {:>12.2}",
+        "zero-copy (pooled buffer hand-off)", zero_copy
+    );
+    println!(
+        "{:<44} {:>12.2}",
+        "copy path (alloc + memcpy per hop)", copied
+    );
+    println!(
+        "# copy penalty: {:+.2} us per one-way hop",
+        copied - zero_copy
+    );
 
     if args.has("json") {
         let path = args.get_str("json", "ptmode.json");

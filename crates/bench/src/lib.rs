@@ -111,7 +111,11 @@ pub fn xdaq_gm_pingpong(cfg: BlackboxConfig) -> PingRun {
         b.run_once();
     }
     let one_way_ns = state.one_way_ns();
-    PingRun { one_way_ns, exec_a: a, exec_b: b }
+    PingRun {
+        one_way_ns,
+        exec_a: a,
+        exec_b: b,
+    }
 }
 
 /// The baseline of Figure 6: the same flood/echo test **directly on
@@ -125,7 +129,10 @@ pub fn raw_gm_pingpong(payload: usize, calls: u64, wire: LatencyModel) -> Vec<u6
     let b = fabric
         .open_port_with(NodeId(2), PortId(0), PortConfig::unlimited())
         .expect("port b");
-    let b_addr = GmAddr { node: NodeId(2), port: PortId(0) };
+    let b_addr = GmAddr {
+        node: NodeId(2),
+        port: PortId(0),
+    };
     let msg = vec![0xA5u8; payload];
     let mut rtts = Vec::with_capacity(calls as usize);
     for _ in 0..calls {
@@ -174,12 +181,18 @@ impl Args {
 
     /// Typed lookup with default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.pairs.get(key).and_then(|s| s.parse().ok()).unwrap_or(default)
+        self.pairs
+            .get(key)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
     }
 
     /// String lookup with default.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.pairs.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.pairs
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Presence check.
@@ -241,8 +254,14 @@ mod tests {
     #[test]
     fn xdaq_is_slower_than_raw_gm() {
         let raw = mean_us(&raw_gm_pingpong(64, 500, LatencyModel::ZERO));
-        let xdaq =
-            mean_us(&xdaq_gm_pingpong(BlackboxConfig { payload: 64, calls: 500, ..Default::default() }).one_way_ns);
+        let xdaq = mean_us(
+            &xdaq_gm_pingpong(BlackboxConfig {
+                payload: 64,
+                calls: 500,
+                ..Default::default()
+            })
+            .one_way_ns,
+        );
         assert!(
             xdaq > raw,
             "framework must add overhead: xdaq {xdaq:.2}us vs raw {raw:.2}us"

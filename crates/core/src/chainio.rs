@@ -109,8 +109,8 @@ impl ChainCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::executive::{Executive};
     use crate::config::ExecutiveConfig;
+    use crate::executive::Executive;
     use crate::listener::I2oListener;
     use parking_lot::Mutex;
     use std::sync::Arc;
@@ -131,18 +131,23 @@ mod tests {
         fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
             if msg.private.map(|p| p.x_function) == Some(XFN_KICK) {
                 let dest = self.dest.or_else(|| {
-                    ctx.param("dest").and_then(|s| s.parse::<u16>().ok()).and_then(|v| Tid::new(v).ok())
+                    ctx.param("dest")
+                        .and_then(|s| s.parse::<u16>().ok())
+                        .and_then(|v| Tid::new(v).ok())
                 });
                 if let Some(dest) = dest {
-                    ctx.send_chained(dest, 1, XFN_BULK, 7, &self.payload, 256).unwrap();
+                    ctx.send_chained(dest, 1, XFN_BULK, 7, &self.payload, 256)
+                        .unwrap();
                 }
             }
         }
     }
 
+    type DoneLog = Arc<Mutex<Vec<(Tid, u32, Vec<u8>)>>>;
+
     struct BulkReceiver {
         collector: ChainCollector,
-        done: Arc<Mutex<Vec<(Tid, u32, Vec<u8>)>>>,
+        done: DoneLog,
     }
 
     impl I2oListener for BulkReceiver {
@@ -165,7 +170,10 @@ mod tests {
         let rx = exec
             .register(
                 "rx",
-                Box::new(BulkReceiver { collector: ChainCollector::new(), done: done.clone() }),
+                Box::new(BulkReceiver {
+                    collector: ChainCollector::new(),
+                    done: done.clone(),
+                }),
                 &[],
             )
             .unwrap();
@@ -173,12 +181,16 @@ mod tests {
         let tx = exec
             .register(
                 "tx",
-                Box::new(BulkSender { payload: payload.clone(), dest: Some(rx) }),
+                Box::new(BulkSender {
+                    payload: payload.clone(),
+                    dest: Some(rx),
+                }),
                 &[],
             )
             .unwrap();
         exec.enable_all();
-        exec.post(Message::build_private(tx, Tid::HOST, 1, XFN_KICK).finish()).unwrap();
+        exec.post(Message::build_private(tx, Tid::HOST, 1, XFN_KICK).finish())
+            .unwrap();
         while exec.run_once() > 0 {}
         let done = done.lock();
         assert_eq!(done.len(), 1);

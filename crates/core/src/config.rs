@@ -32,6 +32,10 @@ pub struct ExecutiveConfig {
     pub dispatch_batch: usize,
     /// Spin iterations before the idle loop yields the CPU.
     pub idle_spins: u32,
+    /// Slots in the frame-lifecycle trace ring (rounded up to a power
+    /// of two). The tracer starts disabled; `UtilMonTraceDump` turns it
+    /// on and off at runtime.
+    pub trace_capacity: usize,
 }
 
 impl Default for ExecutiveConfig {
@@ -43,6 +47,7 @@ impl Default for ExecutiveConfig {
             watchdog: None,
             dispatch_batch: 16,
             idle_spins: 200,
+            trace_capacity: 1024,
         }
     }
 }
@@ -50,7 +55,10 @@ impl Default for ExecutiveConfig {
 impl ExecutiveConfig {
     /// Named-node convenience constructor.
     pub fn named(node: &str) -> ExecutiveConfig {
-        ExecutiveConfig { node: node.to_string(), ..ExecutiveConfig::default() }
+        ExecutiveConfig {
+            node: node.to_string(),
+            ..ExecutiveConfig::default()
+        }
     }
 }
 
@@ -71,8 +79,10 @@ pub fn encode_kv(map: &HashMap<String, String>) -> Vec<u8> {
 
 /// Builds a kv payload from pairs.
 pub fn kv(pairs: &[(&str, &str)]) -> Vec<u8> {
-    let map: HashMap<String, String> =
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    let map: HashMap<String, String> = pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
     encode_kv(&map)
 }
 
@@ -99,7 +109,11 @@ mod tests {
 
     #[test]
     fn kv_roundtrip() {
-        let payload = kv(&[("factory", "pingger"), ("name", "ping0"), ("param.peer", "0x20")]);
+        let payload = kv(&[
+            ("factory", "pingger"),
+            ("name", "ping0"),
+            ("param.peer", "0x20"),
+        ]);
         let map = parse_kv(&payload).unwrap();
         assert_eq!(map["factory"], "pingger");
         assert_eq!(map["name"], "ping0");

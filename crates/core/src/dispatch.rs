@@ -107,7 +107,10 @@ impl ProbedAllocator {
     ) -> Arc<ProbedAllocator> {
         Arc::new(ProbedAllocator {
             inner,
-            shim: Arc::new(TimedRecycler { inner: recycler, ring: probes.clone() }),
+            shim: Arc::new(TimedRecycler {
+                inner: recycler,
+                ring: probes.clone(),
+            }),
             probes,
         })
     }
@@ -117,7 +120,9 @@ impl FrameAllocator for ProbedAllocator {
     fn alloc(&self, len: usize) -> Result<FrameBuf, AllocError> {
         let t0 = std::time::Instant::now();
         let result = self.inner.alloc(len);
-        self.probes.frame_alloc.record(t0.elapsed().as_nanos() as u64);
+        self.probes
+            .frame_alloc
+            .record(t0.elapsed().as_nanos() as u64);
         let mut buf = result?;
         buf.replace_recycler(self.shim.clone());
         Ok(buf)

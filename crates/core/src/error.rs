@@ -123,14 +123,20 @@ mod tests {
         assert!(matches!(e, ExecError::Alloc(_)));
         let e: ExecError = PtError::WouldBlock.into();
         assert!(matches!(e, ExecError::Transport(_)));
-        let e: PtError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: PtError = std::io::Error::other("boom").into();
         assert!(matches!(e, PtError::Io(_)));
     }
 
     #[test]
     fn display_strings() {
-        assert!(ExecError::UnknownTid(Tid::HOST).to_string().contains("tid:host"));
-        assert!(ExecError::NoTransport("gm".into()).to_string().contains("gm"));
-        assert!(PtError::Unreachable("tcp://x".into()).to_string().contains("tcp://x"));
+        assert!(ExecError::UnknownTid(Tid::HOST)
+            .to_string()
+            .contains("tid:host"));
+        assert!(ExecError::NoTransport("gm".into())
+            .to_string()
+            .contains("gm"));
+        assert!(PtError::Unreachable("tcp://x".into())
+            .to_string()
+            .contains("tcp://x"));
     }
 }

@@ -19,34 +19,87 @@ use crate::route::{Route, RouteTable};
 use crate::timer::TimerWheel;
 use crate::xfn;
 use parking_lot::Mutex;
+use serde_json::json;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdaq_i2o::{
     DeviceClass, DeviceState, ExecFn, FunctionCode, Message, MsgFlags, MsgHeader, Priority,
-    ReplyStatus, Tid, TidAllocator, UtilFn, ORG_XDAQ,
+    ReplyStatus, Tid, TidAllocator, UtilFn, NUM_PRIORITIES, ORG_XDAQ,
 };
 use xdaq_mempool::{FrameAllocator, FrameBuf, SimplePool, TablePool};
+use xdaq_mon::{Counter, FrameTracer, Gauge, Histogram, TraceEvent};
 
 /// Factory for runtime module loading (`ExecSwDownload`): given the
 /// configured parameters, produce a listener instance.
 pub type ModuleFactory =
     Box<dyn Fn(&HashMap<String, String>) -> Box<dyn I2oListener> + Send + Sync>;
 
-#[derive(Default)]
-struct AtomicExecStats {
-    dispatched: AtomicU64,
-    sent_local: AtomicU64,
-    sent_peer: AtomicU64,
-    forwarded: AtomicU64,
-    broadcasts: AtomicU64,
-    dropped: AtomicU64,
-    exec_msgs: AtomicU64,
-    util_msgs: AtomicU64,
-    timers_fired: AtomicU64,
-    watchdog_trips: AtomicU64,
-    faults: AtomicU64,
+/// The executive's monitoring surface: every hot-path counter is a
+/// handle into one [`xdaq_mon::Registry`], so a `UtilMonSnapshot`
+/// serializes the complete node state without extra plumbing, and the
+/// frame tracer rides alongside behind its single-branch gate.
+pub struct ExecMonitors {
+    registry: xdaq_mon::Registry,
+    /// Frame lifecycle tracer (starts disabled).
+    pub(crate) tracer: FrameTracer,
+    dispatch_latency: Histogram,
+    dispatched: Counter,
+    sent_local: Counter,
+    sent_peer: Counter,
+    forwarded: Counter,
+    broadcasts: Counter,
+    dropped: Counter,
+    exec_msgs: Counter,
+    util_msgs: Counter,
+    timers_fired: Counter,
+    watchdog_trips: Counter,
+    faults: Counter,
+    polled_frames: Counter,
+}
+
+impl ExecMonitors {
+    fn new(trace_capacity: usize) -> (ExecMonitors, [Gauge; NUM_PRIORITIES]) {
+        let registry = xdaq_mon::Registry::new();
+        let depth_gauges: [Gauge; NUM_PRIORITIES] =
+            std::array::from_fn(|i| registry.gauge(&format!("queue.depth.p{i}")));
+        let mon = ExecMonitors {
+            tracer: FrameTracer::new(trace_capacity),
+            dispatch_latency: registry.histogram("exec.dispatch_latency_ns"),
+            dispatched: registry.counter("exec.dispatched"),
+            sent_local: registry.counter("exec.sent_local"),
+            sent_peer: registry.counter("exec.sent_peer"),
+            forwarded: registry.counter("exec.forwarded"),
+            broadcasts: registry.counter("exec.broadcasts"),
+            dropped: registry.counter("exec.dropped"),
+            exec_msgs: registry.counter("exec.exec_msgs"),
+            util_msgs: registry.counter("exec.util_msgs"),
+            timers_fired: registry.counter("exec.timers_fired"),
+            watchdog_trips: registry.counter("exec.watchdog_trips"),
+            faults: registry.counter("exec.faults"),
+            polled_frames: registry.counter("pta.polled_frames"),
+            registry,
+        };
+        (mon, depth_gauges)
+    }
+
+    /// The node-local metric registry (counters, gauges, histograms).
+    /// Device classes may hang their own metrics off it.
+    pub fn registry(&self) -> &xdaq_mon::Registry {
+        &self.registry
+    }
+
+    /// The frame lifecycle tracer.
+    pub fn tracer(&self) -> &FrameTracer {
+        &self.tracer
+    }
+
+    /// Queue→dispatch latency histogram (populated while tracing is
+    /// enabled).
+    pub fn dispatch_latency(&self) -> &Histogram {
+        &self.dispatch_latency
+    }
 }
 
 /// Snapshot of executive counters.
@@ -90,7 +143,7 @@ pub struct ExecCore {
     tids: Mutex<TidAllocator>,
     proxy_index: Mutex<HashMap<(PeerAddr, Tid), Tid>>,
     factories: Mutex<HashMap<String, ModuleFactory>>,
-    stats: AtomicExecStats,
+    mon: ExecMonitors,
     probes: Option<Arc<DispatchProbes>>,
     watchdog: Option<Duration>,
     fault_listener: Mutex<Option<Tid>>,
@@ -114,7 +167,14 @@ impl ExecCore {
 
     /// Allocates a pooled buffer.
     pub fn alloc(&self, len: usize) -> Result<FrameBuf, xdaq_mempool::AllocError> {
+        self.mon.tracer.record(TraceEvent::Alloc, len as u32, 0);
         self.alloc.alloc(len)
+    }
+
+    /// The monitoring surface: metric registry, frame tracer, latency
+    /// histogram.
+    pub fn monitors(&self) -> &ExecMonitors {
+        &self.mon
     }
 
     /// The timer wheel.
@@ -127,6 +187,20 @@ impl ExecCore {
         self.registry.lookup_name(name)
     }
 
+    /// Enqueues locally, stamping the frame for latency measurement
+    /// when tracing is on (one branch on the disabled path).
+    fn enqueue(&self, mut d: Delivery) {
+        if self.mon.tracer.is_enabled() {
+            d.enqueued_at = Some(Instant::now());
+            self.mon.tracer.record(
+                TraceEvent::Enqueue,
+                d.header.target.raw() as u32,
+                d.priority().level() as u32,
+            );
+        }
+        self.queue.push(d);
+    }
+
     /// Routes a delivery to its target: local queue, peer transport, or
     /// broadcast fan-out.
     pub fn route(&self, d: Delivery) -> Result<(), ExecError> {
@@ -135,46 +209,51 @@ impl ExecCore {
             return self.broadcast(d);
         }
         if target == Tid::EXECUTIVE {
-            self.queue.push(d);
-            self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+            self.enqueue(d);
+            self.mon.sent_local.inc();
             return Ok(());
         }
         match self.routes.lookup(target) {
             Some(Route::Local) => {
-                self.queue.push(d);
-                self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(d);
+                self.mon.sent_local.inc();
                 Ok(())
             }
             Some(Route::Peer { peer, remote_tid }) => {
                 let mut buf = d.into_buf();
                 MsgHeader::patch_target(&mut buf, remote_tid);
+                self.mon.tracer.record(
+                    TraceEvent::PtSend,
+                    remote_tid.raw() as u32,
+                    buf.len() as u32,
+                );
                 self.pta.send(&peer, buf)?;
-                self.stats.sent_peer.fetch_add(1, Ordering::Relaxed);
+                self.mon.sent_peer.inc();
                 Ok(())
             }
             None => {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                self.mon.dropped.inc();
+                self.mon
+                    .tracer
+                    .record(TraceEvent::Drop, target.raw() as u32, 0);
                 Err(ExecError::UnknownTid(target))
             }
         }
     }
 
     fn broadcast(&self, d: Delivery) -> Result<(), ExecError> {
-        self.stats.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.mon.broadcasts.inc();
         let bytes = d.frame_bytes();
         for tid in self.registry.tids() {
             if tid == d.header.initiator {
                 continue; // do not echo to the sender
             }
-            let mut buf = match self.alloc(bytes.len()) {
-                Ok(b) => b,
-                Err(e) => return Err(e.into()),
-            };
+            let mut buf = self.alloc(bytes.len())?;
             buf.copy_from_slice(bytes);
             MsgHeader::patch_target(&mut buf, tid);
             if let Ok(copy) = Delivery::from_buf(buf) {
-                self.queue.push(copy);
-                self.stats.sent_local.fetch_add(1, Ordering::Relaxed);
+                self.enqueue(copy);
+                self.mon.sent_local.inc();
             }
         }
         Ok(())
@@ -201,10 +280,13 @@ impl ExecCore {
     /// so replies route back transparently; frames whose target is
     /// itself a proxy are forwarded onward (multi-hop Peer Operation).
     pub fn ingest_from_peer(&self, mut buf: FrameBuf, src: PeerAddr) {
+        self.mon
+            .tracer
+            .record(TraceEvent::PtRecv, 0, buf.len() as u32);
         let header = match MsgHeader::decode(&buf) {
             Ok(h) => h,
             Err(_) => {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                self.mon.dropped.inc();
                 return;
             }
         };
@@ -212,7 +294,7 @@ impl ExecCore {
             match self.proxy_for(src, header.initiator) {
                 Ok(proxy) => MsgHeader::patch_initiator(&mut buf, proxy),
                 Err(_) => {
-                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.mon.dropped.inc();
                     return;
                 }
             }
@@ -220,32 +302,76 @@ impl ExecCore {
         let d = match Delivery::from_buf(buf) {
             Ok(d) => d,
             Err(_) => {
-                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                self.mon.dropped.inc();
                 return;
             }
         };
-        let is_forward = matches!(self.routes.lookup(d.header.target), Some(Route::Peer { .. }));
+        let is_forward = matches!(
+            self.routes.lookup(d.header.target),
+            Some(Route::Peer { .. })
+        );
         if is_forward {
-            self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            self.mon.forwarded.inc();
         }
         let _ = self.route(d);
     }
 
     fn snapshot(&self) -> ExecStats {
-        let s = &self.stats;
+        let m = &self.mon;
         ExecStats {
-            dispatched: s.dispatched.load(Ordering::Relaxed),
-            sent_local: s.sent_local.load(Ordering::Relaxed),
-            sent_peer: s.sent_peer.load(Ordering::Relaxed),
-            forwarded: s.forwarded.load(Ordering::Relaxed),
-            broadcasts: s.broadcasts.load(Ordering::Relaxed),
-            dropped: s.dropped.load(Ordering::Relaxed),
-            exec_msgs: s.exec_msgs.load(Ordering::Relaxed),
-            util_msgs: s.util_msgs.load(Ordering::Relaxed),
-            timers_fired: s.timers_fired.load(Ordering::Relaxed),
-            watchdog_trips: s.watchdog_trips.load(Ordering::Relaxed),
-            faults: s.faults.load(Ordering::Relaxed),
+            dispatched: m.dispatched.get(),
+            sent_local: m.sent_local.get(),
+            sent_peer: m.sent_peer.get(),
+            forwarded: m.forwarded.get(),
+            broadcasts: m.broadcasts.get(),
+            dropped: m.dropped.get(),
+            exec_msgs: m.exec_msgs.get(),
+            util_msgs: m.util_msgs.get(),
+            timers_fired: m.timers_fired.get(),
+            watchdog_trips: m.watchdog_trips.get(),
+            faults: m.faults.get(),
         }
+    }
+
+    /// One JSON document describing everything this node knows about
+    /// itself: registry metrics (counters, per-priority queue gauges,
+    /// histograms), pool accounting, per-transport counters and tracer
+    /// state. This is the `UtilMonSnapshot` reply body.
+    pub fn mon_snapshot(&self) -> serde_json::Value {
+        let ps = self.alloc.stats();
+        json!({
+            "node": self.node.as_str(),
+            "uptime_ns": self.started_at.elapsed().as_nanos() as u64,
+            "devices": self.registry.len() as u64,
+            "queued": self.queue.len() as u64,
+            "metrics": self.mon.registry.snapshot(),
+            "pool": {
+                "scheme": self.alloc.scheme(),
+                "allocs": ps.allocs,
+                "hits": ps.hits,
+                "misses": ps.misses,
+                "frees": ps.frees,
+                "failures": ps.failures,
+                "live_blocks": ps.live_blocks,
+                "high_water_blocks": ps.high_water_blocks,
+                "bytes_created": ps.bytes_created,
+            },
+            "pt": self.pta.counters_value(),
+            "trace": {
+                "enabled": self.mon.tracer.is_enabled(),
+                "recorded": self.mon.tracer.recorded(),
+            },
+        })
+    }
+
+    /// Zeroes the whole monitoring state: registry (counters, gauges,
+    /// histograms — including the counters behind [`ExecStats`]), the
+    /// trace ring, and per-transport counters. Pool accounting is
+    /// lifetime state and is left untouched.
+    pub fn mon_reset(&self) {
+        self.mon.registry.reset();
+        self.mon.tracer.clear();
+        self.pta.reset_counters();
     }
 }
 
@@ -278,10 +404,11 @@ impl Executive {
             state: DeviceState::Enabled,
             params: HashMap::new(),
         };
+        let (mon, depth_gauges) = ExecMonitors::new(config.trace_capacity);
         let core = Arc::new(ExecCore {
             node: config.node,
             alloc,
-            queue: SchedQueue::new(),
+            queue: SchedQueue::with_gauges(depth_gauges),
             routes: RouteTable::new(),
             pta: Pta::new(),
             timers: TimerWheel::new(),
@@ -289,7 +416,7 @@ impl Executive {
             tids: Mutex::new(TidAllocator::new()),
             proxy_index: Mutex::new(HashMap::new()),
             factories: Mutex::new(HashMap::new()),
-            stats: AtomicExecStats::default(),
+            mon,
             probes,
             watchdog: config.watchdog,
             fault_listener: Mutex::new(None),
@@ -337,8 +464,10 @@ impl Executive {
         listener: Box<dyn I2oListener>,
         params: &[(&str, &str)],
     ) -> Result<Tid, ExecError> {
-        let params: HashMap<String, String> =
-            params.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        let params: HashMap<String, String> = params
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
         self.register_with(name, listener, params)
     }
 
@@ -364,7 +493,10 @@ impl Executive {
         // The paper's plugin upcall: the instance learns its TiD and
         // reads its parameters.
         if let Some(mut unit) = self.core.registry.checkout(tid) {
-            let mut ctx = Dispatcher { core: &self.core, meta: &mut unit.meta };
+            let mut ctx = Dispatcher {
+                core: &self.core,
+                meta: &mut unit.meta,
+            };
             unit.listener.plugged(&mut ctx);
             self.core.registry.checkin(unit);
         }
@@ -414,7 +546,13 @@ impl Executive {
                 ctx.set_param("scheme", &scheme);
             }
         }
-        let tid = self.register(name, Box::new(PtDdm { scheme: pt.scheme() }), &[])?;
+        let tid = self.register(
+            name,
+            Box::new(PtDdm {
+                scheme: pt.scheme(),
+            }),
+            &[],
+        )?;
         self.core.pta.register(tid, pt);
         Ok(tid)
     }
@@ -513,18 +651,24 @@ impl Executive {
 
         // Timers → XFN_TIMER frames through the normal queue.
         work += core.timers.fire_due(|owner, id| {
-            core.stats.timers_fired.fetch_add(1, Ordering::Relaxed);
+            core.mon.timers_fired.inc();
             let msg = Message::build_private(owner, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_TIMER)
                 .priority(Priority::MAX)
                 .payload(id.0.to_le_bytes().to_vec())
                 .finish();
             if let Ok(d) = Delivery::from_message(&msg, core.allocator()) {
-                core.queue.push(d);
+                core.enqueue(d);
             }
         });
 
         // Polling-mode PTs (paper: executive periodically scans PTs).
-        work += core.pta.poll_all(|buf, src| core.ingest_from_peer(buf, src));
+        let polled = core
+            .pta
+            .poll_all(|buf, src| core.ingest_from_peer(buf, src));
+        if polled > 0 {
+            core.mon.polled_frames.add(polled as u64);
+        }
+        work += polled;
 
         // Dispatch a batch.
         for _ in 0..core.dispatch_batch {
@@ -576,7 +720,10 @@ impl Executive {
             .name(format!("xdaq-{}", self.node()))
             .spawn(move || me.run())
             .expect("spawn executive thread");
-        ExecutiveHandle { exec: self.clone(), thread: Some(thread) }
+        ExecutiveHandle {
+            exec: self.clone(),
+            thread: Some(thread),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -585,8 +732,20 @@ impl Executive {
 
     fn dispatch(&self, d: Delivery) {
         let core = &self.core;
-        core.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+        core.mon.dispatched.inc();
         let target = d.header.target;
+        // Queue→dispatch latency; the stamp exists only while tracing
+        // is on, so the disabled path pays one `Option` check.
+        if let Some(t0) = d.enqueued_at {
+            core.mon
+                .dispatch_latency
+                .record(t0.elapsed().as_nanos() as u64);
+            core.mon.tracer.record(
+                TraceEvent::Dispatch,
+                target.raw() as u32,
+                d.header.function_code().to_u8() as u32,
+            );
+        }
         if target == Tid::EXECUTIVE {
             self.handle_executive(d);
             return;
@@ -599,7 +758,10 @@ impl Executive {
             p.demux.record(t0.elapsed().as_nanos() as u64);
         }
         let Some(mut unit) = unit else {
-            core.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            core.mon.dropped.inc();
+            core.mon
+                .tracer
+                .record(TraceEvent::Drop, target.raw() as u32, 0);
             self.error_reply(&d, ReplyStatus::UnknownTarget);
             return;
         };
@@ -610,52 +772,74 @@ impl Executive {
             }
             // Replies to standard-function requests this device sent.
             _ if d.header.flags.contains(MsgFlags::IS_REPLY) => {
-                let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+                let mut ctx = Dispatcher {
+                    core,
+                    meta: &mut unit.meta,
+                };
                 unit.listener.on_reply(&mut ctx, d);
             }
             FunctionCode::Util(f) => {
-                core.stats.util_msgs.fetch_add(1, Ordering::Relaxed);
+                core.mon.util_msgs.inc();
                 self.dispatch_util(&mut unit, f, d);
             }
             FunctionCode::Exec(_) | FunctionCode::Unknown(_) => {
                 // Fault-tolerant default (paper §3.2): unknown standard
                 // messages get a well-formed error reply instead of
                 // crashing or stalling the node.
-                let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+                let mut ctx = Dispatcher {
+                    core,
+                    meta: &mut unit.meta,
+                };
                 let _ = ctx.reply(&d, ReplyStatus::UnsupportedFunction, &[]);
             }
         }
         core.registry.checkin(unit);
+        // The delivery has been consumed above; its buffer returns to
+        // the pool here, which is the frame's recycle point.
+        core.mon
+            .tracer
+            .record(TraceEvent::Recycle, target.raw() as u32, 0);
     }
 
     fn dispatch_private(&self, unit: &mut DeviceUnit, d: Delivery) {
         let core = &self.core;
         // Framework-internal events ride private XDAQ frames.
         if let Some(p) = d.private {
-            if p.org_id == ORG_XDAQ && xfn::is_reserved(p.x_function) {
-                if p.x_function == xfn::XFN_TIMER {
-                    let mut id = [0u8; 8];
-                    let payload = d.payload();
-                    if payload.len() >= 8 {
-                        id.copy_from_slice(&payload[..8]);
-                        let mut ctx = Dispatcher { core, meta: &mut unit.meta };
-                        unit.listener.on_timer(&mut ctx, TimerId(u64::from_le_bytes(id)));
-                    }
-                    return;
+            if p.org_id == ORG_XDAQ
+                && xfn::is_reserved(p.x_function)
+                && p.x_function == xfn::XFN_TIMER
+            {
+                let mut id = [0u8; 8];
+                let payload = d.payload();
+                if payload.len() >= 8 {
+                    id.copy_from_slice(&payload[..8]);
+                    let mut ctx = Dispatcher {
+                        core,
+                        meta: &mut unit.meta,
+                    };
+                    unit.listener
+                        .on_timer(&mut ctx, TimerId(u64::from_le_bytes(id)));
                 }
-                // Other reserved events (watchdog/fault/LCT) are
-                // delivered as ordinary private frames below so
-                // monitoring listeners can observe them.
+                return;
             }
+            // Other reserved events (watchdog/fault/LCT) are delivered
+            // as ordinary private frames below so monitoring listeners
+            // can observe them.
         }
         if !unit.meta.state.accepts_private() {
-            core.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            core.mon.dropped.inc();
+            core.mon
+                .tracer
+                .record(TraceEvent::Drop, unit.meta.tid.raw() as u32, 1);
             self.error_reply(&d, ReplyStatus::Busy);
             return;
         }
         let probes = core.probes.clone();
         let t_upcall = probes.as_ref().map(|_| Instant::now());
-        let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+        let mut ctx = Dispatcher {
+            core,
+            meta: &mut unit.meta,
+        };
         let t_app = Instant::now();
         if let (Some(p), Some(t0)) = (&probes, t_upcall) {
             p.upcall.record(t0.elapsed().as_nanos() as u64);
@@ -669,10 +853,10 @@ impl Executive {
         // Watchdog (paper §4: detect handlers that monopolize the CPU).
         if let Some(budget) = core.watchdog {
             if app_elapsed > budget {
-                core.stats.watchdog_trips.fetch_add(1, Ordering::Relaxed);
+                core.mon.watchdog_trips.inc();
                 if unit.meta.state.can_transition(DeviceState::Faulted) {
                     unit.meta.state = DeviceState::Faulted;
-                    core.stats.faults.fetch_add(1, Ordering::Relaxed);
+                    core.mon.faults.inc();
                 }
                 self.notify_fault(unit.meta.tid, app_elapsed);
             }
@@ -689,7 +873,10 @@ impl Executive {
             return;
         }
         let outcome = {
-            let mut ctx = Dispatcher { core, meta: &mut unit.meta };
+            let mut ctx = Dispatcher {
+                core,
+                meta: &mut unit.meta,
+            };
             unit.listener.on_util(&mut ctx, f, &d)
         };
         if outcome == UtilOutcome::Handled {
@@ -748,6 +935,23 @@ impl Executive {
             UtilFn::EventAck | UtilFn::ReplyFaultNotify => {
                 // Pure notifications: nothing to do.
             }
+            UtilFn::MonSnapshot => {
+                let body = serde_json::to_string(&core.mon_snapshot());
+                let _ = ctx.reply(d, ReplyStatus::Success, body.as_bytes());
+            }
+            UtilFn::MonReset => {
+                core.mon_reset();
+                let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+            }
+            UtilFn::MonTraceDump => {
+                // Optional one-byte argument toggles the tracer; an
+                // empty payload dumps without changing the gate.
+                if let Some(&arg) = d.payload().first() {
+                    core.mon.tracer.set_enabled(arg != 0);
+                }
+                let body = serde_json::to_string(&core.mon.tracer.dump_value());
+                let _ = ctx.reply(d, ReplyStatus::Success, body.as_bytes());
+            }
         }
     }
 
@@ -755,7 +959,7 @@ impl Executive {
     /// surface a primary host drives.
     fn handle_executive(&self, d: Delivery) {
         let core = &self.core;
-        core.stats.exec_msgs.fetch_add(1, Ordering::Relaxed);
+        core.mon.exec_msgs.inc();
         // Replies to executive-originated requests terminate here —
         // never interpret a reply as a command (loop protection).
         if d.header.flags.contains(MsgFlags::IS_REPLY) {
@@ -765,20 +969,21 @@ impl Executive {
         let mut meta = core.exec_meta.lock();
         match function {
             FunctionCode::Util(f) => {
-                core.stats.util_msgs.fetch_add(1, Ordering::Relaxed);
+                core.mon.util_msgs.inc();
                 let mut m = meta.clone();
                 drop(meta);
                 self.default_util(&mut m, f, &d);
                 *core.exec_meta.lock() = m;
-                return;
             }
             FunctionCode::Exec(e) => {
                 drop(meta);
                 self.handle_exec_fn(e, &d);
-                return;
             }
             _ => {
-                let mut ctx = Dispatcher { core, meta: &mut meta };
+                let mut ctx = Dispatcher {
+                    core,
+                    meta: &mut meta,
+                };
                 let _ = ctx.reply(&d, ReplyStatus::UnsupportedFunction, &[]);
             }
         }
@@ -787,7 +992,10 @@ impl Executive {
     fn exec_reply(&self, d: &Delivery, status: ReplyStatus, body: &[u8]) {
         let core = &self.core;
         let mut meta = core.exec_meta.lock().clone();
-        let mut ctx = Dispatcher { core, meta: &mut meta };
+        let mut ctx = Dispatcher {
+            core,
+            meta: &mut meta,
+        };
         let _ = ctx.reply(d, status, body);
     }
 
@@ -823,7 +1031,20 @@ impl Executive {
                     ("devices", &core.registry.len().to_string()),
                     ("queued", &core.queue.len().to_string()),
                     ("dispatched", &s.dispatched.to_string()),
-                    ("uptime_ns", &core.started_at.elapsed().as_nanos().to_string()),
+                    ("sent_local", &s.sent_local.to_string()),
+                    ("sent_peer", &s.sent_peer.to_string()),
+                    ("forwarded", &s.forwarded.to_string()),
+                    ("broadcasts", &s.broadcasts.to_string()),
+                    ("dropped", &s.dropped.to_string()),
+                    ("exec_msgs", &s.exec_msgs.to_string()),
+                    ("util_msgs", &s.util_msgs.to_string()),
+                    ("timers_fired", &s.timers_fired.to_string()),
+                    ("watchdog_trips", &s.watchdog_trips.to_string()),
+                    ("faults", &s.faults.to_string()),
+                    (
+                        "uptime_ns",
+                        &core.started_at.elapsed().as_nanos().to_string(),
+                    ),
                     ("allocator", core.alloc.scheme()),
                 ]);
                 self.exec_reply(d, ReplyStatus::Success, &body);
@@ -848,7 +1069,8 @@ impl Executive {
                 self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
             }
             ExecFn::IopReset => {
-                core.registry.for_each_meta(|m| m.state = DeviceState::Initialized);
+                core.registry
+                    .for_each_meta(|m| m.state = DeviceState::Initialized);
                 for tid in core.registry.tids() {
                     core.queue.purge(tid);
                     core.timers.cancel_owned(tid);
@@ -877,11 +1099,9 @@ impl Executive {
                             let body = format!("tid={}\n", tid.raw());
                             self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
                         }
-                        Err(err) => self.exec_reply(
-                            d,
-                            ReplyStatus::DeviceError,
-                            err.to_string().as_bytes(),
-                        ),
+                        Err(err) => {
+                            self.exec_reply(d, ReplyStatus::DeviceError, err.to_string().as_bytes())
+                        }
                     }
                 }
                 Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.as_bytes()),
@@ -918,7 +1138,9 @@ impl Executive {
                     let mut body = String::new();
                     let mut ok = true;
                     for (k, v) in &map {
-                        let Some(n) = k.strip_prefix("route.") else { continue };
+                        let Some(n) = k.strip_prefix("route.") else {
+                            continue;
+                        };
                         let Some((peer, tid_s)) = v.split_once('|') else {
                             ok = false;
                             continue;
@@ -934,8 +1156,11 @@ impl Executive {
                             None => ok = false,
                         }
                     }
-                    let status =
-                        if ok { ReplyStatus::Success } else { ReplyStatus::DeviceError };
+                    let status = if ok {
+                        ReplyStatus::Success
+                    } else {
+                        ReplyStatus::DeviceError
+                    };
                     self.exec_reply(d, status, body.as_bytes());
                 }
                 Err(e) => self.exec_reply(d, ReplyStatus::BadFrame, e.as_bytes()),
@@ -979,13 +1204,14 @@ impl Executive {
                             done = true;
                         }
                     });
-                    let status =
-                        if done { ReplyStatus::Success } else { ReplyStatus::DeviceError };
+                    let status = if done {
+                        ReplyStatus::Success
+                    } else {
+                        ReplyStatus::DeviceError
+                    };
                     self.exec_reply(d, status, &[]);
                 }
-                Err(err) => {
-                    self.exec_reply(d, ReplyStatus::BadFrame, err.to_string().as_bytes())
-                }
+                Err(err) => self.exec_reply(d, ReplyStatus::BadFrame, err.to_string().as_bytes()),
             },
         }
     }

@@ -36,6 +36,7 @@ pub mod dispatch;
 pub mod error;
 pub mod executive;
 pub mod listener;
+pub mod monitor;
 pub mod pta;
 pub mod queue;
 pub mod registry;
@@ -48,9 +49,10 @@ pub use chainio::ChainCollector;
 pub use config::{AllocatorKind, ExecutiveConfig};
 pub use dispatch::{DispatchProbes, ProbedAllocator};
 pub use error::{ExecError, PtError};
-pub use executive::{Executive, ExecutiveHandle, ExecStats};
+pub use executive::{ExecMonitors, ExecStats, Executive, ExecutiveHandle};
 pub use listener::{Delivery, Dispatcher, I2oListener, TimerId};
-pub use pta::{IngestSink, PeerAddr, PeerTransport, Pta, PtMode};
+pub use monitor::MonitorAgent;
+pub use pta::{IngestSink, PeerAddr, PeerTransport, PtMode, Pta};
 pub use queue::SchedQueue;
 pub use registry::{DeviceMeta, Registry};
 pub use rmi::{ArgReader, ArgWriter, MarshalError, Skeleton, Stub};

@@ -12,8 +12,8 @@ use crate::error::ExecError;
 use crate::executive::ExecCore;
 use crate::registry::DeviceMeta;
 use xdaq_i2o::{
-    DeviceClass, DeviceState, FrameError, Message, MsgHeader, Priority, PrivateHeader,
-    ReplyStatus, Tid, UtilFn, HEADER_LEN, PRIVATE_HEADER_LEN,
+    DeviceClass, DeviceState, FrameError, Message, MsgHeader, Priority, PrivateHeader, ReplyStatus,
+    Tid, UtilFn, HEADER_LEN, PRIVATE_HEADER_LEN,
 };
 use xdaq_mempool::FrameBuf;
 
@@ -32,6 +32,10 @@ pub struct Delivery {
     pub header: MsgHeader,
     /// Decoded private extension, iff the frame is private.
     pub private: Option<PrivateHeader>,
+    /// Stamped at enqueue time when frame tracing is enabled, so the
+    /// dispatcher can record queue latency without paying for a clock
+    /// read on the disabled path.
+    pub(crate) enqueued_at: Option<std::time::Instant>,
     buf: FrameBuf,
 }
 
@@ -47,7 +51,12 @@ impl Delivery {
         } else {
             None
         };
-        Ok(Delivery { header, private, buf })
+        Ok(Delivery {
+            header,
+            private,
+            enqueued_at: None,
+            buf,
+        })
     }
 
     /// Encodes an owned [`Message`] into a pooled buffer.
@@ -63,7 +72,11 @@ impl Delivery {
 
     /// Application payload bytes (after the private extension if any).
     pub fn payload(&self) -> &[u8] {
-        let start = if self.private.is_some() { PRIVATE_HEADER_LEN } else { HEADER_LEN };
+        let start = if self.private.is_some() {
+            PRIVATE_HEADER_LEN
+        } else {
+            HEADER_LEN
+        };
         let end = HEADER_LEN + self.header.payload_len as usize;
         &self.buf[start..end]
     }
@@ -316,7 +329,9 @@ mod tests {
     #[test]
     fn frame_bytes_reencode() {
         let pool = TablePool::with_defaults();
-        let msg = Message::build_private(t(3), t(4), 1, 2).payload(&b"abc"[..]).finish();
+        let msg = Message::build_private(t(3), t(4), 1, 2)
+            .payload(&b"abc"[..])
+            .finish();
         let d = Delivery::from_message(&msg, &*pool).unwrap();
         assert_eq!(d.frame_bytes(), &msg.encode_vec()[..]);
     }
@@ -338,7 +353,9 @@ mod tests {
     #[test]
     fn pool_recycles_delivery_buffers() {
         let pool = TablePool::with_defaults();
-        let msg = Message::build_private(t(3), t(4), 1, 2).payload(vec![0u8; 100]).finish();
+        let msg = Message::build_private(t(3), t(4), 1, 2)
+            .payload(vec![0u8; 100])
+            .finish();
         {
             let _d = Delivery::from_message(&msg, &*pool).unwrap();
         }

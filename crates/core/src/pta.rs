@@ -32,7 +32,10 @@ pub struct PeerAddr {
 impl PeerAddr {
     /// Builds an address from parts.
     pub fn new(scheme: &str, rest: &str) -> PeerAddr {
-        PeerAddr { scheme: scheme.to_ascii_lowercase(), rest: rest.to_string() }
+        PeerAddr {
+            scheme: scheme.to_ascii_lowercase(),
+            rest: rest.to_string(),
+        }
     }
 
     /// The transport selector.
@@ -111,6 +114,14 @@ pub trait PeerTransport: Send + Sync {
 
     /// Stop threads / close sockets. Must be idempotent.
     fn stop(&self);
+
+    /// Per-transport monitoring counters (frames/bytes sent and
+    /// received, send errors), when the PT maintains them. The default
+    /// keeps minimal transports and test doubles free of any
+    /// instrumentation obligation.
+    fn counters(&self) -> Option<&xdaq_mon::PtCounters> {
+        None
+    }
 }
 
 struct PtEntry {
@@ -203,6 +214,28 @@ impl Pta {
         }
     }
 
+    /// Monitoring counters of every instrumented PT, keyed
+    /// `scheme:tid` (one executive may run several transports of the
+    /// same scheme).
+    pub fn counters_value(&self) -> serde_json::Value {
+        let mut map = serde_json::Map::new();
+        for e in self.entries.read().iter() {
+            if let Some(c) = e.pt.counters() {
+                map.insert(format!("{}:{}", e.pt.scheme(), e.tid.raw()), c.to_value());
+            }
+        }
+        serde_json::Value::Object(map)
+    }
+
+    /// Zeroes the counters of every instrumented PT.
+    pub fn reset_counters(&self) {
+        for e in self.entries.read().iter() {
+            if let Some(c) = e.pt.counters() {
+                c.reset();
+            }
+        }
+    }
+
     /// Registered transport count.
     pub fn len(&self) -> usize {
         self.entries.read().len()
@@ -272,7 +305,8 @@ mod tests {
                 .map(|f| (f, PeerAddr::new("fake", "peer")))
         }
         fn stop(&self) {
-            self.stopped.store(true, std::sync::atomic::Ordering::SeqCst);
+            self.stopped
+                .store(true, std::sync::atomic::Ordering::SeqCst);
         }
     }
 

@@ -17,6 +17,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xdaq_i2o::{Priority, Tid, NUM_PRIORITIES};
+use xdaq_mon::Gauge;
 
 #[derive(Default)]
 struct Level {
@@ -30,6 +31,9 @@ struct Level {
 pub struct SchedQueue {
     levels: [Mutex<Level>; NUM_PRIORITIES],
     pending: AtomicUsize,
+    /// Per-priority depth gauges (level + high-water), when the owner
+    /// wired the queue into a metric registry.
+    depth: Option<[Gauge; NUM_PRIORITIES]>,
 }
 
 impl Default for SchedQueue {
@@ -39,11 +43,22 @@ impl Default for SchedQueue {
 }
 
 impl SchedQueue {
-    /// An empty queue.
+    /// An empty queue without depth gauges.
     pub fn new() -> SchedQueue {
         SchedQueue {
             levels: std::array::from_fn(|_| Mutex::new(Level::default())),
             pending: AtomicUsize::new(0),
+            depth: None,
+        }
+    }
+
+    /// An empty queue that reports per-priority depths (and their
+    /// high-water marks) through the given gauges, index = priority
+    /// level.
+    pub fn with_gauges(depth: [Gauge; NUM_PRIORITIES]) -> SchedQueue {
+        SchedQueue {
+            depth: Some(depth),
+            ..SchedQueue::new()
         }
     }
 
@@ -62,6 +77,9 @@ impl SchedQueue {
             lv.rotation.push_back(tid);
         }
         self.pending.fetch_add(1, Ordering::Release);
+        if let Some(g) = &self.depth {
+            g[level].add(1);
+        }
     }
 
     /// Pops the next delivery: highest priority first, round-robin over
@@ -84,6 +102,9 @@ impl SchedQueue {
                     lv.queues.remove(&tid);
                 }
                 self.pending.fetch_sub(1, Ordering::Release);
+                if let Some(g) = &self.depth {
+                    g[p.level() as usize].add(-1);
+                }
                 return Some(d);
             }
         }
@@ -104,11 +125,15 @@ impl SchedQueue {
     /// how many were discarded.
     pub fn purge(&self, tid: Tid) -> usize {
         let mut dropped = 0;
-        for level in &self.levels {
+        for (i, level) in self.levels.iter().enumerate() {
             let mut lv = level.lock();
             if let Some(q) = lv.queues.remove(&tid) {
-                dropped += q.len();
+                let n = q.len();
+                dropped += n;
                 lv.rotation.retain(|t| *t != tid);
+                if let Some(g) = &self.depth {
+                    g[i].add(-(n as i64));
+                }
             }
         }
         self.pending.fetch_sub(dropped, Ordering::Release);
@@ -207,6 +232,25 @@ mod tests {
         let q = SchedQueue::new();
         q.push(mk(0x10, 0, 7));
         assert_eq!(q.pop().unwrap().payload()[0], 7);
+    }
+
+    #[test]
+    fn depth_gauges_track_per_priority() {
+        let reg = xdaq_mon::Registry::new();
+        let gauges: [Gauge; NUM_PRIORITIES] =
+            std::array::from_fn(|i| reg.gauge(&format!("queue.depth.p{i}")));
+        let q = SchedQueue::with_gauges(gauges);
+        q.push(mk(0x10, 3, 1));
+        q.push(mk(0x10, 3, 2));
+        q.push(mk(0x20, 5, 3));
+        assert_eq!(reg.gauge("queue.depth.p3").get(), 2);
+        assert_eq!(reg.gauge("queue.depth.p5").get(), 1);
+        q.pop(); // priority 5 first
+        assert_eq!(reg.gauge("queue.depth.p5").get(), 0);
+        assert_eq!(reg.gauge("queue.depth.p5").high_water(), 1);
+        assert_eq!(q.purge(t(0x10)), 2);
+        assert_eq!(reg.gauge("queue.depth.p3").get(), 0);
+        assert_eq!(reg.gauge("queue.depth.p3").high_water(), 2);
     }
 
     #[test]

@@ -75,7 +75,9 @@ impl Registry {
     pub fn insert(&self, unit: DeviceUnit) -> Result<(), crate::error::ExecError> {
         let mut inner = self.inner.lock();
         if inner.names.contains_key(&unit.meta.name) {
-            return Err(crate::error::ExecError::DuplicateName(unit.meta.name.clone()));
+            return Err(crate::error::ExecError::DuplicateName(
+                unit.meta.name.clone(),
+            ));
         }
         inner.names.insert(unit.meta.name.clone(), unit.meta.tid);
         inner.slots.insert(unit.meta.tid, Some(unit));
@@ -92,10 +94,10 @@ impl Registry {
     pub fn checkin(&self, unit: DeviceUnit) {
         let mut inner = self.inner.lock();
         let tid = unit.meta.tid;
-        match inner.slots.get_mut(&tid) {
-            Some(slot @ None) => *slot = Some(unit),
-            // The device was destroyed while checked out: drop it.
-            _ => {}
+        // If the device was destroyed while checked out, the slot is
+        // gone or occupied and the unit is simply dropped.
+        if let Some(slot @ None) = inner.slots.get_mut(&tid) {
+            *slot = Some(unit);
         }
     }
 
@@ -236,7 +238,10 @@ mod tests {
         let r = Registry::new();
         r.insert(unit(0x10, "a")).unwrap();
         let u = r.checkout(t(0x10)).unwrap();
-        assert!(r.remove(t(0x10)).is_none(), "checked out: unit not returned");
+        assert!(
+            r.remove(t(0x10)).is_none(),
+            "checked out: unit not returned"
+        );
         assert_eq!(r.lookup_name("a"), None, "name gone immediately");
         r.checkin(u); // silently dropped
         assert!(r.checkout(t(0x10)).is_none());

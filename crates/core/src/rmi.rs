@@ -203,7 +203,12 @@ pub struct Stub {
 impl Stub {
     /// Stub for `(org, x_function)` on `target` (usually a proxy TiD).
     pub fn new(target: Tid, org: OrgId, x_function: u16) -> Stub {
-        Stub { target, org, x_function, next_ctx: 1 }
+        Stub {
+            target,
+            org,
+            x_function,
+            next_ctx: 1,
+        }
     }
 
     /// The method's x-function code.
@@ -232,10 +237,7 @@ impl Stub {
 
     /// Checks whether `msg` is the reply to one of this stub's calls;
     /// returns `(context, status, result-reader)`.
-    pub fn match_reply<'m>(
-        &self,
-        msg: &'m Delivery,
-    ) -> Option<(u32, ReplyStatus, ArgReader<'m>)> {
+    pub fn match_reply<'m>(&self, msg: &'m Delivery) -> Option<(u32, ReplyStatus, ArgReader<'m>)> {
         let p = msg.private?;
         if p.org_id != self.org || p.x_function != self.x_function {
             return None;
@@ -315,7 +317,13 @@ mod tests {
         let buf = ArgWriter::new().u32(1).finish();
         let mut r = ArgReader::new(&buf);
         let e = r.u64().unwrap_err();
-        assert_eq!(e, MarshalError::TypeMismatch { expected: "u64", got: 0x01 });
+        assert_eq!(
+            e,
+            MarshalError::TypeMismatch {
+                expected: "u64",
+                got: 0x01
+            }
+        );
     }
 
     #[test]

@@ -46,7 +46,9 @@ impl RouteTable {
 
     /// Registers a proxy TiD.
     pub fn add_peer(&self, local_proxy: Tid, peer: PeerAddr, remote_tid: Tid) {
-        self.routes.write().insert(local_proxy, Route::Peer { peer, remote_tid });
+        self.routes
+            .write()
+            .insert(local_proxy, Route::Peer { peer, remote_tid });
     }
 
     /// Looks up a TiD.

@@ -27,7 +27,9 @@ struct Entry {
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.deadline.cmp(&other.deadline).then(self.id.cmp(&other.id))
+        self.deadline
+            .cmp(&other.deadline)
+            .then(self.id.cmp(&other.id))
     }
 }
 

@@ -31,7 +31,8 @@ impl I2oListener for Echo {
         self.seen.fetch_add(1, Ordering::SeqCst);
         *self.last_payload.lock() = msg.payload().to_vec();
         if msg.private.map(|p| p.x_function) == Some(XFN_ECHO) {
-            ctx.reply(&msg, ReplyStatus::Success, msg.payload()).unwrap();
+            ctx.reply(&msg, ReplyStatus::Success, msg.payload())
+                .unwrap();
         }
     }
 }
@@ -87,16 +88,30 @@ fn register_assigns_distinct_tids_and_calls_plugged() {
     let tid_cell = Arc::new(AtomicU64::new(0));
     let greet = Arc::new(parking_lot::Mutex::new(String::new()));
     let tid = exec
-        .register("p0", Box::new(P(tid_cell.clone(), greet.clone())), &[("greeting", "hi")])
+        .register(
+            "p0",
+            Box::new(P(tid_cell.clone(), greet.clone())),
+            &[("greeting", "hi")],
+        )
         .unwrap();
     assert_eq!(tid_cell.load(Ordering::SeqCst), tid.raw() as u64);
     assert_eq!(&*greet.lock(), "hi", "params visible in plugged()");
-    let tid2 = exec.register("p1", Box::new(Echo {
-        seen: Arc::new(AtomicU64::new(0)),
-        last_payload: Arc::new(parking_lot::Mutex::new(Vec::new())),
-    }), &[]).unwrap();
+    let tid2 = exec
+        .register(
+            "p1",
+            Box::new(Echo {
+                seen: Arc::new(AtomicU64::new(0)),
+                last_payload: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            }),
+            &[],
+        )
+        .unwrap();
     assert_ne!(tid, tid2);
-    assert!(exec.register("p0", Box::new(P(tid_cell, greet)), &[]).is_err(), "dup name");
+    assert!(
+        exec.register("p0", Box::new(P(tid_cell, greet)), &[])
+            .is_err(),
+        "dup name"
+    );
 }
 
 #[test]
@@ -105,10 +120,19 @@ fn private_frame_reaches_enabled_device_and_reply_routes_back() {
     let seen = Arc::new(AtomicU64::new(0));
     let last = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let echo_tid = exec
-        .register("echo", Box::new(Echo { seen: seen.clone(), last_payload: last.clone() }), &[])
+        .register(
+            "echo",
+            Box::new(Echo {
+                seen: seen.clone(),
+                last_payload: last.clone(),
+            }),
+            &[],
+        )
         .unwrap();
     let sink_state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("sink", Box::new(Sink(sink_state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(sink_state.clone())), &[])
+        .unwrap();
     exec.enable_all();
 
     let msg = Message::build_private(echo_tid, sink_tid, ORG_USER, XFN_ECHO)
@@ -134,7 +158,10 @@ fn disabled_device_rejects_private_frames_with_busy() {
     let echo_tid = exec
         .register(
             "echo",
-            Box::new(Echo { seen: seen.clone(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: seen.clone(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
@@ -159,7 +186,9 @@ fn unknown_target_counts_dropped() {
 fn priority_order_respected_across_batch() {
     let exec = new_exec("n1");
     let state = Arc::new(SinkState::default());
-    let tid = exec.register("sink", Box::new(Sink(state.clone())), &[]).unwrap();
+    let tid = exec
+        .register("sink", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     exec.enable_all();
     for (i, pri) in [1u8, 6, 3].iter().enumerate() {
         let msg = Message::build_private(tid, Tid::HOST, ORG_USER, XFN_SINK)
@@ -177,11 +206,16 @@ fn priority_order_respected_across_batch() {
 fn util_nop_and_params_roundtrip() {
     let exec = new_exec("n1");
     let state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("sink", Box::new(Sink(state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     let echo_tid = exec
         .register(
             "echo",
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            }),
             &[("size", "4096")],
         )
         .unwrap();
@@ -195,8 +229,12 @@ fn util_nop_and_params_roundtrip() {
             .finish(),
     )
     .unwrap();
-    exec.post(Message::util(echo_tid, sink_tid, UtilFn::ParamsGet).expect_reply().finish())
-        .unwrap();
+    exec.post(
+        Message::util(echo_tid, sink_tid, UtilFn::ParamsGet)
+            .expect_reply()
+            .finish(),
+    )
+    .unwrap();
     drain(&exec);
 
     let frames = state.frames.lock();
@@ -211,17 +249,28 @@ fn util_nop_and_params_roundtrip() {
 fn util_claim_lifecycle() {
     let exec = new_exec("n1");
     let state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("sink", Box::new(Sink(state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     let dev = exec
         .register(
             "dev",
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
     exec.enable_all();
-    for f in [UtilFn::Claim, UtilFn::Claim, UtilFn::ClaimRelease, UtilFn::Claim] {
-        exec.post(Message::util(dev, sink_tid, f).expect_reply().finish()).unwrap();
+    for f in [
+        UtilFn::Claim,
+        UtilFn::Claim,
+        UtilFn::ClaimRelease,
+        UtilFn::Claim,
+    ] {
+        exec.post(Message::util(dev, sink_tid, f).expect_reply().finish())
+            .unwrap();
     }
     drain(&exec);
     let statuses: Vec<u8> = state.frames.lock().iter().map(|(_, p)| p[0]).collect();
@@ -240,9 +289,13 @@ fn util_claim_lifecycle() {
 fn exec_status_get_reports_node() {
     let exec = new_exec("daq7");
     let state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("sink", Box::new(Sink(state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     exec.post(
-        Message::exec(Tid::EXECUTIVE, sink_tid, ExecFn::StatusGet).expect_reply().finish(),
+        Message::exec(Tid::EXECUTIVE, sink_tid, ExecFn::StatusGet)
+            .expect_reply()
+            .finish(),
     )
     .unwrap();
     drain(&exec);
@@ -258,17 +311,22 @@ fn exec_sys_enable_quiesce_cycle() {
     let tid = exec
         .register(
             "dev",
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
-    exec.post(Message::exec(Tid::EXECUTIVE, Tid::HOST, ExecFn::SysEnable).finish()).unwrap();
+    exec.post(Message::exec(Tid::EXECUTIVE, Tid::HOST, ExecFn::SysEnable).finish())
+        .unwrap();
     drain(&exec);
     assert_eq!(
         exec.lct().iter().find(|r| r.tid == tid).unwrap().state,
         DeviceState::Enabled
     );
-    exec.post(Message::exec(Tid::EXECUTIVE, Tid::HOST, ExecFn::SysQuiesce).finish()).unwrap();
+    exec.post(Message::exec(Tid::EXECUTIVE, Tid::HOST, ExecFn::SysQuiesce).finish())
+        .unwrap();
     drain(&exec);
     assert_eq!(
         exec.lct().iter().find(|r| r.tid == tid).unwrap().state,
@@ -280,19 +338,28 @@ fn exec_sys_enable_quiesce_cycle() {
 fn exec_sw_download_instantiates_factory() {
     let exec = new_exec("n1");
     let state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("sink", Box::new(Sink(state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     let made = Arc::new(AtomicU64::new(0));
     let made2 = made.clone();
     exec.register_factory(
         "echo-factory",
         Box::new(move |_params: &HashMap<String, String>| {
             made2.fetch_add(1, Ordering::SeqCst);
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() })
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            })
         }),
     );
     exec.post(
         Message::exec(Tid::EXECUTIVE, sink_tid, ExecFn::SwDownload)
-            .payload(kv(&[("factory", "echo-factory"), ("name", "dyn0"), ("param.x", "1")]))
+            .payload(kv(&[
+                ("factory", "echo-factory"),
+                ("name", "dyn0"),
+                ("param.x", "1"),
+            ]))
             .expect_reply()
             .finish(),
     )
@@ -312,7 +379,10 @@ fn exec_ddm_destroy_removes_device() {
     let tid = exec
         .register(
             "victim",
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
@@ -349,7 +419,14 @@ fn timers_deliver_on_timer_upcalls() {
     }
     let exec = new_exec("n1");
     let fired = Arc::new(AtomicU64::new(0));
-    exec.register("timed", Box::new(Timed { fired: fired.clone() }), &[]).unwrap();
+    exec.register(
+        "timed",
+        Box::new(Timed {
+            fired: fired.clone(),
+        }),
+        &[],
+    )
+    .unwrap();
     exec.enable_all();
     std::thread::sleep(Duration::from_millis(5));
     drain(&exec);
@@ -372,13 +449,17 @@ fn watchdog_faults_slow_handler_and_notifies_listener() {
     cfg.watchdog = Some(Duration::from_millis(1));
     let exec = Executive::new(cfg);
     let state = Arc::new(SinkState::default());
-    let sink_tid = exec.register("mon", Box::new(Sink(state.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("mon", Box::new(Sink(state.clone())), &[])
+        .unwrap();
     let slow_tid = exec.register("slow", Box::new(Slow), &[]).unwrap();
     exec.enable_all();
     // Monitor registers as fault listener via UtilEventRegister on the
     // executive device.
-    exec.post(Message::util(Tid::EXECUTIVE, sink_tid, UtilFn::EventRegister).finish()).unwrap();
-    exec.post(Message::build_private(slow_tid, sink_tid, ORG_USER, XFN_SINK).finish()).unwrap();
+    exec.post(Message::util(Tid::EXECUTIVE, sink_tid, UtilFn::EventRegister).finish())
+        .unwrap();
+    exec.post(Message::build_private(slow_tid, sink_tid, ORG_USER, XFN_SINK).finish())
+        .unwrap();
     drain(&exec);
     assert_eq!(exec.stats().watchdog_trips, 1);
     assert_eq!(exec.stats().faults, 1);
@@ -388,11 +469,15 @@ fn watchdog_faults_slow_handler_and_notifies_listener() {
     );
     // The monitor received the XFN_WATCHDOG notification.
     let frames = state.frames.lock();
-    let wd = frames.iter().find(|(x, _)| *x == Some(0xFF02)).expect("watchdog frame");
+    let wd = frames
+        .iter()
+        .find(|(x, _)| *x == Some(0xFF02))
+        .expect("watchdog frame");
     let body = String::from_utf8(wd.1.clone()).unwrap();
     assert!(body.contains(&format!("tid={}", slow_tid.raw())), "{body}");
     // Faulted device no longer gets private frames.
-    exec.post(Message::build_private(slow_tid, sink_tid, ORG_USER, XFN_SINK).finish()).unwrap();
+    exec.post(Message::build_private(slow_tid, sink_tid, ORG_USER, XFN_SINK).finish())
+        .unwrap();
     drain(&exec);
     assert_eq!(exec.stats().watchdog_trips, 1, "no second dispatch");
 }
@@ -402,8 +487,12 @@ fn broadcast_reaches_all_devices_except_sender() {
     let exec = new_exec("n1");
     let s1 = Arc::new(SinkState::default());
     let s2 = Arc::new(SinkState::default());
-    let t1 = exec.register("s1", Box::new(Sink(s1.clone())), &[]).unwrap();
-    let _t2 = exec.register("s2", Box::new(Sink(s2.clone())), &[]).unwrap();
+    let t1 = exec
+        .register("s1", Box::new(Sink(s1.clone())), &[])
+        .unwrap();
+    let _t2 = exec
+        .register("s2", Box::new(Sink(s2.clone())), &[])
+        .unwrap();
     exec.enable_all();
     let msg = Message::build_private(Tid::BROADCAST, t1, ORG_USER, XFN_SINK)
         .payload(&b"all"[..])
@@ -422,7 +511,10 @@ fn spawned_executive_processes_posts() {
     let tid = exec
         .register(
             "echo",
-            Box::new(Echo { seen: seen.clone(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: seen.clone(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
@@ -450,13 +542,17 @@ fn probes_capture_dispatch_activities() {
     let tid = exec
         .register(
             "echo",
-            Box::new(Echo { seen: Default::default(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: Default::default(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
     exec.enable_all();
     for _ in 0..10 {
-        exec.post(Message::build_private(tid, Tid::HOST, ORG_USER, XFN_SINK).finish()).unwrap();
+        exec.post(Message::build_private(tid, Tid::HOST, ORG_USER, XFN_SINK).finish())
+            .unwrap();
     }
     drain(&exec);
     let p = exec.probes().unwrap();
@@ -477,12 +573,16 @@ fn simple_allocator_configuration_works_end_to_end() {
     let tid = exec
         .register(
             "echo",
-            Box::new(Echo { seen: seen.clone(), last_payload: Default::default() }),
+            Box::new(Echo {
+                seen: seen.clone(),
+                last_payload: Default::default(),
+            }),
             &[],
         )
         .unwrap();
     exec.enable_all();
-    exec.post(Message::build_private(tid, Tid::HOST, ORG_USER, XFN_SINK).finish()).unwrap();
+    exec.post(Message::build_private(tid, Tid::HOST, ORG_USER, XFN_SINK).finish())
+        .unwrap();
     drain(&exec);
     assert_eq!(seen.load(Ordering::SeqCst), 1);
     assert_eq!(exec.pool_stats().allocs, 1);

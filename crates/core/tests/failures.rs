@@ -11,14 +11,18 @@ use xdaq_core::{
 use xdaq_i2o::{DeviceClass, Message, ReplyStatus, Tid, UtilFn};
 use xdaq_mempool::FrameBuf;
 
-struct Sink(Arc<parking_lot::Mutex<Vec<(Option<u16>, Vec<u8>)>>>);
+type SinkLog = Arc<parking_lot::Mutex<Vec<(Option<u16>, Vec<u8>)>>>;
+
+struct Sink(SinkLog);
 
 impl I2oListener for Sink {
     fn class(&self) -> DeviceClass {
         DeviceClass::Application(1)
     }
     fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
-        self.0.lock().push((msg.private.map(|p| p.x_function), msg.payload().to_vec()));
+        self.0
+            .lock()
+            .push((msg.private.map(|p| p.x_function), msg.payload().to_vec()));
     }
     fn on_reply(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
         self.0.lock().push((None, msg.payload().to_vec()));
@@ -52,7 +56,9 @@ impl PeerTransport for BrokenPt {
 fn send_to_unreachable_peer_is_an_error_not_a_panic() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     exec.register_pt("broken", Arc::new(BrokenPt)).unwrap();
-    let proxy = exec.proxy("broken://nowhere", Tid::new(0x20).unwrap(), None).unwrap();
+    let proxy = exec
+        .proxy("broken://nowhere", Tid::new(0x20).unwrap(), None)
+        .unwrap();
     let msg = Message::build_private(proxy, Tid::HOST, 1, 1).finish();
     match exec.post(msg) {
         Err(ExecError::Transport(PtError::Unreachable(_))) => {}
@@ -63,7 +69,9 @@ fn send_to_unreachable_peer_is_an_error_not_a_panic() {
 #[test]
 fn send_via_unknown_scheme_is_reported() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
-    let proxy = exec.proxy("ghost://x", Tid::new(0x20).unwrap(), None).unwrap();
+    let proxy = exec
+        .proxy("ghost://x", Tid::new(0x20).unwrap(), None)
+        .unwrap();
     let msg = Message::build_private(proxy, Tid::HOST, 1, 1).finish();
     assert!(matches!(exec.post(msg), Err(ExecError::Transport(_))));
 }
@@ -89,8 +97,12 @@ fn garbage_from_the_wire_is_dropped_and_counted() {
 fn messages_to_destroyed_device_yield_unknown_target_reply() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     let replies = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let sink_tid = exec.register("sink", Box::new(Sink(replies.clone())), &[]).unwrap();
-    let victim = exec.register("victim", Box::new(Sink(Default::default())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(replies.clone())), &[])
+        .unwrap();
+    let victim = exec
+        .register("victim", Box::new(Sink(Default::default())), &[])
+        .unwrap();
     exec.enable_all();
     exec.destroy(victim).unwrap();
     // Route is gone: local post errors out...
@@ -101,14 +113,17 @@ fn messages_to_destroyed_device_yield_unknown_target_reply() {
     // reply (fault-tolerant default).
     let src: PeerAddr = "loop://peer".parse().unwrap();
     // Re-add a stale route as a peer would have seen it.
-    exec.core().route(
-        Delivery::from_message(
-            &Message::build_private(victim, sink_tid, 1, 1).expect_reply().finish(),
-            exec.core().allocator(),
+    exec.core()
+        .route(
+            Delivery::from_message(
+                &Message::build_private(victim, sink_tid, 1, 1)
+                    .expect_reply()
+                    .finish(),
+                exec.core().allocator(),
+            )
+            .unwrap(),
         )
-        .unwrap(),
-    )
-    .ok();
+        .ok();
     let _ = src;
     drain(&exec);
     let r = replies.lock();
@@ -120,10 +135,13 @@ fn messages_to_destroyed_device_yield_unknown_target_reply() {
 #[test]
 fn destroy_purges_pending_traffic_and_recycles_tid() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
-    let victim = exec.register("victim", Box::new(Sink(Default::default())), &[]).unwrap();
+    let victim = exec
+        .register("victim", Box::new(Sink(Default::default())), &[])
+        .unwrap();
     exec.enable_all();
     for _ in 0..10 {
-        exec.post(Message::build_private(victim, Tid::HOST, 1, 1).finish()).unwrap();
+        exec.post(Message::build_private(victim, Tid::HOST, 1, 1).finish())
+            .unwrap();
     }
     assert_eq!(exec.queue_len(), 10);
     exec.destroy(victim).unwrap();
@@ -148,7 +166,8 @@ fn handler_panic_is_not_silent_death() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     let tid = exec.register("bomb", Box::new(Bomb), &[]).unwrap();
     exec.enable_all();
-    exec.post(Message::build_private(tid, Tid::HOST, 1, 1).finish()).unwrap();
+    exec.post(Message::build_private(tid, Tid::HOST, 1, 1).finish())
+        .unwrap();
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         drain(&exec);
     }));
@@ -161,8 +180,12 @@ fn handler_panic_is_not_silent_death() {
 fn params_set_with_garbage_payload_replies_bad_frame() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     let replies = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let sink_tid = exec.register("sink", Box::new(Sink(replies.clone())), &[]).unwrap();
-    let dev = exec.register("dev", Box::new(Sink(Default::default())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(replies.clone())), &[])
+        .unwrap();
+    let dev = exec
+        .register("dev", Box::new(Sink(Default::default())), &[])
+        .unwrap();
     exec.enable_all();
     exec.post(
         Message::util(dev, sink_tid, UtilFn::ParamsSet)
@@ -181,13 +204,18 @@ fn params_set_with_garbage_payload_replies_bad_frame() {
 fn util_abort_purges_device_queue() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     let replies = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let sink_tid = exec.register("sink", Box::new(Sink(replies.clone())), &[]).unwrap();
-    let dev = exec.register("dev", Box::new(Sink(Default::default())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(replies.clone())), &[])
+        .unwrap();
+    let dev = exec
+        .register("dev", Box::new(Sink(Default::default())), &[])
+        .unwrap();
     // Do NOT enable: private frames queue then bounce; instead keep
     // device initialized and pile utility work behind an abort.
     exec.enable_all();
     for _ in 0..5 {
-        exec.post(Message::build_private(dev, sink_tid, 1, 1).finish()).unwrap();
+        exec.post(Message::build_private(dev, sink_tid, 1, 1).finish())
+            .unwrap();
     }
     // Abort at MAX priority overtakes the queued private frames.
     exec.post(
@@ -211,15 +239,11 @@ fn tid_exhaustion_is_reported_not_fatal() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     // Exhaust the dynamic TiD space via proxies (cheapest route).
     let mut made = 0u32;
-    loop {
-        match exec.proxy("loop://x", Tid::new(0x20).unwrap(), None) {
-            Ok(_) => {
-                made += 1;
-                // proxy_for caches by (peer, tid): vary the peer.
-                break;
-            }
-            Err(_) => break,
-        }
+    if exec
+        .proxy("loop://x", Tid::new(0x20).unwrap(), None)
+        .is_ok()
+    {
+        made += 1;
     }
     assert_eq!(made, 1);
     let mut err = None;
@@ -242,32 +266,56 @@ fn tid_exhaustion_is_reported_not_fatal() {
 fn quiesced_node_bounces_private_but_serves_util() {
     let exec = Executive::new(ExecutiveConfig::named("n"));
     let replies = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let sink_tid = exec.register("sink", Box::new(Sink(replies.clone())), &[]).unwrap();
+    let sink_tid = exec
+        .register("sink", Box::new(Sink(replies.clone())), &[])
+        .unwrap();
     let frames = Arc::new(parking_lot::Mutex::new(Vec::new()));
-    let dev = exec.register("dev", Box::new(Sink(frames.clone())), &[]).unwrap();
+    let dev = exec
+        .register("dev", Box::new(Sink(frames.clone())), &[])
+        .unwrap();
     exec.enable_all();
     exec.quiesce_all();
     // Quiescing swept the sink too; re-enable only the sink.
-    exec.core().route(
-        Delivery::from_message(
-            &Message::exec(Tid::EXECUTIVE, sink_tid, xdaq_i2o::ExecFn::PathEnable)
-                .payload(xdaq_core::config::kv(&[("tid", &sink_tid.raw().to_string())]))
-                .finish(),
-            exec.core().allocator(),
+    exec.core()
+        .route(
+            Delivery::from_message(
+                &Message::exec(Tid::EXECUTIVE, sink_tid, xdaq_i2o::ExecFn::PathEnable)
+                    .payload(xdaq_core::config::kv(&[(
+                        "tid",
+                        &sink_tid.raw().to_string(),
+                    )]))
+                    .finish(),
+                exec.core().allocator(),
+            )
+            .unwrap(),
         )
-        .unwrap(),
-    )
-    .unwrap();
+        .unwrap();
     drain(&exec);
     exec.post(
-        Message::build_private(dev, sink_tid, 1, 1).expect_reply().finish(),
+        Message::build_private(dev, sink_tid, 1, 1)
+            .expect_reply()
+            .finish(),
     )
     .unwrap();
-    exec.post(Message::util(dev, sink_tid, UtilFn::Nop).expect_reply().finish()).unwrap();
+    exec.post(
+        Message::util(dev, sink_tid, UtilFn::Nop)
+            .expect_reply()
+            .finish(),
+    )
+    .unwrap();
     drain(&exec);
-    assert!(frames.lock().is_empty(), "no private delivery while quiesced");
+    assert!(
+        frames.lock().is_empty(),
+        "no private delivery while quiesced"
+    );
     let r = replies.lock();
     let statuses: Vec<u8> = r.iter().map(|(_, p)| p[0]).collect();
-    assert!(statuses.contains(&(ReplyStatus::Busy as u8)), "{statuses:?}");
-    assert!(statuses.contains(&(ReplyStatus::Success as u8)), "{statuses:?}");
+    assert!(
+        statuses.contains(&(ReplyStatus::Busy as u8)),
+        "{statuses:?}"
+    );
+    assert!(
+        statuses.contains(&(ReplyStatus::Success as u8)),
+        "{statuses:?}"
+    );
 }

@@ -36,7 +36,11 @@ impl fmt::Display for GmError {
                 write!(f, "inbound queue full at GM node {node} port {port}")
             }
             GmError::MessageTooLarge(n) => {
-                write!(f, "message of {n} bytes exceeds GM maximum {}", crate::GM_MAX_MESSAGE)
+                write!(
+                    f,
+                    "message of {n} bytes exceeds GM maximum {}",
+                    crate::GM_MAX_MESSAGE
+                )
             }
             GmError::PortClosed => write!(f, "GM port is closed"),
         }

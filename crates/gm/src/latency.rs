@@ -22,7 +22,10 @@ pub struct LatencyModel {
 
 impl LatencyModel {
     /// No injected delay — pure software path.
-    pub const ZERO: LatencyModel = LatencyModel { base_ns: 0, per_byte_ns: 0.0 };
+    pub const ZERO: LatencyModel = LatencyModel {
+        base_ns: 0,
+        per_byte_ns: 0.0,
+    };
 
     /// Calibrated to the paper's measured GM 1.1.3 curve on the LANai 7
     /// / 400 MHz Pentium II testbed: ~18 µs one-way base latency and
@@ -30,13 +33,19 @@ impl LatencyModel {
     /// 4096-byte message at ≈ 106 µs one way — matching the middle
     /// slope of Figure 6.
     pub const fn myrinet_lanai7() -> LatencyModel {
-        LatencyModel { base_ns: 18_000, per_byte_ns: 21.5 }
+        LatencyModel {
+            base_ns: 18_000,
+            per_byte_ns: 21.5,
+        }
     }
 
     /// A fast modern-interconnect setting (for the scaled-down variant
     /// of the Figure 6 run): 1 µs base, ~0.1 ns/byte.
     pub const fn fast_lan() -> LatencyModel {
-        LatencyModel { base_ns: 1_000, per_byte_ns: 0.1 }
+        LatencyModel {
+            base_ns: 1_000,
+            per_byte_ns: 0.1,
+        }
     }
 
     /// Delay for a message of `len` bytes.
@@ -68,7 +77,10 @@ mod tests {
 
     #[test]
     fn linear_growth() {
-        let m = LatencyModel { base_ns: 100, per_byte_ns: 2.0 };
+        let m = LatencyModel {
+            base_ns: 100,
+            per_byte_ns: 2.0,
+        };
         assert_eq!(m.delay(0), Duration::from_nanos(100));
         assert_eq!(m.delay(50), Duration::from_nanos(200));
     }

@@ -80,7 +80,10 @@ impl Fabric {
         let inner = Arc::new(PortInner::new(GmAddr { node, port }, config));
         let mut ports = self.ports.write();
         if ports.contains_key(&key) {
-            return Err(GmError::PortInUse { node: node.0, port: port.0 });
+            return Err(GmError::PortInUse {
+                node: node.0,
+                port: port.0,
+            });
         }
         ports.insert(key, inner.clone());
         drop(ports);
@@ -93,7 +96,10 @@ impl Fabric {
         ports
             .get(&(addr.node.0, addr.port.0))
             .cloned()
-            .ok_or(GmError::UnknownPort { node: addr.node.0, port: addr.port.0 })
+            .ok_or(GmError::UnknownPort {
+                node: addr.node.0,
+                port: addr.port.0,
+            })
     }
 
     /// Removes a port on close.

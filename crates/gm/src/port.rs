@@ -57,14 +57,21 @@ pub struct PortConfig {
 
 impl Default for PortConfig {
     fn default() -> PortConfig {
-        PortConfig { send_tokens: 64, inbound_capacity: 4096, unlimited_credits: false }
+        PortConfig {
+            send_tokens: 64,
+            inbound_capacity: 4096,
+            unlimited_credits: false,
+        }
     }
 }
 
 impl PortConfig {
     /// Convenience configuration without buffer accounting.
     pub fn unlimited() -> PortConfig {
-        PortConfig { unlimited_credits: true, ..PortConfig::default() }
+        PortConfig {
+            unlimited_credits: true,
+            ..PortConfig::default()
+        }
     }
 }
 
@@ -169,12 +176,7 @@ impl Port {
 
     /// Zero-copy variant of [`Port::send`] taking ownership of the
     /// buffer.
-    pub fn send_boxed(
-        &self,
-        dest: GmAddr,
-        data: Box<[u8]>,
-        context: u64,
-    ) -> Result<(), GmError> {
+    pub fn send_boxed(&self, dest: GmAddr, data: Box<[u8]>, context: u64) -> Result<(), GmError> {
         let len = data.len();
         if len > GM_MAX_MESSAGE {
             return Err(GmError::MessageTooLarge(len));
@@ -184,13 +186,23 @@ impl Port {
             return Err(GmError::NoSendTokens);
         }
         let latency = self.fabric.latency();
-        let deliver_at =
-            if latency.is_zero() { None } else { Some(Instant::now() + latency.delay(len)) };
-        let packet = Packet { src: self.inner.addr, data, deliver_at };
+        let deliver_at = if latency.is_zero() {
+            None
+        } else {
+            Some(Instant::now() + latency.delay(len))
+        };
+        let packet = Packet {
+            src: self.inner.addr,
+            data,
+            deliver_at,
+        };
         if !target.enqueue(packet) {
             self.inner.send_tokens.release();
             self.fabric.account_reject();
-            return Err(GmError::QueueFull { node: dest.node.0, port: dest.port.0 });
+            return Err(GmError::QueueFull {
+                node: dest.node.0,
+                port: dest.port.0,
+            });
         }
         self.fabric.account_send(len);
         // The "wire DMA" completed as soon as the packet is queued; the
@@ -224,7 +236,10 @@ impl Port {
         }
         let packet = q.pop_front().expect("front checked");
         drop(q);
-        Some(GmEvent::Received { src: packet.src, data: packet.data })
+        Some(GmEvent::Received {
+            src: packet.src,
+            data: packet.data,
+        })
     }
 
     /// Polls until an event arrives or `timeout` elapses. Spins
@@ -303,7 +318,10 @@ mod tests {
     fn unknown_destination() {
         let fabric = Fabric::new();
         let (a, _b) = pair(&fabric);
-        let ghost = GmAddr { node: NodeId(99), port: PortId(0) };
+        let ghost = GmAddr {
+            node: NodeId(99),
+            port: PortId(0),
+        };
         assert!(matches!(
             a.send(ghost, b"x", 0),
             Err(GmError::UnknownPort { node: 99, .. })
@@ -348,8 +366,10 @@ mod tests {
 
     #[test]
     fn latency_model_delays_delivery() {
-        let fabric =
-            Fabric::with_latency(LatencyModel { base_ns: 3_000_000, per_byte_ns: 0.0 });
+        let fabric = Fabric::with_latency(LatencyModel {
+            base_ns: 3_000_000,
+            per_byte_ns: 0.0,
+        });
         let (a, b) = pair(&fabric);
         let t0 = Instant::now();
         a.send(b.addr(), b"slow", 0).unwrap();
@@ -365,7 +385,10 @@ mod tests {
         let a = fabric
             .open_port_with(NodeId(1), PortId(0), PortConfig::unlimited())
             .unwrap();
-        let cfg = PortConfig { inbound_capacity: 2, ..PortConfig::unlimited() };
+        let cfg = PortConfig {
+            inbound_capacity: 2,
+            ..PortConfig::unlimited()
+        };
         let b = fabric.open_port_with(NodeId(2), PortId(0), cfg).unwrap();
         a.send(b.addr(), b"1", 0).unwrap();
         a.send(b.addr(), b"2", 0).unwrap();
@@ -381,7 +404,10 @@ mod tests {
     #[test]
     fn send_token_exhaustion() {
         let fabric = Fabric::new();
-        let cfg = PortConfig { send_tokens: 1, ..PortConfig::unlimited() };
+        let cfg = PortConfig {
+            send_tokens: 1,
+            ..PortConfig::unlimited()
+        };
         let a = fabric.open_port_with(NodeId(1), PortId(0), cfg).unwrap();
         let b = fabric
             .open_port_with(NodeId(2), PortId(0), PortConfig::unlimited())
@@ -421,7 +447,15 @@ mod tests {
         });
         for i in 0..1000u32 {
             let msg = i.to_le_bytes();
-            a.send(GmAddr { node: NodeId(2), port: PortId(0) }, &msg, 0).unwrap();
+            a.send(
+                GmAddr {
+                    node: NodeId(2),
+                    port: PortId(0),
+                },
+                &msg,
+                0,
+            )
+            .unwrap();
             loop {
                 match a.blocking_poll(Duration::from_secs(5)) {
                     Some(GmEvent::Received { data, .. }) => {

@@ -46,7 +46,9 @@ pub fn spsc_ring<T: Send>(capacity: usize) -> (SpscProducer<T>, SpscConsumer<T>)
         capacity,
     });
     (
-        SpscProducer { shared: shared.clone() },
+        SpscProducer {
+            shared: shared.clone(),
+        },
         SpscConsumer { shared },
     )
 }
@@ -103,7 +105,9 @@ impl<T: Send> SpscProducer<T> {
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
         let s = &*self.shared;
-        s.tail.load(Ordering::Relaxed).wrapping_sub(s.head.load(Ordering::Acquire))
+        s.tail
+            .load(Ordering::Relaxed)
+            .wrapping_sub(s.head.load(Ordering::Acquire))
     }
 
     /// True if the queue is empty.
@@ -152,7 +156,9 @@ impl<T: Send> SpscConsumer<T> {
     /// Number of items currently queued.
     pub fn len(&self) -> usize {
         let s = &*self.shared;
-        s.tail.load(Ordering::Acquire).wrapping_sub(s.head.load(Ordering::Relaxed))
+        s.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(s.head.load(Ordering::Relaxed))
     }
 
     /// True if the queue is empty.
@@ -265,7 +271,11 @@ mod tests {
         assert_eq!(drops.load(Ordering::Relaxed), 1);
         drop(p);
         drop(c);
-        assert_eq!(drops.load(Ordering::Relaxed), 2, "queued item dropped with ring");
+        assert_eq!(
+            drops.load(Ordering::Relaxed),
+            2,
+            "queued item dropped with ring"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct TokenCounter {
 impl TokenCounter {
     /// Creates a counter with `max` tokens, all available.
     pub fn new(max: usize) -> TokenCounter {
-        TokenCounter { available: AtomicUsize::new(max), max }
+        TokenCounter {
+            available: AtomicUsize::new(max),
+            max,
+        }
     }
 
     /// Takes one token; `false` when none are available.
@@ -35,7 +38,11 @@ impl TokenCounter {
     /// If more tokens are released than were acquired (accounting bug).
     pub fn release(&self) {
         let prev = self.available.fetch_add(1, Ordering::AcqRel);
-        assert!(prev < self.max, "token over-release: {prev} >= {}", self.max);
+        assert!(
+            prev < self.max,
+            "token over-release: {prev} >= {}",
+            self.max
+        );
     }
 
     /// Tokens currently available.

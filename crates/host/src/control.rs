@@ -80,7 +80,10 @@ impl ControlReply {
             Ok(self)
         } else {
             let body = self.text();
-            Err(ControlError::Failed { status: self.status, body })
+            Err(ControlError::Failed {
+                status: self.status,
+                body,
+            })
         }
     }
 }
@@ -109,11 +112,17 @@ impl I2oListener for HostAgent {
             let mut replies = self.hub.replies.lock();
             replies.insert(
                 msg.header.initiator_context,
-                ControlReply { status, body: body.to_vec() },
+                ControlReply {
+                    status,
+                    body: body.to_vec(),
+                },
             );
             self.hub.cv.notify_all();
         } else if let Some(p) = msg.private {
-            self.hub.events.lock().push((p.x_function, msg.payload().to_vec()));
+            self.hub
+                .events
+                .lock()
+                .push((p.x_function, msg.payload().to_vec()));
         }
     }
 
@@ -127,7 +136,10 @@ impl I2oListener for HostAgent {
         let mut replies = self.hub.replies.lock();
         replies.insert(
             msg.header.initiator_context,
-            ControlReply { status, body: body.to_vec() },
+            ControlReply {
+                status,
+                body: body.to_vec(),
+            },
         );
         self.hub.cv.notify_all();
     }
@@ -263,27 +275,37 @@ impl ControlHost {
 
     /// `ExecStatusGet` as a parsed map.
     pub fn status(&self, node: Tid) -> Result<HashMap<String, String>, ControlError> {
-        self.request_exec(node, ExecFn::StatusGet, Vec::new())?.ok()?.kv()
+        self.request_exec(node, ExecFn::StatusGet, Vec::new())?
+            .ok()?
+            .kv()
     }
 
     /// Enables every device on the node.
     pub fn enable(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_exec(node, ExecFn::SysEnable, Vec::new())?.ok().map(|_| ())
+        self.request_exec(node, ExecFn::SysEnable, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Quiesces every device on the node.
     pub fn quiesce(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_exec(node, ExecFn::SysQuiesce, Vec::new())?.ok().map(|_| ())
+        self.request_exec(node, ExecFn::SysQuiesce, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Resets the node (all devices back to Initialized).
     pub fn reset(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_exec(node, ExecFn::IopReset, Vec::new())?.ok().map(|_| ())
+        self.request_exec(node, ExecFn::IopReset, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Purges queued messages on the node.
     pub fn clear(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_exec(node, ExecFn::IopClear, Vec::new())?.ok().map(|_| ())
+        self.request_exec(node, ExecFn::IopClear, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Loads a module instance on the node; returns its remote TiD.
@@ -295,12 +317,16 @@ impl ControlHost {
         params: &[(&str, &str)],
     ) -> Result<Tid, ControlError> {
         let mut pairs = vec![("factory", factory), ("name", instance)];
-        let prefixed: Vec<(String, &str)> =
-            params.iter().map(|(k, v)| (format!("param.{k}"), *v)).collect();
+        let prefixed: Vec<(String, &str)> = params
+            .iter()
+            .map(|(k, v)| (format!("param.{k}"), *v))
+            .collect();
         for (k, v) in &prefixed {
             pairs.push((k.as_str(), *v));
         }
-        let reply = self.request_exec(node, ExecFn::SwDownload, kv(&pairs))?.ok()?;
+        let reply = self
+            .request_exec(node, ExecFn::SwDownload, kv(&pairs))?
+            .ok()?;
         let map = reply.kv()?;
         let raw: u16 = map
             .get("tid")
@@ -336,9 +362,13 @@ impl ControlHost {
         if let Some(a) = alias {
             pairs.push(("alias".to_string(), a.to_string()));
         }
-        let pairs_ref: Vec<(&str, &str)> =
-            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
-        let reply = self.request_exec(node, ExecFn::IopConnect, kv(&pairs_ref))?.ok()?;
+        let pairs_ref: Vec<(&str, &str)> = pairs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let reply = self
+            .request_exec(node, ExecFn::IopConnect, kv(&pairs_ref))?
+            .ok()?;
         let map = reply.kv()?;
         let raw: u16 = map
             .get("tid")
@@ -349,33 +379,84 @@ impl ControlHost {
 
     /// The node's Logical Configuration Table, as reply text lines.
     pub fn lct(&self, node: Tid) -> Result<String, ControlError> {
-        Ok(self.request_exec(node, ExecFn::LctNotify, Vec::new())?.ok()?.text())
+        Ok(self
+            .request_exec(node, ExecFn::LctNotify, Vec::new())?
+            .ok()?
+            .text())
     }
 
     /// Claims control rights on the node (primary/secondary host
     /// arbitration).
     pub fn claim(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_util(node, UtilFn::Claim, Vec::new())?.ok().map(|_| ())
+        self.request_util(node, UtilFn::Claim, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Releases a claim.
     pub fn release(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_util(node, UtilFn::ClaimRelease, Vec::new())?.ok().map(|_| ())
+        self.request_util(node, UtilFn::ClaimRelease, Vec::new())?
+            .ok()
+            .map(|_| ())
     }
 
     /// Sets parameters on a (possibly remote, via proxy) device.
     pub fn params_set(&self, device: Tid, params: &[(&str, &str)]) -> Result<(), ControlError> {
-        self.request_util(device, UtilFn::ParamsSet, kv(params))?.ok().map(|_| ())
+        self.request_util(device, UtilFn::ParamsSet, kv(params))?
+            .ok()
+            .map(|_| ())
     }
 
     /// Reads parameters from a device.
     pub fn params_get(&self, device: Tid) -> Result<HashMap<String, String>, ControlError> {
-        self.request_util(device, UtilFn::ParamsGet, Vec::new())?.ok()?.kv()
+        self.request_util(device, UtilFn::ParamsGet, Vec::new())?
+            .ok()?
+            .kv()
     }
 
     /// Registers this host for asynchronous fault events from a node.
     pub fn watch_events(&self, node: Tid) -> Result<(), ControlError> {
-        self.request_util(node, UtilFn::EventRegister, Vec::new())?.ok().map(|_| ())
+        self.request_util(node, UtilFn::EventRegister, Vec::new())?
+            .ok()
+            .map(|_| ())
+    }
+
+    /// Scrapes the node's monitoring snapshot (`UtilMonSnapshot`): one
+    /// JSON document with registry metrics, per-priority queue gauges,
+    /// pool accounting, per-transport counters and tracer state.
+    pub fn scrape(&self, node: Tid) -> Result<serde_json::Value, ControlError> {
+        let reply = self
+            .request_util(node, UtilFn::MonSnapshot, Vec::new())?
+            .ok()?;
+        serde_json::from_str(&reply.text())
+            .map_err(|e| ControlError::BadReply(format!("bad snapshot JSON: {}", e.message)))
+    }
+
+    /// Zeroes the node's monitoring state (`UtilMonReset`): registry
+    /// metrics, trace ring and PT counters.
+    pub fn mon_reset(&self, node: Tid) -> Result<(), ControlError> {
+        self.request_util(node, UtilFn::MonReset, Vec::new())?
+            .ok()
+            .map(|_| ())
+    }
+
+    /// Enables or disables the node's frame-lifecycle tracer and
+    /// returns the current trace ring (`UtilMonTraceDump`).
+    pub fn trace_set(&self, node: Tid, enable: bool) -> Result<serde_json::Value, ControlError> {
+        let reply = self
+            .request_util(node, UtilFn::MonTraceDump, vec![u8::from(enable)])?
+            .ok()?;
+        serde_json::from_str(&reply.text())
+            .map_err(|e| ControlError::BadReply(format!("bad trace JSON: {}", e.message)))
+    }
+
+    /// Dumps the node's trace ring without toggling the tracer.
+    pub fn trace_dump(&self, node: Tid) -> Result<serde_json::Value, ControlError> {
+        let reply = self
+            .request_util(node, UtilFn::MonTraceDump, Vec::new())?
+            .ok()?;
+        serde_json::from_str(&reply.text())
+            .map_err(|e| ControlError::BadReply(format!("bad trace JSON: {}", e.message)))
     }
 
     /// Drains collected asynchronous events `(x_function, payload)`.

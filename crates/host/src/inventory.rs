@@ -9,39 +9,37 @@
 //! it and issues the corresponding I2O control messages.
 
 use crate::control::{ControlError, ControlHost};
-use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::collections::HashMap;
 use xdaq_i2o::Tid;
 
 /// A module instance to load on a node.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuleSpec {
     /// Factory name registered on the target executive.
     pub factory: String,
     /// Instance name, unique per node.
     pub instance: String,
-    /// Construction parameters.
-    #[serde(default)]
+    /// Construction parameters. Optional in the JSON form.
     pub params: HashMap<String, String>,
 }
 
 /// A node (one executive) in the cluster.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeSpec {
     /// Cluster-unique node name.
     pub name: String,
     /// How the *host* reaches it, e.g. `loop://ru0` or
     /// `tcp://10.0.0.7:4000`.
     pub url: String,
-    /// Modules to load, in order.
-    #[serde(default)]
+    /// Modules to load, in order. Optional in the JSON form.
     pub modules: Vec<ModuleSpec>,
 }
 
 /// A route: `on` gets a proxy for `target_instance` living on
 /// `target_node`; optionally the proxy TiD is written into a parameter
 /// of a local instance so applications can find their peers.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouteSpec {
     /// Node that receives the proxy TiD.
     pub on: String,
@@ -51,18 +49,128 @@ pub struct RouteSpec {
     pub target_instance: String,
     /// When set: `(local_instance, param_key)` — the proxy TiD (as a
     /// decimal string) is stored into that instance's parameter.
-    #[serde(default)]
+    /// Optional in the JSON form.
     pub set_param: Option<(String, String)>,
 }
 
 /// The whole cluster description.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ClusterInventory {
     /// Nodes to configure.
     pub nodes: Vec<NodeSpec>,
-    /// Routes to establish after all modules are loaded.
-    #[serde(default)]
+    /// Routes to establish after all modules are loaded. Optional in
+    /// the JSON form.
     pub routes: Vec<RouteSpec>,
+}
+
+fn de_err(msg: impl Into<String>) -> serde_json::Error {
+    serde_json::Error {
+        message: msg.into(),
+        offset: 0,
+    }
+}
+
+fn field_str(v: &Value, key: &str, ctx: &str) -> Result<String, serde_json::Error> {
+    v[key]
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| de_err(format!("{ctx}: missing or non-string field '{key}'")))
+}
+
+fn opt_array<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<Vec<&'a Value>, serde_json::Error> {
+    match &v[key] {
+        Value::Null => Ok(Vec::new()),
+        Value::Array(items) => Ok(items.iter().collect()),
+        _ => Err(de_err(format!("{ctx}: field '{key}' must be an array"))),
+    }
+}
+
+impl ModuleSpec {
+    fn from_value(v: &Value) -> Result<ModuleSpec, serde_json::Error> {
+        let mut params = HashMap::new();
+        match &v["params"] {
+            Value::Null => {}
+            Value::Object(map) => {
+                for (k, val) in map {
+                    let s = val
+                        .as_str()
+                        .ok_or_else(|| de_err(format!("module param '{k}' must be a string")))?;
+                    params.insert(k.clone(), s.to_string());
+                }
+            }
+            _ => return Err(de_err("module field 'params' must be an object")),
+        }
+        Ok(ModuleSpec {
+            factory: field_str(v, "factory", "module")?,
+            instance: field_str(v, "instance", "module")?,
+            params,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut params = serde_json::Map::new();
+        for (k, v) in &self.params {
+            params.insert(k.clone(), Value::from(v.as_str()));
+        }
+        json!({
+            "factory": self.factory.as_str(),
+            "instance": self.instance.as_str(),
+            "params": params,
+        })
+    }
+}
+
+impl NodeSpec {
+    fn from_value(v: &Value) -> Result<NodeSpec, serde_json::Error> {
+        Ok(NodeSpec {
+            name: field_str(v, "name", "node")?,
+            url: field_str(v, "url", "node")?,
+            modules: opt_array(v, "modules", "node")?
+                .into_iter()
+                .map(ModuleSpec::from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        json!({
+            "name": self.name.as_str(),
+            "url": self.url.as_str(),
+            "modules": self.modules.iter().map(ModuleSpec::to_value).collect::<Vec<_>>(),
+        })
+    }
+}
+
+impl RouteSpec {
+    fn from_value(v: &Value) -> Result<RouteSpec, serde_json::Error> {
+        let set_param = match &v["set_param"] {
+            Value::Null => None,
+            Value::Array(pair) if pair.len() == 2 => match (pair[0].as_str(), pair[1].as_str()) {
+                (Some(inst), Some(key)) => Some((inst.to_string(), key.to_string())),
+                _ => return Err(de_err("route 'set_param' entries must be strings")),
+            },
+            _ => return Err(de_err("route 'set_param' must be a two-element array")),
+        };
+        Ok(RouteSpec {
+            on: field_str(v, "on", "route")?,
+            target_node: field_str(v, "target_node", "route")?,
+            target_instance: field_str(v, "target_instance", "route")?,
+            set_param,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let set_param = match &self.set_param {
+            Some((inst, key)) => json!([inst.as_str(), key.as_str()]),
+            None => Value::Null,
+        };
+        json!({
+            "on": self.on.as_str(),
+            "target_node": self.target_node.as_str(),
+            "target_instance": self.target_instance.as_str(),
+            "set_param": set_param,
+        })
+    }
 }
 
 /// What [`ClusterInventory::apply`] built.
@@ -94,17 +202,34 @@ impl std::error::Error for ApplyError {}
 impl ClusterInventory {
     /// Parses an inventory from JSON.
     pub fn from_json(json: &str) -> Result<ClusterInventory, serde_json::Error> {
-        serde_json::from_str(json)
+        let v = serde_json::from_str(json)?;
+        Ok(ClusterInventory {
+            nodes: opt_array(&v, "nodes", "inventory")?
+                .into_iter()
+                .map(NodeSpec::from_value)
+                .collect::<Result<_, _>>()?,
+            routes: opt_array(&v, "routes", "inventory")?
+                .into_iter()
+                .map(RouteSpec::from_value)
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Serializes to pretty JSON (for generated configuration files).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("inventory serializes")
+        let v = json!({
+            "nodes": self.nodes.iter().map(NodeSpec::to_value).collect::<Vec<_>>(),
+            "routes": self.routes.iter().map(RouteSpec::to_value).collect::<Vec<_>>(),
+        });
+        serde_json::to_string_pretty(&v).expect("inventory serializes")
     }
 
     /// Node URL lookup.
     fn url_of(&self, node: &str) -> Option<&str> {
-        self.nodes.iter().find(|n| n.name == node).map(|n| n.url.as_str())
+        self.nodes
+            .iter()
+            .find(|n| n.name == node)
+            .map(|n| n.url.as_str())
     }
 
     /// Applies the inventory: connect every node, load every module,
@@ -123,21 +248,26 @@ impl ClusterInventory {
         for node in &self.nodes {
             let node_tid = out.node_tids[&node.name];
             for m in &node.modules {
-                let params: Vec<(&str, &str)> =
-                    m.params.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let params: Vec<(&str, &str)> = m
+                    .params
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
                 let tid = host
                     .load(node_tid, &m.factory, &m.instance, &params)
                     .map_err(|e| step(format!("load {}/{}", node.name, m.instance), e))?;
-                out.module_tids.insert((node.name.clone(), m.instance.clone()), tid);
+                out.module_tids
+                    .insert((node.name.clone(), m.instance.clone()), tid);
             }
         }
 
         for route in &self.routes {
-            let on_tid = *out
-                .node_tids
-                .get(&route.on)
-                .ok_or_else(|| step(format!("route on {}", route.on),
-                    ControlError::BadReply(format!("unknown node '{}'", route.on))))?;
+            let on_tid = *out.node_tids.get(&route.on).ok_or_else(|| {
+                step(
+                    format!("route on {}", route.on),
+                    ControlError::BadReply(format!("unknown node '{}'", route.on)),
+                )
+            })?;
             let target_tid = *out
                 .module_tids
                 .get(&(route.target_node.clone(), route.target_instance.clone()))
@@ -198,7 +328,11 @@ mod tests {
                         params: [("size".to_string(), "4096".to_string())].into(),
                     }],
                 },
-                NodeSpec { name: "bu0".into(), url: "loop://bu0".into(), modules: vec![] },
+                NodeSpec {
+                    name: "bu0".into(),
+                    url: "loop://bu0".into(),
+                    modules: vec![],
+                },
             ],
             routes: vec![RouteSpec {
                 on: "bu0".into(),
@@ -219,10 +353,8 @@ mod tests {
 
     #[test]
     fn json_defaults_are_optional() {
-        let inv = ClusterInventory::from_json(
-            r#"{"nodes":[{"name":"a","url":"loop://a"}]}"#,
-        )
-        .unwrap();
+        let inv =
+            ClusterInventory::from_json(r#"{"nodes":[{"name":"a","url":"loop://a"}]}"#).unwrap();
         assert_eq!(inv.nodes.len(), 1);
         assert!(inv.nodes[0].modules.is_empty());
         assert!(inv.routes.is_empty());

@@ -22,6 +22,9 @@
 //! reset  ru0
 //! destroy ru0 16
 //! release ru0
+//! mon    results/mon.json        # scrape every node into one JSON doc
+//! monreset ru0                   # zero a node's monitoring state
+//! trace  ru0 on                  # frame-lifecycle tracer on|off
 //! sleep  10                      # milliseconds
 //! echo   text...
 //! ```
@@ -60,12 +63,19 @@ pub struct XclOutcome {
 pub struct XclInterpreter<'a> {
     host: &'a ControlHost,
     handles: HashMap<String, Tid>,
+    /// Handle names created by the `node` command, in definition order —
+    /// the executives the `mon` command scrapes.
+    nodes: Vec<String>,
 }
 
 impl<'a> XclInterpreter<'a> {
     /// New interpreter bound to a host.
     pub fn new(host: &'a ControlHost) -> XclInterpreter<'a> {
-        XclInterpreter { host, handles: HashMap::new() }
+        XclInterpreter {
+            host,
+            handles: HashMap::new(),
+            nodes: Vec::new(),
+        }
     }
 
     /// Pre-defines a handle (e.g. a TiD obtained programmatically).
@@ -73,15 +83,25 @@ impl<'a> XclInterpreter<'a> {
         self.handles.insert(name.to_string(), tid);
     }
 
+    /// Pre-defines a **node** handle: like [`XclInterpreter::define`],
+    /// and also included in `mon` aggregation.
+    pub fn define_node(&mut self, name: &str, tid: Tid) {
+        self.define(name, tid);
+        self.nodes.push(name.to_string());
+    }
+
     fn resolve(&self, name: &str, line: usize) -> Result<Tid, XclError> {
-        self.handles
-            .get(name)
-            .copied()
-            .ok_or_else(|| XclError { line, message: format!("unknown handle '{name}'") })
+        self.handles.get(name).copied().ok_or_else(|| XclError {
+            line,
+            message: format!("unknown handle '{name}'"),
+        })
     }
 
     fn fail(line: usize, e: ControlError) -> XclError {
-        XclError { line, message: e.to_string() }
+        XclError {
+            line,
+            message: e.to_string(),
+        }
     }
 
     /// Runs a whole script, stopping at the first error.
@@ -104,7 +124,10 @@ impl<'a> XclInterpreter<'a> {
     fn parse_params<'w>(words: &[&'w str]) -> Result<Vec<(&'w str, &'w str)>, String> {
         words
             .iter()
-            .map(|w| w.split_once('=').ok_or_else(|| format!("expected k=v, got '{w}'")))
+            .map(|w| {
+                w.split_once('=')
+                    .ok_or_else(|| format!("expected k=v, got '{w}'"))
+            })
             .collect()
     }
 
@@ -117,11 +140,11 @@ impl<'a> XclInterpreter<'a> {
                     .connect_node(url, None)
                     .map_err(|e| Self::fail(line, e))?;
                 self.handles.insert(name.to_string(), tid);
+                self.nodes.push(name.to_string());
                 Ok(format!("node {name} -> {tid}"))
             }
             ["proxy", name, url, raw] => {
-                let remote: u16 =
-                    raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
+                let remote: u16 = raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
                 let remote = Tid::new(remote).map_err(|e| err(e.to_string()))?;
                 let tid = self
                     .host
@@ -143,8 +166,7 @@ impl<'a> XclInterpreter<'a> {
             ["status", node] => {
                 let t = self.resolve(node, line)?;
                 let map = self.host.status(t).map_err(|e| Self::fail(line, e))?;
-                let mut kv: Vec<String> =
-                    map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let mut kv: Vec<String> = map.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 kv.sort();
                 Ok(format!("status {node}: {}", kv.join(" ")))
             }
@@ -192,8 +214,7 @@ impl<'a> XclInterpreter<'a> {
             }
             ["connect", node, url, raw, rest @ ..] => {
                 let t = self.resolve(node, line)?;
-                let remote: u16 =
-                    raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
+                let remote: u16 = raw.parse().map_err(|_| err(format!("bad tid '{raw}'")))?;
                 let remote = Tid::new(remote).map_err(|e| err(e.to_string()))?;
                 let alias = rest.first().copied();
                 let tid = self
@@ -205,14 +226,15 @@ impl<'a> XclInterpreter<'a> {
             ["set", handle, rest @ ..] => {
                 let t = self.resolve(handle, line)?;
                 let params = Self::parse_params(rest).map_err(err)?;
-                self.host.params_set(t, &params).map_err(|e| Self::fail(line, e))?;
+                self.host
+                    .params_set(t, &params)
+                    .map_err(|e| Self::fail(line, e))?;
                 Ok(format!("set {handle}: {} params", params.len()))
             }
             ["get", handle] => {
                 let t = self.resolve(handle, line)?;
                 let map = self.host.params_get(t).map_err(|e| Self::fail(line, e))?;
-                let mut kv: Vec<String> =
-                    map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                let mut kv: Vec<String> = map.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 kv.sort();
                 Ok(format!("get {handle}: {}", kv.join(" ")))
             }
@@ -221,8 +243,50 @@ impl<'a> XclInterpreter<'a> {
                 self.host.watch_events(t).map_err(|e| Self::fail(line, e))?;
                 Ok(format!("watching {node}"))
             }
+            ["mon", rest @ ..] => {
+                if self.nodes.is_empty() {
+                    return Err(err("no nodes defined before 'mon'".to_string()));
+                }
+                let mut cluster = serde_json::Map::new();
+                for name in self.nodes.clone() {
+                    let t = self.resolve(&name, line)?;
+                    let snap = self.host.scrape(t).map_err(|e| Self::fail(line, e))?;
+                    cluster.insert(name, snap);
+                }
+                let doc = serde_json::Value::Object(cluster);
+                let path = rest.first().copied().unwrap_or("results/mon.json");
+                if let Some(dir) = std::path::Path::new(path).parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir)
+                            .map_err(|e| err(format!("mkdir {}: {e}", dir.display())))?;
+                    }
+                }
+                let text = serde_json::to_string_pretty(&doc)
+                    .map_err(|e| err(format!("encode snapshot: {}", e.message)))?;
+                std::fs::write(path, text).map_err(|e| err(format!("write {path}: {e}")))?;
+                Ok(format!("mon: {} nodes -> {path}", self.nodes.len()))
+            }
+            ["monreset", node] => {
+                let t = self.resolve(node, line)?;
+                self.host.mon_reset(t).map_err(|e| Self::fail(line, e))?;
+                Ok(format!("monitoring reset on {node}"))
+            }
+            ["trace", node, state] => {
+                let t = self.resolve(node, line)?;
+                let enable = match *state {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(err(format!("expected on|off, got '{other}'"))),
+                };
+                self.host
+                    .trace_set(t, enable)
+                    .map_err(|e| Self::fail(line, e))?;
+                Ok(format!("trace {state} on {node}"))
+            }
             ["sleep", ms] => {
-                let ms: u64 = ms.parse().map_err(|_| err(format!("bad duration '{ms}'")))?;
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| err(format!("bad duration '{ms}'")))?;
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 Ok(format!("slept {ms}ms"))
             }
@@ -269,7 +333,10 @@ mod tests {
         let host = ControlHost::new("h");
         let mut x = XclInterpreter::new(&host);
         let out = x.run("# comment\necho hello world\n\nsleep 1\n").unwrap();
-        assert_eq!(out.log, vec!["hello world".to_string(), "slept 1ms".to_string()]);
+        assert_eq!(
+            out.log,
+            vec!["hello world".to_string(), "slept 1ms".to_string()]
+        );
     }
 
     #[test]

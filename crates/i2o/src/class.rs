@@ -15,7 +15,6 @@ use core::fmt;
 /// Peer transports and even the executive itself are ordinary devices
 /// with TiDs (paper §3.5: *"they are all valid I2O devices"*).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeviceClass {
     /// The per-node executive (exactly one, TiD 1).
     Executive,
@@ -25,6 +24,9 @@ pub enum DeviceClass {
     PeerTransport,
     /// A host attachment (primary or secondary control point).
     HostAgent,
+    /// The node-local monitoring agent answering snapshot / reset /
+    /// trace-dump utility requests.
+    Monitor,
     /// Standard I2O block-storage class (implemented as an example of a
     /// "classic" DDM).
     BlockStorage,
@@ -42,6 +44,7 @@ impl DeviceClass {
             DeviceClass::PeerTransportAgent => 0x001,
             DeviceClass::PeerTransport => 0x002,
             DeviceClass::HostAgent => 0x003,
+            DeviceClass::Monitor => 0x004,
             DeviceClass::BlockStorage => 0x010,
             DeviceClass::Lan => 0x020,
             DeviceClass::Application(org) => 0x1000 | (org as u32) << 16,
@@ -55,6 +58,7 @@ impl DeviceClass {
             0x001 => DeviceClass::PeerTransportAgent,
             0x002 => DeviceClass::PeerTransport,
             0x003 => DeviceClass::HostAgent,
+            0x004 => DeviceClass::Monitor,
             0x010 => DeviceClass::BlockStorage,
             0x020 => DeviceClass::Lan,
             c if c & 0x1000 != 0 => DeviceClass::Application((c >> 16) as u16),
@@ -70,6 +74,7 @@ impl fmt::Display for DeviceClass {
             DeviceClass::PeerTransportAgent => write!(f, "pta"),
             DeviceClass::PeerTransport => write!(f, "pt"),
             DeviceClass::HostAgent => write!(f, "host"),
+            DeviceClass::Monitor => write!(f, "mon"),
             DeviceClass::BlockStorage => write!(f, "bstore"),
             DeviceClass::Lan => write!(f, "lan"),
             DeviceClass::Application(org) => write!(f, "app:{org:#06x}"),
@@ -84,7 +89,6 @@ impl fmt::Display for DeviceClass {
 /// the run-control discipline of the paper's DAQ setting: a device
 /// accepts application traffic only while `Enabled`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DeviceState {
     /// Registered, parameters retrievable, not yet processing.
     #[default]
@@ -110,7 +114,11 @@ pub struct InvalidTransition {
 
 impl fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid device state transition {:?} -> {:?}", self.from, self.to)
+        write!(
+            f,
+            "invalid device state transition {:?} -> {:?}",
+            self.from, self.to
+        )
     }
 }
 
@@ -167,6 +175,7 @@ mod tests {
             DeviceClass::PeerTransportAgent,
             DeviceClass::PeerTransport,
             DeviceClass::HostAgent,
+            DeviceClass::Monitor,
             DeviceClass::BlockStorage,
             DeviceClass::Lan,
             DeviceClass::Application(0x0cec),

@@ -16,7 +16,6 @@ use core::fmt;
 /// bits 5-7 priority       0 (lowest) .. 6 (highest)
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsgFlags(u8);
 
 impl MsgFlags {
@@ -103,7 +102,12 @@ impl fmt::Debug for MsgFlags {
         if self.contains(MsgFlags::CONTROL) {
             parts.push("CONTROL");
         }
-        write!(f, "MsgFlags({} pri={})", parts.join("|"), self.priority().level())
+        write!(
+            f,
+            "MsgFlags({} pri={})",
+            parts.join("|"),
+            self.priority().level()
+        )
     }
 }
 
@@ -112,7 +116,6 @@ impl fmt::Debug for MsgFlags {
 /// Paper §4: *"There exist seven priority levels and for each one the
 /// messages are scheduled to a FIFO."* Level 6 is serviced first.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Priority(u8);
 
 impl Priority {
@@ -196,7 +199,9 @@ mod tests {
 
     #[test]
     fn union_takes_max_priority() {
-        let a = MsgFlags::empty().with_priority(Priority::new(2).unwrap()).with(MsgFlags::MORE);
+        let a = MsgFlags::empty()
+            .with_priority(Priority::new(2).unwrap())
+            .with(MsgFlags::MORE);
         let b = MsgFlags::empty().with_priority(Priority::new(5).unwrap());
         let u = a.union(b);
         assert_eq!(u.priority().level(), 5);

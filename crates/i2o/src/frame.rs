@@ -66,10 +66,16 @@ impl fmt::Display for FrameError {
             }
             FrameError::BadVersion(v) => write!(f, "unsupported frame version {v:#x}"),
             FrameError::SizeMismatch { declared, actual } => {
-                write!(f, "message_size declares {declared} bytes but buffer has {actual}")
+                write!(
+                    f,
+                    "message_size declares {declared} bytes but buffer has {actual}"
+                )
             }
             FrameError::PayloadTooLong(n) => {
-                write!(f, "payload of {n} bytes exceeds frame limit of {MAX_PAYLOAD_LEN}")
+                write!(
+                    f,
+                    "payload of {n} bytes exceeds frame limit of {MAX_PAYLOAD_LEN}"
+                )
             }
             FrameError::PrivateTooShort(n) => {
                 write!(f, "private frame of {n} bytes lacks the 4-byte extension")
@@ -90,7 +96,6 @@ impl std::error::Error for FrameError {}
 /// payload itself lives in a pooled buffer owned by the executive — the
 /// header never owns payload bytes, preserving zero-copy operation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MsgHeader {
     /// Frame flags (priority, reply bits, chaining).
     pub flags: MsgFlags,
@@ -150,7 +155,10 @@ impl MsgHeader {
             return Err(FrameError::PayloadTooLong(self.payload_len as usize));
         }
         if buf.len() < total {
-            return Err(FrameError::TooShort { got: buf.len(), need: total });
+            return Err(FrameError::TooShort {
+                got: buf.len(),
+                need: total,
+            });
         }
         let pad = (total - HEADER_LEN - self.payload_len as usize) as u8;
         debug_assert!(pad < 4);
@@ -177,7 +185,10 @@ impl MsgHeader {
     /// `buf[HEADER_LEN .. HEADER_LEN + header.payload_len]`.
     pub fn decode(buf: &[u8]) -> Result<MsgHeader, FrameError> {
         if buf.len() < HEADER_LEN {
-            return Err(FrameError::TooShort { got: buf.len(), need: HEADER_LEN });
+            return Err(FrameError::TooShort {
+                got: buf.len(),
+                need: HEADER_LEN,
+            });
         }
         let version = buf[0] & 0x0F;
         if version != FRAME_VERSION {
@@ -188,11 +199,17 @@ impl MsgHeader {
         let words = u16::from_le_bytes([buf[2], buf[3]]) as usize;
         let declared = words * 4;
         if declared < HEADER_LEN || declared > buf.len() {
-            return Err(FrameError::SizeMismatch { declared, actual: buf.len() });
+            return Err(FrameError::SizeMismatch {
+                declared,
+                actual: buf.len(),
+            });
         }
         let padded_payload = declared - HEADER_LEN;
         if (pad as usize) > padded_payload {
-            return Err(FrameError::BadPad { pad, payload: padded_payload });
+            return Err(FrameError::BadPad {
+                pad,
+                payload: padded_payload,
+            });
         }
         let payload_len = (padded_payload - pad as usize) as u32;
         let addr = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
@@ -251,7 +268,6 @@ impl MsgHeader {
 
 /// The private frame extension (paper Fig. 5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrivateHeader {
     /// Application-defined function code ("XFunctionCode").
     pub x_function: u16,
@@ -362,7 +378,10 @@ mod tests {
         let mut h = MsgHeader::new(t(1), t(2), FunctionCode::Private);
         h.payload_len = (MAX_PAYLOAD_LEN + 1) as u32;
         let mut buf = vec![0u8; MAX_PAYLOAD_LEN + HEADER_LEN + 8];
-        assert!(matches!(h.encode(&mut buf), Err(FrameError::PayloadTooLong(_))));
+        assert!(matches!(
+            h.encode(&mut buf),
+            Err(FrameError::PayloadTooLong(_))
+        ));
     }
 
     #[test]

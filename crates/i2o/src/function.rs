@@ -19,7 +19,6 @@ pub const PRIVATE_FUNCTION: u8 = 0xFF;
 /// Utility-class functions — implemented by **every** device so it can
 /// be configured and controlled (paper §3.3).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum UtilFn {
     /// No operation; used as a liveness probe.
@@ -40,6 +39,15 @@ pub enum UtilFn {
     EventAck = 0x14,
     /// Asynchronous fault notification from the executive.
     ReplyFaultNotify = 0x15,
+    /// Read the device's monitoring snapshot (metric registry state).
+    /// The reply payload is a JSON document; see `xdaq-mon`.
+    MonSnapshot = 0x30,
+    /// Zero the device's monitoring state (counters, gauges,
+    /// histogram buckets).
+    MonReset = 0x31,
+    /// Dump the frame lifecycle trace ring; the payload selects
+    /// enable/disable via a one-byte argument, empty means dump only.
+    MonTraceDump = 0x32,
 }
 
 impl UtilFn {
@@ -55,6 +63,9 @@ impl UtilFn {
             0x13 => UtilFn::EventRegister,
             0x14 => UtilFn::EventAck,
             0x15 => UtilFn::ReplyFaultNotify,
+            0x30 => UtilFn::MonSnapshot,
+            0x31 => UtilFn::MonReset,
+            0x32 => UtilFn::MonTraceDump,
             _ => return None,
         })
     }
@@ -64,7 +75,6 @@ impl UtilFn {
 /// (TiD 1) on every node; this is the system-management surface the
 /// primary host drives (paper §2 dimension three, §4 configuration).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum ExecFn {
     /// Query executive status (state, uptime, module count).
@@ -124,7 +134,6 @@ impl ExecFn {
 
 /// A decoded function field.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FunctionCode {
     /// Utility class (every device).
     Util(UtilFn),
@@ -183,7 +192,6 @@ impl fmt::Display for FunctionCode {
 
 /// Status byte carried in the first payload word of reply frames.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[repr(u8)]
 pub enum ReplyStatus {
     /// Operation completed.
@@ -244,7 +252,9 @@ mod tests {
 
     #[test]
     fn util_codes_roundtrip() {
-        for v in [0x00u8, 0x01, 0x05, 0x06, 0x09, 0x0B, 0x13, 0x14, 0x15] {
+        for v in [
+            0x00u8, 0x01, 0x05, 0x06, 0x09, 0x0B, 0x13, 0x14, 0x15, 0x30, 0x31, 0x32,
+        ] {
             let f = FunctionCode::from_u8(v);
             assert!(matches!(f, FunctionCode::Util(_)), "{v:#x}");
             assert_eq!(f.to_u8(), v);
@@ -253,7 +263,9 @@ mod tests {
 
     #[test]
     fn exec_codes_roundtrip() {
-        for v in [0xA0u8, 0xA1, 0xA2, 0xA3, 0xA8, 0xA9, 0xB1, 0xBD, 0xBE, 0xC3, 0xC5, 0xC9, 0xD1, 0xD3] {
+        for v in [
+            0xA0u8, 0xA1, 0xA2, 0xA3, 0xA8, 0xA9, 0xB1, 0xBD, 0xBE, 0xC3, 0xC5, 0xC9, 0xD1, 0xD3,
+        ] {
             let f = FunctionCode::from_u8(v);
             assert!(matches!(f, FunctionCode::Exec(_)), "{v:#x}");
             assert_eq!(f.to_u8(), v);

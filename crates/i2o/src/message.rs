@@ -72,9 +72,12 @@ impl Message {
         payload.extend_from_slice(body);
         let mut header = self.header.reply_header();
         let private = self.private;
-        header.payload_len =
-            (payload.len() + if private.is_some() { 4 } else { 0 }) as u32;
-        Message { header, private, payload: Bytes::from(payload) }
+        header.payload_len = (payload.len() + if private.is_some() { 4 } else { 0 }) as u32;
+        Message {
+            header,
+            private,
+            payload: Bytes::from(payload),
+        }
     }
 
     /// For reply frames: splits payload into status byte and body.
@@ -107,7 +110,10 @@ impl Message {
         header.payload_len = (self.payload.len() + ext) as u32;
         let total = header.frame_len();
         if buf.len() < total {
-            return Err(FrameError::TooShort { got: buf.len(), need: total });
+            return Err(FrameError::TooShort {
+                got: buf.len(),
+                need: total,
+            });
         }
         header.encode(buf)?;
         let mut off = HEADER_LEN;
@@ -134,7 +140,10 @@ impl Message {
         let header = MsgHeader::decode(buf)?;
         let total = header.frame_len();
         if buf.len() < total {
-            return Err(FrameError::SizeMismatch { declared: total, actual: buf.len() });
+            return Err(FrameError::SizeMismatch {
+                declared: total,
+                actual: buf.len(),
+            });
         }
         let (private, payload_off) = if header.is_private() {
             if (header.payload_len as usize) < 4 {

@@ -64,10 +64,17 @@ pub fn decode_frame(buf: &[u8], max_frame: usize) -> Result<Option<(Message, usi
     let words = u16::from_le_bytes([buf[2], buf[3]]) as usize;
     let total = words * 4;
     if total < HEADER_LEN {
-        return Err(FrameError::SizeMismatch { declared: total, actual: buf.len() }.into());
+        return Err(FrameError::SizeMismatch {
+            declared: total,
+            actual: buf.len(),
+        }
+        .into());
     }
     if total > max_frame {
-        return Err(WireError::OversizedFrame { declared: total, max: max_frame });
+        return Err(WireError::OversizedFrame {
+            declared: total,
+            max: max_frame,
+        });
     }
     if buf.len() < total {
         return Ok(None);
@@ -90,7 +97,11 @@ pub struct StreamDecoder {
 impl StreamDecoder {
     /// Creates a decoder bounding frames at `max_frame` bytes.
     pub fn new(max_frame: usize) -> StreamDecoder {
-        StreamDecoder { buf: Vec::with_capacity(4096), read_at: 0, max_frame }
+        StreamDecoder {
+            buf: Vec::with_capacity(4096),
+            read_at: 0,
+            max_frame,
+        }
     }
 
     /// Appends received bytes.
@@ -150,7 +161,9 @@ mod tests {
     #[test]
     fn partial_body_yields_none() {
         let wire = encode_frame(&msg(64));
-        assert!(decode_frame(&wire[..wire.len() - 1], 1 << 20).unwrap().is_none());
+        assert!(decode_frame(&wire[..wire.len() - 1], 1 << 20)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -183,7 +196,7 @@ mod tests {
 
     #[test]
     fn stream_decoder_handles_batched_frames() {
-        let msgs: Vec<Message> = (0..10).map(|i| msg(i)).collect();
+        let msgs: Vec<Message> = (0..10).map(msg).collect();
         let mut wire = Vec::new();
         for m in &msgs {
             wire.extend_from_slice(&encode_frame(m));

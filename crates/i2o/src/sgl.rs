@@ -23,7 +23,6 @@ use core::fmt;
 
 /// Per-element flag bits.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SglFlags(u8);
 
 impl SglFlags {
@@ -82,7 +81,6 @@ impl fmt::Debug for SglFlags {
 /// +8  addr  : u64  segment address (pool handle << 32 | offset)
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SglElement {
     /// Element flags.
     pub flags: SglFlags,
@@ -99,17 +97,29 @@ pub const SGL_ELEMENT_LEN: usize = 16;
 impl SglElement {
     /// A data element.
     pub const fn data(addr: u64, len: u32) -> SglElement {
-        SglElement { flags: SglFlags::empty(), len, addr }
+        SglElement {
+            flags: SglFlags::empty(),
+            len,
+            addr,
+        }
     }
 
     /// The final data element of a list.
     pub const fn last(addr: u64, len: u32) -> SglElement {
-        SglElement { flags: SglFlags::LAST, len, addr }
+        SglElement {
+            flags: SglFlags::LAST,
+            len,
+            addr,
+        }
     }
 
     /// A chain element referencing a continuation frame.
     pub const fn chain(addr: u64) -> SglElement {
-        SglElement { flags: SglFlags(0b11), len: 0, addr }
+        SglElement {
+            flags: SglFlags(0b11),
+            len: 0,
+            addr,
+        }
     }
 
     /// Encodes into exactly [`SGL_ELEMENT_LEN`] bytes.
@@ -166,7 +176,6 @@ impl std::error::Error for SglError {}
 
 /// An owned scatter-gather list.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sgl {
     elements: Vec<SglElement>,
 }
@@ -174,13 +183,17 @@ pub struct Sgl {
 impl Sgl {
     /// Empty list (invalid until elements are pushed).
     pub fn new() -> Sgl {
-        Sgl { elements: Vec::new() }
+        Sgl {
+            elements: Vec::new(),
+        }
     }
 
     /// Builds a well-formed list over `(addr, len)` segments.
     pub fn from_segments<I: IntoIterator<Item = (u64, u32)>>(segs: I) -> Sgl {
-        let mut elements: Vec<SglElement> =
-            segs.into_iter().map(|(a, l)| SglElement::data(a, l)).collect();
+        let mut elements: Vec<SglElement> = segs
+            .into_iter()
+            .map(|(a, l)| SglElement::data(a, l))
+            .collect();
         if let Some(last) = elements.last_mut() {
             last.flags = last.flags.with(SglFlags::LAST);
         }
@@ -256,7 +269,7 @@ impl Sgl {
 
     /// Parses a buffer that consists solely of SGL elements.
     pub fn decode(buf: &[u8]) -> Result<Sgl, SglError> {
-        if buf.len() % SGL_ELEMENT_LEN != 0 {
+        if !buf.len().is_multiple_of(SGL_ELEMENT_LEN) {
             return Err(SglError::Truncated);
         }
         let mut elements = Vec::with_capacity(buf.len() / SGL_ELEMENT_LEN);

@@ -16,7 +16,6 @@ use core::fmt;
 
 /// A 12-bit I2O target identifier, unique within one IOP (node).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Tid(u16);
 
 /// Errors produced by TiD construction and allocation.
@@ -303,7 +302,10 @@ mod tests {
         let t = a.allocate().unwrap();
         a.free(t).unwrap();
         assert_eq!(a.free(t), Err(TidError::NotAllocated(t)));
-        assert_eq!(a.free(Tid::EXECUTIVE), Err(TidError::Reserved(Tid::EXECUTIVE)));
+        assert_eq!(
+            a.free(Tid::EXECUTIVE),
+            Err(TidError::Reserved(Tid::EXECUTIVE))
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct Block {
 impl Block {
     /// Creates a zeroed block of exactly `capacity` bytes.
     pub fn new(capacity: usize) -> Block {
-        Block { storage: vec![0u8; capacity].into_boxed_slice(), len: 0 }
+        Block {
+            storage: vec![0u8; capacity].into_boxed_slice(),
+            len: 0,
+        }
     }
 
     /// Fixed capacity.
@@ -37,7 +40,11 @@ impl Block {
 
     /// Sets the valid length (must not exceed capacity).
     pub fn set_len(&mut self, len: usize) {
-        assert!(len <= self.capacity(), "len {len} > capacity {}", self.capacity());
+        assert!(
+            len <= self.capacity(),
+            "len {len} > capacity {}",
+            self.capacity()
+        );
         self.len = len;
     }
 

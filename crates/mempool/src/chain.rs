@@ -136,7 +136,9 @@ pub fn split_into_frames(
 /// The returned header is the first frame's header with `MORE` cleared
 /// and `payload_len` covering the whole logical payload (extension
 /// included when private).
-pub fn reassemble<'a, I>(frames: I) -> Result<(MsgHeader, Option<PrivateHeader>, Vec<u8>), ChainError>
+pub fn reassemble<'a, I>(
+    frames: I,
+) -> Result<(MsgHeader, Option<PrivateHeader>, Vec<u8>), ChainError>
 where
     I: IntoIterator<Item = &'a [u8]>,
 {
@@ -152,7 +154,11 @@ where
             return Err(ChainError::BadMoreFlag { index });
         }
         let (private, data_off, ext) = if h.is_private() {
-            (Some(PrivateHeader::decode(bytes)?), PRIVATE_HEADER_LEN, 4usize)
+            (
+                Some(PrivateHeader::decode(bytes)?),
+                PRIVATE_HEADER_LEN,
+                4usize,
+            )
         } else {
             (None, HEADER_LEN, 0)
         };

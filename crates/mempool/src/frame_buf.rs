@@ -21,7 +21,10 @@ pub struct FrameBuf {
 impl FrameBuf {
     /// Wraps a block with its home pool.
     pub fn new(block: Block, recycler: Arc<dyn BlockRecycler>) -> FrameBuf {
-        FrameBuf { block: Some(block), recycler }
+        FrameBuf {
+            block: Some(block),
+            recycler,
+        }
     }
 
     /// A buffer that is not pooled at all (config path, tests).
@@ -75,10 +78,7 @@ impl FrameBuf {
     ///
     /// Lets instrumentation wrap the pool's recycler with a timing shim
     /// (the whitebox `frameFree` probe) without the pool knowing.
-    pub fn replace_recycler(
-        &mut self,
-        recycler: Arc<dyn BlockRecycler>,
-    ) -> Arc<dyn BlockRecycler> {
+    pub fn replace_recycler(&mut self, recycler: Arc<dyn BlockRecycler>) -> Arc<dyn BlockRecycler> {
         std::mem::replace(&mut self.recycler, recycler)
     }
 
@@ -86,7 +86,10 @@ impl FrameBuf {
     pub fn into_shared(mut self) -> SharedFrameBuf {
         let block = self.block.take().expect("fresh FrameBuf");
         SharedFrameBuf {
-            inner: Arc::new(SharedInner { block: Some(block), recycler: self.recycler.clone() }),
+            inner: Arc::new(SharedInner {
+                block: Some(block),
+                recycler: self.recycler.clone(),
+            }),
         }
     }
 }
@@ -184,7 +187,12 @@ impl Deref for SharedFrameBuf {
 
 impl std::fmt::Debug for SharedFrameBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "SharedFrameBuf(len={}, refs={})", self.len(), self.ref_count())
+        write!(
+            f,
+            "SharedFrameBuf(len={}, refs={})",
+            self.len(),
+            self.ref_count()
+        )
     }
 }
 

@@ -54,16 +54,25 @@ pub enum AllocError {
     /// Requested more than [`MAX_BLOCK_LEN`]; use frame chaining.
     TooLarge(usize),
     /// Pool reached its configured block budget.
-    Exhausted { requested: usize, live_blocks: usize },
+    Exhausted {
+        requested: usize,
+        live_blocks: usize,
+    },
 }
 
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::TooLarge(n) => {
-                write!(f, "requested {n} bytes exceeds max block of {MAX_BLOCK_LEN}; chain frames")
+                write!(
+                    f,
+                    "requested {n} bytes exceeds max block of {MAX_BLOCK_LEN}; chain frames"
+                )
             }
-            AllocError::Exhausted { requested, live_blocks } => write!(
+            AllocError::Exhausted {
+                requested,
+                live_blocks,
+            } => write!(
                 f,
                 "pool exhausted: {requested} bytes requested with {live_blocks} blocks live"
             ),
@@ -99,7 +108,10 @@ mod tests {
     fn alloc_error_messages() {
         let e = AllocError::TooLarge(1 << 20);
         assert!(e.to_string().contains("chain"));
-        let e = AllocError::Exhausted { requested: 64, live_blocks: 3 };
+        let e = AllocError::Exhausted {
+            requested: 64,
+            live_blocks: 3,
+        };
         assert!(e.to_string().contains("exhausted"));
     }
 }

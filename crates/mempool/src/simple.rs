@@ -29,9 +29,7 @@ use std::sync::Arc;
 
 /// Default pool-size ladder: from tiny control frames up to the 256 KB
 /// maximum, mirroring typical DAQ fragment sizes.
-pub const DEFAULT_SIZES: &[usize] = &[
-    64, 256, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024,
-];
+pub const DEFAULT_SIZES: &[usize] = &[64, 256, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024];
 
 /// Default number of blocks pre-created per size. The paper's DAQ
 /// pools are sized for hundreds of outstanding event fragments; the
@@ -92,7 +90,11 @@ impl SimplePool {
             }
         }
         let pool = Arc::new(SimplePool {
-            inner: Mutex::new(Inner { free, created, max_size: *sizes.last().unwrap() }),
+            inner: Mutex::new(Inner {
+                free,
+                created,
+                max_size: *sizes.last().unwrap(),
+            }),
             stats,
             max_blocks,
             self_ref: Mutex::new(None),
@@ -140,7 +142,10 @@ impl FrameAllocator for SimplePool {
             let live = self.stats.snapshot().live_blocks as usize;
             drop(inner);
             self.stats.on_failure();
-            return Err(AllocError::Exhausted { requested: len, live_blocks: live });
+            return Err(AllocError::Exhausted {
+                requested: len,
+                live_blocks: live,
+            });
         }
         // Grow by one block of the largest configured size (the
         // original scheme has no per-request size matching).

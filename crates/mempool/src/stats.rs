@@ -17,6 +17,8 @@ pub struct PoolStats {
     pub failures: u64,
     /// Blocks currently handed out.
     pub live_blocks: u64,
+    /// Most blocks ever handed out simultaneously (high-water mark).
+    pub high_water_blocks: u64,
     /// Total bytes of block capacity ever created.
     pub bytes_created: u64,
 }
@@ -41,6 +43,7 @@ pub(crate) struct AtomicStats {
     pub frees: AtomicU64,
     pub failures: AtomicU64,
     pub live_blocks: AtomicU64,
+    pub high_water_blocks: AtomicU64,
     pub bytes_created: AtomicU64,
 }
 
@@ -53,6 +56,7 @@ impl AtomicStats {
             frees: self.frees.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             live_blocks: self.live_blocks.load(Ordering::Relaxed),
+            high_water_blocks: self.high_water_blocks.load(Ordering::Relaxed),
             bytes_created: self.bytes_created.load(Ordering::Relaxed),
         }
     }
@@ -63,9 +67,11 @@ impl AtomicStats {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            self.bytes_created.fetch_add(created_bytes as u64, Ordering::Relaxed);
+            self.bytes_created
+                .fetch_add(created_bytes as u64, Ordering::Relaxed);
         }
-        self.live_blocks.fetch_add(1, Ordering::Relaxed);
+        let live = self.live_blocks.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water_blocks.fetch_max(live, Ordering::Relaxed);
     }
 
     pub fn on_free(&self) {
@@ -101,7 +107,22 @@ mod tests {
         assert_eq!(snap.frees, 1);
         assert_eq!(snap.failures, 1);
         assert_eq!(snap.live_blocks, 1);
+        assert_eq!(snap.high_water_blocks, 2);
         assert_eq!(snap.bytes_created, 100);
         assert_eq!(snap.hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn high_water_survives_frees() {
+        let s = AtomicStats::default();
+        for _ in 0..3 {
+            s.on_alloc(true, 0);
+        }
+        s.on_free();
+        s.on_free();
+        s.on_alloc(true, 0);
+        let snap = s.snapshot();
+        assert_eq!(snap.live_blocks, 2);
+        assert_eq!(snap.high_water_blocks, 3, "peak, not current");
     }
 }

@@ -103,7 +103,9 @@ impl TablePool {
                 });
             }
             let cap = class_capacity(class);
-            self.stats.bytes_created.fetch_add(cap as u64, Ordering::Relaxed);
+            self.stats
+                .bytes_created
+                .fetch_add(cap as u64, Ordering::Relaxed);
             self.classes[class].push(Block::new(cap));
         }
         Ok(())

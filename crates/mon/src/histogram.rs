@@ -1,0 +1,274 @@
+//! Fixed-bucket power-of-two latency histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+//! `[2^(i-1), 2^i)`. With 64-bit samples that is 65 buckets total —
+//! small enough to snapshot into one I2O frame, wide enough for
+//! nanosecond latencies up to centuries. Recording is one relaxed
+//! `fetch_add` on the bucket plus two on the sum/count aggregates;
+//! there is no allocation anywhere on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: one for zero plus one per power of two.
+pub const NUM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramInner {
+    counts: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A concurrent histogram handle. Cloning shares the underlying
+/// buckets, so a handle can be hoisted into a hot loop once and
+/// recorded into without touching the registry again.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Index of the bucket `value` falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Half-open value range `[lo, hi)` covered by bucket `index`
+    /// (`hi` is `u64::MAX` for the last bucket, which is closed).
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < NUM_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Records one sample. Allocation-free; three relaxed atomic adds.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.inner;
+        inner.counts[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.inner.counts[i].load(Ordering::Relaxed)),
+            sum: self.inner.sum.load(Ordering::Relaxed),
+            count: self.inner.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes all buckets and aggregates.
+    pub fn reset(&self) {
+        for c in &self.inner.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.inner.sum.store(0, Ordering::Relaxed);
+        self.inner.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], mergeable across nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram::bucket_bounds`]).
+    pub counts: [u64; NUM_BUCKETS],
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Total number of samples.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: [0; NUM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Adds `other`'s samples into `self` (cluster-wide aggregation).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Mean of the recorded values, when any exist.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0.0..=1.0): the
+    /// exclusive upper bound of the bucket holding that rank.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Histogram::bucket_bounds(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// JSON form: aggregates plus only the non-empty buckets, each as
+    /// `[lo, hi, count]`.
+    pub fn to_value(&self) -> serde_json::Value {
+        let buckets: Vec<serde_json::Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                serde_json::json!([lo, hi, *c])
+            })
+            .collect();
+        serde_json::json!({
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": buckets,
+        })
+    }
+
+    /// Rebuilds a snapshot from [`HistogramSnapshot::to_value`] JSON.
+    pub fn from_value(v: &serde_json::Value) -> Option<HistogramSnapshot> {
+        let mut snap = HistogramSnapshot {
+            counts: [0; NUM_BUCKETS],
+            sum: v["sum"].as_u64()?,
+            count: v["count"].as_u64()?,
+        };
+        for b in v["buckets"].as_array()? {
+            let lo = b[0].as_u64()?;
+            let c = b[2].as_u64()?;
+            snap.counts[Histogram::bucket_index(lo)] = c;
+        }
+        Some(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_u64() {
+        // Every bucket's lo is the previous bucket's hi: no gaps, no
+        // overlaps, full coverage of 0..=u64::MAX.
+        let mut expect_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(lo, expect_lo, "bucket {i} lower bound");
+            assert!(hi > lo);
+            expect_lo = hi;
+        }
+        assert_eq!(expect_lo, u64::MAX);
+    }
+
+    #[test]
+    fn values_land_in_their_bucket() {
+        for v in [0u64, 1, 2, 3, 4, 255, 256, 1023, 1 << 40, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(v >= lo, "{v} < lo {lo} (bucket {i})");
+            assert!(
+                v < hi || (i == 64 && v <= hi),
+                "{v} >= hi {hi} (bucket {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn record_snapshot_reset() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[Histogram::bucket_index(5)], 2);
+        assert_eq!(s.mean(), Some(252.5));
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.counts[Histogram::bucket_index(3)], 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 7, 7, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let back = HistogramSnapshot::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn quantile_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        let s = h.snapshot();
+        let (_, hi10) = Histogram::bucket_bounds(Histogram::bucket_index(10));
+        assert_eq!(s.quantile(0.5), Some(hi10));
+        let (_, hi_big) = Histogram::bucket_bounds(Histogram::bucket_index(100_000));
+        assert_eq!(s.quantile(1.0), Some(hi_big));
+    }
+}

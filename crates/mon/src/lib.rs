@@ -1,0 +1,109 @@
+//! Node-local monitoring for XDAQ executives.
+//!
+//! The paper's third architectural dimension (§2, *system management*)
+//! calls for uniform access to operational data of every cluster
+//! component. This crate provides the node-local half of that story:
+//!
+//! * a [`Registry`] of named [`Counter`]s, [`Gauge`]s and
+//!   [`Histogram`]s whose record paths are single relaxed atomic
+//!   operations — safe to leave enabled in the dispatch hot path;
+//! * a bounded [`FrameTracer`] ring recording per-frame lifecycle
+//!   events (alloc → enqueue → dispatch → PT send/recv → recycle),
+//!   gated by one branch when disabled;
+//! * [`PtCounters`], a fixed per-transport counter block embedded in
+//!   peer transports.
+//!
+//! Everything here is plain data; shipping snapshots over I2O frames
+//! is done by the `MonitorAgent` device class in `xdaq-core`, and
+//! cluster-wide aggregation by `xdaq-host`.
+
+mod histogram;
+mod registry;
+mod tracer;
+
+pub use histogram::{Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, Registry};
+pub use tracer::{FrameTracer, TraceEvent, TraceRecord};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-peer-transport traffic counters. Embedded by value in each PT
+/// so recording is a relaxed add with no indirection.
+#[derive(Debug, Default)]
+pub struct PtCounters {
+    /// Frames handed to the wire.
+    pub sent_frames: AtomicU64,
+    /// Payload bytes handed to the wire.
+    pub sent_bytes: AtomicU64,
+    /// Frames harvested from the wire.
+    pub recv_frames: AtomicU64,
+    /// Payload bytes harvested from the wire.
+    pub recv_bytes: AtomicU64,
+    /// Failed sends.
+    pub send_errors: AtomicU64,
+}
+
+impl PtCounters {
+    /// A zeroed counter block.
+    pub fn new() -> PtCounters {
+        PtCounters::default()
+    }
+
+    /// Records one outbound frame of `bytes` payload bytes.
+    pub fn on_send(&self, bytes: usize) {
+        self.sent_frames.fetch_add(1, Ordering::Relaxed);
+        self.sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one inbound frame of `bytes` payload bytes.
+    pub fn on_recv(&self, bytes: usize) {
+        self.recv_frames.fetch_add(1, Ordering::Relaxed);
+        self.recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records one failed send.
+    pub fn on_send_error(&self) {
+        self.send_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current values as a JSON object.
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "sent_frames": self.sent_frames.load(Ordering::Relaxed),
+            "sent_bytes": self.sent_bytes.load(Ordering::Relaxed),
+            "recv_frames": self.recv_frames.load(Ordering::Relaxed),
+            "recv_bytes": self.recv_bytes.load(Ordering::Relaxed),
+            "send_errors": self.send_errors.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.sent_frames.store(0, Ordering::Relaxed);
+        self.sent_bytes.store(0, Ordering::Relaxed);
+        self.recv_frames.store(0, Ordering::Relaxed);
+        self.recv_bytes.store(0, Ordering::Relaxed);
+        self.send_errors.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pt_counters_accumulate_and_reset() {
+        let c = PtCounters::new();
+        c.on_send(100);
+        c.on_send(28);
+        c.on_recv(64);
+        c.on_send_error();
+        let v = c.to_value();
+        assert_eq!(v["sent_frames"].as_u64(), Some(2));
+        assert_eq!(v["sent_bytes"].as_u64(), Some(128));
+        assert_eq!(v["recv_frames"].as_u64(), Some(1));
+        assert_eq!(v["send_errors"].as_u64(), Some(1));
+        c.reset();
+        assert_eq!(c.to_value()["sent_bytes"].as_u64(), Some(0));
+    }
+}

@@ -56,8 +56,16 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(LinearFit { slope, intercept, r2 })
+    let r2 = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 #[cfg(test)]
@@ -108,7 +116,11 @@ mod tests {
 
     #[test]
     fn equation_format() {
-        let f = LinearFit { slope: -7e-5, intercept: 9.105, r2: 1.0 };
+        let f = LinearFit {
+            slope: -7e-5,
+            intercept: 9.105,
+            r2: 1.0,
+        };
         assert_eq!(f.equation(), "y = -7.000e-5x + 9.105");
     }
 }

@@ -20,7 +20,11 @@ impl ProbeRing {
     pub fn new(name: &'static str, capacity: usize) -> ProbeRing {
         assert!(capacity > 0, "probe ring needs capacity");
         let slots = (0..capacity).map(|_| AtomicU64::new(u64::MAX)).collect();
-        ProbeRing { name, slots, next: AtomicUsize::new(0) }
+        ProbeRing {
+            name,
+            slots,
+            next: AtomicUsize::new(0),
+        }
     }
 
     /// Probe-point name (used in reports).

@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 use xdaq_core::{DispatchProbes, IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
 use xdaq_gm::{Fabric, GmAddr, GmEvent, NodeId, Port, PortConfig, PortId};
 use xdaq_mempool::{DynAllocator, FrameBuf};
+use xdaq_mon::PtCounters;
 
 /// Parses `gm://<node>:<port>`.
 fn parse_gm_addr(addr: &PeerAddr) -> Result<GmAddr, PtError> {
@@ -30,9 +31,16 @@ fn parse_gm_addr(addr: &PeerAddr) -> Result<GmAddr, PtError> {
         .rest()
         .split_once(':')
         .ok_or_else(|| PtError::BadAddress(addr.to_string()))?;
-    let node: u16 = node.parse().map_err(|_| PtError::BadAddress(addr.to_string()))?;
-    let port: u8 = port.parse().map_err(|_| PtError::BadAddress(addr.to_string()))?;
-    Ok(GmAddr { node: NodeId(node), port: PortId(port) })
+    let node: u16 = node
+        .parse()
+        .map_err(|_| PtError::BadAddress(addr.to_string()))?;
+    let port: u8 = port
+        .parse()
+        .map_err(|_| PtError::BadAddress(addr.to_string()))?;
+    Ok(GmAddr {
+        node: NodeId(node),
+        port: PortId(port),
+    })
 }
 
 fn to_peer_addr(a: GmAddr) -> PeerAddr {
@@ -47,6 +55,8 @@ pub struct GmPt {
     mode: PtMode,
     stopped: Arc<AtomicBool>,
     task: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Shared with the task-mode receive thread.
+    counters: Arc<PtCounters>,
 }
 
 impl GmPt {
@@ -69,6 +79,7 @@ impl GmPt {
             mode,
             stopped: Arc::new(AtomicBool::new(false)),
             task: Mutex::new(None),
+            counters: Arc::new(PtCounters::new()),
         }))
     }
 
@@ -107,25 +118,43 @@ impl PeerTransport for GmPt {
 
     fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
         if self.stopped.load(Ordering::Acquire) {
+            self.counters.on_send_error();
             return Err(PtError::Closed);
         }
-        let gm_dest = parse_gm_addr(dest)?;
+        let gm_dest = match parse_gm_addr(dest) {
+            Ok(a) => a,
+            Err(e) => {
+                self.counters.on_send_error();
+                return Err(e);
+            }
+        };
         // The GM library copies into its own (simulated DMA) buffer;
         // the pooled frame recycles on drop here.
-        self.port
-            .send(gm_dest, &frame, 0)
-            .map_err(|e| match e {
-                xdaq_gm::GmError::NoSendTokens => PtError::WouldBlock,
-                xdaq_gm::GmError::QueueFull { .. } => PtError::WouldBlock,
-                other => PtError::Unreachable(format!("{dest}: {other}")),
-            })
+        match self.port.send(gm_dest, &frame, 0) {
+            Ok(()) => {
+                self.counters.on_send(frame.len());
+                Ok(())
+            }
+            Err(e) => {
+                self.counters.on_send_error();
+                Err(match e {
+                    xdaq_gm::GmError::NoSendTokens => PtError::WouldBlock,
+                    xdaq_gm::GmError::QueueFull { .. } => PtError::WouldBlock,
+                    other => PtError::Unreachable(format!("{dest}: {other}")),
+                })
+            }
+        }
     }
 
     fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
         loop {
             match self.port.poll()? {
                 GmEvent::Received { src, data } => {
-                    return Self::process_received(&self.alloc, &self.probes, src, data);
+                    let got = Self::process_received(&self.alloc, &self.probes, src, data);
+                    if let Some((f, _)) = &got {
+                        self.counters.on_recv(f.len());
+                    }
+                    return got;
                 }
                 GmEvent::SendCompleted { .. } => continue,
             }
@@ -140,6 +169,7 @@ impl PeerTransport for GmPt {
         let alloc = self.alloc.clone();
         let probes = self.probes.clone();
         let stopped = self.stopped.clone();
+        let counters = self.counters.clone();
         let handle = std::thread::Builder::new()
             .name(format!("gm-pt-{}", self.port.addr()))
             .spawn(move || {
@@ -149,6 +179,7 @@ impl PeerTransport for GmPt {
                             if let Some((buf, peer)) =
                                 GmPt::process_received(&alloc, &probes, src, data)
                             {
+                                counters.on_recv(buf.len());
                                 sink(buf, peer);
                             }
                         }
@@ -166,6 +197,10 @@ impl PeerTransport for GmPt {
         if let Some(t) = self.task.lock().take() {
             let _ = t.join();
         }
+    }
+
+    fn counters(&self) -> Option<&PtCounters> {
+        Some(&self.counters)
     }
 }
 
@@ -227,9 +262,9 @@ mod tests {
         let fabric = Fabric::new();
         let probes = DispatchProbes::new(16);
         let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
-        let b =
-            GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), Some(probes.clone())).unwrap();
-        a.send(&b.addr(), FrameBuf::from_bytes(&[1u8; 128])).unwrap();
+        let b = GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), Some(probes.clone())).unwrap();
+        a.send(&b.addr(), FrameBuf::from_bytes(&[1u8; 128]))
+            .unwrap();
         let _ = b.poll().unwrap();
         assert_eq!(probes.pt_processing.len(), 1);
     }

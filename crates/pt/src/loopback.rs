@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode};
 use xdaq_mempool::{DynAllocator, FrameBuf};
+use xdaq_mon::PtCounters;
 
 struct Mailbox {
     queue: SegQueue<(FrameBuf, PeerAddr)>,
@@ -41,7 +42,11 @@ impl LoopbackHub {
         let mut nodes = self.nodes.write();
         nodes
             .entry(node.to_string())
-            .or_insert_with(|| Arc::new(Mailbox { queue: SegQueue::new() }))
+            .or_insert_with(|| {
+                Arc::new(Mailbox {
+                    queue: SegQueue::new(),
+                })
+            })
             .clone()
     }
 
@@ -70,6 +75,7 @@ pub struct LoopbackPt {
     /// When set, frames are copied into buffers from this pool instead
     /// of handed off zero-copy (the copy-path ablation).
     copy_pool: Option<DynAllocator>,
+    counters: PtCounters,
 }
 
 impl LoopbackPt {
@@ -93,6 +99,7 @@ impl LoopbackPt {
             mode,
             stopped: AtomicBool::new(false),
             copy_pool,
+            counters: PtCounters::new(),
         })
     }
 
@@ -113,12 +120,16 @@ impl PeerTransport for LoopbackPt {
 
     fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
         if self.stopped.load(Ordering::Acquire) {
+            self.counters.on_send_error();
             return Err(PtError::Closed);
         }
-        let target = self
-            .hub
-            .lookup(dest.rest())
-            .ok_or_else(|| PtError::Unreachable(dest.to_string()))?;
+        let target = match self.hub.lookup(dest.rest()) {
+            Some(t) => t,
+            None => {
+                self.counters.on_send_error();
+                return Err(PtError::Unreachable(dest.to_string()));
+            }
+        };
         let frame = match &self.copy_pool {
             None => frame,
             Some(pool) => {
@@ -130,16 +141,25 @@ impl PeerTransport for LoopbackPt {
                 copy
             }
         };
+        self.counters.on_send(frame.len());
         target.queue.push((frame, self.self_addr.clone()));
         Ok(())
     }
 
     fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
-        self.mailbox.queue.pop()
+        let got = self.mailbox.queue.pop();
+        if let Some((f, _)) = &got {
+            self.counters.on_recv(f.len());
+        }
+        got
     }
 
     fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
+    }
+
+    fn counters(&self) -> Option<&PtCounters> {
+        Some(&self.counters)
     }
 }
 
@@ -201,6 +221,24 @@ mod tests {
         assert_eq!(pool.stats().allocs, 1, "copy went through the pool");
         let (f, _) = b.poll().unwrap();
         assert_eq!(&f[..], &vec![0xABu8; 100][..]);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        let b = LoopbackPt::new(&hub, "b");
+        a.send(&"loop://b".parse().unwrap(), frame(10)).unwrap();
+        a.send(&"loop://b".parse().unwrap(), frame(20)).unwrap();
+        let _ = a.send(&"loop://ghost".parse().unwrap(), frame(1));
+        b.poll().unwrap();
+        let ca = a.counters().unwrap();
+        assert_eq!(ca.sent_frames.load(Ordering::Relaxed), 2);
+        assert_eq!(ca.sent_bytes.load(Ordering::Relaxed), 30);
+        assert_eq!(ca.send_errors.load(Ordering::Relaxed), 1);
+        let cb = b.counters().unwrap();
+        assert_eq!(cb.recv_frames.load(Ordering::Relaxed), 1);
+        assert_eq!(cb.recv_bytes.load(Ordering::Relaxed), 10);
     }
 
     #[test]

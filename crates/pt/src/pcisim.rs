@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode};
 use xdaq_mempool::FrameBuf;
+use xdaq_mon::PtCounters;
 
 /// Queue flavour per slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,7 +116,9 @@ fn parse_pci(addr: &PeerAddr) -> Result<(String, u8), PtError> {
         .rest()
         .split_once('/')
         .ok_or_else(|| PtError::BadAddress(addr.to_string()))?;
-    let slot: u8 = slot.parse().map_err(|_| PtError::BadAddress(addr.to_string()))?;
+    let slot: u8 = slot
+        .parse()
+        .map_err(|_| PtError::BadAddress(addr.to_string()))?;
     Ok((seg.to_string(), slot))
 }
 
@@ -125,6 +128,7 @@ pub struct PciPt {
     inbound: Arc<SlotQueue>,
     self_addr: PeerAddr,
     stopped: AtomicBool,
+    counters: PtCounters,
 }
 
 impl PciPt {
@@ -137,6 +141,7 @@ impl PciPt {
             inbound,
             self_addr: PeerAddr::new("pci", &format!("{}/{slot}", bus.segment())),
             stopped: AtomicBool::new(false),
+            counters: PtCounters::new(),
         })
     }
 
@@ -156,29 +161,51 @@ impl PeerTransport for PciPt {
     }
 
     fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
-        if self.stopped.load(Ordering::Acquire) {
-            return Err(PtError::Closed);
+        let result = (|| {
+            if self.stopped.load(Ordering::Acquire) {
+                return Err(PtError::Closed);
+            }
+            let (seg, slot) = parse_pci(dest)?;
+            if seg != self.bus.segment() {
+                return Err(PtError::Unreachable(format!(
+                    "{dest}: segment '{seg}' is not bridged from '{}'",
+                    self.bus.segment()
+                )));
+            }
+            let target = self
+                .bus
+                .lookup(slot)
+                .ok_or_else(|| PtError::Unreachable(dest.to_string()))?;
+            let len = frame.len();
+            target.push((frame, self.self_addr.clone()))?;
+            Ok(len)
+        })();
+        match result {
+            Ok(len) => {
+                self.counters.on_send(len);
+                Ok(())
+            }
+            Err(e) => {
+                self.counters.on_send_error();
+                Err(e)
+            }
         }
-        let (seg, slot) = parse_pci(dest)?;
-        if seg != self.bus.segment() {
-            return Err(PtError::Unreachable(format!(
-                "{dest}: segment '{seg}' is not bridged from '{}'",
-                self.bus.segment()
-            )));
-        }
-        let target = self
-            .bus
-            .lookup(slot)
-            .ok_or_else(|| PtError::Unreachable(dest.to_string()))?;
-        target.push((frame, self.self_addr.clone()))
     }
 
     fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
-        self.inbound.pop()
+        let got = self.inbound.pop();
+        if let Some((f, _)) = &got {
+            self.counters.on_recv(f.len());
+        }
+        got
     }
 
     fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
+    }
+
+    fn counters(&self) -> Option<&PtCounters> {
+        Some(&self.counters)
     }
 }
 
@@ -218,7 +245,10 @@ mod tests {
         let b = PciPt::attach(&bus, 1);
         a.send(&b.addr(), frame(1)).unwrap();
         a.send(&b.addr(), frame(1)).unwrap();
-        assert!(matches!(a.send(&b.addr(), frame(1)), Err(PtError::WouldBlock)));
+        assert!(matches!(
+            a.send(&b.addr(), frame(1)),
+            Err(PtError::WouldBlock)
+        ));
         let _ = b.poll().unwrap();
         a.send(&b.addr(), frame(1)).unwrap();
     }

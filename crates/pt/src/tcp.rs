@@ -23,6 +23,7 @@ use std::time::Duration;
 use xdaq_core::{IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
 use xdaq_i2o::HEADER_LEN;
 use xdaq_mempool::{DynAllocator, FrameBuf};
+use xdaq_mon::PtCounters;
 
 const HELLO_PREFIX: &str = "XDAQPT1 ";
 const MAX_FRAME: usize = xdaq_i2o::MAX_BLOCK_LEN;
@@ -35,6 +36,8 @@ pub struct TcpPt {
     stopped: Arc<AtomicBool>,
     conns: Mutex<HashMap<String, TcpStream>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Shared with reader threads, which account received frames.
+    counters: Arc<PtCounters>,
 }
 
 impl TcpPt {
@@ -51,6 +54,7 @@ impl TcpPt {
             stopped: Arc::new(AtomicBool::new(false)),
             conns: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
+            counters: Arc::new(PtCounters::new()),
         }))
     }
 
@@ -74,8 +78,11 @@ impl TcpPt {
         alloc: DynAllocator,
         sink: IngestSink,
         stopped: Arc<AtomicBool>,
+        counters: Arc<PtCounters>,
     ) {
-        stream.set_read_timeout(Some(Duration::from_millis(100))).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .ok();
         // Hello line first.
         let mut hello = Vec::new();
         let mut byte = [0u8; 1];
@@ -107,8 +114,12 @@ impl TcpPt {
             Ok(h) => h,
             Err(_) => return,
         };
-        let Some(peer_str) = hello.strip_prefix(HELLO_PREFIX) else { return };
-        let Ok(peer) = peer_str.trim().parse::<PeerAddr>() else { return };
+        let Some(peer_str) = hello.strip_prefix(HELLO_PREFIX) else {
+            return;
+        };
+        let Ok(peer) = peer_str.trim().parse::<PeerAddr>() else {
+            return;
+        };
 
         // Frame loop: header first, then the declared remainder.
         let mut header = [0u8; HEADER_LEN];
@@ -135,7 +146,9 @@ impl TcpPt {
             if !(HEADER_LEN..=MAX_FRAME).contains(&total) {
                 return; // corrupt stream
             }
-            let Ok(mut buf) = alloc.alloc(total) else { return };
+            let Ok(mut buf) = alloc.alloc(total) else {
+                return;
+            };
             buf[..HEADER_LEN].copy_from_slice(&header);
             let mut off = HEADER_LEN;
             while off < total {
@@ -154,6 +167,7 @@ impl TcpPt {
                     Err(_) => return,
                 }
             }
+            counters.on_recv(total);
             sink(buf, peer.clone());
             continue 'frames;
         }
@@ -171,20 +185,32 @@ impl PeerTransport for TcpPt {
 
     fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
         if self.stopped.load(Ordering::Acquire) {
+            self.counters.on_send_error();
             return Err(PtError::Closed);
         }
         let key = dest.rest().to_string();
         let mut conns = self.conns.lock();
         if !conns.contains_key(&key) {
-            let stream = self.connect(dest)?;
-            conns.insert(key.clone(), stream);
+            match self.connect(dest) {
+                Ok(stream) => {
+                    conns.insert(key.clone(), stream);
+                }
+                Err(e) => {
+                    self.counters.on_send_error();
+                    return Err(e);
+                }
+            }
         }
         let stream = conns.get_mut(&key).expect("just inserted");
         match stream.write_all(&frame) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.counters.on_send(frame.len());
+                Ok(())
+            }
             Err(e) => {
                 // Drop the broken connection; the next send reconnects.
                 conns.remove(&key);
+                self.counters.on_send_error();
                 Err(PtError::Io(e.to_string()))
             }
         }
@@ -198,6 +224,7 @@ impl PeerTransport for TcpPt {
         let listener = self.listener.try_clone()?;
         let alloc = self.alloc.clone();
         let stopped = self.stopped.clone();
+        let counters = self.counters.clone();
         let threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let threads_in = threads.clone();
@@ -210,10 +237,11 @@ impl PeerTransport for TcpPt {
                             let alloc = alloc.clone();
                             let sink = sink.clone();
                             let stopped = stopped.clone();
+                            let counters = counters.clone();
                             let h = std::thread::Builder::new()
                                 .name("tcp-pt-reader".into())
                                 .spawn(move || {
-                                    TcpPt::reader_loop(stream, alloc, sink, stopped)
+                                    TcpPt::reader_loop(stream, alloc, sink, stopped, counters)
                                 })
                                 .expect("spawn reader");
                             threads_in.lock().push(h);
@@ -237,6 +265,10 @@ impl PeerTransport for TcpPt {
             let _ = t.join();
         }
     }
+
+    fn counters(&self) -> Option<&PtCounters> {
+        Some(&self.counters)
+    }
 }
 
 #[cfg(test)]
@@ -251,14 +283,9 @@ mod tests {
     }
 
     fn frame(payload: &[u8]) -> FrameBuf {
-        let msg = Message::build_private(
-            Tid::new(0x10).unwrap(),
-            Tid::new(0x20).unwrap(),
-            1,
-            7,
-        )
-        .payload(payload.to_vec())
-        .finish();
+        let msg = Message::build_private(Tid::new(0x10).unwrap(), Tid::new(0x20).unwrap(), 1, 7)
+            .payload(payload.to_vec())
+            .finish();
         FrameBuf::from_bytes(&msg.encode_vec())
     }
 
@@ -275,8 +302,10 @@ mod tests {
         let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
         let got_b: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
         let gb = got_b.clone();
-        b.start(Arc::new(move |f, src| gb.lock().push((f.len(), src.to_string()))))
-            .unwrap();
+        b.start(Arc::new(move |f, src| {
+            gb.lock().push((f.len(), src.to_string()))
+        }))
+        .unwrap();
         a.start(Arc::new(|_, _| {})).unwrap();
 
         a.send(&b.addr(), frame(b"one")).unwrap();
@@ -297,10 +326,12 @@ mod tests {
         let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
         let got_a: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
         let ga = got_a.clone();
-        a.start(Arc::new(move |f, _| ga.lock().push(f.len()))).unwrap();
+        a.start(Arc::new(move |f, _| ga.lock().push(f.len())))
+            .unwrap();
         let got_b: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
         let gb = got_b.clone();
-        b.start(Arc::new(move |_, src| gb.lock().push(src.to_string()))).unwrap();
+        b.start(Arc::new(move |_, src| gb.lock().push(src.to_string())))
+            .unwrap();
 
         a.send(&b.addr(), frame(b"req")).unwrap();
         wait_for(&got_b, 1);
@@ -318,7 +349,10 @@ mod tests {
         let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
         // Port 1 is almost certainly closed.
         let dest: PeerAddr = "tcp://127.0.0.1:1".parse().unwrap();
-        assert!(matches!(a.send(&dest, frame(b"x")), Err(PtError::Unreachable(_))));
+        assert!(matches!(
+            a.send(&dest, frame(b"x")),
+            Err(PtError::Unreachable(_))
+        ));
     }
 
     #[test]
@@ -339,7 +373,8 @@ mod tests {
         let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
         let got: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
         let g = got.clone();
-        b.start(Arc::new(move |f, _| g.lock().push(f.len()))).unwrap();
+        b.start(Arc::new(move |f, _| g.lock().push(f.len())))
+            .unwrap();
         for i in 0..200usize {
             a.send(&b.addr(), frame(&vec![0xAA; i * 7 % 512])).unwrap();
         }

@@ -14,7 +14,8 @@ use xdaq::pt::{LoopbackHub, LoopbackPt};
 
 fn worker(hub: &std::sync::Arc<LoopbackHub>, name: &str) -> Executive {
     let exec = Executive::new(ExecutiveConfig::named(name));
-    exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(hub, name)).unwrap();
+    exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(hub, name))
+        .unwrap();
     // Factories available for runtime loading (ExecSwDownload).
     exec.register_factory(
         "ponger",
@@ -63,11 +64,16 @@ echo cluster configured
 
 fn main() {
     let hub = LoopbackHub::new();
-    let workers: Vec<_> = ["ru0", "ru1", "bu0"].iter().map(|n| worker(&hub, n)).collect();
+    let workers: Vec<_> = ["ru0", "ru1", "bu0"]
+        .iter()
+        .map(|n| worker(&hub, n))
+        .collect();
     let handles: Vec<_> = workers.iter().map(|w| w.spawn()).collect();
 
     let host = ControlHost::new("primary");
-    host.executive().register_pt("host.pt", LoopbackPt::new(&hub, "primary")).unwrap();
+    host.executive()
+        .register_pt("host.pt", LoopbackPt::new(&hub, "primary"))
+        .unwrap();
     host.start();
 
     let mut interp = XclInterpreter::new(&host);

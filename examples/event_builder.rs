@@ -34,12 +34,16 @@ const FRAGMENT_SIZE: u32 = 2_048;
 
 /// Events to run; override with `EVENTS=<n>`.
 fn event_count() -> u64 {
-    std::env::var("EVENTS").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000)
+    std::env::var("EVENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000)
 }
 
 fn node(hub: &std::sync::Arc<LoopbackHub>, name: &str) -> Executive {
     let exec = Executive::new(ExecutiveConfig::named(name));
-    exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(hub, name)).unwrap();
+    exec.register_pt(&format!("{name}.pt"), LoopbackPt::new(hub, name))
+        .unwrap();
     exec
 }
 
@@ -49,21 +53,31 @@ fn main() {
     // One executive per machine.
     let mgr_node = node(&hub, "mgr");
     let filter_node = node(&hub, "flt");
-    let ru_nodes: Vec<Executive> =
-        (0..READOUTS).map(|i| node(&hub, &format!("ru{i}"))).collect();
-    let bu_nodes: Vec<Executive> =
-        (0..BUILDERS).map(|i| node(&hub, &format!("bu{i}"))).collect();
+    let ru_nodes: Vec<Executive> = (0..READOUTS)
+        .map(|i| node(&hub, &format!("ru{i}")))
+        .collect();
+    let bu_nodes: Vec<Executive> = (0..BUILDERS)
+        .map(|i| node(&hub, &format!("bu{i}")))
+        .collect();
 
     // Filter on its own node.
     let f_stats = FilterStats::new();
     let filter_tid = filter_node
-        .register("filter0", Box::new(FilterUnit::new(f_stats.clone())), &[("accept_percent", "25")])
+        .register(
+            "filter0",
+            Box::new(FilterUnit::new(f_stats.clone())),
+            &[("accept_percent", "25")],
+        )
         .unwrap();
 
     // Event manager.
     let m_stats = EvtMgrStats::new();
     let mgr_tid = mgr_node
-        .register("evm", Box::new(EventManager::new(m_stats.clone())), &[("window", "32")])
+        .register(
+            "evm",
+            Box::new(EventManager::new(m_stats.clone())),
+            &[("window", "32")],
+        )
         .unwrap();
 
     // Builders: each needs proxies for the filter and the manager.
@@ -96,7 +110,10 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(b, tid)| {
-                ru.proxy(&format!("loop://bu{b}"), *tid, None).unwrap().raw().to_string()
+                ru.proxy(&format!("loop://bu{b}"), *tid, None)
+                    .unwrap()
+                    .raw()
+                    .to_string()
             })
             .collect();
         let tid = ru
@@ -119,13 +136,20 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, tid)| {
-            mgr_node.proxy(&format!("loop://ru{i}"), *tid, None).unwrap().raw().to_string()
+            mgr_node
+                .proxy(&format!("loop://ru{i}"), *tid, None)
+                .unwrap()
+                .raw()
+                .to_string()
         })
         .collect();
     mgr_node
         .post(
             Message::util(mgr_tid, Tid::HOST, xdaq::i2o::UtilFn::ParamsSet)
-                .payload(xdaq::core::config::kv(&[("readouts", &ru_proxies.join(","))]))
+                .payload(xdaq::core::config::kv(&[(
+                    "readouts",
+                    &ru_proxies.join(","),
+                )]))
                 .finish(),
         )
         .unwrap();
@@ -176,8 +200,14 @@ fn main() {
     }
     let elapsed = t0.elapsed();
 
-    let built: u64 = builder_stats.iter().map(|s| s.events_built.load(Ordering::SeqCst)).sum();
-    let bytes: u64 = builder_stats.iter().map(|s| s.bytes.load(Ordering::SeqCst)).sum();
+    let built: u64 = builder_stats
+        .iter()
+        .map(|s| s.events_built.load(Ordering::SeqCst))
+        .sum();
+    let bytes: u64 = builder_stats
+        .iter()
+        .map(|s| s.bytes.load(Ordering::SeqCst))
+        .sum();
     println!("built {built} events in {:.3} s", elapsed.as_secs_f64());
     println!(
         "event rate {:.0} Hz, aggregate builder throughput {:.1} MB/s",

@@ -81,8 +81,24 @@ fn main() {
     // 2. Simulated Myrinet/GM (zero wire-latency model).
     let fabric = Fabric::new();
     let lat = run_app(
-        GmPt::open(&fabric, 1, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap(),
-        GmPt::open(&fabric, 2, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap(),
+        GmPt::open(
+            &fabric,
+            1,
+            0,
+            PtMode::Task,
+            TablePool::with_defaults(),
+            None,
+        )
+        .unwrap(),
+        GmPt::open(
+            &fabric,
+            2,
+            0,
+            PtMode::Task,
+            TablePool::with_defaults(),
+            None,
+        )
+        .unwrap(),
         "gm://2:0",
         COUNT,
     );

@@ -23,24 +23,36 @@ fn main() {
     let hub = LoopbackHub::new();
 
     let node_a = Executive::new(ExecutiveConfig::named("node-a"));
-    node_a.register_pt("a.pt", LoopbackPt::new(&hub, "node-a")).unwrap();
+    node_a
+        .register_pt("a.pt", LoopbackPt::new(&hub, "node-a"))
+        .unwrap();
     let node_b = Executive::new(ExecutiveConfig::named("node-b"));
-    node_b.register_pt("b.pt", LoopbackPt::new(&hub, "node-b")).unwrap();
+    node_b
+        .register_pt("b.pt", LoopbackPt::new(&hub, "node-b"))
+        .unwrap();
 
     // A ponger on B; a pinger on A that floods it.
     let state = PingState::new();
-    let pong_tid = node_b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    let pong_tid = node_b
+        .register("pong", Box::new(Ponger::new()), &[])
+        .unwrap();
 
     // Location transparency: A allocates a *local* proxy TiD that
     // routes to B's device. The pinger only ever sees a TiD.
-    let proxy = node_a.proxy("loop://node-b", pong_tid, Some("node-b.pong")).unwrap();
+    let proxy = node_a
+        .proxy("loop://node-b", pong_tid, Some("node-b.pong"))
+        .unwrap();
     println!("proxy tid on node-a for node-b/pong: {proxy}");
 
     let ping_tid = node_a
         .register(
             "ping",
             Box::new(Pinger::new(state.clone())),
-            &[("peer", &proxy.raw().to_string()), ("payload", "64"), ("count", "1000")],
+            &[
+                ("peer", &proxy.raw().to_string()),
+                ("payload", "64"),
+                ("count", "1000"),
+            ],
         )
         .unwrap();
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo CI gate: lints must be clean and formatting canonical before the
+# test suite counts. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, all targets, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "ci: all green"

@@ -1,0 +1,343 @@
+//! Offline replacement for the subset of `criterion` this workspace
+//! uses. It runs each benchmark long enough for a stable estimate
+//! (fixed warm-up, then timed batches) and prints a one-line summary
+//! per benchmark: median ns/iter and derived throughput.
+//!
+//! There is no statistical machinery, plotting, or baseline storage —
+//! the goal is that `cargo bench` runs offline and produces usable
+//! relative numbers from the same bench sources.
+
+use std::time::{Duration, Instant};
+
+/// Measurement settings and output sink.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the warm-up period.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement period.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    /// Accepted for CLI compatibility; filtering is not implemented.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, self.warm_up, self.measure, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn bench_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        self.benchmark_group(name)
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: converts ns/iter into element or byte rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Logical items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the measurement period for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is time-based here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.warm_up,
+            self.criterion.measure,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        run_one(
+            &label,
+            self.throughput,
+            self.criterion.warm_up,
+            self.criterion.measure,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where the real crate does.
+pub trait IntoBenchmarkId {
+    /// Converts into the concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Drives the closure under test and records elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+    }
+
+    /// Lets the routine time itself (batch APIs, cooperative loops).
+    pub fn iter_custom<R>(&mut self, mut routine: R)
+    where
+        R: FnMut(u64) -> Duration,
+    {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+fn run_one<F>(
+    label: &str,
+    throughput: Option<Throughput>,
+    warm_up: Duration,
+    measure: Duration,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and find an iteration count that takes a few ms per batch.
+    let mut iters = 1u64;
+    let warm_deadline = Instant::now() + warm_up;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if Instant::now() >= warm_deadline {
+            if b.elapsed < Duration::from_millis(2) && iters < u64::MAX / 2 {
+                iters = iters.saturating_mul(2);
+                continue;
+            }
+            break;
+        }
+        if b.elapsed < Duration::from_millis(2) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Measure: run batches until the time budget is spent, keep per-iter
+    // timings, report the median.
+    let mut samples: Vec<f64> = Vec::new();
+    let deadline = Instant::now() + measure;
+    while Instant::now() < deadline || samples.is_empty() {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+    let median = samples[samples.len() / 2];
+
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>12.0} elem/s", n as f64 * 1e9 / median)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  {:>12.1} MiB/s",
+                n as f64 * 1e9 / median / (1024.0 * 1024.0)
+            )
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {label:<48} {median:>12.1} ns/iter  ({} samples x {iters} iters){rate}",
+        samples.len()
+    );
+}
+
+/// Declares the benchmark entry list. Only the simple
+/// `criterion_group!(name, fn1, fn2, ...)` form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input_and_custom_timer() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter_custom(|iters| {
+                let t0 = Instant::now();
+                let mut acc = 0usize;
+                for _ in 0..iters {
+                    acc = acc.wrapping_add(n);
+                }
+                std::hint::black_box(acc);
+                t0.elapsed()
+            });
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,179 @@
+//! Offline replacement for the `crossbeam` queue types this workspace
+//! uses. The build environment cannot reach crates.io, so this shim
+//! provides API-compatible `SegQueue` and `ArrayQueue` implementations.
+//!
+//! `SegQueue` here is a mutex-protected `VecDeque` — correct under any
+//! number of producers/consumers, with coarser contention behaviour
+//! than the real segmented lock-free queue. `ArrayQueue` is a bounded
+//! MPMC ring over a locked `VecDeque` with the same reject-when-full
+//! contract. The truly latency-critical SPSC path in this repo uses
+//! `xdaq_gm::ring`, which is lock-free and unaffected by this shim.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> SegQueue<T> {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element at the back.
+        pub fn push(&self, value: T) {
+            locked(&self.inner).push_back(value);
+        }
+
+        /// Removes the element at the front, if any.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.inner).pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            locked(&self.inner).len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "SegQueue {{ len: {} }}", self.len())
+        }
+    }
+
+    /// Bounded MPMC FIFO queue; `push` fails when full.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `cap` elements.
+        ///
+        /// # Panics
+        /// Panics if `cap` is zero (matches crossbeam).
+        pub fn new(cap: usize) -> ArrayQueue<T> {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        /// Appends at the back; returns `Err(value)` when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = locked(&self.inner);
+            if q.len() >= self.cap {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Removes the element at the front, if any.
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.inner).pop_front()
+        }
+
+        /// Maximum number of elements.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            locked(&self.inner).len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// True when at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.cap
+        }
+    }
+
+    impl<T> fmt::Debug for ArrayQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "ArrayQueue {{ len: {}, cap: {} }}", self.len(), self.cap)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn seg_queue_fifo() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn array_queue_bounded() {
+            let q = ArrayQueue::new(2);
+            assert!(q.push(1).is_ok());
+            assert!(q.push(2).is_ok());
+            assert_eq!(q.push(3), Err(3));
+            assert!(q.is_full());
+            assert_eq!(q.pop(), Some(1));
+            assert!(q.push(3).is_ok());
+            assert_eq!(q.capacity(), 2);
+        }
+
+        #[test]
+        fn seg_queue_concurrent() {
+            let q = std::sync::Arc::new(SegQueue::new());
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for i in 0..1000 {
+                            q.push(t * 1000 + i);
+                        }
+                    });
+                }
+            });
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 4000);
+        }
+    }
+}

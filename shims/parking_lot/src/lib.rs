@@ -1,0 +1,283 @@
+//! Offline drop-in replacement for the subset of `parking_lot` this
+//! workspace uses, backed by `std::sync`.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `parking_lot` cannot be fetched. This shim keeps the ergonomic
+//! poison-free API (`lock()` returns the guard directly) while
+//! delegating to the standard library primitives. Poisoned locks are
+//! recovered transparently — matching `parking_lot`'s behaviour of not
+//! having poisoning at all.
+
+use std::fmt;
+use std::sync::{self, WaitTimeoutResult};
+use std::time::Duration;
+
+/// A mutual exclusion primitive (no poisoning).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. Holds an `Option` so [`Condvar::wait_for`]
+/// can temporarily take the underlying std guard by value.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner: Some(guard) }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A reader-writer lock (no poisoning).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { inner }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { inner }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock { .. }")
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable matching `parking_lot`'s borrow-based API.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses. Returns the std
+    /// [`WaitTimeoutResult`] (`timed_out()` matches parking_lot's).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, result) = match self.inner.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(inner);
+        result
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+
+    #[test]
+    fn condvar_notify_crosses_threads() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        std::thread::spawn(move || {
+            *p2.0.lock() = true;
+            p2.1.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !*done && std::time::Instant::now() < deadline {
+            cv.wait_for(&mut done, Duration::from_millis(50));
+        }
+        assert!(*done);
+    }
+}

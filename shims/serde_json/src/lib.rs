@@ -1,0 +1,158 @@
+//! Offline replacement for the subset of `serde_json` this workspace
+//! uses: a [`Value`] tree, a strict parser, compact and pretty
+//! printers, and a compatible [`json!`] macro.
+//!
+//! There is no derive support (that would require proc-macros this
+//! environment cannot build); types that need JSON implement explicit
+//! `to_value` / `from_value` conversions against [`Value`].
+
+mod parse;
+mod print;
+mod value;
+
+pub use parse::{from_str, Error};
+pub use print::{to_string, to_string_pretty};
+pub use value::{Map, Number, Value};
+
+/// Builds a [`Value`] from JSON-like syntax, with Rust expressions
+/// interpolated anywhere a value is expected (same surface as
+/// `serde_json::json!` for data that is already `Into<Value>`).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($tt:tt)* ]) => { $crate::Value::Array($crate::json_array![ $($tt)* ]) };
+    ({ $($tt:tt)* }) => { $crate::json_object!(@object [] $($tt)*) };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal: array body muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    () => { ::std::vec::Vec::<$crate::Value>::new() };
+    ($($value:tt)*) => {
+        $crate::json_array_munch!(@acc [] $($value)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    // End of input: emit the accumulated elements.
+    (@acc [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    // `null` keyword element.
+    (@acc [$($elems:expr,)*] null , $($rest:tt)*) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::Value::Null,] $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] null $(,)?) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::Value::Null,])
+    };
+    // Composite element followed by more.
+    (@acc [$($elems:expr,)*] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::json!([ $($inner)* ]),] $($rest)*)
+    };
+    (@acc [$($elems:expr,)*] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::json!({ $($inner)* }),] $($rest)*)
+    };
+    // Composite element at the end.
+    (@acc [$($elems:expr,)*] [ $($inner:tt)* ] $(,)?) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::json!([ $($inner)* ]),])
+    };
+    (@acc [$($elems:expr,)*] { $($inner:tt)* } $(,)?) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::json!({ $($inner)* }),])
+    };
+    // Expression element followed by more.
+    (@acc [$($elems:expr,)*] $value:expr , $($rest:tt)*) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::Value::from($value),] $($rest)*)
+    };
+    // Expression element at the end.
+    (@acc [$($elems:expr,)*] $value:expr) => {
+        $crate::json_array_munch!(@acc [$($elems,)* $crate::Value::from($value),])
+    };
+}
+
+/// Internal: object body muncher for [`json!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // End of input: emit the map.
+    (@object [$(($key:expr, $val:expr),)*]) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $(map.insert(::std::string::String::from($key), $val);)*
+        $crate::Value::Object(map)
+    }};
+    // key: null keyword.
+    (@object [$($done:tt)*] $key:literal : null , $($rest:tt)*) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::Value::Null),] $($rest)*)
+    };
+    (@object [$($done:tt)*] $key:literal : null $(,)?) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::Value::Null),])
+    };
+    // key: composite value, more entries follow.
+    (@object [$($done:tt)*] $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::json!([ $($inner)* ])),] $($rest)*)
+    };
+    (@object [$($done:tt)*] $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::json!({ $($inner)* })),] $($rest)*)
+    };
+    // key: composite value at the end.
+    (@object [$($done:tt)*] $key:literal : [ $($inner:tt)* ] $(,)?) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::json!([ $($inner)* ])),])
+    };
+    (@object [$($done:tt)*] $key:literal : { $($inner:tt)* } $(,)?) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::json!({ $($inner)* })),])
+    };
+    // key: expression value, more entries follow.
+    (@object [$($done:tt)*] $key:literal : $value:expr , $($rest:tt)*) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::Value::from($value)),] $($rest)*)
+    };
+    // key: expression value at the end.
+    (@object [$($done:tt)*] $key:literal : $value:expr) => {
+        $crate::json_object!(@object [$($done)* ($key, $crate::Value::from($value)),])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_values() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let v = json!({
+            "name": "xdaq",
+            "version": 2u32,
+            "ok": true,
+            "none": null,
+            "ratio": 0.5,
+            "tags": ["a", "b", 3],
+            "nested": {"x": [1, 2], "y": {"z": false}},
+            "rows": rows,
+        });
+        assert_eq!(v["name"], Value::from("xdaq"));
+        assert_eq!(v["tags"][2], Value::from(3));
+        assert_eq!(v["nested"]["y"]["z"], Value::Bool(false));
+        assert_eq!(v["rows"][1]["a"], Value::from(2));
+        assert_eq!(v["none"], Value::Null);
+    }
+
+    #[test]
+    fn roundtrip_parse_print() {
+        let v = json!({"k": [1, 2.25, "s", null, true], "m": {"n": -7}});
+        let s = to_string(&v);
+        let back = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2 = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn empty_collections() {
+        assert_eq!(to_string(&json!([])), "[]");
+        assert_eq!(to_string(&json!({})), "{}");
+    }
+}

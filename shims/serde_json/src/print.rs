@@ -1,0 +1,154 @@
+//! Compact and pretty printers.
+
+use crate::parse::Error;
+use crate::value::{Number, Value};
+use std::fmt::Write;
+
+/// Serializes compactly (no whitespace).
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, v, None, 0);
+    out
+}
+
+/// Serializes with two-space indentation. The `Result` mirrors the real
+/// `serde_json` signature; this implementation cannot fail.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::F64(v) => {
+            if v.is_finite() {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // Keep a trailing ".0" so the value re-parses as float.
+                    let _ = write!(out, "{v:.1}");
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            } else {
+                // JSON has no Inf/NaN; serde_json emits null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_str, json};
+
+    #[test]
+    fn compact_output() {
+        let v = json!({"b": 1, "a": [true, null, "x\n"]});
+        // BTreeMap ⇒ sorted keys.
+        assert_eq!(to_string(&v), r#"{"a":[true,null,"x\n"],"b":1}"#);
+    }
+
+    #[test]
+    fn pretty_roundtrips() {
+        let v = json!({"outer": {"inner": [1, 2]}, "f": 1.5});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\n  \"f\": 1.5"));
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_keeps_decimal_point() {
+        assert_eq!(to_string(&json!(2.0f64)), "2.0");
+        let back = from_str("2.0").unwrap();
+        assert_eq!(back.as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn control_chars_escaped() {
+        let expect: String = format!("{0}\\u0001{0}", '"');
+        assert_eq!(to_string(&json!("\u{0001}")), expect);
+    }
+}

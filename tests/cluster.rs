@@ -37,7 +37,9 @@ fn ping_pong_across_two_executives_via_loopback() {
 
     // Devices on each side.
     let state = PingState::new();
-    let pong_tid = node_b.register("pong", Box::new(Ponger::new()), &[]).unwrap();
+    let pong_tid = node_b
+        .register("pong", Box::new(Ponger::new()), &[])
+        .unwrap();
     // A-side proxy for the remote ponger (paper §3.4 proxy TiDs).
     let pong_proxy = node_a.proxy("loop://b", pong_tid, Some("b.pong")).unwrap();
     let ping_tid = node_a
@@ -60,7 +62,10 @@ fn ping_pong_across_two_executives_via_loopback() {
         .post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
         .unwrap();
     assert!(
-        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        wait_until(
+            || state.done.load(Ordering::SeqCst),
+            Duration::from_secs(20)
+        ),
         "ping-pong did not finish: {} of 500",
         state.completed.load(Ordering::SeqCst)
     );
@@ -84,7 +89,9 @@ fn host_controls_remote_node_via_exec_messages() {
     let nh = node.spawn();
 
     let host = ControlHost::new("ctl");
-    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.executive()
+        .register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl"))
+        .unwrap();
     host.start();
 
     let worker = host.connect_node("loop://worker", Some("worker")).unwrap();
@@ -161,7 +168,9 @@ fn xcl_script_drives_cluster() {
     let nh = node.spawn();
 
     let host = ControlHost::new("ctl");
-    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.executive()
+        .register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl"))
+        .unwrap();
     host.start();
 
     let mut interp = XclInterpreter::new(&host);
@@ -179,7 +188,10 @@ fn xcl_script_drives_cluster() {
         )
         .unwrap();
     assert_eq!(out.log.last().unwrap(), "done");
-    assert!(out.log.iter().any(|l| l.contains("status ru0") && l.contains("node=ru0")));
+    assert!(out
+        .log
+        .iter()
+        .any(|l| l.contains("status ru0") && l.contains("node=ru0")));
     assert!(out.handles.contains_key("ru0"));
     assert!(out.handles.contains_key("pong0"));
     host.stop();
@@ -206,7 +218,9 @@ fn inventory_apply_builds_distributed_pingpong() {
     let hb = node_b.spawn();
 
     let host = ControlHost::new("ctl");
-    host.executive().register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl")).unwrap();
+    host.executive()
+        .register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl"))
+        .unwrap();
     host.start();
 
     let inv = ClusterInventory {
@@ -250,13 +264,13 @@ fn inventory_apply_builds_distributed_pingpong() {
     let ping_remote = applied.module_tids[&("na".to_string(), "ping0".to_string())];
     let ping_dev = host.device_proxy("loop://na", ping_remote).unwrap();
     host.executive()
-        .post(
-            Message::build_private(ping_dev, host.agent_tid(), ORG_DAQ, xfn::PING_START)
-                .finish(),
-        )
+        .post(Message::build_private(ping_dev, host.agent_tid(), ORG_DAQ, xfn::PING_START).finish())
         .unwrap();
     assert!(
-        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        wait_until(
+            || state.done.load(Ordering::SeqCst),
+            Duration::from_secs(20)
+        ),
         "distributed run incomplete: {}",
         state.completed.load(Ordering::SeqCst)
     );
@@ -285,7 +299,11 @@ fn three_hop_forwarding_through_intermediate_node() {
         .register(
             "ping",
             Box::new(Pinger::new(sink_state.clone())),
-            &[("peer", &a_proxy.raw().to_string()), ("payload", "64"), ("count", "50")],
+            &[
+                ("peer", &a_proxy.raw().to_string()),
+                ("payload", "64"),
+                ("count", "50"),
+            ],
         )
         .unwrap();
     a.enable_all();
@@ -297,11 +315,18 @@ fn three_hop_forwarding_through_intermediate_node() {
     a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
         .unwrap();
     assert!(
-        wait_until(|| sink_state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        wait_until(
+            || sink_state.done.load(Ordering::SeqCst),
+            Duration::from_secs(20)
+        ),
         "3-hop run incomplete: {}",
         sink_state.completed.load(Ordering::SeqCst)
     );
-    assert!(b.stats().forwarded >= 50, "intermediate forwarded: {}", b.stats().forwarded);
+    assert!(
+        b.stats().forwarded >= 50,
+        "intermediate forwarded: {}",
+        b.stats().forwarded
+    );
     ha.shutdown();
     hb.shutdown();
     hc.shutdown();
@@ -316,8 +341,24 @@ fn gm_transport_carries_cluster_traffic() {
     let fabric = Fabric::new();
     let a = Executive::new(ExecutiveConfig::named("a"));
     let b = Executive::new(ExecutiveConfig::named("b"));
-    let pt_a = GmPt::open(&fabric, 1, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap();
-    let pt_b = GmPt::open(&fabric, 2, 0, PtMode::Task, TablePool::with_defaults(), None).unwrap();
+    let pt_a = GmPt::open(
+        &fabric,
+        1,
+        0,
+        PtMode::Task,
+        TablePool::with_defaults(),
+        None,
+    )
+    .unwrap();
+    let pt_b = GmPt::open(
+        &fabric,
+        2,
+        0,
+        PtMode::Task,
+        TablePool::with_defaults(),
+        None,
+    )
+    .unwrap();
     a.register_pt("a.gm", pt_a).unwrap();
     b.register_pt("b.gm", pt_b).unwrap();
 
@@ -328,7 +369,11 @@ fn gm_transport_carries_cluster_traffic() {
         .register(
             "ping",
             Box::new(Pinger::new(state.clone())),
-            &[("peer", &proxy.raw().to_string()), ("payload", "1024"), ("count", "200")],
+            &[
+                ("peer", &proxy.raw().to_string()),
+                ("payload", "1024"),
+                ("count", "200"),
+            ],
         )
         .unwrap();
     a.enable_all();
@@ -338,7 +383,10 @@ fn gm_transport_carries_cluster_traffic() {
     a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
         .unwrap();
     assert!(
-        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(20)),
+        wait_until(
+            || state.done.load(Ordering::SeqCst),
+            Duration::from_secs(20)
+        ),
         "gm run incomplete: {}",
         state.completed.load(Ordering::SeqCst)
     );
@@ -367,7 +415,11 @@ fn tcp_transport_carries_cluster_traffic() {
         .register(
             "ping",
             Box::new(Pinger::new(state.clone())),
-            &[("peer", &proxy.raw().to_string()), ("payload", "512"), ("count", "100")],
+            &[
+                ("peer", &proxy.raw().to_string()),
+                ("payload", "512"),
+                ("count", "100"),
+            ],
         )
         .unwrap();
     a.enable_all();
@@ -377,11 +429,130 @@ fn tcp_transport_carries_cluster_traffic() {
     a.post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
         .unwrap();
     assert!(
-        wait_until(|| state.done.load(Ordering::SeqCst), Duration::from_secs(30)),
+        wait_until(
+            || state.done.load(Ordering::SeqCst),
+            Duration::from_secs(30)
+        ),
         "tcp run incomplete: {}",
         state.completed.load(Ordering::SeqCst)
     );
     assert_eq!(state.completed.load(Ordering::SeqCst), 100);
+    ha.shutdown();
+    hb.shutdown();
+}
+
+#[test]
+fn host_scrapes_monitoring_from_two_executives() {
+    let hub = LoopbackHub::new();
+    let node_a = node_on(&hub, "ma");
+    let node_b = node_on(&hub, "mb");
+    // One node also carries a dedicated MonitorAgent device; the other
+    // answers through the executive's default utility procedure.
+    let mon_tid = node_a
+        .register("mon0", Box::new(xdaq::core::MonitorAgent::new()), &[])
+        .unwrap();
+
+    // Drive real traffic so the counters have something to show.
+    let state = PingState::new();
+    let pong_tid = node_b
+        .register("pong", Box::new(Ponger::new()), &[])
+        .unwrap();
+    let pong_proxy = node_a.proxy("loop://mb", pong_tid, None).unwrap();
+    let ping_tid = node_a
+        .register(
+            "ping",
+            Box::new(Pinger::new(state.clone())),
+            &[
+                ("peer", &pong_proxy.raw().to_string()),
+                ("payload", "128"),
+                ("count", "50"),
+            ],
+        )
+        .unwrap();
+    node_a.enable_all();
+    node_b.enable_all();
+    let ha = node_a.spawn();
+    let hb = node_b.spawn();
+
+    let host = ControlHost::new("ctl");
+    host.executive()
+        .register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl"))
+        .unwrap();
+    host.start();
+    let a = host.connect_node("loop://ma", None).unwrap();
+    let b = host.connect_node("loop://mb", None).unwrap();
+
+    // Enable tracing on node a, then run the ping-pong.
+    host.trace_set(a, true).unwrap();
+    node_a
+        .post(Message::build_private(ping_tid, Tid::HOST, ORG_DAQ, xfn::PING_START).finish())
+        .unwrap();
+    assert!(
+        wait_until(
+            || state.done.load(Ordering::SeqCst),
+            Duration::from_secs(20)
+        ),
+        "monitored ping-pong incomplete: {}",
+        state.completed.load(Ordering::SeqCst)
+    );
+
+    // Scrape both executives (TiD 1 default procedure on both sides).
+    let snap_a = host.scrape(a).unwrap();
+    let snap_b = host.scrape(b).unwrap();
+    assert_eq!(snap_a["node"].as_str(), Some("ma"));
+    assert_eq!(snap_b["node"].as_str(), Some("mb"));
+    for snap in [&snap_a, &snap_b] {
+        let c = &snap["metrics"]["counters"];
+        assert!(c["exec.dispatched"].as_u64().unwrap() > 0, "{snap}");
+        assert!(c["exec.sent_peer"].as_u64().unwrap() >= 50, "{snap}");
+        // Per-priority queue gauges exist for all seven levels.
+        for p in 0..7 {
+            let key = format!("queue.depth.p{p}");
+            assert!(
+                snap["metrics"]["gauges"][key.as_str()].as_array().is_some(),
+                "missing gauge p{p}: {snap}"
+            );
+        }
+        // Pool accounting including the new high-water mark.
+        assert!(snap["pool"]["allocs"].as_u64().unwrap() > 0);
+        assert!(snap["pool"]["high_water_blocks"].as_u64().unwrap() > 0);
+        // The loopback PT reported traffic.
+        let pt = snap["pt"].as_object().unwrap();
+        let (_, pt_counters) = pt.iter().next().expect("one PT registered");
+        assert!(pt_counters["sent_frames"].as_u64().unwrap() >= 50, "{snap}");
+        assert!(pt_counters["recv_frames"].as_u64().unwrap() >= 50, "{snap}");
+    }
+    // Tracing was enabled on a: latency histogram and ring filled.
+    assert!(
+        snap_a["metrics"]["histograms"]["exec.dispatch_latency_ns"]["count"]
+            .as_u64()
+            .unwrap()
+            > 0,
+        "{snap_a}"
+    );
+    assert!(snap_a["trace"]["recorded"].as_u64().unwrap() > 0);
+    let dump = host.trace_dump(a).unwrap();
+    assert!(!dump["records"].as_array().unwrap().is_empty(), "{dump}");
+
+    // The dedicated MonitorAgent answers the same functions on its TiD.
+    let mon_proxy = host.device_proxy("loop://ma", mon_tid).unwrap();
+    let via_agent = host.scrape(mon_proxy).unwrap();
+    assert_eq!(via_agent["node"].as_str(), Some("ma"));
+
+    // Reset zeroes the counters.
+    host.mon_reset(b).unwrap();
+    let after = host.scrape(b).unwrap();
+    // The scrape itself dispatches a frame or two, so just check it
+    // collapsed from the ping-pong volume.
+    assert!(
+        after["metrics"]["counters"]["exec.sent_peer"]
+            .as_u64()
+            .unwrap()
+            < 10,
+        "{after}"
+    );
+
+    host.stop();
     ha.shutdown();
     hb.shutdown();
 }
@@ -437,14 +608,23 @@ fn chained_bulk_transfer_across_nodes() {
     let b = node_on(&hub, "b");
     let done = std::sync::Arc::new(parking_lot::Mutex::new(None));
     let rx_tid = b
-        .register("rx", Box::new(Rx { collector: ChainCollector::new(), done: done.clone() }), &[])
+        .register(
+            "rx",
+            Box::new(Rx {
+                collector: ChainCollector::new(),
+                done: done.clone(),
+            }),
+            &[],
+        )
         .unwrap();
     let proxy = a.proxy("loop://b", rx_tid, None).unwrap();
     let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
     let tx_tid = a
         .register(
             "tx",
-            Box::new(Tx { payload: payload.clone() }),
+            Box::new(Tx {
+                payload: payload.clone(),
+            }),
             &[("dest", &proxy.raw().to_string())],
         )
         .unwrap();
@@ -452,10 +632,8 @@ fn chained_bulk_transfer_across_nodes() {
     b.enable_all();
     let ha = a.spawn();
     let hb = b.spawn();
-    a.post(
-        xdaq::i2o::Message::build_private(tx_tid, Tid::HOST, ORG_DAQ, XFN_KICK).finish(),
-    )
-    .unwrap();
+    a.post(xdaq::i2o::Message::build_private(tx_tid, Tid::HOST, ORG_DAQ, XFN_KICK).finish())
+        .unwrap();
     assert!(
         wait_until(|| done.lock().is_some(), Duration::from_secs(20)),
         "bulk transfer incomplete"
