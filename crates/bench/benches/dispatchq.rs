@@ -22,7 +22,7 @@ fn bench_sched_queue(c: &mut Criterion) {
     c.bench_function("schedq_push_pop_single_device", |b| {
         let q = SchedQueue::new();
         b.iter(|| {
-            q.push(mk_delivery(&*pool, 0x10, 3));
+            let _ = q.push(mk_delivery(&*pool, 0x10, 3));
             black_box(q.pop().unwrap());
         })
     });
@@ -33,7 +33,7 @@ fn bench_sched_queue(c: &mut Criterion) {
             let tid = 0x10 + (i % 16) as u16;
             let pri = (i % 7) as u8;
             i += 1;
-            q.push(mk_delivery(&*pool, tid, pri));
+            let _ = q.push(mk_delivery(&*pool, tid, pri));
             black_box(q.pop().unwrap());
         })
     });

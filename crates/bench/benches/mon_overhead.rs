@@ -34,7 +34,7 @@ fn bench_queue_gauges(c: &mut Criterion) {
     c.bench_function("schedq_push_pop_plain", |b| {
         let q = SchedQueue::new();
         b.iter(|| {
-            q.push(mk_delivery(&*pool, 0x10, 3));
+            let _ = q.push(mk_delivery(&*pool, 0x10, 3));
             black_box(q.pop().unwrap());
         })
     });
@@ -44,7 +44,7 @@ fn bench_queue_gauges(c: &mut Criterion) {
             std::array::from_fn(|i| reg.gauge(&format!("queue.depth.p{i}")));
         let q = SchedQueue::with_gauges(gauges);
         b.iter(|| {
-            q.push(mk_delivery(&*pool, 0x10, 3));
+            let _ = q.push(mk_delivery(&*pool, 0x10, 3));
             black_box(q.pop().unwrap());
         })
     });

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use xdaq_app::{xfn, PingState, Pinger, Ponger, ORG_DAQ};
 use xdaq_bench::{median_us, steady_state, Args};
-use xdaq_core::{Executive, ExecutiveConfig, PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_core::{Executive, ExecutiveConfig, PeerAddr, PeerTransport, PtMode, SendFailure};
 use xdaq_i2o::{Message, Tid};
 use xdaq_mempool::{DynAllocator, FrameBuf, TablePool};
 use xdaq_pt::{LoopbackHub, LoopbackPt};
@@ -38,7 +38,7 @@ impl PeerTransport for SlowPt {
     fn mode(&self) -> PtMode {
         PtMode::Polling
     }
-    fn send(&self, _dest: &PeerAddr, _frame: FrameBuf) -> Result<(), PtError> {
+    fn send(&self, _dest: &PeerAddr, _frame: FrameBuf) -> Result<(), SendFailure> {
         Ok(())
     }
     fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {

@@ -1,5 +1,8 @@
 //! Executive configuration and the key=value control-payload codec.
 
+use crate::pta::RetryPolicy;
+use crate::queue::OverloadPolicy;
+use crate::supervisor::SupervisionConfig;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -36,6 +39,17 @@ pub struct ExecutiveConfig {
     /// of two). The tracer starts disabled; `UtilMonTraceDump` turns it
     /// on and off at runtime.
     pub trace_capacity: usize,
+    /// When `Some`, a `LinkSupervisor` heartbeats supervised peers on
+    /// the timer wheel and evicts routes of peers that go Down.
+    pub supervision: Option<SupervisionConfig>,
+    /// Default PTA retry policy (per-scheme overrides via
+    /// `Executive::set_retry_policy`). The default is one attempt —
+    /// the historical fire-and-forget behaviour.
+    pub retry: RetryPolicy,
+    /// Scheduling-queue capacity; `None` = unbounded (historical).
+    pub queue_capacity: Option<usize>,
+    /// Reaction when the bounded queue is full.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ExecutiveConfig {
@@ -48,6 +62,10 @@ impl Default for ExecutiveConfig {
             dispatch_batch: 16,
             idle_spins: 200,
             trace_capacity: 1024,
+            supervision: None,
+            retry: RetryPolicy::default(),
+            queue_capacity: None,
+            overload: OverloadPolicy::DropNewest,
         }
     }
 }

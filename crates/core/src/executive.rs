@@ -13,9 +13,10 @@ use crate::dispatch::{DispatchProbes, ProbedAllocator};
 use crate::error::{ExecError, PtError};
 use crate::listener::{Delivery, Dispatcher, I2oListener, TimerId, UtilOutcome};
 use crate::pta::{PeerAddr, PeerTransport, Pta};
-use crate::queue::SchedQueue;
+use crate::queue::{PushOutcome, SchedQueue};
 use crate::registry::{DeviceMeta, DeviceUnit, LctEntry, Registry};
 use crate::route::{Route, RouteTable};
+use crate::supervisor::{LinkState, LinkSupervisor};
 use crate::timer::TimerWheel;
 use crate::xfn;
 use parking_lot::Mutex;
@@ -57,6 +58,11 @@ pub struct ExecMonitors {
     watchdog_trips: Counter,
     faults: Counter,
     polled_frames: Counter,
+    overload_drops: Counter,
+    peer_down: Counter,
+    peer_suspect: Counter,
+    hb_pings: Counter,
+    hb_pongs: Counter,
 }
 
 impl ExecMonitors {
@@ -79,6 +85,11 @@ impl ExecMonitors {
             watchdog_trips: registry.counter("exec.watchdog_trips"),
             faults: registry.counter("exec.faults"),
             polled_frames: registry.counter("pta.polled_frames"),
+            overload_drops: registry.counter("exec.overload_drops"),
+            peer_down: registry.counter("link.peer_down"),
+            peer_suspect: registry.counter("link.peer_suspect"),
+            hb_pings: registry.counter("link.hb_pings"),
+            hb_pongs: registry.counter("link.hb_pongs"),
             registry,
         };
         (mon, depth_gauges)
@@ -146,6 +157,7 @@ pub struct ExecCore {
     mon: ExecMonitors,
     probes: Option<Arc<DispatchProbes>>,
     watchdog: Option<Duration>,
+    supervisor: Option<LinkSupervisor>,
     fault_listener: Mutex<Option<Tid>>,
     running: AtomicBool,
     started_at: Instant,
@@ -182,13 +194,26 @@ impl ExecCore {
         &self.timers
     }
 
+    /// The Peer Transport Agent (retry/failover machinery, transport
+    /// registry).
+    pub fn pta(&self) -> &Pta {
+        &self.pta
+    }
+
+    /// The link supervisor, when supervision is configured.
+    pub fn supervisor(&self) -> Option<&LinkSupervisor> {
+        self.supervisor.as_ref()
+    }
+
     /// Name → TiD lookup (local devices and named proxies).
     pub fn lookup_name(&self, name: &str) -> Option<Tid> {
         self.registry.lookup_name(name)
     }
 
     /// Enqueues locally, stamping the frame for latency measurement
-    /// when tracing is on (one branch on the disabled path).
+    /// when tracing is on (one branch on the disabled path). A
+    /// delivery refused by the overload policy is counted and
+    /// recycled here.
     fn enqueue(&self, mut d: Delivery) {
         if self.mon.tracer.is_enabled() {
             d.enqueued_at = Some(Instant::now());
@@ -198,7 +223,15 @@ impl ExecCore {
                 d.priority().level() as u32,
             );
         }
-        self.queue.push(d);
+        match self.queue.push(d) {
+            PushOutcome::Accepted => {}
+            PushOutcome::Rejected(victim) | PushOutcome::Displaced(victim) => {
+                self.mon.overload_drops.inc();
+                self.mon
+                    .tracer
+                    .record(TraceEvent::Drop, victim.header.target.raw() as u32, 2);
+            }
+        }
     }
 
     /// Routes a delivery to its target: local queue, peer transport, or
@@ -219,7 +252,11 @@ impl ExecCore {
                 self.mon.sent_local.inc();
                 Ok(())
             }
-            Some(Route::Peer { peer, remote_tid }) => {
+            Some(Route::Peer {
+                peer,
+                remote_tid,
+                alternates,
+            }) => {
                 let mut buf = d.into_buf();
                 MsgHeader::patch_target(&mut buf, remote_tid);
                 self.mon.tracer.record(
@@ -227,7 +264,14 @@ impl ExecCore {
                     remote_tid.raw() as u32,
                     buf.len() as u32,
                 );
-                self.pta.send(&peer, buf)?;
+                if alternates.is_empty() {
+                    self.pta.send(&peer, buf)?;
+                } else {
+                    let mut chain = Vec::with_capacity(1 + alternates.len());
+                    chain.push(peer);
+                    chain.extend(alternates);
+                    self.pta.send_failover(&chain, buf)?;
+                }
                 self.mon.sent_peer.inc();
                 Ok(())
             }
@@ -283,6 +327,11 @@ impl ExecCore {
         self.mon
             .tracer
             .record(TraceEvent::PtRecv, 0, buf.len() as u32);
+        if let Some(sup) = &self.supervisor {
+            // Any inbound frame is proof of life (recovers Suspect,
+            // never Down — see supervisor.rs).
+            let _ = sup.touch(&src);
+        }
         let header = match MsgHeader::decode(&buf) {
             Ok(h) => h,
             Err(_) => {
@@ -357,6 +406,16 @@ impl ExecCore {
                 "bytes_created": ps.bytes_created,
             },
             "pt": self.pta.counters_value(),
+            "links": self
+                .supervisor
+                .as_ref()
+                .map(|s| {
+                    s.states()
+                        .into_iter()
+                        .map(|(p, st)| json!({"peer": p.to_string(), "state": st.as_str()}))
+                        .collect::<Vec<_>>()
+                })
+                .unwrap_or_default(),
             "trace": {
                 "enabled": self.mon.tracer.is_enabled(),
                 "recorded": self.mon.tracer.recorded(),
@@ -405,10 +464,12 @@ impl Executive {
             params: HashMap::new(),
         };
         let (mon, depth_gauges) = ExecMonitors::new(config.trace_capacity);
+        let supervisor = config.supervision.clone().map(LinkSupervisor::new);
         let core = Arc::new(ExecCore {
             node: config.node,
             alloc,
-            queue: SchedQueue::with_gauges(depth_gauges),
+            queue: SchedQueue::with_gauges(depth_gauges)
+                .with_limits(config.queue_capacity, config.overload.clone()),
             routes: RouteTable::new(),
             pta: Pta::new(),
             timers: TimerWheel::new(),
@@ -419,6 +480,7 @@ impl Executive {
             mon,
             probes,
             watchdog: config.watchdog,
+            supervisor,
             fault_listener: Mutex::new(None),
             running: AtomicBool::new(true),
             started_at: Instant::now(),
@@ -428,6 +490,13 @@ impl Executive {
         });
         core.routes.add_local(Tid::EXECUTIVE);
         core.routes.add_local(Tid::PTA);
+        core.pta.bind_registry(core.mon.registry());
+        core.pta.set_retry_policy(None, config.retry);
+        if let Some(sup) = &core.supervisor {
+            // The heartbeat timer is owned by the PTA pseudo-device;
+            // run_once intercepts it instead of synthesizing a frame.
+            core.timers.register(Tid::PTA, sup.interval(), true);
+        }
         Executive { core }
     }
 
@@ -532,6 +601,7 @@ impl Executive {
     pub fn register_pt(&self, name: &str, pt: Arc<dyn PeerTransport>) -> Result<Tid, ExecError> {
         struct PtDdm {
             scheme: &'static str,
+            pt: Arc<dyn PeerTransport>,
         }
         impl I2oListener for PtDdm {
             fn class(&self) -> DeviceClass {
@@ -545,11 +615,43 @@ impl Executive {
                 let scheme = self.scheme.to_string();
                 ctx.set_param("scheme", &scheme);
             }
+            fn on_util(
+                &mut self,
+                ctx: &mut Dispatcher<'_>,
+                f: UtilFn,
+                msg: &Delivery,
+            ) -> UtilOutcome {
+                // ParamsSet is forwarded to the transport so runtime
+                // knobs (fault plans, tunables) reach it over I2O.
+                if f != UtilFn::ParamsSet {
+                    return UtilOutcome::Default;
+                }
+                match parse_kv(msg.payload()) {
+                    Ok(map) => {
+                        for (k, v) in &map {
+                            if let Err(e) = self.pt.configure(k, v) {
+                                let body = format!("{k}: {e}");
+                                let _ = ctx.reply(msg, ReplyStatus::BadFrame, body.as_bytes());
+                                return UtilOutcome::Handled;
+                            }
+                        }
+                        for (k, v) in map {
+                            ctx.set_param(&k, &v);
+                        }
+                        let _ = ctx.reply(msg, ReplyStatus::Success, &[]);
+                    }
+                    Err(e) => {
+                        let _ = ctx.reply(msg, ReplyStatus::BadFrame, e.as_bytes());
+                    }
+                }
+                UtilOutcome::Handled
+            }
         }
         let tid = self.register(
             name,
             Box::new(PtDdm {
                 scheme: pt.scheme(),
+                pt: pt.clone(),
             }),
             &[],
         )?;
@@ -571,6 +673,50 @@ impl Executive {
             self.core.registry.alias(name, tid)?;
         }
         Ok(tid)
+    }
+
+    /// Adds a fallback address to an existing proxy route; the PTA
+    /// fails over to it when the primary address cannot deliver.
+    /// Returns false when the route is absent or the address is
+    /// already part of the chain.
+    pub fn add_alternate(&self, proxy: Tid, alt: &str) -> Result<bool, ExecError> {
+        let addr: PeerAddr = alt.parse().map_err(ExecError::Transport)?;
+        Ok(self.core.routes.add_alternate(proxy, addr))
+    }
+
+    /// Starts heartbeat supervision of a peer link. Requires
+    /// [`ExecutiveConfig::supervision`] to be set.
+    pub fn supervise(&self, peer: &str) -> Result<(), ExecError> {
+        let addr: PeerAddr = peer.parse().map_err(ExecError::Transport)?;
+        match &self.core.supervisor {
+            Some(sup) => {
+                sup.supervise(addr);
+                Ok(())
+            }
+            None => Err(ExecError::BadControl(
+                "supervision is not configured on this executive".to_string(),
+            )),
+        }
+    }
+
+    /// Current supervised-link states (empty when supervision is off).
+    pub fn link_states(&self) -> Vec<(String, LinkState)> {
+        self.core
+            .supervisor
+            .as_ref()
+            .map(|s| {
+                s.states()
+                    .into_iter()
+                    .map(|(p, st)| (p.to_string(), st))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Overrides the PTA retry policy for one scheme (`Some("tcp")`)
+    /// or the default for all schemes (`None`).
+    pub fn set_retry_policy(&self, scheme: Option<&str>, policy: crate::pta::RetryPolicy) {
+        self.core.pta.set_retry_policy(scheme, policy);
     }
 
     /// Injects a message from outside the dispatch loop (host control,
@@ -649,9 +795,16 @@ impl Executive {
         let core = &self.core;
         let mut work = 0usize;
 
-        // Timers → XFN_TIMER frames through the normal queue.
+        // Timers → XFN_TIMER frames through the normal queue. The
+        // heartbeat timer is owned by the PTA pseudo-device and is
+        // serviced directly instead of synthesizing a frame (no device
+        // can own Tid::PTA).
         work += core.timers.fire_due(|owner, id| {
             core.mon.timers_fired.inc();
+            if owner == Tid::PTA {
+                self.heartbeat_tick();
+                return;
+            }
             let msg = Message::build_private(owner, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_TIMER)
                 .priority(Priority::MAX)
                 .payload(id.0.to_le_bytes().to_vec())
@@ -952,6 +1105,31 @@ impl Executive {
                 let body = serde_json::to_string(&core.mon.tracer.dump_value());
                 let _ = ctx.reply(d, ReplyStatus::Success, body.as_bytes());
             }
+            UtilFn::HbPing => {
+                // Answer with a *fresh* HbPong frame (not an IS_REPLY:
+                // the remote executive swallows replies) echoing the
+                // sequence payload back to the proxied initiator.
+                let pong = Message::util(d.header.initiator, ctx.meta.tid, UtilFn::HbPong)
+                    .priority(Priority::MAX)
+                    .payload(d.payload().to_vec())
+                    .finish();
+                let _ = ctx.send(pong);
+            }
+            UtilFn::HbPong => {
+                core.mon.hb_pongs.inc();
+                let seq = d
+                    .payload()
+                    .get(..8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                // The pong arrives with a proxied initiator; the route
+                // for that proxy names the peer the pong came from.
+                if let Some(Route::Peer { peer, .. }) = core.routes.lookup(d.header.initiator) {
+                    if let Some(sup) = &core.supervisor {
+                        let _ = sup.on_pong(&peer, seq);
+                    }
+                }
+            }
         }
     }
 
@@ -1234,6 +1412,61 @@ impl Executive {
             return;
         }
         self.exec_reply(d, status, &[]);
+    }
+
+    /// One supervision period: probe every supervised peer with an
+    /// `HbPing` utility frame and react to state transitions. Pings
+    /// bypass the route table — a Down peer keeps being probed so its
+    /// eventual pong can revive the link.
+    fn heartbeat_tick(&self) {
+        let core = &self.core;
+        let Some(sup) = &core.supervisor else { return };
+        let outcome = sup.tick();
+        for (peer, seq) in outcome.pings {
+            core.mon.hb_pings.inc();
+            let msg = Message::util(Tid::EXECUTIVE, Tid::EXECUTIVE, UtilFn::HbPing)
+                .priority(Priority::MAX)
+                .payload(seq.to_le_bytes().to_vec())
+                .finish();
+            if let Ok(d) = Delivery::from_message(&msg, core.allocator()) {
+                let _ = core.pta.send(&peer, d.into_buf());
+            }
+        }
+        for (peer, state) in outcome.transitions {
+            match state {
+                LinkState::Suspect => core.mon.peer_suspect.inc(),
+                LinkState::Down => self.on_peer_down(&peer),
+                LinkState::Up => {}
+            }
+        }
+    }
+
+    /// A supervised link went Down: evict its routes (promoting
+    /// alternates where they exist), drop the dead proxy index entries
+    /// and notify the fault listener.
+    fn on_peer_down(&self, peer: &PeerAddr) {
+        let core = &self.core;
+        core.mon.peer_down.inc();
+        let ev = core.routes.evict_peer(peer);
+        core.proxy_index.lock().retain(|(p, _), _| p != peer);
+        for tid in &ev.evicted {
+            core.queue.purge(*tid);
+            core.registry.remove(*tid);
+            let _ = core.tids.lock().free(*tid);
+        }
+        let listener = *core.fault_listener.lock();
+        if let Some(dest) = listener {
+            let body = kv(&[
+                ("peer", &peer.to_string()),
+                ("evicted", &ev.evicted.len().to_string()),
+                ("promoted", &ev.promoted.len().to_string()),
+            ]);
+            let msg = Message::build_private(dest, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_PEER_DOWN)
+                .priority(Priority::MAX)
+                .payload(body)
+                .finish();
+            let _ = self.post(msg);
+        }
     }
 
     /// Notifies the registered fault listener about a watchdog trip.

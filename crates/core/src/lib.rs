@@ -42,6 +42,7 @@ pub mod queue;
 pub mod registry;
 pub mod rmi;
 pub mod route;
+pub mod supervisor;
 pub mod timer;
 pub mod xfn;
 
@@ -52,9 +53,10 @@ pub use error::{ExecError, PtError};
 pub use executive::{ExecMonitors, ExecStats, Executive, ExecutiveHandle};
 pub use listener::{Delivery, Dispatcher, I2oListener, TimerId};
 pub use monitor::MonitorAgent;
-pub use pta::{IngestSink, PeerAddr, PeerTransport, PtMode, Pta};
-pub use queue::SchedQueue;
+pub use pta::{IngestSink, PeerAddr, PeerTransport, PtMode, Pta, RetryPolicy, SendFailure};
+pub use queue::{OverloadPolicy, PushOutcome, SchedQueue};
 pub use registry::{DeviceMeta, Registry};
 pub use rmi::{ArgReader, ArgWriter, MarshalError, Skeleton, Stub};
-pub use route::{Route, RouteTable};
+pub use route::{Eviction, Route, RouteTable};
+pub use supervisor::{LinkState, LinkSupervisor, SupervisionConfig, TickOutcome};
 pub use timer::TimerWheel;

@@ -8,14 +8,26 @@
 //! the executive periodically scans all registered PTs for pending
 //! data. In task mode each PT has its own thread of control, reporting
 //! to the executive whenever data have arrived."*
+//!
+//! Paper §3.2 additionally promises *"fault tolerant behaviour"*: the
+//! agent here implements it on the send path with per-scheme
+//! [`RetryPolicy`] (bounded attempts, exponential backoff with
+//! deterministic jitter, per-frame deadline) and transport **failover**
+//! — [`Pta::send_failover`] walks a chain of peer addresses, moving to
+//! the next transport on a hard failure. Because transports hand the
+//! frame back on failure ([`SendFailure`]), retries stay zero-copy.
 
 use crate::error::PtError;
 use core::fmt;
 use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use xdaq_i2o::Tid;
 use xdaq_mempool::FrameBuf;
+use xdaq_mon::{Counter, Registry};
 
 /// A transport-agnostic peer address: `scheme://rest`.
 ///
@@ -84,6 +96,127 @@ pub enum PtMode {
 /// executive can create reply proxies that match configured routes.
 pub type IngestSink = Arc<dyn Fn(FrameBuf, PeerAddr) + Send + Sync>;
 
+/// A failed send, carrying the frame back when the transport did not
+/// consume it.
+///
+/// Returning the buffer instead of dropping it is what makes bounded
+/// retry and failover **zero-copy**: the PTA re-submits the very same
+/// pool block to the next attempt or the next transport. A transport
+/// that already committed the frame to the wire (or moved it into a
+/// hardware FIFO it cannot take it back from) reports
+/// [`SendFailure::consumed`] and the PTA gives up on that frame.
+#[derive(Debug)]
+pub struct SendFailure {
+    /// What went wrong.
+    pub error: PtError,
+    /// The untouched frame, when the transport can hand it back.
+    pub frame: Option<FrameBuf>,
+}
+
+impl SendFailure {
+    /// Failure with the frame returned for retry.
+    pub fn with_frame(error: PtError, frame: FrameBuf) -> SendFailure {
+        SendFailure {
+            error,
+            frame: Some(frame),
+        }
+    }
+
+    /// Failure where the frame is gone (committed or unrecoverable).
+    pub fn consumed(error: PtError) -> SendFailure {
+        SendFailure { error, frame: None }
+    }
+}
+
+impl From<PtError> for SendFailure {
+    fn from(error: PtError) -> SendFailure {
+        SendFailure::consumed(error)
+    }
+}
+
+impl From<SendFailure> for PtError {
+    fn from(f: SendFailure) -> PtError {
+        f.error // dropping the frame recycles it into its pool
+    }
+}
+
+impl From<SendFailure> for crate::error::ExecError {
+    fn from(f: SendFailure) -> crate::error::ExecError {
+        crate::error::ExecError::Transport(f.into())
+    }
+}
+
+impl fmt::Display for SendFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({})",
+            self.error,
+            if self.frame.is_some() {
+                "frame returned"
+            } else {
+                "frame consumed"
+            }
+        )
+    }
+}
+
+/// Bounded-retry configuration applied per address scheme.
+///
+/// The default (`max_attempts = 1`, zero backoff, no deadline) is
+/// exactly the historical fire-and-forget behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Send attempts per transport in the failover chain (≥ 1).
+    pub max_attempts: u32,
+    /// First-retry backoff; doubles every further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget for one frame across all attempts and
+    /// failover hops; `None` means unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A retrying policy: `attempts` tries with exponential backoff
+    /// between `base` and `max` per pause.
+    pub fn retrying(attempts: u32, base: Duration, max: Duration) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff: base,
+            max_backoff: max,
+            deadline: None,
+        }
+    }
+
+    /// Same policy with a per-frame deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> RetryPolicy {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Nominal (pre-jitter) pause before retry number `retry` (1-based).
+    fn nominal_backoff(&self, retry: u32) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        (self.base_backoff * factor).min(self.max_backoff.max(self.base_backoff))
+    }
+}
+
 /// The interface every peer transport implements.
 ///
 /// A PT is an ordinary device (it gets a TiD and answers utility
@@ -96,9 +229,12 @@ pub trait PeerTransport: Send + Sync {
     /// Operating mode.
     fn mode(&self) -> PtMode;
 
-    /// Sends one encoded frame to a peer. The frame buffer is consumed
-    /// (zero-copy hand-off to the wire).
-    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError>;
+    /// Sends one encoded frame to a peer. On success the frame buffer
+    /// is consumed (zero-copy hand-off to the wire); on failure the
+    /// transport hands the frame back inside [`SendFailure`] whenever
+    /// it is still intact, so the PTA can retry or fail over without
+    /// copying.
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure>;
 
     /// Polling mode: returns one received frame (with the sender's
     /// canonical address) if available. Task-mode PTs may return
@@ -115,6 +251,22 @@ pub trait PeerTransport: Send + Sync {
     /// Stop threads / close sockets. Must be idempotent.
     fn stop(&self);
 
+    /// Runtime configuration hook; the PT's DDM forwards `ParamsSet`
+    /// key/value pairs here (this is how `xcl faults` programs a
+    /// `ChaosPt`). Unknown keys are ignored by default.
+    fn configure(&self, key: &str, value: &str) -> Result<(), PtError> {
+        let _ = (key, value);
+        Ok(())
+    }
+
+    /// Drains the count of task threads observed to have panicked
+    /// (task-mode PTs count `JoinHandle::join` failures in `stop`).
+    /// `Pta::stop_all` aggregates this into the `pt.task_panics`
+    /// counter.
+    fn take_panics(&self) -> u64 {
+        0
+    }
+
     /// Per-transport monitoring counters (frames/bytes sent and
     /// received, send errors), when the PT maintains them. The default
     /// keeps minimal transports and test doubles free of any
@@ -129,17 +281,95 @@ struct PtEntry {
     pt: Arc<dyn PeerTransport>,
 }
 
-/// The Peer Transport Agent: owns all registered PTs and fans frames
-/// out to them by address scheme.
+/// Monitoring handles for the agent's fault-handling path.
+#[derive(Clone)]
+struct PtaMetrics {
+    retries: Counter,
+    failovers: Counter,
+    send_failures: Counter,
+    task_panics: Counter,
+}
+
+impl PtaMetrics {
+    fn bound_to(registry: &Registry) -> PtaMetrics {
+        PtaMetrics {
+            retries: registry.counter("pta.retries"),
+            failovers: registry.counter("pta.failovers"),
+            send_failures: registry.counter("pta.send_failures"),
+            task_panics: registry.counter("pt.task_panics"),
+        }
+    }
+}
+
+impl Default for PtaMetrics {
+    fn default() -> PtaMetrics {
+        PtaMetrics {
+            retries: Counter::new(),
+            failovers: Counter::new(),
+            send_failures: Counter::new(),
+            task_panics: Counter::new(),
+        }
+    }
+}
+
+/// The Peer Transport Agent: owns all registered PTs, fans frames out
+/// to them by address scheme, and runs the retry/failover machinery.
 #[derive(Default)]
 pub struct Pta {
     entries: RwLock<Vec<PtEntry>>,
+    policies: RwLock<HashMap<String, RetryPolicy>>,
+    default_policy: RwLock<RetryPolicy>,
+    metrics: RwLock<PtaMetrics>,
+    /// xorshift64* state for deterministic backoff jitter; never uses
+    /// the wall clock, so a fixed seed gives a fixed pause sequence.
+    jitter: AtomicU64,
 }
 
 impl Pta {
-    /// Empty agent.
+    /// Empty agent with standalone (unregistered) counters.
     pub fn new() -> Pta {
-        Pta::default()
+        let pta = Pta::default();
+        pta.jitter.store(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+        pta
+    }
+
+    /// Points the agent's fault counters (`pta.retries`,
+    /// `pta.failovers`, `pta.send_failures`, `pt.task_panics`) at the
+    /// node's metric registry so they appear in `MonSnapshot` scrapes.
+    pub fn bind_registry(&self, registry: &Registry) {
+        *self.metrics.write() = PtaMetrics::bound_to(registry);
+    }
+
+    /// Seeds the deterministic backoff jitter. Zero (the one invalid
+    /// xorshift state) is remapped; every other seed is taken as-is so
+    /// distinct seeds give distinct sequences.
+    pub fn seed_jitter(&self, seed: u64) {
+        let seed = if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        };
+        self.jitter.store(seed, Ordering::Relaxed);
+    }
+
+    /// Installs the retry policy for one scheme (`Some`) or the
+    /// default for all schemes (`None`).
+    pub fn set_retry_policy(&self, scheme: Option<&str>, policy: RetryPolicy) {
+        match scheme {
+            Some(s) => {
+                self.policies.write().insert(s.to_ascii_lowercase(), policy);
+            }
+            None => *self.default_policy.write() = policy,
+        }
+    }
+
+    /// Effective retry policy for a scheme.
+    pub fn retry_policy(&self, scheme: &str) -> RetryPolicy {
+        self.policies
+            .read()
+            .get(scheme)
+            .cloned()
+            .unwrap_or_else(|| self.default_policy.read().clone())
     }
 
     /// Registers a transport under the TiD the executive assigned to
@@ -154,6 +384,10 @@ impl Pta {
         if let Some(i) = entries.iter().position(|e| e.tid == tid) {
             let e = entries.remove(i);
             e.pt.stop();
+            let panics = e.pt.take_panics();
+            if panics > 0 {
+                self.metrics.read().task_panics.add(panics);
+            }
             true
         } else {
             false
@@ -169,12 +403,102 @@ impl Pta {
             .map(|e| e.pt.clone())
     }
 
-    /// Sends a frame via the scheme-matching transport.
-    pub fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
-        match self.transport_for(dest.scheme()) {
-            Some(pt) => pt.send(dest, frame),
-            None => Err(PtError::Unreachable(dest.to_string())),
+    /// Next deterministic jitter sample (xorshift64*).
+    fn jitter_sample(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Jittered pause before retry number `retry`: uniform in
+    /// `[nominal/2, nominal]` ("equal jitter"), deterministic per seed.
+    fn backoff(&self, policy: &RetryPolicy, retry: u32) -> Duration {
+        let nominal = policy.nominal_backoff(retry);
+        if nominal.is_zero() {
+            return Duration::ZERO;
         }
+        let half = nominal / 2;
+        let spread = (nominal - half).as_nanos() as u64;
+        let extra = if spread == 0 {
+            0
+        } else {
+            self.jitter_sample() % (spread + 1)
+        };
+        half + Duration::from_nanos(extra)
+    }
+
+    /// Sends a frame via the scheme-matching transport, applying the
+    /// scheme's [`RetryPolicy`].
+    pub fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        self.send_failover(std::slice::from_ref(dest), frame)
+    }
+
+    /// Sends a frame down a failover chain: the first address is the
+    /// primary, the rest are alternates tried in order after the
+    /// primary's retry budget is exhausted. Each hop applies its own
+    /// scheme's [`RetryPolicy`]; the first hop's deadline (if any)
+    /// bounds the whole frame. Retries and failovers are counted in
+    /// `pta.retries` / `pta.failovers`.
+    pub fn send_failover(&self, chain: &[PeerAddr], frame: FrameBuf) -> Result<(), PtError> {
+        let started = Instant::now();
+        let overall_deadline = chain
+            .first()
+            .and_then(|d| self.retry_policy(d.scheme()).deadline);
+        let expired = |last: &PtError| -> Option<PtError> {
+            match overall_deadline {
+                Some(d) if started.elapsed() >= d => Some(last.clone()),
+                _ => None,
+            }
+        };
+        let mut frame = Some(frame);
+        let mut last = PtError::Unreachable("empty failover chain".to_string());
+        let mut tried = 0usize;
+        for dest in chain {
+            let Some(pt) = self.transport_for(dest.scheme()) else {
+                last = PtError::Unreachable(dest.to_string());
+                continue;
+            };
+            tried += 1;
+            if tried > 1 {
+                self.metrics.read().failovers.inc();
+            }
+            let policy = self.retry_policy(dest.scheme());
+            for attempt in 1..=policy.max_attempts {
+                let Some(f) = frame.take() else {
+                    return Err(last);
+                };
+                match pt.send(dest, f) {
+                    Ok(()) => return Ok(()),
+                    Err(fail) => {
+                        self.metrics.read().send_failures.inc();
+                        last = fail.error;
+                        frame = fail.frame;
+                        if frame.is_none() {
+                            // The transport consumed the frame; there
+                            // is nothing left to retry or fail over.
+                            return Err(last);
+                        }
+                        if let Some(e) = expired(&last) {
+                            return Err(e);
+                        }
+                        if attempt < policy.max_attempts {
+                            self.metrics.read().retries.inc();
+                            let pause = self.backoff(&policy, attempt);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(e) = expired(&last) {
+                return Err(e);
+            }
+        }
+        Err(last)
     }
 
     /// Polls every polling-mode PT once, invoking `f` per frame;
@@ -207,11 +531,21 @@ impl Pta {
         Ok(())
     }
 
-    /// Stops every PT.
+    /// Stops every PT, reaping task threads; threads that died by
+    /// panic are counted into `pt.task_panics`.
     pub fn stop_all(&self) {
         for e in self.entries.read().iter() {
             e.pt.stop();
+            let panics = e.pt.take_panics();
+            if panics > 0 {
+                self.metrics.read().task_panics.add(panics);
+            }
         }
+    }
+
+    /// Current `pt.task_panics` count.
+    pub fn task_panics(&self) -> u64 {
+        self.metrics.read().task_panics.get()
     }
 
     /// Monitoring counters of every instrumented PT, keyed
@@ -271,17 +605,26 @@ mod tests {
 
     struct FakePt {
         mode: PtMode,
+        scheme: &'static str,
         sent: Mutex<Vec<(PeerAddr, usize)>>,
         rx: Mutex<Vec<FrameBuf>>,
+        /// Fail this many sends (returning the frame) before accepting.
+        fail_first: std::sync::atomic::AtomicU64,
         stopped: std::sync::atomic::AtomicBool,
     }
 
     impl FakePt {
         fn new(mode: PtMode) -> Arc<FakePt> {
+            FakePt::with_scheme(mode, "fake")
+        }
+
+        fn with_scheme(mode: PtMode, scheme: &'static str) -> Arc<FakePt> {
             Arc::new(FakePt {
                 mode,
+                scheme,
                 sent: Mutex::new(Vec::new()),
                 rx: Mutex::new(Vec::new()),
+                fail_first: std::sync::atomic::AtomicU64::new(0),
                 stopped: std::sync::atomic::AtomicBool::new(false),
             })
         }
@@ -289,12 +632,26 @@ mod tests {
 
     impl PeerTransport for FakePt {
         fn scheme(&self) -> &'static str {
-            "fake"
+            self.scheme
         }
         fn mode(&self) -> PtMode {
             self.mode
         }
-        fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+        fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+            if self
+                .fail_first
+                .fetch_update(
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                    |v| v.checked_sub(1),
+                )
+                .is_ok()
+            {
+                return Err(SendFailure::with_frame(
+                    PtError::Unreachable(dest.to_string()),
+                    frame,
+                ));
+            }
             self.sent.lock().push((dest.clone(), frame.len()));
             Ok(())
         }
@@ -354,5 +711,96 @@ mod tests {
         assert!(pt.stopped.load(std::sync::atomic::Ordering::SeqCst));
         assert!(!pta.unregister(tid(0x10)));
         assert!(pta.is_empty());
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_failures() {
+        let registry = Registry::new();
+        let pta = Pta::new();
+        pta.bind_registry(&registry);
+        pta.set_retry_policy(
+            Some("fake"),
+            RetryPolicy::retrying(4, Duration::ZERO, Duration::ZERO),
+        );
+        let pt = FakePt::new(PtMode::Polling);
+        pt.fail_first.store(2, std::sync::atomic::Ordering::SeqCst);
+        pta.register(tid(0x10), pt.clone());
+        let dest: PeerAddr = "fake://peer".parse().unwrap();
+        pta.send(&dest, FrameBuf::from_bytes(&[9; 16])).unwrap();
+        assert_eq!(pt.sent.lock().len(), 1);
+        assert_eq!(registry.counter("pta.retries").get(), 2);
+        assert_eq!(registry.counter("pta.send_failures").get(), 2);
+        assert_eq!(registry.counter("pta.failovers").get(), 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_reports_last_error() {
+        let pta = Pta::new();
+        pta.set_retry_policy(
+            Some("fake"),
+            RetryPolicy::retrying(3, Duration::ZERO, Duration::ZERO),
+        );
+        let pt = FakePt::new(PtMode::Polling);
+        pt.fail_first
+            .store(u64::MAX, std::sync::atomic::Ordering::SeqCst);
+        pta.register(tid(0x10), pt.clone());
+        let dest: PeerAddr = "fake://peer".parse().unwrap();
+        assert!(matches!(
+            pta.send(&dest, FrameBuf::from_bytes(&[1])),
+            Err(PtError::Unreachable(_))
+        ));
+        assert!(pt.sent.lock().is_empty());
+    }
+
+    #[test]
+    fn failover_chain_walks_to_next_scheme() {
+        let registry = Registry::new();
+        let pta = Pta::new();
+        pta.bind_registry(&registry);
+        let dead = FakePt::with_scheme(PtMode::Polling, "dead");
+        dead.fail_first
+            .store(u64::MAX, std::sync::atomic::Ordering::SeqCst);
+        let live = FakePt::with_scheme(PtMode::Polling, "live");
+        pta.register(tid(0x10), dead.clone());
+        pta.register(tid(0x11), live.clone());
+        let chain: Vec<PeerAddr> = vec![
+            "dead://primary".parse().unwrap(),
+            "live://secondary".parse().unwrap(),
+        ];
+        pta.send_failover(&chain, FrameBuf::from_bytes(&[7; 8]))
+            .unwrap();
+        assert!(dead.sent.lock().is_empty());
+        assert_eq!(live.sent.lock().len(), 1);
+        assert_eq!(registry.counter("pta.failovers").get(), 1);
+    }
+
+    #[test]
+    fn failover_skips_missing_transport() {
+        let pta = Pta::new();
+        let live = FakePt::with_scheme(PtMode::Polling, "live");
+        pta.register(tid(0x10), live.clone());
+        let chain: Vec<PeerAddr> = vec![
+            "ghost://nowhere".parse().unwrap(),
+            "live://secondary".parse().unwrap(),
+        ];
+        pta.send_failover(&chain, FrameBuf::from_bytes(&[1]))
+            .unwrap();
+        assert_eq!(live.sent.lock().len(), 1);
+    }
+
+    #[test]
+    fn deterministic_jitter_sequence() {
+        let policy = RetryPolicy::retrying(8, Duration::from_millis(4), Duration::from_millis(64));
+        let seq = |seed: u64| -> Vec<Duration> {
+            let pta = Pta::new();
+            pta.seed_jitter(seed);
+            (1..6).map(|r| pta.backoff(&policy, r)).collect()
+        };
+        assert_eq!(seq(42), seq(42), "same seed, same pauses");
+        assert_ne!(seq(42), seq(43), "different seed, different pauses");
+        for (i, d) in seq(42).iter().enumerate() {
+            let nominal = policy.nominal_backoff(i as u32 + 1);
+            assert!(*d >= nominal / 2 && *d <= nominal, "jitter out of band");
+        }
     }
 }

@@ -6,6 +6,12 @@
 //! to the Proxy pattern. That is how we can obtain total transparency
 //! of location. The caller never needs to know, if a device is really
 //! local or if the call is redirected."*
+//!
+//! A peer route may additionally carry **alternate** addresses for the
+//! same remote device (e.g. a `gm://` primary with a `tcp://` backup).
+//! The PTA's failover chain walks them in order on a hard send
+//! failure, and [`RouteTable::evict_peer`] promotes an alternate to
+//! primary when the link supervisor declares a peer down.
 
 use crate::pta::PeerAddr;
 use parking_lot::RwLock;
@@ -24,7 +30,20 @@ pub enum Route {
         peer: PeerAddr,
         /// The device's TiD on the remote node.
         remote_tid: Tid,
+        /// Backup addresses for the same remote device, tried in
+        /// order when sending via `peer` fails hard.
+        alternates: Vec<PeerAddr>,
     },
+}
+
+/// Outcome of evicting a peer address from the table.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Eviction {
+    /// Proxy TiDs removed outright (no alternate to fall back to).
+    pub evicted: Vec<Tid>,
+    /// Proxy TiDs kept alive by promoting their first alternate; the
+    /// dead address is demoted to last-resort alternate.
+    pub promoted: Vec<Tid>,
 }
 
 /// The per-executive routing table.
@@ -44,11 +63,45 @@ impl RouteTable {
         self.routes.write().insert(tid, Route::Local);
     }
 
-    /// Registers a proxy TiD.
+    /// Registers a proxy TiD with a single address.
     pub fn add_peer(&self, local_proxy: Tid, peer: PeerAddr, remote_tid: Tid) {
-        self.routes
-            .write()
-            .insert(local_proxy, Route::Peer { peer, remote_tid });
+        self.add_peer_with_alternates(local_proxy, peer, remote_tid, Vec::new());
+    }
+
+    /// Registers a proxy TiD with a primary address plus failover
+    /// alternates.
+    pub fn add_peer_with_alternates(
+        &self,
+        local_proxy: Tid,
+        peer: PeerAddr,
+        remote_tid: Tid,
+        alternates: Vec<PeerAddr>,
+    ) {
+        self.routes.write().insert(
+            local_proxy,
+            Route::Peer {
+                peer,
+                remote_tid,
+                alternates,
+            },
+        );
+    }
+
+    /// Appends an alternate address to an existing peer route; returns
+    /// false when the TiD is absent or local.
+    pub fn add_alternate(&self, local_proxy: Tid, alt: PeerAddr) -> bool {
+        let mut routes = self.routes.write();
+        match routes.get_mut(&local_proxy) {
+            Some(Route::Peer {
+                peer, alternates, ..
+            }) => {
+                if *peer != alt && !alternates.contains(&alt) {
+                    alternates.push(alt);
+                }
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Looks up a TiD.
@@ -66,8 +119,8 @@ impl RouteTable {
         self.routes.write().remove(&tid)
     }
 
-    /// All proxy TiDs pointing at a given peer (used when a peer goes
-    /// away).
+    /// All proxy TiDs whose **primary** address is the given peer
+    /// (used when a peer goes away).
     pub fn proxies_via(&self, peer: &PeerAddr) -> Vec<Tid> {
         self.routes
             .read()
@@ -77,6 +130,43 @@ impl RouteTable {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Declares `peer` dead: every route whose primary is `peer`
+    /// either promotes its first alternate (the dead address becomes
+    /// the last-resort alternate, so the route can fail back if the
+    /// peer returns) or, with no alternates, is removed from the
+    /// table.
+    pub fn evict_peer(&self, peer: &PeerAddr) -> Eviction {
+        let mut routes = self.routes.write();
+        let mut out = Eviction::default();
+        let affected: Vec<Tid> = routes
+            .iter()
+            .filter_map(|(tid, r)| match r {
+                Route::Peer { peer: p, .. } if p == peer => Some(*tid),
+                _ => None,
+            })
+            .collect();
+        for tid in affected {
+            let Some(Route::Peer {
+                peer: p,
+                alternates,
+                ..
+            }) = routes.get_mut(&tid)
+            else {
+                continue;
+            };
+            if alternates.is_empty() {
+                routes.remove(&tid);
+                out.evicted.push(tid);
+            } else {
+                let promoted = alternates.remove(0);
+                let demoted = std::mem::replace(p, promoted);
+                alternates.push(demoted);
+                out.promoted.push(tid);
+            }
+        }
+        out
     }
 
     /// Number of entries.
@@ -110,9 +200,14 @@ mod tests {
         assert!(rt.is_local(t(0x10)));
         assert!(!rt.is_local(t(0x11)));
         match rt.lookup(t(0x11)).unwrap() {
-            Route::Peer { peer, remote_tid } => {
+            Route::Peer {
+                peer,
+                remote_tid,
+                alternates,
+            } => {
                 assert_eq!(peer.scheme(), "gm");
                 assert_eq!(remote_tid, t(0x20));
+                assert!(alternates.is_empty());
             }
             _ => panic!("expected peer route"),
         }
@@ -138,5 +233,48 @@ mod tests {
         let mut via_a = rt.proxies_via(&addr("tcp://a:1"));
         via_a.sort();
         assert_eq!(via_a, vec![t(0x11), t(0x12)]);
+    }
+
+    #[test]
+    fn alternates_dedupe_and_require_peer_route() {
+        let rt = RouteTable::new();
+        rt.add_local(t(0x10));
+        assert!(!rt.add_alternate(t(0x10), addr("tcp://b:1")));
+        assert!(!rt.add_alternate(t(0x99), addr("tcp://b:1")));
+        rt.add_peer(t(0x11), addr("gm://2:0"), t(0x20));
+        assert!(rt.add_alternate(t(0x11), addr("tcp://b:1")));
+        assert!(rt.add_alternate(t(0x11), addr("tcp://b:1")));
+        assert!(
+            rt.add_alternate(t(0x11), addr("gm://2:0")),
+            "primary dup ignored"
+        );
+        match rt.lookup(t(0x11)).unwrap() {
+            Route::Peer { alternates, .. } => {
+                assert_eq!(alternates, vec![addr("tcp://b:1")]);
+            }
+            _ => panic!("expected peer route"),
+        }
+    }
+
+    #[test]
+    fn evict_promotes_alternate_or_removes() {
+        let rt = RouteTable::new();
+        rt.add_peer_with_alternates(t(0x11), addr("gm://a:0"), t(0x20), vec![addr("tcp://a:1")]);
+        rt.add_peer(t(0x12), addr("gm://a:0"), t(0x21));
+        rt.add_peer(t(0x13), addr("gm://b:0"), t(0x22));
+        let ev = rt.evict_peer(&addr("gm://a:0"));
+        assert_eq!(ev.promoted, vec![t(0x11)]);
+        assert_eq!(ev.evicted, vec![t(0x12)]);
+        match rt.lookup(t(0x11)).unwrap() {
+            Route::Peer {
+                peer, alternates, ..
+            } => {
+                assert_eq!(peer, addr("tcp://a:1"), "alternate promoted");
+                assert_eq!(alternates, vec![addr("gm://a:0")], "dead addr demoted");
+            }
+            _ => panic!("expected peer route"),
+        }
+        assert!(rt.lookup(t(0x12)).is_none());
+        assert!(rt.lookup(t(0x13)).is_some(), "other peers untouched");
     }
 }

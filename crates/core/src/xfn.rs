@@ -20,6 +20,11 @@ pub const XFN_FAULT: u16 = 0xFF03;
 /// Logical-configuration-table change notification.
 pub const XFN_LCT_CHANGED: u16 = 0xFF04;
 
+/// Peer-link declared Down by the link supervisor. Payload: kv with
+/// `peer` (address), `evicted` / `promoted` (proxy TiD counts). Sent
+/// to the registered fault listener.
+pub const XFN_PEER_DOWN: u16 = 0xFF05;
+
 /// First code available to applications that reuse `ORG_XDAQ`
 /// (discouraged; register your own organization id instead).
 pub const XFN_USER_BASE: u16 = 0x0001;
@@ -39,6 +44,7 @@ mod tests {
         assert!(is_reserved(XFN_WATCHDOG));
         assert!(is_reserved(XFN_FAULT));
         assert!(is_reserved(XFN_LCT_CHANGED));
+        assert!(is_reserved(XFN_PEER_DOWN));
         assert!(!is_reserved(XFN_USER_BASE));
         assert!(!is_reserved(0x1234));
     }

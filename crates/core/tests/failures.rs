@@ -5,8 +5,8 @@
 
 use std::sync::Arc;
 use xdaq_core::{
-    Delivery, Dispatcher, ExecError, Executive, ExecutiveConfig, I2oListener, PeerAddr,
-    PeerTransport, PtError, PtMode,
+    Delivery, Dispatcher, ExecError, Executive, ExecutiveConfig, I2oListener, IngestSink, PeerAddr,
+    PeerTransport, PtError, PtMode, SendFailure,
 };
 use xdaq_i2o::{DeviceClass, Message, ReplyStatus, Tid, UtilFn};
 use xdaq_mempool::FrameBuf;
@@ -43,8 +43,11 @@ impl PeerTransport for BrokenPt {
     fn mode(&self) -> PtMode {
         PtMode::Polling
     }
-    fn send(&self, dest: &PeerAddr, _frame: FrameBuf) -> Result<(), PtError> {
-        Err(PtError::Unreachable(dest.to_string()))
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        Err(SendFailure::with_frame(
+            PtError::Unreachable(dest.to_string()),
+            frame,
+        ))
     }
     fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
         None
@@ -260,6 +263,109 @@ fn tid_exhaustion_is_reported_not_fatal() {
         Some(ExecError::Tid(_)) => {}
         other => panic!("expected TiD exhaustion, got {other:?}"),
     }
+}
+
+/// A task-mode PT whose receive thread panics shortly after start.
+struct PanickyPt {
+    thread: parking_lot::Mutex<Option<std::thread::JoinHandle<()>>>,
+    panics: std::sync::atomic::AtomicU64,
+}
+
+impl PanickyPt {
+    fn new() -> Arc<PanickyPt> {
+        Arc::new(PanickyPt {
+            thread: parking_lot::Mutex::new(None),
+            panics: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+impl PeerTransport for PanickyPt {
+    fn scheme(&self) -> &'static str {
+        "panicky"
+    }
+    fn mode(&self) -> PtMode {
+        PtMode::Task
+    }
+    fn send(&self, _dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        Err(SendFailure::with_frame(PtError::Closed, frame))
+    }
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        None
+    }
+    fn start(&self, _sink: IngestSink) -> Result<(), PtError> {
+        let h = std::thread::Builder::new()
+            .name("panicky-pt".into())
+            .spawn(|| panic!("transport thread bug"))
+            .map_err(|e| PtError::Io(e.to_string()))?;
+        *self.thread.lock() = Some(h);
+        Ok(())
+    }
+    fn stop(&self) {
+        if let Some(t) = self.thread.lock().take() {
+            if t.join().is_err() {
+                self.panics
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+    fn take_panics(&self) -> u64 {
+        self.panics.swap(0, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[test]
+fn task_pt_panic_is_reaped_and_counted() {
+    let exec = Executive::new(ExecutiveConfig::named("n"));
+    exec.register_pt("panicky", PanickyPt::new()).unwrap();
+    exec.start_transports().unwrap();
+    // Give the doomed thread a moment to die.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    // stop_all must join the dead thread without hanging and account
+    // the panic.
+    exec.core().pta().stop_all();
+    assert_eq!(exec.core().pta().task_panics(), 1);
+    let metrics = exec.core().monitors().registry().snapshot();
+    assert_eq!(metrics["counters"]["pt.task_panics"].as_u64(), Some(1));
+}
+
+#[test]
+fn failed_chained_send_leaves_no_live_blocks() {
+    // A chained send whose transport rejects every frame must recycle
+    // every pooled block — both the frame in flight and the encoded
+    // remainder of the chain (the historical leak).
+    struct Chainer {
+        dest: Tid,
+    }
+    impl I2oListener for Chainer {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(1)
+        }
+        fn on_private(&mut self, ctx: &mut Dispatcher<'_>, _msg: Delivery) {
+            let payload = vec![0xCDu8; 4000];
+            let err = ctx
+                .send_chained(self.dest, 1, 0x42, 9, &payload, 256)
+                .unwrap_err();
+            assert!(matches!(err, ExecError::Transport(_)), "{err:?}");
+        }
+    }
+    let exec = Executive::new(ExecutiveConfig::named("n"));
+    exec.register_pt("broken", Arc::new(BrokenPt)).unwrap();
+    let proxy = exec
+        .proxy("broken://nowhere", Tid::new(0x20).unwrap(), None)
+        .unwrap();
+    let tx = exec
+        .register("tx", Box::new(Chainer { dest: proxy }), &[])
+        .unwrap();
+    exec.enable_all();
+    exec.post(Message::build_private(tx, Tid::HOST, 1, 1).finish())
+        .unwrap();
+    drain(&exec);
+    assert_eq!(
+        exec.pool_stats().live_blocks,
+        0,
+        "pool occupancy must return to zero after the failed chain"
+    );
 }
 
 #[test]

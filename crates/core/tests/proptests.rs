@@ -25,7 +25,7 @@ proptest! {
     ) {
         let q = SchedQueue::new();
         for (i, (tid, pri)) in msgs.iter().enumerate() {
-            q.push(mk(*tid, *pri, i as u32));
+            let _ = q.push(mk(*tid, *pri, i as u32));
         }
         prop_assert_eq!(q.len(), msgs.len());
         let mut out = Vec::new();
@@ -66,7 +66,7 @@ proptest! {
     ) {
         let q = SchedQueue::new();
         for (i, (tid, pri)) in msgs.iter().enumerate() {
-            q.push(mk(*tid, *pri, i as u32));
+            let _ = q.push(mk(*tid, *pri, i as u32));
         }
         let victim_count = msgs.iter().filter(|(t, _)| *t == victim).count();
         let purged = q.purge(Tid::new(victim).unwrap());
@@ -97,9 +97,10 @@ proptest! {
         prop_assert_eq!(rt.len(), model.len());
         for (tid, (peer, remote)) in &model {
             match rt.lookup(*tid) {
-                Some(xdaq_core::Route::Peer { peer: p, remote_tid }) => {
+                Some(xdaq_core::Route::Peer { peer: p, remote_tid, alternates }) => {
                     prop_assert_eq!(&p, peer);
                     prop_assert_eq!(&remote_tid, remote);
+                    prop_assert!(alternates.is_empty());
                 }
                 other => prop_assert!(false, "expected peer route, got {other:?}"),
             }
@@ -116,6 +117,68 @@ proptest! {
                 .collect();
             want.sort();
             prop_assert_eq!(got, want);
+        }
+    }
+
+    /// A Down link never leaves Down except through an explicit
+    /// `on_pong`: random interleavings of ticks, touches, and pongs
+    /// over a small peer set. `tick` may only degrade links, `touch`
+    /// may recover Suspect but never Down, and `on_pong` is the one
+    /// legal Down -> Up edge.
+    #[test]
+    fn down_links_recover_only_via_pong(
+        ops in proptest::collection::vec((0u8..3, 0u8..3), 1..200)
+    ) {
+        use xdaq_core::{LinkState, LinkSupervisor, SupervisionConfig};
+        let sup = LinkSupervisor::new(SupervisionConfig {
+            interval: std::time::Duration::from_millis(10),
+            suspect_after: 1,
+            down_after: 2,
+        });
+        let peers: Vec<xdaq_core::PeerAddr> = (0..3)
+            .map(|i| format!("loop://p{i}").parse().unwrap())
+            .collect();
+        for p in &peers {
+            sup.supervise(p.clone());
+        }
+        let mut last_seq = vec![0u64; peers.len()];
+        for (op, idx) in ops {
+            let idx = idx as usize;
+            let before: Vec<LinkState> =
+                peers.iter().map(|p| sup.state(p).unwrap()).collect();
+            match op {
+                0 => {
+                    let out = sup.tick();
+                    for (p, seq) in &out.pings {
+                        let i = peers.iter().position(|q| q == p).unwrap();
+                        last_seq[i] = *seq;
+                    }
+                    for (_, s) in &out.transitions {
+                        prop_assert_ne!(*s, LinkState::Up, "tick produced an Up edge");
+                    }
+                    for (i, p) in peers.iter().enumerate() {
+                        if before[i] == LinkState::Down {
+                            prop_assert_eq!(sup.state(p).unwrap(), LinkState::Down);
+                        }
+                    }
+                }
+                1 => {
+                    sup.touch(&peers[idx]);
+                    if before[idx] == LinkState::Down {
+                        prop_assert_eq!(sup.state(&peers[idx]).unwrap(), LinkState::Down);
+                    }
+                }
+                _ => {
+                    let t = sup.on_pong(&peers[idx], last_seq[idx]);
+                    if before[idx] != LinkState::Up {
+                        prop_assert_eq!(
+                            t,
+                            Some((peers[idx].clone(), LinkState::Up))
+                        );
+                    }
+                    prop_assert_eq!(sup.state(&peers[idx]).unwrap(), LinkState::Up);
+                }
+            }
         }
     }
 }

@@ -22,6 +22,7 @@
 //! reset  ru0
 //! destroy ru0 16
 //! release ru0
+//! faults pt0 fail=300 kill=0    # reprogram a ChaosPt fault plan
 //! mon    results/mon.json        # scrape every node into one JSON doc
 //! monreset ru0                   # zero a node's monitoring state
 //! trace  ru0 on                  # frame-lifecycle tracer on|off
@@ -237,6 +238,30 @@ impl<'a> XclInterpreter<'a> {
                 let mut kv: Vec<String> = map.iter().map(|(k, v)| format!("{k}={v}")).collect();
                 kv.sort();
                 Ok(format!("get {handle}: {}", kv.join(" ")))
+            }
+            ["faults", handle, rest @ ..] => {
+                // Reprogram a fault-injecting transport through its PT
+                // device: plain keys get the `chaos.` prefix (`fail=300`
+                // -> `chaos.fail=300`); dotted keys pass unchanged.
+                let t = self.resolve(handle, line)?;
+                let params = Self::parse_params(rest).map_err(err)?;
+                let prefixed: Vec<(String, &str)> = params
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = if k.contains('.') {
+                            k.to_string()
+                        } else {
+                            format!("chaos.{k}")
+                        };
+                        (key, *v)
+                    })
+                    .collect();
+                let borrowed: Vec<(&str, &str)> =
+                    prefixed.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                self.host
+                    .params_set(t, &borrowed)
+                    .map_err(|e| Self::fail(line, e))?;
+                Ok(format!("faults {handle}: {} knobs", borrowed.len()))
             }
             ["watch", node] => {
                 let t = self.resolve(node, line)?;

@@ -48,6 +48,13 @@ pub enum UtilFn {
     /// Dump the frame lifecycle trace ring; the payload selects
     /// enable/disable via a one-byte argument, empty means dump only.
     MonTraceDump = 0x32,
+    /// Link-supervision heartbeat probe. The payload carries a
+    /// little-endian `u64` sequence number; the receiver answers with
+    /// an `HbPong` echoing the same sequence. See `xdaq-core`'s
+    /// `LinkSupervisor`.
+    HbPing = 0x40,
+    /// Heartbeat answer; payload echoes the `HbPing` sequence number.
+    HbPong = 0x41,
 }
 
 impl UtilFn {
@@ -66,6 +73,8 @@ impl UtilFn {
             0x30 => UtilFn::MonSnapshot,
             0x31 => UtilFn::MonReset,
             0x32 => UtilFn::MonTraceDump,
+            0x40 => UtilFn::HbPing,
+            0x41 => UtilFn::HbPong,
             _ => return None,
         })
     }
@@ -253,7 +262,7 @@ mod tests {
     #[test]
     fn util_codes_roundtrip() {
         for v in [
-            0x00u8, 0x01, 0x05, 0x06, 0x09, 0x0B, 0x13, 0x14, 0x15, 0x30, 0x31, 0x32,
+            0x00u8, 0x01, 0x05, 0x06, 0x09, 0x0B, 0x13, 0x14, 0x15, 0x30, 0x31, 0x32, 0x40, 0x41,
         ] {
             let f = FunctionCode::from_u8(v);
             assert!(matches!(f, FunctionCode::Util(_)), "{v:#x}");

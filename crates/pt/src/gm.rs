@@ -14,10 +14,12 @@
 //! `frameAlloc` but excludes the GM library itself).
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xdaq_core::{DispatchProbes, IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_core::{
+    DispatchProbes, IngestSink, PeerAddr, PeerTransport, PtError, PtMode, SendFailure,
+};
 use xdaq_gm::{Fabric, GmAddr, GmEvent, NodeId, Port, PortConfig, PortId};
 use xdaq_mempool::{DynAllocator, FrameBuf};
 use xdaq_mon::PtCounters;
@@ -55,6 +57,9 @@ pub struct GmPt {
     mode: PtMode,
     stopped: Arc<AtomicBool>,
     task: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Task threads observed to have panicked (drained by
+    /// [`PeerTransport::take_panics`]).
+    panics: AtomicU64,
     /// Shared with the task-mode receive thread.
     counters: Arc<PtCounters>,
 }
@@ -79,6 +84,7 @@ impl GmPt {
             mode,
             stopped: Arc::new(AtomicBool::new(false)),
             task: Mutex::new(None),
+            panics: AtomicU64::new(0),
             counters: Arc::new(PtCounters::new()),
         }))
     }
@@ -116,16 +122,16 @@ impl PeerTransport for GmPt {
         self.mode
     }
 
-    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
         if self.stopped.load(Ordering::Acquire) {
             self.counters.on_send_error();
-            return Err(PtError::Closed);
+            return Err(SendFailure::with_frame(PtError::Closed, frame));
         }
         let gm_dest = match parse_gm_addr(dest) {
             Ok(a) => a,
             Err(e) => {
                 self.counters.on_send_error();
-                return Err(e);
+                return Err(SendFailure::with_frame(e, frame));
             }
         };
         // The GM library copies into its own (simulated DMA) buffer;
@@ -137,11 +143,13 @@ impl PeerTransport for GmPt {
             }
             Err(e) => {
                 self.counters.on_send_error();
-                Err(match e {
+                let error = match e {
                     xdaq_gm::GmError::NoSendTokens => PtError::WouldBlock,
                     xdaq_gm::GmError::QueueFull { .. } => PtError::WouldBlock,
                     other => PtError::Unreachable(format!("{dest}: {other}")),
-                })
+                };
+                // port.send only borrowed the frame — hand it back.
+                Err(SendFailure::with_frame(error, frame))
             }
         }
     }
@@ -195,8 +203,14 @@ impl PeerTransport for GmPt {
     fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
         if let Some(t) = self.task.lock().take() {
-            let _ = t.join();
+            if t.join().is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
+    }
+
+    fn take_panics(&self) -> u64 {
+        self.panics.swap(0, Ordering::Relaxed)
     }
 
     fn counters(&self) -> Option<&PtCounters> {
@@ -275,19 +289,18 @@ mod tests {
         let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
         let b = GmPt::open(&fabric, 2, 0, PtMode::Polling, pool(), None).unwrap();
         a.stop();
-        assert!(matches!(
-            a.send(&b.addr(), FrameBuf::from_bytes(b"x")),
-            Err(PtError::Closed)
-        ));
+        let err = a.send(&b.addr(), FrameBuf::from_bytes(b"x")).unwrap_err();
+        assert!(matches!(err.error, PtError::Closed));
     }
 
     #[test]
     fn unreachable_peer_reported() {
         let fabric = Fabric::new();
         let a = GmPt::open(&fabric, 1, 0, PtMode::Polling, pool(), None).unwrap();
-        assert!(matches!(
-            a.send(&"gm://9:0".parse().unwrap(), FrameBuf::from_bytes(b"x")),
-            Err(PtError::Unreachable(_))
-        ));
+        let err = a
+            .send(&"gm://9:0".parse().unwrap(), FrameBuf::from_bytes(b"x"))
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+        assert!(err.frame.is_some(), "frame must come back for failover");
     }
 }

@@ -12,16 +12,23 @@
 //! | [`GmPt`] | `gm` | `gm://<node>:<port>` | polling or task (paper: thread) |
 //! | [`TcpPt`] | `tcp` | `tcp://<ip>:<port>` | task (blocking sockets) |
 //! | [`PciPt`] | `pci` | `pci://<segment>/<slot>` | polling (hardware FIFOs) |
+//! | [`ChaosPt`] | (inner's) | (inner's) | (inner's) |
+//!
+//! [`ChaosPt`] is not a transport of its own but a deterministic
+//! fault-injecting wrapper around any of the above — the test harness
+//! for the retry/failover machinery.
 //!
 //! Every PT reports received frames together with the sender's
 //! **canonical** address so the executive can create reply proxies
 //! (see `xdaq_core::pta::IngestSink`).
 
+pub mod chaos;
 pub mod gm;
 pub mod loopback;
 pub mod pcisim;
 pub mod tcp;
 
+pub use chaos::{ChaosPt, ChaosStats, FaultPlan};
 pub use gm::GmPt;
 pub use loopback::{LoopbackHub, LoopbackPt};
 pub use pcisim::{FifoKind, PciBus, PciPt};

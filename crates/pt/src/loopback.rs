@@ -18,7 +18,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
 use xdaq_mempool::{DynAllocator, FrameBuf};
 use xdaq_mon::PtCounters;
 
@@ -118,25 +118,33 @@ impl PeerTransport for LoopbackPt {
         self.mode
     }
 
-    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
         if self.stopped.load(Ordering::Acquire) {
             self.counters.on_send_error();
-            return Err(PtError::Closed);
+            return Err(SendFailure::with_frame(PtError::Closed, frame));
         }
         let target = match self.hub.lookup(dest.rest()) {
             Some(t) => t,
             None => {
                 self.counters.on_send_error();
-                return Err(PtError::Unreachable(dest.to_string()));
+                return Err(SendFailure::with_frame(
+                    PtError::Unreachable(dest.to_string()),
+                    frame,
+                ));
             }
         };
         let frame = match &self.copy_pool {
             None => frame,
             Some(pool) => {
                 // Deliberate copy path for the zero-copy ablation.
-                let mut copy = pool
-                    .alloc(frame.len())
-                    .map_err(|e| PtError::Io(e.to_string()))?;
+                let mut copy = match pool.alloc(frame.len()) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        self.counters.on_send_error();
+                        // The original frame is untouched: hand it back.
+                        return Err(SendFailure::with_frame(PtError::Io(e.to_string()), frame));
+                    }
+                };
                 copy.copy_from_slice(&frame);
                 copy
             }
@@ -156,6 +164,10 @@ impl PeerTransport for LoopbackPt {
 
     fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
+        // Drain undelivered frames so their pool blocks recycle —
+        // frames parked in a dead mailbox would otherwise keep pool
+        // occupancy nonzero forever (the chained-send leak).
+        while self.mailbox.queue.pop().is_some() {}
     }
 
     fn counters(&self) -> Option<&PtCounters> {
@@ -188,10 +200,11 @@ mod tests {
     fn unreachable_node() {
         let hub = LoopbackHub::new();
         let a = LoopbackPt::new(&hub, "a");
-        assert!(matches!(
-            a.send(&"loop://ghost".parse().unwrap(), frame(1)),
-            Err(PtError::Unreachable(_))
-        ));
+        let err = a
+            .send(&"loop://ghost".parse().unwrap(), frame(1))
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+        assert!(err.frame.is_some(), "frame must come back for failover");
     }
 
     #[test]
@@ -200,10 +213,8 @@ mod tests {
         let a = LoopbackPt::new(&hub, "a");
         let _b = LoopbackPt::new(&hub, "b");
         a.stop();
-        assert!(matches!(
-            a.send(&"loop://b".parse().unwrap(), frame(1)),
-            Err(PtError::Closed)
-        ));
+        let err = a.send(&"loop://b".parse().unwrap(), frame(1)).unwrap_err();
+        assert!(matches!(err.error, PtError::Closed));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
 use xdaq_mempool::FrameBuf;
 use xdaq_mon::PtCounters;
 
@@ -43,9 +43,12 @@ enum SlotQueue {
 }
 
 impl SlotQueue {
-    fn push(&self, item: (FrameBuf, PeerAddr)) -> Result<(), PtError> {
+    /// A full hardware ring hands the rejected item back (crossbeam's
+    /// `ArrayQueue::push` returns it in `Err`), so the frame survives
+    /// for retry.
+    fn push(&self, item: (FrameBuf, PeerAddr)) -> Result<(), (FrameBuf, PeerAddr)> {
         match self {
-            SlotQueue::Hardware(q) => q.push(item).map_err(|_| PtError::WouldBlock),
+            SlotQueue::Hardware(q) => q.push(item),
             SlotQueue::Software(q) => {
                 q.lock().push_back(item);
                 Ok(())
@@ -160,35 +163,39 @@ impl PeerTransport for PciPt {
         PtMode::Polling
     }
 
-    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
-        let result = (|| {
-            if self.stopped.load(Ordering::Acquire) {
-                return Err(PtError::Closed);
-            }
-            let (seg, slot) = parse_pci(dest)?;
-            if seg != self.bus.segment() {
-                return Err(PtError::Unreachable(format!(
-                    "{dest}: segment '{seg}' is not bridged from '{}'",
-                    self.bus.segment()
-                )));
-            }
-            let target = self
-                .bus
-                .lookup(slot)
-                .ok_or_else(|| PtError::Unreachable(dest.to_string()))?;
-            let len = frame.len();
-            target.push((frame, self.self_addr.clone()))?;
-            Ok(len)
-        })();
-        match result {
-            Ok(len) => {
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        let fail = |counters: &PtCounters, error, frame| {
+            counters.on_send_error();
+            Err(SendFailure::with_frame(error, frame))
+        };
+        if self.stopped.load(Ordering::Acquire) {
+            return fail(&self.counters, PtError::Closed, frame);
+        }
+        let (seg, slot) = match parse_pci(dest) {
+            Ok(parts) => parts,
+            Err(e) => return fail(&self.counters, e, frame),
+        };
+        if seg != self.bus.segment() {
+            let e = PtError::Unreachable(format!(
+                "{dest}: segment '{seg}' is not bridged from '{}'",
+                self.bus.segment()
+            ));
+            return fail(&self.counters, e, frame);
+        }
+        let Some(target) = self.bus.lookup(slot) else {
+            return fail(
+                &self.counters,
+                PtError::Unreachable(dest.to_string()),
+                frame,
+            );
+        };
+        let len = frame.len();
+        match target.push((frame, self.self_addr.clone())) {
+            Ok(()) => {
                 self.counters.on_send(len);
                 Ok(())
             }
-            Err(e) => {
-                self.counters.on_send_error();
-                Err(e)
-            }
+            Err((frame, _)) => fail(&self.counters, PtError::WouldBlock, frame),
         }
     }
 
@@ -245,10 +252,9 @@ mod tests {
         let b = PciPt::attach(&bus, 1);
         a.send(&b.addr(), frame(1)).unwrap();
         a.send(&b.addr(), frame(1)).unwrap();
-        assert!(matches!(
-            a.send(&b.addr(), frame(1)),
-            Err(PtError::WouldBlock)
-        ));
+        let err = a.send(&b.addr(), frame(1)).unwrap_err();
+        assert!(matches!(err.error, PtError::WouldBlock));
+        assert!(err.frame.is_some(), "full FIFO hands the frame back");
         let _ = b.poll().unwrap();
         a.send(&b.addr(), frame(1)).unwrap();
     }
@@ -272,19 +278,19 @@ mod tests {
     fn cross_segment_rejected() {
         let bus0 = PciBus::new("seg0", FifoKind::Software);
         let a = PciPt::attach(&bus0, 0);
-        assert!(matches!(
-            a.send(&"pci://seg1/0".parse().unwrap(), frame(1)),
-            Err(PtError::Unreachable(_))
-        ));
+        let err = a
+            .send(&"pci://seg1/0".parse().unwrap(), frame(1))
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
     }
 
     #[test]
     fn unknown_slot_rejected() {
         let bus = PciBus::new("seg0", FifoKind::Software);
         let a = PciPt::attach(&bus, 0);
-        assert!(matches!(
-            a.send(&"pci://seg0/7".parse().unwrap(), frame(1)),
-            Err(PtError::Unreachable(_))
-        ));
+        let err = a
+            .send(&"pci://seg0/7".parse().unwrap(), frame(1))
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
     }
 }

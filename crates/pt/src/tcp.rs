@@ -17,10 +17,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use xdaq_core::{IngestSink, PeerAddr, PeerTransport, PtError, PtMode};
+use xdaq_core::{IngestSink, PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
 use xdaq_i2o::HEADER_LEN;
 use xdaq_mempool::{DynAllocator, FrameBuf};
 use xdaq_mon::PtCounters;
@@ -36,6 +36,12 @@ pub struct TcpPt {
     stopped: Arc<AtomicBool>,
     conns: Mutex<HashMap<String, TcpStream>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Reader threads spawned by the accept loop; joined (and panic-
+    /// checked) in `stop`.
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Task threads observed to have panicked, drained by
+    /// [`PeerTransport::take_panics`].
+    panics: AtomicU64,
     /// Shared with reader threads, which account received frames.
     counters: Arc<PtCounters>,
 }
@@ -54,6 +60,8 @@ impl TcpPt {
             stopped: Arc::new(AtomicBool::new(false)),
             conns: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
+            readers: Arc::new(Mutex::new(Vec::new())),
+            panics: AtomicU64::new(0),
             counters: Arc::new(PtCounters::new()),
         }))
     }
@@ -183,10 +191,10 @@ impl PeerTransport for TcpPt {
         PtMode::Task
     }
 
-    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), PtError> {
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
         if self.stopped.load(Ordering::Acquire) {
             self.counters.on_send_error();
-            return Err(PtError::Closed);
+            return Err(SendFailure::with_frame(PtError::Closed, frame));
         }
         let key = dest.rest().to_string();
         let mut conns = self.conns.lock();
@@ -197,7 +205,7 @@ impl PeerTransport for TcpPt {
                 }
                 Err(e) => {
                     self.counters.on_send_error();
-                    return Err(e);
+                    return Err(SendFailure::with_frame(e, frame));
                 }
             }
         }
@@ -208,10 +216,13 @@ impl PeerTransport for TcpPt {
                 Ok(())
             }
             Err(e) => {
-                // Drop the broken connection; the next send reconnects.
+                // Drop the broken connection; the next send reconnects
+                // on a fresh stream, so re-submitting this frame is
+                // framing-safe even after a partial write (the peer's
+                // reader abandons the corrupt tail of the old stream).
                 conns.remove(&key);
                 self.counters.on_send_error();
-                Err(PtError::Io(e.to_string()))
+                Err(SendFailure::with_frame(PtError::Io(e.to_string()), frame))
             }
         }
     }
@@ -225,9 +236,7 @@ impl PeerTransport for TcpPt {
         let alloc = self.alloc.clone();
         let stopped = self.stopped.clone();
         let counters = self.counters.clone();
-        let threads: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
-            Arc::new(Mutex::new(Vec::new()));
-        let threads_in = threads.clone();
+        let threads_in = self.readers.clone();
         let accept = std::thread::Builder::new()
             .name(format!("tcp-pt-accept-{}", self.self_addr.rest()))
             .spawn(move || {
@@ -262,8 +271,19 @@ impl PeerTransport for TcpPt {
         self.stopped.store(true, Ordering::Release);
         self.conns.lock().clear();
         for t in self.threads.lock().drain(..) {
-            let _ = t.join();
+            if t.join().is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
         }
+        for t in self.readers.lock().drain(..) {
+            if t.join().is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn take_panics(&self) -> u64 {
+        self.panics.swap(0, Ordering::Relaxed)
     }
 
     fn counters(&self) -> Option<&PtCounters> {
@@ -349,10 +369,9 @@ mod tests {
         let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
         // Port 1 is almost certainly closed.
         let dest: PeerAddr = "tcp://127.0.0.1:1".parse().unwrap();
-        assert!(matches!(
-            a.send(&dest, frame(b"x")),
-            Err(PtError::Unreachable(_))
-        ));
+        let err = a.send(&dest, frame(b"x")).unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+        assert!(err.frame.is_some(), "frame must come back for failover");
     }
 
     #[test]
@@ -361,10 +380,10 @@ mod tests {
         a.start(Arc::new(|_, _| {})).unwrap();
         a.stop();
         a.stop();
-        assert!(matches!(
-            a.send(&"tcp://127.0.0.1:9".parse().unwrap(), frame(b"x")),
-            Err(PtError::Closed)
-        ));
+        let err = a
+            .send(&"tcp://127.0.0.1:9".parse().unwrap(), frame(b"x"))
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Closed));
     }
 
     #[test]
