@@ -267,9 +267,16 @@ impl ExecCore {
                 if alternates.is_empty() {
                     self.pta.send(&peer, buf)?;
                 } else {
-                    let mut chain = Vec::with_capacity(1 + alternates.len());
-                    chain.push(peer);
-                    chain.extend(alternates);
+                    let mut chain = Route::Peer {
+                        peer,
+                        remote_tid,
+                        alternates,
+                    }
+                    .failover_chain();
+                    // Same-host fast path: when a shm transport is
+                    // registered, try the zero-copy address first and
+                    // keep the network addresses as failover.
+                    self.pta.reorder_for_locality(&mut chain);
                     self.pta.send_failover(&chain, buf)?;
                 }
                 self.mon.sent_peer.inc();
@@ -1421,6 +1428,14 @@ impl Executive {
     fn heartbeat_tick(&self) {
         let core = &self.core;
         let Some(sup) = &core.supervisor else { return };
+        // Transports can detect peer death out-of-band (a shm region's
+        // epoch bumps when the peer process dies); fold those into the
+        // supervisor ahead of the miss-accounting ramp.
+        for peer in core.pta.take_down_peers() {
+            if sup.force_down(&peer).is_some() {
+                self.on_peer_down(&peer);
+            }
+        }
         let outcome = sup.tick();
         for (peer, seq) in outcome.pings {
             core.mon.hb_pings.inc();

@@ -274,6 +274,15 @@ pub trait PeerTransport: Send + Sync {
     fn counters(&self) -> Option<&xdaq_mon::PtCounters> {
         None
     }
+
+    /// Drains the canonical addresses of peers this transport has
+    /// positively detected as dead (e.g. a shared-memory peer whose
+    /// process vanished). Each death is reported exactly once. The
+    /// executive forwards these to the link supervisor so routes fail
+    /// over immediately instead of waiting out heartbeat timeouts.
+    fn take_down_peers(&self) -> Vec<PeerAddr> {
+        Vec::new()
+    }
 }
 
 struct PtEntry {
@@ -548,15 +557,51 @@ impl Pta {
         self.metrics.read().task_panics.get()
     }
 
-    /// Monitoring counters of every instrumented PT, keyed
-    /// `scheme:tid` (one executive may run several transports of the
-    /// same scheme).
+    /// Drains dead-peer reports from every transport (see
+    /// [`PeerTransport::take_down_peers`]).
+    pub fn take_down_peers(&self) -> Vec<PeerAddr> {
+        let mut down = Vec::new();
+        for e in self.entries.read().iter() {
+            down.extend(e.pt.take_down_peers());
+        }
+        down
+    }
+
+    /// Reorders a failover chain for locality: addresses whose scheme
+    /// is `shm` (and served by a registered transport) move to the
+    /// front, preserving relative order otherwise, so co-located peers
+    /// take the zero-copy path and fall back to the network through
+    /// the ordinary [`Pta::send_failover`] walk.
+    pub fn reorder_for_locality(&self, chain: &mut [PeerAddr]) {
+        if self.transport_for("shm").is_none() {
+            return;
+        }
+        chain.sort_by_key(|a| usize::from(a.scheme() != "shm"));
+    }
+
+    /// Monitoring counters of every instrumented PT, aggregated per
+    /// scheme under the normalized `pt.<scheme>.sent/recv/errors`
+    /// names (plus `.sent_bytes`/`.recv_bytes`).
     pub fn counters_value(&self) -> serde_json::Value {
-        let mut map = serde_json::Map::new();
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut per_scheme: HashMap<&'static str, [u64; 5]> = HashMap::new();
         for e in self.entries.read().iter() {
             if let Some(c) = e.pt.counters() {
-                map.insert(format!("{}:{}", e.pt.scheme(), e.tid.raw()), c.to_value());
+                let agg = per_scheme.entry(e.pt.scheme()).or_default();
+                agg[0] += c.sent_frames.load(Relaxed);
+                agg[1] += c.sent_bytes.load(Relaxed);
+                agg[2] += c.recv_frames.load(Relaxed);
+                agg[3] += c.recv_bytes.load(Relaxed);
+                agg[4] += c.send_errors.load(Relaxed);
             }
+        }
+        let mut map = serde_json::Map::new();
+        for (scheme, agg) in per_scheme {
+            map.insert(format!("pt.{scheme}.sent"), agg[0].into());
+            map.insert(format!("pt.{scheme}.sent_bytes"), agg[1].into());
+            map.insert(format!("pt.{scheme}.recv"), agg[2].into());
+            map.insert(format!("pt.{scheme}.recv_bytes"), agg[3].into());
+            map.insert(format!("pt.{scheme}.errors"), agg[4].into());
         }
         serde_json::Value::Object(map)
     }
@@ -585,6 +630,7 @@ impl Pta {
 mod tests {
     use super::*;
     use parking_lot::Mutex;
+    use xdaq_mon::PtCounters;
 
     #[test]
     fn peer_addr_parsing() {
@@ -611,6 +657,9 @@ mod tests {
         /// Fail this many sends (returning the frame) before accepting.
         fail_first: std::sync::atomic::AtomicU64,
         stopped: std::sync::atomic::AtomicBool,
+        /// Peers reported once through `take_down_peers`.
+        down: Mutex<Vec<PeerAddr>>,
+        counters: PtCounters,
     }
 
     impl FakePt {
@@ -626,6 +675,8 @@ mod tests {
                 rx: Mutex::new(Vec::new()),
                 fail_first: std::sync::atomic::AtomicU64::new(0),
                 stopped: std::sync::atomic::AtomicBool::new(false),
+                down: Mutex::new(Vec::new()),
+                counters: PtCounters::new(),
             })
         }
     }
@@ -652,6 +703,7 @@ mod tests {
                     frame,
                 ));
             }
+            self.counters.on_send(frame.len());
             self.sent.lock().push((dest.clone(), frame.len()));
             Ok(())
         }
@@ -664,6 +716,12 @@ mod tests {
         fn stop(&self) {
             self.stopped
                 .store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+        fn counters(&self) -> Option<&PtCounters> {
+            Some(&self.counters)
+        }
+        fn take_down_peers(&self) -> Vec<PeerAddr> {
+            std::mem::take(&mut *self.down.lock())
         }
     }
 
@@ -786,6 +844,70 @@ mod tests {
         pta.send_failover(&chain, FrameBuf::from_bytes(&[1]))
             .unwrap();
         assert_eq!(live.sent.lock().len(), 1);
+    }
+
+    #[test]
+    fn take_down_peers_drains_every_transport_once() {
+        let pta = Pta::new();
+        let a = FakePt::with_scheme(PtMode::Polling, "fake");
+        let b = FakePt::with_scheme(PtMode::Polling, "live");
+        a.down.lock().push("fake://one".parse().unwrap());
+        b.down.lock().push("live://two".parse().unwrap());
+        pta.register(tid(0x10), a);
+        pta.register(tid(0x11), b);
+        let mut peers = pta.take_down_peers();
+        peers.sort_by_key(|p| p.to_string());
+        assert_eq!(
+            peers,
+            vec![
+                "fake://one".parse::<PeerAddr>().unwrap(),
+                "live://two".parse().unwrap(),
+            ]
+        );
+        assert!(pta.take_down_peers().is_empty(), "reported exactly once");
+    }
+
+    #[test]
+    fn locality_reorder_prefers_shm_when_registered() {
+        let pta = Pta::new();
+        let chain_of = || -> Vec<PeerAddr> {
+            vec![
+                "tcp://a:1".parse().unwrap(),
+                "shm:///dev/shm/x@b".parse().unwrap(),
+                "gm://a:0".parse().unwrap(),
+            ]
+        };
+        // No shm transport registered: chain untouched.
+        let mut chain = chain_of();
+        pta.reorder_for_locality(&mut chain);
+        assert_eq!(chain, chain_of());
+        pta.register(tid(0x10), FakePt::with_scheme(PtMode::Polling, "shm"));
+        pta.reorder_for_locality(&mut chain);
+        assert_eq!(chain[0].scheme(), "shm", "shm promoted to primary");
+        // Stable for the rest: tcp stays ahead of gm.
+        assert_eq!(chain[1].scheme(), "tcp");
+        assert_eq!(chain[2].scheme(), "gm");
+    }
+
+    #[test]
+    fn counters_value_uses_normalized_per_scheme_names() {
+        let pta = Pta::new();
+        let a = FakePt::with_scheme(PtMode::Polling, "fake");
+        let b = FakePt::with_scheme(PtMode::Polling, "fake");
+        pta.register(tid(0x10), a);
+        pta.register(tid(0x11), b);
+        pta.send(
+            &"fake://x".parse().unwrap(),
+            FrameBuf::from_bytes(&[0u8; 10]),
+        )
+        .unwrap();
+        let v = pta.counters_value();
+        // Both instances aggregate under one flat per-scheme set.
+        assert_eq!(v["pt.fake.sent"].as_u64(), Some(1));
+        assert_eq!(v["pt.fake.sent_bytes"].as_u64(), Some(10));
+        assert_eq!(v["pt.fake.recv"].as_u64(), Some(0));
+        assert_eq!(v["pt.fake.errors"].as_u64(), Some(0));
+        assert!(v.get("pt.fake.sent_frames").is_none(), "old names gone");
     }
 
     #[test]

@@ -36,6 +36,29 @@ pub enum Route {
     },
 }
 
+impl Route {
+    /// The send-failover chain for a peer route — primary first, then
+    /// alternates in registration order. Empty for a local route. The
+    /// executive hands this to [`Pta::reorder_for_locality`] so a
+    /// co-located `shm://` address is tried before any network one,
+    /// then to `send_failover`.
+    ///
+    /// [`Pta::reorder_for_locality`]: crate::pta::Pta::reorder_for_locality
+    pub fn failover_chain(&self) -> Vec<PeerAddr> {
+        match self {
+            Route::Local => Vec::new(),
+            Route::Peer {
+                peer, alternates, ..
+            } => {
+                let mut chain = Vec::with_capacity(1 + alternates.len());
+                chain.push(peer.clone());
+                chain.extend(alternates.iter().cloned());
+                chain
+            }
+        }
+    }
+}
+
 /// Outcome of evicting a peer address from the table.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct Eviction {
@@ -254,6 +277,24 @@ mod tests {
             }
             _ => panic!("expected peer route"),
         }
+    }
+
+    #[test]
+    fn failover_chain_is_primary_then_alternates() {
+        assert!(Route::Local.failover_chain().is_empty());
+        let r = Route::Peer {
+            peer: addr("tcp://a:1"),
+            remote_tid: t(0x20),
+            alternates: vec![addr("shm:///dev/shm/x@b"), addr("gm://a:0")],
+        };
+        assert_eq!(
+            r.failover_chain(),
+            vec![
+                addr("tcp://a:1"),
+                addr("shm:///dev/shm/x@b"),
+                addr("gm://a:0"),
+            ]
+        );
     }
 
     #[test]

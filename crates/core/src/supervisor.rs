@@ -196,6 +196,23 @@ impl LinkSupervisor {
         None
     }
 
+    /// A transport declared `peer` dead out-of-band (e.g. a
+    /// shared-memory region epoch bumped when the process vanished).
+    /// Skips the miss-accounting ramp and goes straight to Down;
+    /// returns the transition unless the peer was already Down or is
+    /// not supervised. The Down-sticky rule still applies afterwards:
+    /// only [`on_pong`](LinkSupervisor::on_pong) revives the link.
+    pub fn force_down(&self, peer: &PeerAddr) -> Option<(PeerAddr, LinkState)> {
+        let mut peers = self.peers.lock();
+        let h = peers.get_mut(peer)?;
+        if h.state == LinkState::Down {
+            return None;
+        }
+        h.state = LinkState::Down;
+        h.misses = h.misses.max(self.config.down_after);
+        Some((peer.clone(), LinkState::Down))
+    }
+
     /// Any ordinary frame arrived from `peer`: proof of life that
     /// clears misses and recovers a Suspect link, but deliberately
     /// does **not** revive a Down one.
@@ -307,6 +324,21 @@ mod tests {
         assert_eq!(s.state(&p), Some(LinkState::Suspect));
         // A late pong for an old probe clears misses and recovers.
         assert_eq!(s.on_pong(&p, old_seq), Some((p.clone(), LinkState::Up)));
+    }
+
+    #[test]
+    fn force_down_skips_the_miss_ramp() {
+        let s = sup();
+        let p = addr("shm:///dev/shm/x@b");
+        assert!(s.force_down(&p).is_none(), "unsupervised peer ignored");
+        s.supervise(p.clone());
+        assert_eq!(s.state(&p), Some(LinkState::Up));
+        assert_eq!(s.force_down(&p), Some((p.clone(), LinkState::Down)));
+        assert_eq!(s.force_down(&p), None, "already Down: no transition");
+        // Still Down-sticky: traffic does not revive, a pong does.
+        assert_eq!(s.touch(&p), None);
+        let seq = s.tick().pings[0].1;
+        assert_eq!(s.on_pong(&p, seq), Some((p.clone(), LinkState::Up)));
     }
 
     #[test]

@@ -2,6 +2,26 @@
 
 use std::sync::Arc;
 
+/// Backing store of a [`Block`]: either process-private heap memory or
+/// a borrowed range of an external region (e.g. a `mmap`ed shared
+/// segment owned by `xdaq-shm`).
+///
+/// The `Raw` variant is what makes cross-process zero-copy possible: a
+/// `FrameBuf` whose block points into a shared region can be handed to
+/// another process as a `{offset, len}` descriptor instead of bytes.
+#[derive(Debug)]
+enum Storage {
+    Heap(Box<[u8]>),
+    /// Borrowed pointer into an external region. The block does NOT
+    /// own this memory; dropping the block never frees it. Lifetime is
+    /// guaranteed by the pool that minted the block (see safety notes
+    /// on [`Block::from_raw_parts`]).
+    Raw {
+        ptr: *mut u8,
+        cap: usize,
+    },
+}
+
 /// One fixed-size storage block.
 ///
 /// Blocks are the unit of pooling: capacity never changes after
@@ -9,23 +29,72 @@ use std::sync::Arc;
 /// power-of-two-friendly pool size ≤ 256 KB chosen by the allocator.
 #[derive(Debug)]
 pub struct Block {
-    storage: Box<[u8]>,
-    /// Valid prefix of `storage`.
+    storage: Storage,
+    /// Valid prefix of the storage.
     len: usize,
+    /// Pool-assigned identity for externally-backed blocks; 0 for
+    /// heap blocks. Encodes enough for the minting pool to recognize
+    /// its own blocks (xdaq-shm packs `region_id << 32 | block_index`).
+    token: u64,
 }
 
+// SAFETY: the `Raw` variant holds a pointer into an external region.
+// Blocks are uniquely owned (a pool hands each block to exactly one
+// owner at a time via its free list), so `&Block`/`Block` moves across
+// threads cannot alias writes. The region outliving the block is part
+// of the minting pool's contract: every `FrameBuf` carries an `Arc` to
+// its recycler, which keeps the mapping alive.
+unsafe impl Send for Block {}
+unsafe impl Sync for Block {}
+
 impl Block {
-    /// Creates a zeroed block of exactly `capacity` bytes.
+    /// Creates a zeroed heap block of exactly `capacity` bytes.
     pub fn new(capacity: usize) -> Block {
         Block {
-            storage: vec![0u8; capacity].into_boxed_slice(),
+            storage: Storage::Heap(vec![0u8; capacity].into_boxed_slice()),
             len: 0,
+            token: 0,
+        }
+    }
+
+    /// Wraps an externally-owned memory range as a block.
+    ///
+    /// `token` must be nonzero and identify the range to the minting
+    /// pool (so its recycler can translate the block back to a slot).
+    ///
+    /// # Safety
+    ///
+    /// - `ptr` must be valid for reads and writes of `cap` bytes for
+    ///   the entire life of the block, including across the processes
+    ///   that map the region.
+    /// - The caller must guarantee unique ownership: no other `Block`
+    ///   (in this or any attached process) may cover the same range
+    ///   while this one is live.
+    pub unsafe fn from_raw_parts(ptr: *mut u8, cap: usize, token: u64) -> Block {
+        debug_assert!(token != 0, "external blocks need a nonzero token");
+        Block {
+            storage: Storage::Raw { ptr, cap },
+            len: 0,
+            token,
+        }
+    }
+
+    /// Pool-assigned identity for externally-backed blocks; `None` for
+    /// plain heap blocks. Transports use this to detect frames they
+    /// can descriptor-pass without copying.
+    pub fn external_token(&self) -> Option<u64> {
+        match self.storage {
+            Storage::Heap(_) => None,
+            Storage::Raw { .. } => Some(self.token),
         }
     }
 
     /// Fixed capacity.
     pub fn capacity(&self) -> usize {
-        self.storage.len()
+        match &self.storage {
+            Storage::Heap(b) => b.len(),
+            Storage::Raw { cap, .. } => *cap,
+        }
     }
 
     /// Valid length.
@@ -50,17 +119,31 @@ impl Block {
 
     /// Valid bytes.
     pub fn bytes(&self) -> &[u8] {
-        &self.storage[..self.len]
+        &self.raw()[..self.len]
     }
 
     /// Mutable valid bytes.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.storage[..self.len]
+        let len = self.len;
+        &mut self.raw_mut()[..len]
+    }
+
+    fn raw(&self) -> &[u8] {
+        match &self.storage {
+            Storage::Heap(b) => b,
+            // SAFETY: `from_raw_parts` contract — ptr valid for cap
+            // bytes and uniquely owned by this block.
+            Storage::Raw { ptr, cap } => unsafe { std::slice::from_raw_parts(*ptr, *cap) },
+        }
     }
 
     /// Whole backing store, regardless of valid length.
     pub fn raw_mut(&mut self) -> &mut [u8] {
-        &mut self.storage
+        match &mut self.storage {
+            Storage::Heap(b) => b,
+            // SAFETY: as in `raw`, plus `&mut self` rules out aliases.
+            Storage::Raw { ptr, cap } => unsafe { std::slice::from_raw_parts_mut(*ptr, *cap) },
+        }
     }
 }
 
@@ -116,5 +199,23 @@ mod tests {
     fn raw_mut_exposes_whole_store() {
         let mut b = Block::new(16);
         assert_eq!(b.raw_mut().len(), 16);
+    }
+
+    #[test]
+    fn heap_blocks_have_no_token() {
+        assert_eq!(Block::new(8).external_token(), None);
+    }
+
+    #[test]
+    fn raw_block_round_trip() {
+        let mut backing = vec![0u8; 32];
+        // SAFETY: `backing` outlives `b`, no aliases while `b` lives.
+        let mut b = unsafe { Block::from_raw_parts(backing.as_mut_ptr(), 32, 42) };
+        assert_eq!(b.capacity(), 32);
+        assert_eq!(b.external_token(), Some(42));
+        b.set_len(4);
+        b.bytes_mut().copy_from_slice(&[9u8; 4]);
+        drop(b); // dropping a raw block must not free the backing
+        assert_eq!(&backing[..4], &[9u8; 4]);
     }
 }

@@ -82,6 +82,22 @@ impl FrameBuf {
         std::mem::replace(&mut self.recycler, recycler)
     }
 
+    /// Pool-assigned identity of the backing block when it lives in an
+    /// external region (see [`Block::external_token`]); `None` for
+    /// heap-backed frames. Zero-copy transports branch on this.
+    pub fn external_token(&self) -> Option<u64> {
+        self.block_ref().external_token()
+    }
+
+    /// Dismantles the frame into its block and recycler without
+    /// recycling. The caller takes over the block's lifecycle — used
+    /// by descriptor-passing transports that hand ownership of a
+    /// region-backed block to a peer process.
+    pub fn into_parts(mut self) -> (Block, Arc<dyn BlockRecycler>) {
+        let block = self.block.take().expect("fresh FrameBuf");
+        (block, self.recycler.clone())
+    }
+
     /// Converts into a shareable, immutable buffer. O(1), no copy.
     pub fn into_shared(mut self) -> SharedFrameBuf {
         let block = self.block.take().expect("fresh FrameBuf");

@@ -87,9 +87,74 @@ impl PtCounters {
     }
 }
 
+/// Shared-memory transport counters (`xdaq-shm`).
+///
+/// Unlike [`PtCounters`] (embedded plain atomics), these are
+/// [`Counter`] handles so a `ShmPt` bound to a node's [`Registry`]
+/// surfaces `shm.tx` / `shm.rx` / `shm.doorbells` / `shm.spin` /
+/// `shm.copies` / `shm.peer_deaths` directly in MonSnapshot scrapes.
+#[derive(Clone)]
+pub struct ShmCounters {
+    /// Descriptors pushed into send rings.
+    pub tx: Counter,
+    /// Descriptors popped from receive rings.
+    pub rx: Counter,
+    /// Doorbell rings issued to sleeping peers.
+    pub doorbells: Counter,
+    /// Busy-poll spin iterations burned before sleeping.
+    pub spin: Counter,
+    /// Send-path payload copies (zero-copy misses).
+    pub copies: Counter,
+    /// Peer processes detected dead via their region slot.
+    pub peer_deaths: Counter,
+}
+
+impl ShmCounters {
+    /// Standalone counters (not visible in any registry).
+    pub fn new() -> ShmCounters {
+        ShmCounters {
+            tx: Counter::new(),
+            rx: Counter::new(),
+            doorbells: Counter::new(),
+            spin: Counter::new(),
+            copies: Counter::new(),
+            peer_deaths: Counter::new(),
+        }
+    }
+
+    /// Counters registered under the `shm.*` names.
+    pub fn bound_to(registry: &Registry) -> ShmCounters {
+        ShmCounters {
+            tx: registry.counter("shm.tx"),
+            rx: registry.counter("shm.rx"),
+            doorbells: registry.counter("shm.doorbells"),
+            spin: registry.counter("shm.spin"),
+            copies: registry.counter("shm.copies"),
+            peer_deaths: registry.counter("shm.peer_deaths"),
+        }
+    }
+}
+
+impl Default for ShmCounters {
+    fn default() -> ShmCounters {
+        ShmCounters::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shm_counters_bind_to_registry() {
+        let r = Registry::new();
+        let c = ShmCounters::bound_to(&r);
+        c.tx.add(3);
+        c.doorbells.inc();
+        assert_eq!(r.counter("shm.tx").get(), 3);
+        assert_eq!(r.counter("shm.doorbells").get(), 1);
+        assert_eq!(r.counter("shm.spin").get(), 0);
+    }
 
     #[test]
     fn pt_counters_accumulate_and_reset() {

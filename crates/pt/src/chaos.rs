@@ -298,6 +298,12 @@ impl PeerTransport for ChaosPt {
     fn counters(&self) -> Option<&xdaq_mon::PtCounters> {
         self.inner.counters()
     }
+
+    fn take_down_peers(&self) -> Vec<PeerAddr> {
+        // Out-of-band death detection belongs to the real transport;
+        // injected faults must not masquerade as peer death.
+        self.inner.take_down_peers()
+    }
 }
 
 #[cfg(test)]

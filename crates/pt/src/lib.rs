@@ -12,6 +12,7 @@
 //! | [`GmPt`] | `gm` | `gm://<node>:<port>` | polling or task (paper: thread) |
 //! | [`TcpPt`] | `tcp` | `tcp://<ip>:<port>` | task (blocking sockets) |
 //! | [`PciPt`] | `pci` | `pci://<segment>/<slot>` | polling (hardware FIFOs) |
+//! | `ShmPt` (crate `xdaq-shm`) | `shm` | `shm://<region-path>@a\|b` | polling or task |
 //! | [`ChaosPt`] | (inner's) | (inner's) | (inner's) |
 //!
 //! [`ChaosPt`] is not a transport of its own but a deterministic

@@ -1,0 +1,881 @@
+//! `ShmPt`: the `shm://` peer transport.
+//!
+//! One [`ShmLink`] connects exactly two processes over one mapped
+//! region: side A creates (`shm://<path>@a`), side B attaches
+//! (`shm://<path>@b`). Frames whose blocks already live in the link's
+//! pool cross as single 16-byte descriptors — zero payload copies.
+//! Heap-backed frames are copied into pool blocks first (counted in
+//! `shm.copies` and the region's copy counter) and chained across
+//! blocks with [`FLAG_MORE`] descriptors when they exceed one block.
+//!
+//! The PT runs in both PTA modes: in polling mode the executive scans
+//! the receive rings; in task mode a thread busy-polls for a
+//! configurable spin budget, then advertises `waiting = 1` in its side
+//! slot and sleeps on its eventfd doorbell — senders ring the peer's
+//! doorbell (reopened via `/proc/<pid>/fd/<fd>`) only when that flag
+//! is up, so the steady-state fast path makes no syscalls at all.
+//!
+//! Peer death is detected from the region header (side slot cleared,
+//! epoch changed, or the advertised pid gone from `/proc`) and
+//! surfaced through [`PeerTransport::take_down_peers`] so the link
+//! supervisor can force the link Down without waiting for heartbeat
+//! timeouts.
+
+use crate::doorbell::{Doorbell, PeerBell};
+use crate::pool::{unpack_token, ShmPool};
+use crate::region::{Region, ShmConfig, SIDE_A, SIDE_B};
+use crate::ring::{Descriptor, RingView, FLAG_MORE};
+use parking_lot::{Mutex, RwLock};
+use std::path::Path;
+use std::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdaq_core::{IngestSink, PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
+use xdaq_mempool::{Block, FrameBuf};
+use xdaq_mon::{PtCounters, Registry, ShmCounters};
+
+/// How long a sleeping task thread waits per doorbell ppoll. Doubles
+/// as the liveness-check cadence while idle.
+const SLEEP_SLICE: Duration = Duration::from_millis(2);
+/// Polling-mode liveness check every this many `poll` calls.
+const POLL_LIVENESS_PERIOD: u64 = 1024;
+
+/// Peer state as read from the region header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerHealth {
+    /// Peer has not attached yet.
+    NotYetUp,
+    /// Peer attached and its process exists.
+    Up,
+    /// Peer detached, restarted (epoch change) or its pid vanished.
+    Dead,
+}
+
+/// One two-process link over a mapped region.
+pub struct ShmLink {
+    region: Arc<Region>,
+    pool: Arc<ShmPool>,
+    side: usize,
+    tx: RingView,
+    rx: RingView,
+    bell: Doorbell,
+    peer_bell: Mutex<Option<PeerBell>>,
+    local: PeerAddr,
+    peer: PeerAddr,
+    /// Peer identity `(pid, epoch)` captured when first seen attached.
+    peer_identity: Mutex<Option<(u32, u64)>>,
+    /// Rate limiter for the `/proc` pid probe on the hot path.
+    liveness_tick: AtomicU32,
+    dead: AtomicBool,
+    /// Set once the death has been handed to `take_down_peers`.
+    death_reported: AtomicBool,
+}
+
+impl ShmLink {
+    /// Creates the region at `path` and takes side A.
+    pub fn create(path: &Path, cfg: ShmConfig) -> Result<Arc<ShmLink>, PtError> {
+        let region = Region::create(path, cfg).map_err(PtError::Io)?;
+        ShmLink::open(Arc::new(region), SIDE_A)
+    }
+
+    /// Attaches to an existing region at `path` as side B.
+    pub fn attach(path: &Path) -> Result<Arc<ShmLink>, PtError> {
+        let region = Region::attach(path).map_err(PtError::Io)?;
+        ShmLink::open(Arc::new(region), SIDE_B)
+    }
+
+    fn open(region: Arc<Region>, side: usize) -> Result<Arc<ShmLink>, PtError> {
+        let bell = Doorbell::for_region(region.path(), side).map_err(PtError::Io)?;
+        let slot = &region.hdr().sides[side];
+        if slot.attached.swap(1, Ordering::AcqRel) == 1 {
+            return Err(PtError::Io(format!(
+                "{}: side {} already attached",
+                region.path().display(),
+                ["a", "b"][side]
+            )));
+        }
+        slot.pid.store(std::process::id(), Ordering::Relaxed);
+        slot.doorbell_fd.store(bell.fd(), Ordering::Relaxed);
+        slot.waiting.store(0, Ordering::Relaxed);
+        slot.epoch.fetch_add(1, Ordering::Release);
+        let path = region.path().display().to_string();
+        let (local, peer) = match side {
+            SIDE_A => (
+                PeerAddr::new("shm", &format!("{path}@a")),
+                PeerAddr::new("shm", &format!("{path}@b")),
+            ),
+            _ => (
+                PeerAddr::new("shm", &format!("{path}@b")),
+                PeerAddr::new("shm", &format!("{path}@a")),
+            ),
+        };
+        // Ring 0 carries A→B, ring 1 carries B→A.
+        let (tx_dir, rx_dir) = if side == SIDE_A { (0, 1) } else { (1, 0) };
+        let cap = region.config().ring_capacity;
+        // SAFETY: ring areas are inside the live mapping, sized by the
+        // shared geometry; side exclusivity (checked above) gives each
+        // ring exactly one producer and one consumer.
+        let (tx, rx) = unsafe {
+            (
+                RingView::new(region.ring_base(tx_dir), cap),
+                RingView::new(region.ring_base(rx_dir), cap),
+            )
+        };
+        Ok(Arc::new(ShmLink {
+            pool: ShmPool::new(region.clone()),
+            region,
+            side,
+            tx,
+            rx,
+            bell,
+            peer_bell: Mutex::new(None),
+            liveness_tick: AtomicU32::new(1),
+            local,
+            peer,
+            peer_identity: Mutex::new(None),
+            dead: AtomicBool::new(false),
+            death_reported: AtomicBool::new(false),
+        }))
+    }
+
+    /// This side's canonical address (`shm://<path>@a|b`).
+    pub fn local_addr(&self) -> &PeerAddr {
+        &self.local
+    }
+
+    /// The peer side's canonical address — the address frames to this
+    /// peer are routed to.
+    pub fn peer_addr(&self) -> &PeerAddr {
+        &self.peer
+    }
+
+    /// The link's shared frame pool. Frames allocated here cross the
+    /// link without any payload copy.
+    pub fn pool(&self) -> Arc<ShmPool> {
+        self.pool.clone()
+    }
+
+    /// True once the peer process has attached its side.
+    pub fn peer_attached(&self) -> bool {
+        self.peer_slot().attached.load(Ordering::Acquire) == 1
+    }
+
+    /// True when the peer has been declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    fn peer_slot(&self) -> &crate::region::SideHdr {
+        &self.region.hdr().sides[1 - self.side]
+    }
+
+    fn own_slot(&self) -> &crate::region::SideHdr {
+        &self.region.hdr().sides[self.side]
+    }
+
+    /// How many hot-path health checks share one `/proc` pid probe.
+    const PID_CHECK_PERIOD: u32 = 1024;
+
+    /// Reads peer health from the region header, latching `Dead`.
+    /// Header-only (atomic loads); the `/proc` pid probe — a
+    /// filesystem syscall — runs every [`Self::PID_CHECK_PERIOD`]-th
+    /// call so per-frame cost stays in nanoseconds.
+    fn check_peer(&self) -> PeerHealth {
+        self.check_peer_at(false)
+    }
+
+    /// Like [`check_peer`](Self::check_peer) but always probing
+    /// `/proc` — the liveness scan's variant, so a SIGKILLed peer is
+    /// detected within one scan period regardless of traffic.
+    fn check_peer_forced(&self) -> PeerHealth {
+        self.check_peer_at(true)
+    }
+
+    fn check_peer_at(&self, force: bool) -> PeerHealth {
+        if self.dead.load(Ordering::Acquire) {
+            return PeerHealth::Dead;
+        }
+        let slot = self.peer_slot();
+        let attached = slot.attached.load(Ordering::Acquire) == 1;
+        let mut seen = self.peer_identity.lock();
+        let health = match (*seen, attached) {
+            (None, false) => PeerHealth::NotYetUp,
+            (None, true) => {
+                let pid = slot.pid.load(Ordering::Relaxed);
+                *seen = Some((pid, slot.epoch.load(Ordering::Acquire)));
+                if pid_exists(pid) {
+                    PeerHealth::Up
+                } else {
+                    PeerHealth::Dead
+                }
+            }
+            (Some(_), false) => PeerHealth::Dead, // clean detach: link over
+            (Some((pid, epoch)), true) => {
+                let probe = force
+                    || self
+                        .liveness_tick
+                        .fetch_add(1, Ordering::Relaxed)
+                        .is_multiple_of(Self::PID_CHECK_PERIOD);
+                if slot.epoch.load(Ordering::Acquire) != epoch
+                    || slot.pid.load(Ordering::Relaxed) != pid
+                    || (probe && !pid_exists(pid))
+                {
+                    PeerHealth::Dead
+                } else {
+                    PeerHealth::Up
+                }
+            }
+        };
+        if health == PeerHealth::Dead {
+            self.dead.store(true, Ordering::Release);
+        }
+        health
+    }
+
+    /// Rings the peer's doorbell if it advertised that it sleeps.
+    fn ring_peer(&self, shm: &ShmCounters) {
+        // SeqCst pairs with the receiver's waiting-then-recheck store:
+        // either we see waiting = 1, or the receiver sees our tail.
+        fence(Ordering::SeqCst);
+        let slot = self.peer_slot();
+        if slot.waiting.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let pid = slot.pid.load(Ordering::Relaxed);
+        let fd = slot.doorbell_fd.load(Ordering::Relaxed);
+        let mut bell = self.peer_bell.lock();
+        match bell.as_mut() {
+            Some(b) if b.target() == (pid, fd) => {
+                if b.ring() {
+                    shm.doorbells.inc();
+                }
+            }
+            _ => {
+                let fifo = crate::doorbell::bell_path(self.region.path(), self.side ^ 1);
+                let mut fresh = PeerBell::with_fifo(pid, fd, fifo);
+                if fresh.ring() {
+                    shm.doorbells.inc();
+                }
+                *bell = Some(fresh);
+            }
+        }
+    }
+
+    /// Pushes one frame as descriptors. Zero-copy when the frame's
+    /// block belongs to this link's region; otherwise copies into pool
+    /// blocks (chaining across blocks with [`FLAG_MORE`]).
+    fn send_frame(
+        &self,
+        frame: FrameBuf,
+        counters: &PtCounters,
+        shm: &ShmCounters,
+    ) -> Result<(), SendFailure> {
+        if self.check_peer() == PeerHealth::Dead {
+            counters.on_send_error();
+            return Err(SendFailure::with_frame(
+                PtError::Unreachable(self.peer.to_string()),
+                frame,
+            ));
+        }
+        let len = frame.len();
+        let tid = frame_tid(&frame);
+        let own_block = frame
+            .external_token()
+            .and_then(|t| unpack_token(self.region.id(), t));
+        if let Some(idx) = own_block {
+            // Zero-copy: ownership of the block moves to the peer.
+            if self.tx.free_slots() < 1 {
+                counters.on_send_error();
+                return Err(SendFailure::with_frame(PtError::WouldBlock, frame));
+            }
+            let (block, _recycler) = frame.into_parts();
+            debug_assert_eq!(block.len(), len);
+            self.pool.forget_live();
+            drop(block); // raw storage: dropping frees nothing
+            let d = Descriptor {
+                offset: self.region.block_offset(idx) as u32,
+                len: len as u32,
+                tid,
+                flags: 0,
+                seq: 0,
+            };
+            self.tx.push(d).expect("free slot checked");
+            shm.tx.inc();
+        } else {
+            // Copy path: stage the payload into pool blocks.
+            let bs = self.pool.block_size();
+            let nfrags = len.div_ceil(bs).max(1);
+            if self.tx.free_slots() < nfrags {
+                counters.on_send_error();
+                return Err(SendFailure::with_frame(PtError::WouldBlock, frame));
+            }
+            let mut blocks: Vec<(usize, Block)> = Vec::with_capacity(nfrags);
+            for frag in 0..nfrags {
+                let frag_len = (len - frag * bs).min(bs);
+                match self.pool.take_block(frag_len) {
+                    Some(b) => blocks.push((frag_len, b)),
+                    None => {
+                        // Roll back: return staged blocks to the list.
+                        for (_, b) in blocks {
+                            self.pool.recycler().recycle(b);
+                        }
+                        counters.on_send_error();
+                        return Err(SendFailure::with_frame(PtError::WouldBlock, frame));
+                    }
+                }
+            }
+            for (frag, (frag_len, block)) in blocks.iter_mut().enumerate() {
+                block
+                    .bytes_mut()
+                    .copy_from_slice(&frame[frag * bs..frag * bs + *frag_len]);
+            }
+            self.region.hdr().copies.fetch_add(1, Ordering::Relaxed);
+            shm.copies.inc();
+            for (frag, (frag_len, block)) in blocks.into_iter().enumerate() {
+                let token = block.external_token().expect("pool block");
+                let idx = unpack_token(self.region.id(), token).expect("own token");
+                self.pool.forget_live();
+                drop(block);
+                let d = Descriptor {
+                    offset: self.region.block_offset(idx) as u32,
+                    len: frag_len as u32,
+                    tid,
+                    flags: if frag + 1 < nfrags { FLAG_MORE } else { 0 },
+                    seq: 0,
+                };
+                self.tx.push(d).expect("free slots checked");
+                shm.tx.inc();
+            }
+            // The heap frame was only read; it recycles to its pool here.
+            drop(frame);
+        }
+        counters.on_send(len);
+        self.ring_peer(shm);
+        Ok(())
+    }
+
+    /// Materializes a received descriptor as a pooled `FrameBuf`.
+    fn frame_from(&self, d: Descriptor) -> Option<FrameBuf> {
+        let idx = self.region.offset_to_index(d.offset as usize)?;
+        if d.len as usize > self.pool.block_size() {
+            self.region.free_block(idx);
+            return None;
+        }
+        // SAFETY: the descriptor transferred exclusive ownership of
+        // block `idx` to this process; the pointer is in-mapping and
+        // the pool Arc inside the recycler keeps the region alive.
+        let mut block = unsafe {
+            Block::from_raw_parts(
+                self.region.block_ptr(idx),
+                self.pool.block_size(),
+                crate::pool::pack_token(self.region.id(), idx),
+            )
+        };
+        block.set_len(d.len as usize);
+        self.pool.adopt_live();
+        Some(FrameBuf::new(block, self.pool.recycler()))
+    }
+
+    /// Pops one complete frame (gathering chained descriptors).
+    fn recv_one(&self, counters: &PtCounters, shm: &ShmCounters) -> Option<FrameBuf> {
+        let first = self.rx.pop()?;
+        shm.rx.inc();
+        if first.flags & FLAG_MORE == 0 {
+            let f = self.frame_from(first)?;
+            counters.on_recv(f.len());
+            return Some(f);
+        }
+        // Chained frame: gather fragments. The producer pushes the
+        // whole chain before ringing, but a polling consumer can catch
+        // it mid-push — spin for the tail fragments.
+        let mut parts = vec![first];
+        loop {
+            if parts.last().unwrap().flags & FLAG_MORE == 0 {
+                break;
+            }
+            match self.rx.pop() {
+                Some(d) => {
+                    shm.rx.inc();
+                    parts.push(d);
+                }
+                None => {
+                    if self.check_peer() == PeerHealth::Dead {
+                        // Truncated chain from a dead peer: free what
+                        // arrived and drop the frame.
+                        for d in parts {
+                            if let Some(i) = self.region.offset_to_index(d.offset as usize) {
+                                self.region.free_block(i);
+                            }
+                        }
+                        return None;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let total: usize = parts.iter().map(|d| d.len as usize).sum();
+        let mut gathered = FrameBuf::detached(total);
+        let mut at = 0usize;
+        let mut ok = true;
+        for d in &parts {
+            match self.region.offset_to_index(d.offset as usize) {
+                Some(idx) => {
+                    let n = d.len as usize;
+                    // SAFETY: exclusive ownership via the descriptor.
+                    let src = unsafe { std::slice::from_raw_parts(self.region.block_ptr(idx), n) };
+                    gathered[at..at + n].copy_from_slice(src);
+                    at += n;
+                    self.region.free_block(idx);
+                }
+                None => ok = false,
+            }
+        }
+        if !ok {
+            return None;
+        }
+        counters.on_recv(total);
+        Some(gathered)
+    }
+
+    fn detach(&self) {
+        let slot = self.own_slot();
+        slot.waiting.store(0, Ordering::Relaxed);
+        slot.attached.store(0, Ordering::Release);
+        slot.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl Drop for ShmLink {
+    fn drop(&mut self) {
+        self.detach();
+    }
+}
+
+fn pid_exists(pid: u32) -> bool {
+    pid != 0 && Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Target TiD from an encoded frame (low 12 bits of the LE word at
+/// bytes 4..8 — see `xdaq-i2o`); 0 when the frame is too short.
+fn frame_tid(bytes: &[u8]) -> u16 {
+    if bytes.len() >= 8 {
+        (u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) & 0xFFF) as u16
+    } else {
+        0
+    }
+}
+
+/// State shared between the PT facade and its task thread.
+struct ShmShared {
+    spin_budget: AtomicU32,
+    links: RwLock<Vec<Arc<ShmLink>>>,
+    counters: PtCounters,
+    shm: RwLock<ShmCounters>,
+    stopped: AtomicBool,
+    polls: AtomicU64,
+}
+
+impl ShmShared {
+    /// Checks every link's peer liveness, latching deaths.
+    fn scan_liveness(&self) {
+        let links = self.links.read();
+        let shm = self.shm.read();
+        for link in links.iter() {
+            let was = link.is_dead();
+            if link.check_peer_forced() == PeerHealth::Dead && !was {
+                shm.peer_deaths.inc();
+            }
+        }
+    }
+}
+
+/// The `shm://` peer transport: a set of [`ShmLink`]s plus the PTA
+/// driving machinery (polling scan or task thread with spin budget).
+pub struct ShmPt {
+    mode: PtMode,
+    shared: Arc<ShmShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    panics: AtomicU64,
+}
+
+impl ShmPt {
+    /// Default spin budget before a task-mode thread sleeps.
+    pub const DEFAULT_SPIN_BUDGET: u32 = 2_000;
+
+    /// New transport in the given PTA mode.
+    pub fn new(mode: PtMode) -> Arc<ShmPt> {
+        ShmPt::with_spin_budget(mode, ShmPt::DEFAULT_SPIN_BUDGET)
+    }
+
+    /// New transport with an explicit busy-poll spin budget (task
+    /// mode: iterations of empty scanning before sleeping on the
+    /// doorbell).
+    pub fn with_spin_budget(mode: PtMode, spin_budget: u32) -> Arc<ShmPt> {
+        Arc::new(ShmPt {
+            mode,
+            shared: Arc::new(ShmShared {
+                spin_budget: AtomicU32::new(spin_budget),
+                links: RwLock::new(Vec::new()),
+                counters: PtCounters::new(),
+                shm: RwLock::new(ShmCounters::new()),
+                stopped: AtomicBool::new(false),
+                polls: AtomicU64::new(0),
+            }),
+            thread: Mutex::new(None),
+            panics: AtomicU64::new(0),
+        })
+    }
+
+    /// Points the `shm.*` counters at a node's metric registry (call
+    /// before `start`).
+    pub fn bind_registry(&self, registry: &Registry) {
+        *self.shared.shm.write() = ShmCounters::bound_to(registry);
+    }
+
+    /// Creates a region and adds its side-A link.
+    pub fn create_link(&self, path: &Path, cfg: ShmConfig) -> Result<Arc<ShmLink>, PtError> {
+        let link = ShmLink::create(path, cfg)?;
+        self.shared.links.write().push(link.clone());
+        Ok(link)
+    }
+
+    /// Attaches to a peer-created region and adds its side-B link.
+    pub fn attach_link(&self, path: &Path) -> Result<Arc<ShmLink>, PtError> {
+        let link = ShmLink::attach(path)?;
+        self.shared.links.write().push(link.clone());
+        Ok(link)
+    }
+
+    /// Shared-memory counters handle (tx/rx/doorbells/spin/copies).
+    pub fn shm_counters(&self) -> ShmCounters {
+        self.shared.shm.read().clone()
+    }
+
+    /// The link whose peer address matches `dest`, if any.
+    pub fn link_for(&self, dest: &PeerAddr) -> Option<Arc<ShmLink>> {
+        self.shared
+            .links
+            .read()
+            .iter()
+            .find(|l| l.peer_addr().rest() == dest.rest())
+            .cloned()
+    }
+}
+
+impl PeerTransport for ShmPt {
+    fn scheme(&self) -> &'static str {
+        "shm"
+    }
+
+    fn mode(&self) -> PtMode {
+        self.mode
+    }
+
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        let shared = &self.shared;
+        if shared.stopped.load(Ordering::Acquire) {
+            shared.counters.on_send_error();
+            return Err(SendFailure::with_frame(PtError::Closed, frame));
+        }
+        let Some(link) = self.link_for(dest) else {
+            shared.counters.on_send_error();
+            return Err(SendFailure::with_frame(
+                PtError::Unreachable(dest.to_string()),
+                frame,
+            ));
+        };
+        let shm = shared.shm.read();
+        link.send_frame(frame, &shared.counters, &shm)
+    }
+
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        let shared = &self.shared;
+        let n = shared.polls.fetch_add(1, Ordering::Relaxed);
+        if n % POLL_LIVENESS_PERIOD == POLL_LIVENESS_PERIOD - 1 {
+            shared.scan_liveness();
+        }
+        let links = shared.links.read();
+        let shm = shared.shm.read();
+        for link in links.iter() {
+            if let Some(f) = link.recv_one(&shared.counters, &shm) {
+                return Some((f, link.peer_addr().clone()));
+            }
+        }
+        None
+    }
+
+    fn start(&self, sink: IngestSink) -> Result<(), PtError> {
+        if self.mode != PtMode::Task {
+            return Ok(());
+        }
+        let shared = self.shared.clone();
+        let handle = std::thread::Builder::new()
+            .name("shm-pt".into())
+            .spawn(move || task_loop(&shared, sink))
+            .map_err(|e| PtError::Io(format!("spawn shm task: {e}")))?;
+        *self.thread.lock() = Some(handle);
+        Ok(())
+    }
+
+    fn stop(&self) {
+        self.shared.stopped.store(true, Ordering::Release);
+        // Wake the task thread if it sleeps on a doorbell.
+        for link in self.shared.links.read().iter() {
+            link.bell.ring_self();
+        }
+        if let Some(handle) = self.thread.lock().take() {
+            if handle.join().is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn configure(&self, key: &str, value: &str) -> Result<(), PtError> {
+        if key == "spin_budget" {
+            let v: u32 = value
+                .parse()
+                .map_err(|_| PtError::Io(format!("spin_budget '{value}' not a number")))?;
+            self.shared.spin_budget.store(v, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn take_panics(&self) -> u64 {
+        self.panics.swap(0, Ordering::Relaxed)
+    }
+
+    fn counters(&self) -> Option<&PtCounters> {
+        Some(&self.shared.counters)
+    }
+
+    fn take_down_peers(&self) -> Vec<PeerAddr> {
+        self.shared.scan_liveness();
+        let links = self.shared.links.read();
+        links
+            .iter()
+            .filter(|l| l.is_dead() && !l.death_reported.swap(true, Ordering::AcqRel))
+            .map(|l| l.peer_addr().clone())
+            .collect()
+    }
+}
+
+fn task_loop(shared: &ShmShared, sink: IngestSink) {
+    let mut spins: u32 = 0;
+    while !shared.stopped.load(Ordering::Acquire) {
+        // Snapshot so links attached mid-run are picked up.
+        let links = shared.links.read().clone();
+        let shm = shared.shm.read().clone();
+        let mut harvested = 0usize;
+        for link in &links {
+            while let Some(f) = link.recv_one(&shared.counters, &shm) {
+                sink(f, link.peer_addr().clone());
+                harvested += 1;
+            }
+        }
+        if harvested > 0 {
+            spins = 0;
+            continue;
+        }
+        spins = spins.saturating_add(1);
+        if spins <= shared.spin_budget.load(Ordering::Relaxed) {
+            shm.spin.inc();
+            std::hint::spin_loop();
+            continue;
+        }
+        // Sleep path: advertise, recheck (SeqCst pairs with senders'
+        // post-push fence), then ppoll all doorbells.
+        for link in &links {
+            link.own_slot().waiting.store(1, Ordering::SeqCst);
+        }
+        let pending = links.iter().any(|l| !l.rx.is_empty());
+        if !pending && !links.is_empty() {
+            let mut fds = Vec::with_capacity(links.len() * 2);
+            for l in &links {
+                l.bell.poll_fds(&mut fds);
+            }
+            let _ = crate::sys::ppoll_readable_many(&fds, SLEEP_SLICE);
+        } else if links.is_empty() {
+            std::thread::sleep(SLEEP_SLICE);
+        }
+        for link in &links {
+            link.own_slot().waiting.store(0, Ordering::SeqCst);
+            link.bell.drain();
+            link.check_peer();
+        }
+        spins = 0;
+    }
+    // Drain undelivered frames so their blocks recycle.
+    let links = shared.links.read().clone();
+    let shm = shared.shm.read().clone();
+    for link in &links {
+        while link.recv_one(&shared.counters, &shm).is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use xdaq_mempool::FrameAllocator;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("xdaq-shm-pt-{}-{name}", std::process::id()))
+    }
+
+    fn small() -> ShmConfig {
+        ShmConfig {
+            block_size: 1024,
+            nblocks: 32,
+            ring_capacity: 16,
+        }
+    }
+
+    /// Two PTs in one process over one region — stands in for two
+    /// processes (the multi-process case lives in tests/shm.rs).
+    fn pair(name: &str) -> (Arc<ShmPt>, Arc<ShmLink>, Arc<ShmPt>, Arc<ShmLink>) {
+        let path = tmp(name);
+        let a = ShmPt::new(PtMode::Polling);
+        let la = a.create_link(&path, small()).unwrap();
+        let b = ShmPt::new(PtMode::Polling);
+        let lb = b.attach_link(&path).unwrap();
+        (a, la, b, lb)
+    }
+
+    #[test]
+    fn zero_copy_round_trip() {
+        let (a, la, b, _lb) = pair("zc");
+        let pool = la.pool();
+        let mut f = pool.alloc(512).unwrap();
+        f.copy_from_slice(&[0x42; 512]);
+        a.send(la.peer_addr(), f).unwrap();
+        let (got, src) = b.poll().unwrap();
+        assert_eq!(&got[..], &[0x42u8; 512][..]);
+        assert_eq!(&src, la.local_addr());
+        assert_eq!(pool.copies(), 0, "no payload copy on the pool path");
+        drop(got); // recycles into the shared free list
+        assert_eq!(la.pool().region().free_blocks(), 32);
+    }
+
+    #[test]
+    fn heap_frames_take_the_copy_path() {
+        let (a, la, b, lb) = pair("copy");
+        a.send(la.peer_addr(), FrameBuf::from_bytes(&[7u8; 100]))
+            .unwrap();
+        let (got, _) = b.poll().unwrap();
+        assert_eq!(&got[..], &[7u8; 100][..]);
+        assert_eq!(la.pool().copies(), 1);
+        assert_eq!(lb.pool().copies(), 1, "copy counter is region-global");
+    }
+
+    #[test]
+    fn oversize_heap_frame_chains_across_blocks() {
+        let (a, la, b, _lb) = pair("chain");
+        let payload: Vec<u8> = (0..3000).map(|i| (i % 251) as u8).collect();
+        a.send(la.peer_addr(), FrameBuf::from_bytes(&payload))
+            .unwrap();
+        let (got, _) = b.poll().unwrap();
+        assert_eq!(&got[..], &payload[..]);
+        // 3000 bytes over 1024-byte blocks = 3 descriptors.
+        assert_eq!(a.shm_counters().tx.get(), 3);
+        assert_eq!(la.pool().region().free_blocks(), 32, "fragments recycled");
+    }
+
+    #[test]
+    fn ring_full_returns_frame_for_retry() {
+        let (a, la, _b, _lb) = pair("full");
+        let pool = la.pool();
+        for _ in 0..16 {
+            a.send(la.peer_addr(), pool.alloc(8).unwrap()).unwrap();
+        }
+        let err = a.send(la.peer_addr(), pool.alloc(8).unwrap()).unwrap_err();
+        assert!(matches!(err.error, PtError::WouldBlock));
+        assert!(err.frame.is_some(), "frame handed back for failover");
+    }
+
+    #[test]
+    fn unknown_destination_is_unreachable() {
+        let (a, _la, _b, _lb) = pair("unknown");
+        let err = a
+            .send(
+                &"shm:///nonexistent@b".parse().unwrap(),
+                FrameBuf::from_bytes(&[1]),
+            )
+            .unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+        assert!(err.frame.is_some());
+    }
+
+    #[test]
+    fn double_attach_same_side_fails() {
+        let path = tmp("dup");
+        let _a = ShmLink::create(&path, small()).unwrap();
+        let _b = ShmLink::attach(&path).unwrap();
+        assert!(ShmLink::attach(&path).is_err(), "side b taken");
+    }
+
+    #[test]
+    fn clean_detach_reports_peer_down() {
+        let (a, _la, b, lb) = pair("detach");
+        // A must have seen B attached before the detach counts as death.
+        a.send(lb.local_addr(), FrameBuf::from_bytes(&[1])).unwrap();
+        assert!(a.take_down_peers().is_empty());
+        drop(b);
+        drop(lb);
+        let down = a.take_down_peers();
+        assert_eq!(down.len(), 1);
+        assert!(down[0].rest().ends_with("@b"));
+        assert!(a.take_down_peers().is_empty(), "reported once");
+        let err = a.send(&down[0], FrameBuf::from_bytes(&[2])).unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+    }
+
+    #[test]
+    fn task_mode_delivers_through_sink() {
+        let path = tmp("task");
+        let a = ShmPt::new(PtMode::Polling);
+        let la = a.create_link(&path, small()).unwrap();
+        let b = ShmPt::with_spin_budget(PtMode::Task, 64);
+        let lb = b.attach_link(&path).unwrap();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let sink_got = got.clone();
+        let sink: IngestSink = Arc::new(move |f, src| {
+            sink_got.lock().push((f.len(), src));
+        });
+        b.start(sink).unwrap();
+        let pool = la.pool();
+        for i in 0..50usize {
+            let mut f = pool.alloc(64 + i).unwrap();
+            let fill = (i % 255) as u8;
+            f.iter_mut().for_each(|b| *b = fill);
+            let mut f = Some(f);
+            loop {
+                match a.send(la.peer_addr(), f.take().unwrap()) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        f = e.frame;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.lock().len() < 50 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        b.stop();
+        let got = got.lock();
+        assert_eq!(got.len(), 50);
+        assert!(got.iter().all(|(_, src)| src == lb.peer_addr()));
+        assert_eq!(pool.copies(), 0);
+        let _ = lb; // keep link alive until after assertions
+    }
+
+    #[test]
+    fn spin_budget_configurable() {
+        let pt = ShmPt::new(PtMode::Task);
+        pt.configure("spin_budget", "17").unwrap();
+        assert_eq!(pt.shared.spin_budget.load(Ordering::Relaxed), 17);
+        assert!(pt.configure("spin_budget", "nope").is_err());
+        pt.configure("unrelated", "x").unwrap();
+    }
+}

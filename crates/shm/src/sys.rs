@@ -1,0 +1,354 @@
+//! Minimal raw-syscall layer for the shared-memory transport.
+//!
+//! The build environment vendors no `libc`, so the few kernel
+//! services this crate needs — `mmap`/`munmap` for the region,
+//! `eventfd2` for doorbells, `ppoll` for bounded doorbell sleeps and
+//! `mknodat` for the FIFO doorbell fallback — are issued directly via
+//! inline assembly on the supported Linux targets (x86_64, aarch64).
+//! Everything else (file creation, `/proc` probing, eventfd
+//! reads/writes) goes through `std`.
+//!
+//! On unsupported targets every entry point returns `ENOSYS`, so the
+//! crate still compiles and `ShmLink::create`/`attach` fail cleanly.
+
+/// `PROT_READ | PROT_WRITE`.
+pub const PROT_RW: usize = 0x3;
+/// `MAP_SHARED`.
+pub const MAP_SHARED: usize = 0x1;
+/// `EFD_CLOEXEC | EFD_NONBLOCK`.
+pub const EFD_FLAGS: usize = 0o2000000 | 0o4000;
+/// `poll(2)` readable event.
+pub const POLLIN: i16 = 0x1;
+/// Errno for "not supported here".
+pub const ENOSYS: i32 = 38;
+
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+/// `struct timespec` (64-bit ABI).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct Timespec {
+    pub sec: i64,
+    pub nsec: i64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod arch {
+    pub const SYS_MMAP: usize = 9;
+    pub const SYS_MUNMAP: usize = 11;
+    pub const SYS_PPOLL: usize = 271;
+    pub const SYS_EVENTFD2: usize = 290;
+    pub const SYS_MKNODAT: usize = 259;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod arch {
+    pub const SYS_MMAP: usize = 222;
+    pub const SYS_MUNMAP: usize = 215;
+    pub const SYS_PPOLL: usize = 73;
+    pub const SYS_EVENTFD2: usize = 19;
+    pub const SYS_MKNODAT: usize = 33;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+/// True when the running target has a real syscall backend.
+pub const fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::arch::*;
+    use super::*;
+
+    fn check(ret: isize) -> Result<usize, i32> {
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Maps `len` bytes of `fd` shared read/write.
+    pub fn mmap_shared(fd: i32, len: usize) -> Result<*mut u8, i32> {
+        // SAFETY: all-arguments-by-value syscall; the kernel validates.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_RW, MAP_SHARED, fd as usize, 0) };
+        check(ret).map(|p| p as *mut u8)
+    }
+
+    /// Unmaps a region previously returned by [`mmap_shared`].
+    ///
+    /// # Safety
+    /// `(ptr, len)` must be an exact live mapping with no outstanding
+    /// references into it.
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) -> Result<(), i32> {
+        check(syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0)).map(|_| ())
+    }
+
+    /// New nonblocking close-on-exec eventfd.
+    pub fn eventfd() -> Result<i32, i32> {
+        // SAFETY: plain value arguments.
+        let ret = unsafe { syscall6(SYS_EVENTFD2, 0, EFD_FLAGS, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    /// Waits up to `timeout` for `fd` to become readable. Returns true
+    /// when readable, false on timeout.
+    pub fn ppoll_readable(fd: i32, timeout: std::time::Duration) -> Result<bool, i32> {
+        ppoll_readable_many(&[fd], timeout)
+    }
+
+    /// Creates a FIFO at `path`, mode 0600. Succeeds when one already
+    /// exists (doorbell fallback files are shared by both sides).
+    pub fn mkfifo(path: &std::path::Path) -> Result<(), i32> {
+        const AT_FDCWD: isize = -100;
+        const S_IFIFO_0600: usize = 0o010600;
+        const EEXIST: i32 = 17;
+        use std::os::unix::ffi::OsStrExt;
+        let mut bytes = path.as_os_str().as_bytes().to_vec();
+        bytes.push(0);
+        // SAFETY: bytes is a live NUL-terminated path buffer.
+        let ret = unsafe {
+            syscall6(
+                SYS_MKNODAT,
+                AT_FDCWD as usize,
+                bytes.as_ptr() as usize,
+                S_IFIFO_0600,
+                0,
+                0,
+                0,
+            )
+        };
+        match check(ret) {
+            Ok(_) | Err(EEXIST) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Waits up to `timeout` for any of `fds` to become readable.
+    pub fn ppoll_readable_many(fds: &[i32], timeout: std::time::Duration) -> Result<bool, i32> {
+        let mut pfds: Vec<PollFd> = fds
+            .iter()
+            .map(|&fd| PollFd {
+                fd,
+                events: POLLIN,
+                revents: 0,
+            })
+            .collect();
+        let ts = Timespec {
+            sec: timeout.as_secs() as i64,
+            nsec: timeout.subsec_nanos() as i64,
+        };
+        // SAFETY: pfds/ts outlive the call; null sigmask is allowed.
+        let ret = unsafe {
+            syscall6(
+                SYS_PPOLL,
+                pfds.as_mut_ptr() as usize,
+                pfds.len(),
+                &ts as *const Timespec as usize,
+                0,
+                8,
+                0,
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n > 0 && pfds.iter().any(|p| p.revents & POLLIN != 0)),
+            // EINTR: treat as a timeout; callers loop anyway.
+            Err(4) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::ENOSYS;
+
+    pub fn mmap_shared(_fd: i32, _len: usize) -> Result<*mut u8, i32> {
+        Err(ENOSYS)
+    }
+
+    /// # Safety
+    /// No-op stub; never maps anything.
+    pub unsafe fn munmap(_ptr: *mut u8, _len: usize) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn eventfd() -> Result<i32, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn ppoll_readable(_fd: i32, _timeout: std::time::Duration) -> Result<bool, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn ppoll_readable_many(_fds: &[i32], _timeout: std::time::Duration) -> Result<bool, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn mkfifo(_path: &std::path::Path) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+}
+
+pub use imp::{eventfd, mkfifo, mmap_shared, munmap, ppoll_readable, ppoll_readable_many};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_round_trip() {
+        if !supported() {
+            return;
+        }
+        let fd = eventfd().expect("eventfd");
+        assert!(fd >= 0);
+        // Not readable while unsignalled.
+        assert_eq!(
+            ppoll_readable(fd, std::time::Duration::from_millis(1)),
+            Ok(false)
+        );
+        use std::io::{Read, Write};
+        use std::os::fd::FromRawFd;
+        // SAFETY: fd is a fresh eventfd owned by this test.
+        let mut f = unsafe { std::fs::File::from_raw_fd(fd) };
+        f.write_all(&1u64.to_ne_bytes()).unwrap();
+        assert_eq!(
+            ppoll_readable(fd, std::time::Duration::from_millis(1)),
+            Ok(true)
+        );
+        let mut buf = [0u8; 8];
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(u64::from_ne_bytes(buf), 1);
+    }
+
+    #[test]
+    fn mkfifo_is_idempotent_and_pollable() {
+        if !supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!("xdaq-shm-fifo-{}", std::process::id()));
+        mkfifo(&path).expect("mkfifo");
+        mkfifo(&path).expect("mkfifo twice (EEXIST ok)");
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+        use std::os::unix::fs::OpenOptionsExt;
+        // O_RDWR open of a FIFO never blocks and keeps a reader alive.
+        let rx = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .custom_flags(0o4000) // O_NONBLOCK
+            .open(&path)
+            .unwrap();
+        let mut tx = std::fs::OpenOptions::new()
+            .write(true)
+            .custom_flags(0o4000)
+            .open(&path)
+            .unwrap();
+        assert_eq!(
+            ppoll_readable(rx.as_raw_fd(), std::time::Duration::from_millis(1)),
+            Ok(false)
+        );
+        tx.write_all(&[1]).unwrap();
+        assert_eq!(
+            ppoll_readable(rx.as_raw_fd(), std::time::Duration::from_millis(50)),
+            Ok(true)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mmap_anonymous_file() {
+        if !supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!("xdaq-shm-sys-{}", std::process::id()));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(4096).unwrap();
+        use std::os::fd::AsRawFd;
+        let ptr = mmap_shared(file.as_raw_fd(), 4096).expect("mmap");
+        // SAFETY: fresh exclusive mapping of 4096 bytes.
+        unsafe {
+            ptr.write(0xAB);
+            assert_eq!(ptr.read(), 0xAB);
+            munmap(ptr, 4096).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

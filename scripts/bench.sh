@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Benchmark driver: rebuilds the release harnesses and regenerates the
+# experiment outputs under results/. Run from the repo root.
+#
+#   scripts/bench.sh          # shm transport comparison only (fast)
+#   scripts/bench.sh --all    # also regenerate the paper harnesses
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release -p xdaq-bench
+
+echo "== shm vs loopback vs tcp throughput (64 B .. 256 KiB) =="
+# Asserts the PR acceptance floor internally: zero send-path copies for
+# every block-sized frame and >=5x TCP-localhost throughput at 4 KiB.
+cargo run -p xdaq-bench --release --bin shm_throughput -- \
+    --json results/BENCH_pr3.json
+
+if [[ "${1:-}" == "--all" ]]; then
+    echo "== paper harnesses =="
+    cargo run -p xdaq-bench --release --bin fig6
+    cargo run -p xdaq-bench --release --bin table1
+    cargo run -p xdaq-bench --release --bin ptmode
+fi
+
+echo "bench: done (see results/)"

@@ -16,6 +16,14 @@ cargo test --workspace -q
 echo "== chaos smoke (fixed seed, must be deterministic) =="
 cargo test --test faults fixed_seed_chaos_run_is_deterministic -- --exact
 
+echo "== shm multi-process smoke (echo + kill) =="
+# Spawns real child processes on the far side of the region; covers
+# zero-copy descriptor passing, chained frames, and SIGKILL detection.
+cargo test -q --test shm
+
+echo "== loom model of the shm SPSC ring =="
+RUSTFLAGS="--cfg loom" cargo test -q -p xdaq-shm --test loom --release
+
 echo "== failure injection under ThreadSanitizer (advisory) =="
 # Needs a nightly toolchain with -Z sanitizer support; results are
 # advisory — TSan findings are reported but do not fail the gate.

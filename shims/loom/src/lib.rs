@@ -1,0 +1,73 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! The build environment has no network access, so this shim provides
+//! the loom API surface the workspace uses (`loom::model`,
+//! `loom::sync::atomic`, `loom::thread`) backed by *real* std
+//! primitives. `model(f)` degrades from exhaustive interleaving
+//! exploration to a bounded stress loop: it runs the closure many
+//! times under genuine OS-thread scheduling noise. That is strictly
+//! weaker than loom's exhaustive search, but the test code is written
+//! against the true loom API — drop the real crate in and the same
+//! tests become exhaustive.
+
+/// Number of schedule samples per `model()` call. Loom explores every
+/// interleaving; we sample this many real executions instead.
+pub const MODEL_ITERATIONS: usize = 400;
+
+/// Runs `f` repeatedly under OS scheduling (stress-mode stand-in for
+/// loom's exhaustive interleaving exploration).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..MODEL_ITERATIONS {
+        f();
+    }
+}
+
+pub mod sync {
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicI32, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_closure_many_times() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        super::model(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), super::MODEL_ITERATIONS);
+    }
+
+    #[test]
+    fn threads_and_atomics_compose() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = v.clone();
+            let h = super::thread::spawn(move || v2.fetch_add(1, Ordering::SeqCst));
+            v.fetch_add(1, Ordering::SeqCst);
+            h.join().unwrap();
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+    }
+}

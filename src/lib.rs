@@ -44,6 +44,9 @@ pub use xdaq_core as core;
 /// Peer transports: loopback, TCP, GM, simulated PCI.
 pub use xdaq_pt as pt;
 
+/// Zero-copy shared-memory peer transport (`shm://` scheme).
+pub use xdaq_shm as shm;
+
 /// Control hosts and the xcl configuration language.
 pub use xdaq_host as host;
 

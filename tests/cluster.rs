@@ -516,11 +516,13 @@ fn host_scrapes_monitoring_from_two_executives() {
         // Pool accounting including the new high-water mark.
         assert!(snap["pool"]["allocs"].as_u64().unwrap() > 0);
         assert!(snap["pool"]["high_water_blocks"].as_u64().unwrap() > 0);
-        // The loopback PT reported traffic.
+        // The loopback PT reported traffic under the normalized
+        // per-scheme metric names.
         let pt = snap["pt"].as_object().unwrap();
-        let (_, pt_counters) = pt.iter().next().expect("one PT registered");
-        assert!(pt_counters["sent_frames"].as_u64().unwrap() >= 50, "{snap}");
-        assert!(pt_counters["recv_frames"].as_u64().unwrap() >= 50, "{snap}");
+        assert!(pt["pt.loop.sent"].as_u64().unwrap() >= 50, "{snap}");
+        assert!(pt["pt.loop.recv"].as_u64().unwrap() >= 50, "{snap}");
+        assert!(pt["pt.loop.sent_bytes"].as_u64().unwrap() > 0, "{snap}");
+        assert_eq!(pt["pt.loop.errors"].as_u64(), Some(0), "{snap}");
     }
     // Tracing was enabled on a: latency histogram and ring filled.
     assert!(

@@ -1,0 +1,254 @@
+//! Multi-process tests for the `shm://` peer transport.
+//!
+//! Each test re-executes this test binary (`std::env::current_exe`)
+//! with `--ignored --exact <child fn>` to get a genuinely separate
+//! process on the other side of the region: the echo test pushes ≥10k
+//! frames (a third of them chained across multiple blocks) through a
+//! child and back with zero loss; the kill test SIGKILLs the child
+//! mid-session and asserts the transport reports the peer so the link
+//! supervisor marks it Down.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use xdaq_core::pta::{PeerAddr, PeerTransport, PtMode, Pta};
+use xdaq_core::supervisor::{LinkState, LinkSupervisor, SupervisionConfig};
+use xdaq_mempool::FrameAllocator;
+use xdaq_shm::{ShmConfig, ShmPt};
+
+const COUNT: usize = 10_000;
+/// Every CHAIN_EVERY-th frame is oversize: 2.5 blocks → 3 descriptors.
+const CHAIN_EVERY: usize = 3;
+const SMALL_LEN: usize = 512;
+const CHAINED_LEN: usize = 10_000;
+
+fn cfg() -> ShmConfig {
+    ShmConfig {
+        block_size: 4096,
+        nblocks: 256,
+        ring_capacity: 512,
+    }
+}
+
+fn frame_len(seq: usize) -> usize {
+    if seq.is_multiple_of(CHAIN_EVERY) {
+        CHAINED_LEN
+    } else {
+        SMALL_LEN
+    }
+}
+
+/// Payload layout: `[marker u32][tid u32][seq u32]...fill`.
+fn fill_frame(buf: &mut [u8], seq: u32) {
+    buf[0..4].copy_from_slice(b"XECO");
+    buf[4..8].copy_from_slice(&0u32.to_le_bytes());
+    buf[8..12].copy_from_slice(&seq.to_le_bytes());
+    for (i, b) in buf[12..].iter_mut().enumerate() {
+        *b = (seq as usize + i) as u8;
+    }
+}
+
+fn spawn_child(test_fn: &str, region: &std::path::Path) -> Child {
+    Command::new(std::env::current_exe().unwrap())
+        .args([
+            "--ignored",
+            "--exact",
+            test_fn,
+            "--nocapture",
+            "--test-threads",
+            "1",
+        ])
+        .env("XDAQ_SHM_REGION", region)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child test process")
+}
+
+fn region_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xdaq-shm-it-{name}-{}", std::process::id()))
+}
+
+fn wait_for_peer(pt: &ShmPt, peer: &PeerAddr) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !pt.link_for(peer).unwrap().peer_attached() {
+        assert!(Instant::now() < deadline, "child never attached");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn ten_thousand_chained_frames_echo_with_zero_loss() {
+    if !xdaq_shm::sys::supported() {
+        return;
+    }
+    let path = region_path("echo");
+    let pt = ShmPt::new(PtMode::Polling);
+    let link = pt.create_link(&path, cfg()).unwrap();
+    let peer = link.peer_addr().clone();
+    let mut child = spawn_child("child_echo_main", &path);
+    wait_for_peer(&pt, &peer);
+
+    let pool = link.pool().clone();
+    let mut seen = vec![false; COUNT];
+    let mut received = 0usize;
+    let mut next = 0usize;
+    let mut inflight = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while received < COUNT {
+        assert!(
+            Instant::now() < deadline,
+            "echo stalled: sent {next}, received {received}"
+        );
+        // Keep a bounded window in flight so rings/pool never deadlock.
+        while next < COUNT && inflight < 64 {
+            let len = frame_len(next);
+            // Pool frames exercise the zero-copy path; oversize ones
+            // are heap frames that chain across blocks on send.
+            let mut frame = if len > 4096 {
+                xdaq_mempool::FrameBuf::detached(len)
+            } else {
+                match pool.alloc(len) {
+                    Ok(f) => f,
+                    Err(_) => break, // pool busy: drain echoes first
+                }
+            };
+            fill_frame(&mut frame, next as u32);
+            match pt.send(&peer, frame) {
+                Ok(()) => {
+                    next += 1;
+                    inflight += 1;
+                }
+                Err(failure) => {
+                    // Ring full: the frame came back; drop our copy
+                    // (block recycles) and retry after draining.
+                    assert!(
+                        failure.frame.is_some(),
+                        "frame not returned: {}",
+                        failure.error
+                    );
+                    break;
+                }
+            }
+        }
+        while let Some((echo, _src)) = pt.poll() {
+            assert_eq!(&echo[0..4], b"XECO");
+            let seq = u32::from_le_bytes(echo[8..12].try_into().unwrap()) as usize;
+            assert!(seq < COUNT, "bogus seq {seq}");
+            assert!(!seen[seq], "duplicate echo for {seq}");
+            assert_eq!(echo.len(), frame_len(seq), "length mangled for {seq}");
+            let probe = 12 + (seq % (echo.len() - 12));
+            assert_eq!(echo[probe], (seq + probe - 12) as u8, "payload mangled");
+            seen[seq] = true;
+            received += 1;
+            inflight -= 1;
+        }
+        std::thread::yield_now();
+    }
+    assert!(seen.iter().all(|&s| s), "every frame echoed exactly once");
+
+    // Tell the child to exit, then reap it.
+    loop {
+        let mut stop = pool.alloc(12).unwrap();
+        stop[0..4].copy_from_slice(b"XSTP");
+        match pt.send(&peer, stop) {
+            Ok(()) => break,
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success(), "child exited with {status}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Child side of the echo test: attach, echo every frame until the
+/// stop marker. Runs only when the parent passes the region via env.
+#[test]
+#[ignore]
+fn child_echo_main() {
+    let Ok(path) = std::env::var("XDAQ_SHM_REGION") else {
+        return;
+    };
+    let pt = ShmPt::new(PtMode::Polling);
+    let link = pt.attach_link(std::path::Path::new(&path)).unwrap();
+    let peer = link.peer_addr().clone();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut pending: Vec<xdaq_mempool::FrameBuf> = Vec::new();
+    loop {
+        assert!(Instant::now() < deadline, "child echo timed out");
+        while let Some((frame, _src)) = pt.poll() {
+            if &frame[0..4] == b"XSTP" {
+                return;
+            }
+            pending.push(frame);
+        }
+        // Echo zero-copy: region frames go back as descriptors.
+        while let Some(frame) = pending.pop() {
+            if let Err(failure) = pt.send(&peer, frame) {
+                match failure.frame {
+                    Some(f) => {
+                        pending.push(f);
+                        break; // ring full: let the parent drain
+                    }
+                    None => panic!("echo send lost a frame: {}", failure.error),
+                }
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn killed_child_is_reported_to_the_supervisor() {
+    if !xdaq_shm::sys::supported() {
+        return;
+    }
+    let path = region_path("kill");
+    let shm = ShmPt::new(PtMode::Polling);
+    let link = shm.create_link(&path, cfg()).unwrap();
+    let peer = link.peer_addr().clone();
+
+    // The same wiring the executive's heartbeat tick uses:
+    // take_down_peers → LinkSupervisor::force_down.
+    let pta = Pta::new();
+    pta.register(xdaq_i2o::Tid::new(0x100).unwrap(), shm.clone());
+    let sup = LinkSupervisor::new(SupervisionConfig::default());
+    sup.supervise(peer.clone());
+
+    let mut child = spawn_child("child_sleep_main", &path);
+    wait_for_peer(&shm, &peer);
+    assert!(pta.take_down_peers().is_empty(), "peer alive: nothing down");
+
+    child.kill().unwrap(); // SIGKILL: no detach runs on the other side
+    child.wait().unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let reported = loop {
+        let down = pta.take_down_peers();
+        if !down.is_empty() {
+            break down;
+        }
+        assert!(Instant::now() < deadline, "peer death never reported");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(reported, vec![peer.clone()]);
+    assert_eq!(sup.force_down(&peer), Some((peer.clone(), LinkState::Down)));
+    assert_eq!(sup.state(&peer), Some(LinkState::Down));
+    // Reported exactly once; sends now fail fast.
+    assert!(pta.take_down_peers().is_empty());
+    let frame = link.pool().alloc(64).unwrap();
+    assert!(pta.send(&peer, frame).is_err());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Child side of the kill test: attach and sleep until killed.
+#[test]
+#[ignore]
+fn child_sleep_main() {
+    let Ok(path) = std::env::var("XDAQ_SHM_REGION") else {
+        return;
+    };
+    let pt = ShmPt::new(PtMode::Polling);
+    let _link = pt.attach_link(std::path::Path::new(&path)).unwrap();
+    std::thread::sleep(Duration::from_secs(60));
+}
