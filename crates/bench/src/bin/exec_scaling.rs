@@ -1,0 +1,161 @@
+//! EXEC SCALING — aggregate dispatch throughput of the multi-worker
+//! executive at 1, 2 and 4 dispatch workers.
+//!
+//! Sixteen sink devices each burn ~1–2 µs of synthetic listener work
+//! per frame (the regime the paper's event-builder nodes live in:
+//! dispatch overhead comparable to per-frame processing). The queues
+//! are preloaded with the full flood before the loop starts, so the
+//! measurement is pure drain time — scheduler + claim + steal
+//! machinery, no producer throttling. Best of three runs per worker
+//! count.
+//!
+//! The >=2x acceptance floor at 4 workers is asserted only when the
+//! host actually has >=4 CPUs; on smaller boxes the numbers are still
+//! recorded (honestly labelled) but extra dispatch threads cannot beat
+//! time-slicing and the assertion would measure the box, not the code.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p xdaq-bench --release --bin exec_scaling
+//!     [--frames 60000] [--json results/BENCH_pr4.json]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdaq_bench::Args;
+use xdaq_core::{Delivery, Dispatcher, Executive, I2oListener};
+use xdaq_i2o::{DeviceClass, Message, Tid};
+
+const ORG_BENCH: u16 = 0x0B;
+const XFN_WORK: u16 = 0x0077;
+const DEVICES: usize = 16;
+/// Spin iterations per frame; ~1–2 µs of listener work on current
+/// hardware without touching the clock in the hot path.
+const WORK_SPINS: u64 = 1500;
+
+struct SpinSink {
+    done: Arc<AtomicU64>,
+}
+
+impl I2oListener for SpinSink {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_BENCH)
+    }
+    fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, _msg: Delivery) {
+        let mut acc = 0u64;
+        for i in 0..WORK_SPINS {
+            acc = std::hint::black_box(acc.wrapping_add(i));
+        }
+        std::hint::black_box(acc);
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Preloads `frames` across [`DEVICES`] sinks, then times the drain
+/// under `workers` dispatch workers. Returns wall-clock drain time.
+fn drain_run(workers: usize, frames: u64) -> Duration {
+    let exec = Executive::builder(&format!("bench-w{workers}"))
+        .workers(workers)
+        .build();
+    let done = Arc::new(AtomicU64::new(0));
+    let tids: Vec<Tid> = (0..DEVICES)
+        .map(|i| {
+            exec.register(
+                &format!("sink{i}"),
+                Box::new(SpinSink { done: done.clone() }),
+                &[],
+            )
+            .unwrap()
+        })
+        .collect();
+    exec.enable_all();
+
+    for seq in 0..frames {
+        let tid = tids[(seq % DEVICES as u64) as usize];
+        exec.post(
+            Message::build_private(tid, Tid::HOST, ORG_BENCH, XFN_WORK)
+                .transaction(seq as u32)
+                .finish(),
+        )
+        .unwrap();
+    }
+
+    let t0 = Instant::now();
+    let handle = exec.spawn();
+    while done.load(Ordering::Relaxed) < frames {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    handle.shutdown();
+    assert_eq!(done.load(Ordering::Relaxed), frames, "no frame lost");
+    elapsed
+}
+
+fn main() {
+    let args = Args::parse();
+    let frames: u64 = args.get("frames", 60_000);
+    let json_path = args.get_str("json", "results/BENCH_pr4.json");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "workers", "drain ms", "kframes/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut thr_1 = 0.0f64;
+    let mut speedup_4 = 0.0f64;
+    for &workers in &[1usize, 2, 4] {
+        let best = (0..3).map(|_| drain_run(workers, frames)).min().unwrap();
+        let thr = frames as f64 / best.as_secs_f64();
+        if workers == 1 {
+            thr_1 = thr;
+        }
+        let speedup = thr / thr_1;
+        if workers == 4 {
+            speedup_4 = speedup;
+        }
+        println!(
+            "{workers:>8} {:>12.1} {:>12.0} {:>9.2}x",
+            best.as_secs_f64() * 1e3,
+            thr / 1e3,
+            speedup
+        );
+        rows.push(serde_json::json!({
+            "workers": workers,
+            "drain_ms": best.as_secs_f64() * 1e3,
+            "frames_per_sec": thr,
+            "speedup_vs_1": speedup,
+        }));
+    }
+
+    let enforced = cores >= 4;
+    if enforced {
+        assert!(
+            speedup_4 >= 2.0,
+            "acceptance: 4 workers must deliver >=2x aggregate dispatch \
+             throughput (got {speedup_4:.2}x on {cores} cores)"
+        );
+    } else {
+        println!(
+            "note: only {cores} CPU(s) — the >=2x floor needs >=4 cores, \
+             recording numbers without enforcing it"
+        );
+    }
+
+    let doc = serde_json::json!({
+        "bench": "exec_scaling",
+        "frames": frames,
+        "devices": DEVICES,
+        "work_spins_per_frame": WORK_SPINS,
+        "host_cpus": cores,
+        "acceptance_enforced": enforced,
+        "rows": rows,
+        "speedup_4_vs_1": speedup_4,
+    });
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, format!("{doc:#}")).unwrap();
+    println!("wrote {json_path}");
+}

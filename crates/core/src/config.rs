@@ -50,6 +50,16 @@ pub struct ExecutiveConfig {
     pub queue_capacity: Option<usize>,
     /// Reaction when the bounded queue is full.
     pub overload: OverloadPolicy,
+    /// Dispatch workers. `1` (the default) is the paper's single
+    /// scheduler thread, bit-for-bit. `n > 1` shards registered TiDs
+    /// across `n` seven-priority queues; each shard is pumped by its
+    /// own worker thread and idle workers steal whole device FIFOs.
+    /// Timers, heartbeats and polling-mode PTs stay on worker 0.
+    ///
+    /// When left at `1`, the `XDAQ_WORKERS` environment variable (if
+    /// set to a positive integer) overrides it — the CI multi-worker
+    /// sweep uses this to re-run unmodified tests at `workers=4`.
+    pub workers: usize,
 }
 
 impl Default for ExecutiveConfig {
@@ -66,6 +76,7 @@ impl Default for ExecutiveConfig {
             retry: RetryPolicy::default(),
             queue_capacity: None,
             overload: OverloadPolicy::DropNewest,
+            workers: 1,
         }
     }
 }

@@ -12,11 +12,11 @@ use crate::config::{encode_kv, kv, parse_kv, AllocatorKind, ExecutiveConfig};
 use crate::dispatch::{DispatchProbes, ProbedAllocator};
 use crate::error::{ExecError, PtError};
 use crate::listener::{Delivery, Dispatcher, I2oListener, TimerId, UtilOutcome};
-use crate::pta::{PeerAddr, PeerTransport, Pta};
-use crate::queue::{PushOutcome, SchedQueue};
+use crate::pta::{PeerAddr, PeerTransport, Pta, RetryPolicy};
+use crate::queue::{ClaimTable, OverloadPolicy, PushOutcome, SchedQueue};
 use crate::registry::{DeviceMeta, DeviceUnit, LctEntry, Registry};
 use crate::route::{Route, RouteTable};
-use crate::supervisor::{LinkState, LinkSupervisor};
+use crate::supervisor::{LinkState, LinkSupervisor, SupervisionConfig};
 use crate::timer::TimerWheel;
 use crate::xfn;
 use parking_lot::Mutex;
@@ -46,6 +46,12 @@ pub struct ExecMonitors {
     /// Frame lifecycle tracer (starts disabled).
     pub(crate) tracer: FrameTracer,
     dispatch_latency: Histogram,
+    /// FIFO-steal counter — created only when `workers > 1`, so the
+    /// single-worker scrape surface is unchanged.
+    steals: Option<Counter>,
+    /// Per-worker dispatch-latency histograms
+    /// (`exec.w{w}.dispatch_latency_ns`); empty when `workers == 1`.
+    worker_latency: Vec<Histogram>,
     dispatched: Counter,
     sent_local: Counter,
     sent_peer: Counter,
@@ -66,13 +72,34 @@ pub struct ExecMonitors {
 }
 
 impl ExecMonitors {
-    fn new(trace_capacity: usize) -> (ExecMonitors, [Gauge; NUM_PRIORITIES]) {
+    fn new(trace_capacity: usize, workers: usize) -> (ExecMonitors, Vec<[Gauge; NUM_PRIORITIES]>) {
         let registry = xdaq_mon::Registry::new();
-        let depth_gauges: [Gauge; NUM_PRIORITIES] =
-            std::array::from_fn(|i| registry.gauge(&format!("queue.depth.p{i}")));
+        // Shard 0 keeps the historical `queue.depth.p{i}` names so a
+        // single-worker scrape is byte-identical to pre-shard builds
+        // (and multi-worker scrapes still satisfy every old assertion);
+        // further shards get `queue.w{w}.depth.p{i}`.
+        let mut depth_gauges: Vec<[Gauge; NUM_PRIORITIES]> = Vec::with_capacity(workers);
+        depth_gauges.push(std::array::from_fn(|i| {
+            registry.gauge(&format!("queue.depth.p{i}"))
+        }));
+        for w in 1..workers {
+            depth_gauges.push(std::array::from_fn(|i| {
+                registry.gauge(&format!("queue.w{w}.depth.p{i}"))
+            }));
+        }
+        let steals = (workers > 1).then(|| registry.counter("exec.steals"));
+        let worker_latency = if workers > 1 {
+            (0..workers)
+                .map(|w| registry.histogram(&format!("exec.w{w}.dispatch_latency_ns")))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mon = ExecMonitors {
             tracer: FrameTracer::new(trace_capacity),
             dispatch_latency: registry.histogram("exec.dispatch_latency_ns"),
+            steals,
+            worker_latency,
             dispatched: registry.counter("exec.dispatched"),
             sent_local: registry.counter("exec.sent_local"),
             sent_peer: registry.counter("exec.sent_peer"),
@@ -111,6 +138,11 @@ impl ExecMonitors {
     pub fn dispatch_latency(&self) -> &Histogram {
         &self.dispatch_latency
     }
+
+    /// FIFO-steal counter; `None` on a single-worker executive.
+    pub fn steals(&self) -> Option<&Counter> {
+        self.steals.as_ref()
+    }
 }
 
 /// Snapshot of executive counters.
@@ -146,7 +178,14 @@ pub struct ExecStats {
 pub struct ExecCore {
     node: String,
     alloc: Arc<dyn FrameAllocator>,
-    queue: SchedQueue,
+    /// One seven-priority queue per dispatch worker; a TiD always maps
+    /// to the same shard (`shard_of`), so per-device FIFO order is a
+    /// property of the shard alone. Single-worker: exactly one shard.
+    shards: Vec<SchedQueue>,
+    /// Per-TiD dispatch claims coordinating shard owners and stealers.
+    claims: ClaimTable,
+    /// Dispatch worker count (resolved, ≥ 1).
+    workers: usize,
     routes: RouteTable,
     pta: Pta,
     timers: TimerWheel,
@@ -210,6 +249,31 @@ impl ExecCore {
         self.registry.lookup_name(name)
     }
 
+    /// Dispatch worker count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shard a TiD's frames are enqueued on. Fibonacci-hash of the
+    /// raw TiD so consecutive TiDs (the allocator hands them out
+    /// sequentially) spread across shards instead of clustering.
+    pub fn shard_of(&self, tid: Tid) -> usize {
+        if self.workers <= 1 {
+            return 0;
+        }
+        (((tid.raw() as u32).wrapping_mul(0x9E37_79B9) >> 16) as usize) % self.shards.len()
+    }
+
+    /// Total pending messages across all shards.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(|q| q.len()).sum()
+    }
+
+    /// Purges a TiD's pending frames from its home shard.
+    pub(crate) fn purge_tid(&self, tid: Tid) -> usize {
+        self.shards[self.shard_of(tid)].purge(tid)
+    }
+
     /// Enqueues locally, stamping the frame for latency measurement
     /// when tracing is on (one branch on the disabled path). A
     /// delivery refused by the overload policy is counted and
@@ -223,13 +287,18 @@ impl ExecCore {
                 d.priority().level() as u32,
             );
         }
-        match self.queue.push(d) {
+        let shard = self.shard_of(d.header.target);
+        match self.shards[shard].push(d) {
             PushOutcome::Accepted => {}
             PushOutcome::Rejected(victim) | PushOutcome::Displaced(victim) => {
                 self.mon.overload_drops.inc();
                 self.mon
                     .tracer
                     .record(TraceEvent::Drop, victim.header.target.raw() as u32, 2);
+                // The victim's FrameBuf must go back to its pool, not
+                // leak: recycle it explicitly (this is the eviction
+                // path's counterpart of dispatch's Recycle point).
+                drop(victim.into_buf());
             }
         }
     }
@@ -395,11 +464,11 @@ impl ExecCore {
     /// state. This is the `UtilMonSnapshot` reply body.
     pub fn mon_snapshot(&self) -> serde_json::Value {
         let ps = self.alloc.stats();
-        json!({
+        let mut doc = json!({
             "node": self.node.as_str(),
             "uptime_ns": self.started_at.elapsed().as_nanos() as u64,
             "devices": self.registry.len() as u64,
-            "queued": self.queue.len() as u64,
+            "queued": self.queued() as u64,
             "metrics": self.mon.registry.snapshot(),
             "pool": {
                 "scheme": self.alloc.scheme(),
@@ -427,7 +496,15 @@ impl ExecCore {
                 "enabled": self.mon.tracer.is_enabled(),
                 "recorded": self.mon.tracer.recorded(),
             },
-        })
+        });
+        // Only surfaced on multi-worker nodes so single-worker
+        // snapshots stay byte-identical to historical output.
+        if self.workers > 1 {
+            if let serde_json::Value::Object(m) = &mut doc {
+                m.insert("workers".to_string(), json!(self.workers as u64));
+            }
+        }
+        doc
     }
 
     /// Zeroes the whole monitoring state: registry (counters, gauges,
@@ -470,13 +547,36 @@ impl Executive {
             state: DeviceState::Enabled,
             params: HashMap::new(),
         };
-        let (mon, depth_gauges) = ExecMonitors::new(config.trace_capacity);
+        // `workers(1)` left at its default can be overridden from the
+        // environment; an explicit `workers(n > 1)` always wins. This
+        // lets CI re-run unmodified tests under a multi-worker
+        // executive (`XDAQ_WORKERS=4 cargo test`).
+        let workers = if config.workers == 1 {
+            std::env::var("XDAQ_WORKERS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1)
+        } else {
+            config.workers.max(1)
+        };
+        let (mon, depth_gauges) = ExecMonitors::new(config.trace_capacity, workers);
+        // `queue_capacity` bounds each shard independently: the policy
+        // protects a worker's dispatch lag, which is per-shard state.
+        let shards: Vec<SchedQueue> = depth_gauges
+            .into_iter()
+            .map(|g| {
+                SchedQueue::with_gauges(g)
+                    .with_limits(config.queue_capacity, config.overload.clone())
+            })
+            .collect();
         let supervisor = config.supervision.clone().map(LinkSupervisor::new);
         let core = Arc::new(ExecCore {
             node: config.node,
             alloc,
-            queue: SchedQueue::with_gauges(depth_gauges)
-                .with_limits(config.queue_capacity, config.overload.clone()),
+            shards,
+            claims: ClaimTable::new(),
+            workers,
             routes: RouteTable::new(),
             pta: Pta::new(),
             timers: TimerWheel::new(),
@@ -505,6 +605,11 @@ impl Executive {
             core.timers.register(Tid::PTA, sup.interval(), true);
         }
         Executive { core }
+    }
+
+    /// Fluent construction: `Executive::builder("node").workers(4).build()`.
+    pub fn builder(node: &str) -> ExecutiveBuilder {
+        ExecutiveBuilder::new(node)
     }
 
     /// Shared internals (dispatch context, tests, benches).
@@ -753,7 +858,7 @@ impl Executive {
     pub fn destroy(&self, tid: Tid) -> Result<(), ExecError> {
         let unit = self.core.registry.remove(tid);
         self.core.routes.remove(tid);
-        self.core.queue.purge(tid);
+        self.core.purge_tid(tid);
         self.core.timers.cancel_owned(tid);
         self.core.pta.unregister(tid);
         match unit {
@@ -790,15 +895,15 @@ impl Executive {
         self.core.registry.lct()
     }
 
-    /// Pending message count.
+    /// Pending message count (summed across all shards).
     pub fn queue_len(&self) -> usize {
-        self.core.queue.len()
+        self.core.queued()
     }
 
-    /// One scheduler iteration: fire timers, poll polling-mode PTs,
-    /// dispatch up to `dispatch_batch` messages. Returns the number of
-    /// work items performed (0 ⇒ idle).
-    pub fn run_once(&self) -> usize {
+    /// Services the control plane owned by worker 0: timer wheel
+    /// (including the `LinkSupervisor` heartbeat tick) and polling-mode
+    /// PTs. Returns the number of work items performed.
+    fn service_control(&self) -> usize {
         let core = &self.core;
         let mut work = 0usize;
 
@@ -828,26 +933,123 @@ impl Executive {
         if polled > 0 {
             core.mon.polled_frames.add(polled as u64);
         }
-        work += polled;
+        work + polled
+    }
 
-        // Dispatch a batch.
-        for _ in 0..core.dispatch_batch {
-            match core.queue.pop() {
-                Some(d) => {
-                    self.dispatch(d);
-                    work += 1;
+    /// Dispatches up to `dispatch_batch` messages from shard `w`,
+    /// attributing latency to `worker`. Single-worker executives take
+    /// the historical claim-free pop; multi-worker executives claim
+    /// each target TiD under the shard lock so a concurrent stealer
+    /// can never interleave frames of the same device.
+    fn pump_shard(&self, w: usize, worker: usize) -> usize {
+        let core = &self.core;
+        let shard = &core.shards[w];
+        let mut n = 0usize;
+        if core.workers <= 1 {
+            for _ in 0..core.dispatch_batch {
+                match shard.pop() {
+                    Some(d) => {
+                        self.dispatch_on(d, worker);
+                        n += 1;
+                    }
+                    None => break,
                 }
-                None => break,
             }
+        } else {
+            for _ in 0..core.dispatch_batch {
+                match shard.pop_claimed(&core.claims) {
+                    Some(d) => {
+                        let tid = d.header.target;
+                        self.dispatch_on(d, worker);
+                        core.claims.release(tid);
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        n
+    }
+
+    /// Work stealing for an idle worker: take one whole device FIFO
+    /// (never individual frames — ordering) from the highest-priority
+    /// non-empty level of another shard and dispatch it to completion.
+    /// Returns the number of frames dispatched.
+    fn steal_into(&self, thief: usize) -> usize {
+        let core = &self.core;
+        let n_shards = core.shards.len();
+        for off in 1..n_shards {
+            let victim = (thief + off) % n_shards;
+            if let Some((tid, fifo)) = core.shards[victim].steal_fifo(&core.claims) {
+                if let Some(c) = &core.mon.steals {
+                    c.inc();
+                }
+                let n = fifo.len();
+                for d in fifo {
+                    self.dispatch_on(d, thief);
+                }
+                core.claims.release(tid);
+                return n;
+            }
+        }
+        0
+    }
+
+    /// One scheduler iteration: fire timers, poll polling-mode PTs,
+    /// dispatch up to `dispatch_batch` messages per shard. Returns the
+    /// number of work items performed (0 ⇒ idle). Manual pumping
+    /// drains every shard regardless of the worker count, so
+    /// single-threaded tests behave identically at any `workers(n)`.
+    pub fn run_once(&self) -> usize {
+        let mut work = self.service_control();
+        for w in 0..self.core.shards.len() {
+            work += self.pump_shard(w, 0);
         }
         work
     }
 
     /// Runs the dispatch loop until [`Executive::stop`] is called.
+    ///
+    /// With `workers(n > 1)` this spawns `n - 1` auxiliary dispatch
+    /// threads, each pumping its own shard and stealing device FIFOs
+    /// when idle, while the calling thread acts as worker 0 (control
+    /// plane + shard 0). All auxiliary workers are joined before the
+    /// PTs are stopped.
     pub fn run(&self) {
+        if self.core.workers <= 1 {
+            let mut idle = 0u32;
+            while self.core.running.load(Ordering::Acquire) {
+                if self.run_once() > 0 {
+                    idle = 0;
+                } else {
+                    idle += 1;
+                    if idle < self.core.idle_spins {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            self.core.pta.stop_all();
+            return;
+        }
+        let aux: Vec<_> = (1..self.core.workers)
+            .map(|w| {
+                let me = self.clone();
+                std::thread::Builder::new()
+                    .name(format!("xdaq-{}-w{w}", self.node()))
+                    .spawn(move || me.run_worker(w))
+                    .expect("spawn dispatch worker")
+            })
+            .collect();
         let mut idle = 0u32;
         while self.core.running.load(Ordering::Acquire) {
-            if self.run_once() > 0 {
+            let mut work = self.service_control();
+            work += self.pump_shard(0, 0);
+            if work == 0 {
+                work = self.steal_into(0);
+            }
+            if work > 0 {
                 idle = 0;
             } else {
                 idle += 1;
@@ -858,7 +1060,32 @@ impl Executive {
                 }
             }
         }
+        for t in aux {
+            let _ = t.join();
+        }
         self.core.pta.stop_all();
+    }
+
+    /// Auxiliary dispatch worker `w ≥ 1`: pump own shard, steal when
+    /// idle. Timers, heartbeats and PT polling stay on worker 0.
+    fn run_worker(&self, w: usize) {
+        let mut idle = 0u32;
+        while self.core.running.load(Ordering::Acquire) {
+            let mut work = self.pump_shard(w, w);
+            if work == 0 {
+                work = self.steal_into(w);
+            }
+            if work > 0 {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle < self.core.idle_spins {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 
     /// Requests loop termination.
@@ -890,16 +1117,18 @@ impl Executive {
     // Dispatch internals
     // ------------------------------------------------------------------
 
-    fn dispatch(&self, d: Delivery) {
+    fn dispatch_on(&self, d: Delivery, worker: usize) {
         let core = &self.core;
         core.mon.dispatched.inc();
         let target = d.header.target;
         // Queue→dispatch latency; the stamp exists only while tracing
         // is on, so the disabled path pays one `Option` check.
         if let Some(t0) = d.enqueued_at {
-            core.mon
-                .dispatch_latency
-                .record(t0.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed().as_nanos() as u64;
+            core.mon.dispatch_latency.record(ns);
+            if let Some(h) = core.mon.worker_latency.get(worker) {
+                h.record(ns);
+            }
             core.mon.tracer.record(
                 TraceEvent::Dispatch,
                 target.raw() as u32,
@@ -1084,7 +1313,7 @@ impl Executive {
                 let _ = ctx.reply(d, ReplyStatus::Success, &[]);
             }
             UtilFn::Abort => {
-                let purged = core.queue.purge(ctx.meta.tid);
+                let purged = core.purge_tid(ctx.meta.tid);
                 let body = format!("purged={purged}");
                 let _ = ctx.reply(d, ReplyStatus::Aborted, body.as_bytes());
             }
@@ -1214,7 +1443,7 @@ impl Executive {
                 let body = kv(&[
                     ("node", core.node_name()),
                     ("devices", &core.registry.len().to_string()),
-                    ("queued", &core.queue.len().to_string()),
+                    ("queued", &core.queued().to_string()),
                     ("dispatched", &s.dispatched.to_string()),
                     ("sent_local", &s.sent_local.to_string()),
                     ("sent_peer", &s.sent_peer.to_string()),
@@ -1248,7 +1477,7 @@ impl Executive {
             ExecFn::IopClear => {
                 let mut purged = 0;
                 for tid in core.registry.tids() {
-                    purged += core.queue.purge(tid);
+                    purged += core.purge_tid(tid);
                 }
                 let body = format!("purged={purged}\n");
                 self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
@@ -1257,7 +1486,7 @@ impl Executive {
                 core.registry
                     .for_each_meta(|m| m.state = DeviceState::Initialized);
                 for tid in core.registry.tids() {
-                    core.queue.purge(tid);
+                    core.purge_tid(tid);
                     core.timers.cancel_owned(tid);
                 }
                 self.exec_reply(d, ReplyStatus::Success, &[]);
@@ -1465,7 +1694,7 @@ impl Executive {
         let ev = core.routes.evict_peer(peer);
         core.proxy_index.lock().retain(|(p, _), _| p != peer);
         for tid in &ev.evicted {
-            core.queue.purge(*tid);
+            core.purge_tid(*tid);
             core.registry.remove(*tid);
             let _ = core.tids.lock().free(*tid);
         }
@@ -1497,6 +1726,88 @@ impl Executive {
             .payload(body)
             .finish();
         let _ = self.post(msg);
+    }
+}
+
+/// Fluent [`Executive`] constructor over [`ExecutiveConfig`].
+///
+/// ```
+/// use xdaq_core::Executive;
+/// let exec = Executive::builder("ru0").workers(4).build();
+/// assert_eq!(exec.core().workers(), 4);
+/// ```
+pub struct ExecutiveBuilder {
+    config: ExecutiveConfig,
+}
+
+impl ExecutiveBuilder {
+    /// Starts from the defaults of [`ExecutiveConfig::named`].
+    pub fn new(node: &str) -> ExecutiveBuilder {
+        ExecutiveBuilder {
+            config: ExecutiveConfig::named(node),
+        }
+    }
+
+    /// Starts from an existing configuration.
+    pub fn from_config(config: ExecutiveConfig) -> ExecutiveBuilder {
+        ExecutiveBuilder { config }
+    }
+
+    /// Dispatch worker count. `1` (default) is the paper's single
+    /// scheduler thread; `n > 1` shards TiDs across `n` workers with
+    /// whole-FIFO work stealing. Clamped to at least 1.
+    pub fn workers(mut self, n: usize) -> ExecutiveBuilder {
+        self.config.workers = n.max(1);
+        self
+    }
+
+    /// Buffer-pool scheme.
+    pub fn allocator(mut self, kind: AllocatorKind) -> ExecutiveBuilder {
+        self.config.allocator = kind;
+        self
+    }
+
+    /// Per-handler CPU budget (watchdog).
+    pub fn watchdog(mut self, budget: Duration) -> ExecutiveBuilder {
+        self.config.watchdog = Some(budget);
+        self
+    }
+
+    /// Enables heartbeat link supervision.
+    pub fn supervision(mut self, cfg: SupervisionConfig) -> ExecutiveBuilder {
+        self.config.supervision = Some(cfg);
+        self
+    }
+
+    /// Default PTA retry policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> ExecutiveBuilder {
+        self.config.retry = policy;
+        self
+    }
+
+    /// Bounds each scheduling shard at `cap` pending frames with the
+    /// given overload reaction.
+    pub fn queue_capacity(mut self, cap: usize, overload: OverloadPolicy) -> ExecutiveBuilder {
+        self.config.queue_capacity = Some(cap);
+        self.config.overload = overload;
+        self
+    }
+
+    /// Attaches whitebox dispatch probes with `n`-sample rings.
+    pub fn probes(mut self, n: usize) -> ExecutiveBuilder {
+        self.config.probe_capacity = Some(n);
+        self
+    }
+
+    /// Slots in the frame-lifecycle trace ring.
+    pub fn trace_capacity(mut self, n: usize) -> ExecutiveBuilder {
+        self.config.trace_capacity = n;
+        self
+    }
+
+    /// Builds the executive.
+    pub fn build(self) -> Executive {
+        Executive::new(self.config)
     }
 }
 

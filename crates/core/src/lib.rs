@@ -50,11 +50,11 @@ pub use chainio::ChainCollector;
 pub use config::{AllocatorKind, ExecutiveConfig};
 pub use dispatch::{DispatchProbes, ProbedAllocator};
 pub use error::{ExecError, PtError};
-pub use executive::{ExecMonitors, ExecStats, Executive, ExecutiveHandle};
+pub use executive::{ExecMonitors, ExecStats, Executive, ExecutiveBuilder, ExecutiveHandle};
 pub use listener::{Delivery, Dispatcher, I2oListener, TimerId};
 pub use monitor::MonitorAgent;
 pub use pta::{IngestSink, PeerAddr, PeerTransport, PtMode, Pta, RetryPolicy, SendFailure};
-pub use queue::{OverloadPolicy, PushOutcome, SchedQueue};
+pub use queue::{ClaimTable, OverloadPolicy, PushOutcome, SchedQueue};
 pub use registry::{DeviceMeta, Registry};
 pub use rmi::{ArgReader, ArgWriter, MarshalError, Skeleton, Stub};
 pub use route::{Eviction, Route, RouteTable};

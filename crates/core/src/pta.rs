@@ -208,12 +208,20 @@ impl RetryPolicy {
     }
 
     /// Nominal (pre-jitter) pause before retry number `retry` (1-based).
+    ///
+    /// Clamped end to end: the shift exponent is capped, and the
+    /// `Duration` multiply saturates to the configured ceiling instead
+    /// of panicking — `Duration * u32` aborts on overflow, which a
+    /// large `base_backoff` at attempt ≥ 32 would otherwise hit.
     fn nominal_backoff(&self, retry: u32) -> Duration {
         if self.base_backoff.is_zero() {
             return Duration::ZERO;
         }
         let factor = 1u32 << retry.saturating_sub(1).min(16);
-        (self.base_backoff * factor).min(self.max_backoff.max(self.base_backoff))
+        let ceiling = self.max_backoff.max(self.base_backoff);
+        self.base_backoff
+            .checked_mul(factor)
+            .map_or(ceiling, |d| d.min(ceiling))
     }
 }
 
@@ -592,7 +600,9 @@ impl Pta {
                 agg[1] += c.sent_bytes.load(Relaxed);
                 agg[2] += c.recv_frames.load(Relaxed);
                 agg[3] += c.recv_bytes.load(Relaxed);
-                agg[4] += c.send_errors.load(Relaxed);
+                // `pt.<scheme>.errors` covers both directions: failed
+                // sends and inbound frames discarded as corrupt.
+                agg[4] += c.send_errors.load(Relaxed) + c.recv_errors.load(Relaxed);
             }
         }
         let mut map = serde_json::Map::new();
@@ -908,6 +918,29 @@ mod tests {
         assert_eq!(v["pt.fake.recv"].as_u64(), Some(0));
         assert_eq!(v["pt.fake.errors"].as_u64(), Some(0));
         assert!(v.get("pt.fake.sent_frames").is_none(), "old names gone");
+    }
+
+    #[test]
+    fn backoff_saturates_at_high_attempt_counts() {
+        // Attempt ≥ 32 used to overflow `Duration * u32` (a panic)
+        // whenever base × 2^16 exceeded Duration::MAX; now the multiply
+        // saturates to the configured ceiling.
+        let huge = RetryPolicy::retrying(64, Duration::MAX / 2, Duration::MAX);
+        for retry in [32u32, 48, u32::MAX] {
+            assert_eq!(huge.nominal_backoff(retry), Duration::MAX);
+        }
+        // A sane policy still clamps at max_backoff, never above.
+        let policy =
+            RetryPolicy::retrying(64, Duration::from_millis(4), Duration::from_millis(250));
+        for retry in 1..=64 {
+            let d = policy.nominal_backoff(retry);
+            assert!(d <= Duration::from_millis(250), "attempt {retry}: {d:?}");
+        }
+        assert_eq!(policy.nominal_backoff(32), Duration::from_millis(250));
+        // Misconfigured max below base: base wins as the ceiling.
+        let inverted =
+            RetryPolicy::retrying(40, Duration::from_millis(16), Duration::from_millis(1));
+        assert_eq!(inverted.nominal_backoff(40), Duration::from_millis(16));
     }
 
     #[test]

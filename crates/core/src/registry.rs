@@ -4,14 +4,21 @@
 //! class instances, but the executive performs the dispatching."*
 //! The registry owns every listener; during a dispatch the unit is
 //! *checked out* (moved off the table), the upcall runs without any
-//! registry lock held, and the unit is checked back in — the single
-//! dispatch thread makes this race-free while keeping handlers free to
-//! call back into the executive.
+//! registry lock held, and the unit is checked back in. Under the
+//! multi-worker executive the per-TiD dispatch claims guarantee at
+//! most one worker ever checks out a given device; the checkout
+//! protocol itself stays race-free because a slot is `None` while its
+//! unit is out. The slot table is striped by TiD so concurrent
+//! workers' checkout/checkin traffic rarely shares a lock.
 
 use crate::listener::I2oListener;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use xdaq_i2o::{DeviceClass, DeviceState, Tid};
+
+/// Slot-table stripes. Eight is comfortably above any sane worker
+/// count; striping is by `tid % STRIPES`.
+const STRIPES: usize = 8;
 
 /// Metadata of a registered device instance.
 #[derive(Debug, Clone)]
@@ -37,19 +44,29 @@ pub struct DeviceUnit {
     pub meta: DeviceMeta,
 }
 
+/// One stripe of the slot table: TiD → checked-in unit (`None` while
+/// checked out).
 #[derive(Default)]
-struct Inner {
-    /// TiD → checked-in unit (`None` while checked out).
+struct Stripe {
     slots: HashMap<Tid, Option<DeviceUnit>>,
-    /// Instance name → TiD.
-    names: HashMap<String, Tid>,
 }
 
-/// The registry. All methods are cheap map operations under one mutex;
-/// no registry lock is ever held across an upcall.
-#[derive(Default)]
+/// The registry. All methods are cheap map operations under a stripe
+/// mutex (or the name mutex); no registry lock is ever held across an
+/// upcall, and no method holds two locks at once.
 pub struct Registry {
-    inner: Mutex<Inner>,
+    stripes: [Mutex<Stripe>; STRIPES],
+    /// Instance name → TiD.
+    names: Mutex<HashMap<String, Tid>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            stripes: std::array::from_fn(|_| Mutex::new(Stripe::default())),
+            names: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 /// Row of the Logical Configuration Table (`ExecLctNotify` payload).
@@ -71,68 +88,75 @@ impl Registry {
         Registry::default()
     }
 
+    fn stripe(&self, tid: Tid) -> &Mutex<Stripe> {
+        &self.stripes[(tid.raw() as usize) % STRIPES]
+    }
+
     /// Inserts a new unit. The name must be unique.
     pub fn insert(&self, unit: DeviceUnit) -> Result<(), crate::error::ExecError> {
-        let mut inner = self.inner.lock();
-        if inner.names.contains_key(&unit.meta.name) {
-            return Err(crate::error::ExecError::DuplicateName(
-                unit.meta.name.clone(),
-            ));
+        {
+            let mut names = self.names.lock();
+            if names.contains_key(&unit.meta.name) {
+                return Err(crate::error::ExecError::DuplicateName(
+                    unit.meta.name.clone(),
+                ));
+            }
+            names.insert(unit.meta.name.clone(), unit.meta.tid);
         }
-        inner.names.insert(unit.meta.name.clone(), unit.meta.tid);
-        inner.slots.insert(unit.meta.tid, Some(unit));
+        let tid = unit.meta.tid;
+        self.stripe(tid).lock().slots.insert(tid, Some(unit));
         Ok(())
     }
 
     /// Checks a unit out for dispatch. Returns `None` for unknown TiDs
     /// or units already checked out.
     pub fn checkout(&self, tid: Tid) -> Option<DeviceUnit> {
-        self.inner.lock().slots.get_mut(&tid)?.take()
+        self.stripe(tid).lock().slots.get_mut(&tid)?.take()
     }
 
     /// Returns a unit after dispatch.
     pub fn checkin(&self, unit: DeviceUnit) {
-        let mut inner = self.inner.lock();
         let tid = unit.meta.tid;
+        let mut stripe = self.stripe(tid).lock();
         // If the device was destroyed while checked out, the slot is
         // gone or occupied and the unit is simply dropped.
-        if let Some(slot @ None) = inner.slots.get_mut(&tid) {
+        if let Some(slot @ None) = stripe.slots.get_mut(&tid) {
             *slot = Some(unit);
         }
     }
 
     /// Removes a device. Returns the unit if it was checked in.
     pub fn remove(&self, tid: Tid) -> Option<DeviceUnit> {
-        let mut inner = self.inner.lock();
-        let unit = inner.slots.remove(&tid)?;
+        let unit = self.stripe(tid).lock().slots.remove(&tid)?;
+        let mut names = self.names.lock();
         if let Some(u) = &unit {
-            inner.names.remove(&u.meta.name);
+            names.remove(&u.meta.name);
         } else {
             // Checked out: drop the name by scanning (rare path).
-            inner.names.retain(|_, t| *t != tid);
+            names.retain(|_, t| *t != tid);
         }
         unit
     }
 
     /// Name → TiD lookup.
     pub fn lookup_name(&self, name: &str) -> Option<Tid> {
-        self.inner.lock().names.get(name).copied()
+        self.names.lock().get(name).copied()
     }
 
     /// Registers a name for a TiD without a listener (proxy TiDs for
     /// remote devices keep their instance name visible locally).
     pub fn alias(&self, name: &str, tid: Tid) -> Result<(), crate::error::ExecError> {
-        let mut inner = self.inner.lock();
-        if inner.names.contains_key(name) {
+        let mut names = self.names.lock();
+        if names.contains_key(name) {
             return Err(crate::error::ExecError::DuplicateName(name.to_string()));
         }
-        inner.names.insert(name.to_string(), tid);
+        names.insert(name.to_string(), tid);
         Ok(())
     }
 
     /// Current state of a device, if present and checked in.
     pub fn state(&self, tid: Tid) -> Option<DeviceState> {
-        self.inner
+        self.stripe(tid)
             .lock()
             .slots
             .get(&tid)
@@ -141,37 +165,45 @@ impl Registry {
     }
 
     /// Applies `f` to every checked-in unit's metadata (run-control
-    /// sweeps).
+    /// sweeps). Stripes are visited one at a time; units checked out
+    /// by a concurrently dispatching worker are skipped, exactly as
+    /// they always were for the unit under dispatch.
     pub fn for_each_meta(&self, mut f: impl FnMut(&mut DeviceMeta)) {
-        let mut inner = self.inner.lock();
-        for slot in inner.slots.values_mut() {
-            if let Some(u) = slot.as_mut() {
-                f(&mut u.meta);
+        for stripe in &self.stripes {
+            let mut stripe = stripe.lock();
+            for slot in stripe.slots.values_mut() {
+                if let Some(u) = slot.as_mut() {
+                    f(&mut u.meta);
+                }
             }
         }
     }
 
     /// The Logical Configuration Table.
     pub fn lct(&self) -> Vec<LctEntry> {
-        let inner = self.inner.lock();
-        let mut rows: Vec<LctEntry> = inner
-            .slots
-            .values()
-            .filter_map(|s| s.as_ref())
-            .map(|u| LctEntry {
-                tid: u.meta.tid,
-                name: u.meta.name.clone(),
-                class: u.meta.class,
-                state: u.meta.state,
-            })
-            .collect();
+        let mut rows: Vec<LctEntry> = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            rows.extend(
+                stripe
+                    .slots
+                    .values()
+                    .filter_map(|s| s.as_ref())
+                    .map(|u| LctEntry {
+                        tid: u.meta.tid,
+                        name: u.meta.name.clone(),
+                        class: u.meta.class,
+                        state: u.meta.state,
+                    }),
+            );
+        }
         rows.sort_by_key(|r| r.tid);
         rows
     }
 
     /// Number of registered devices (including checked-out ones).
     pub fn len(&self) -> usize {
-        self.inner.lock().slots.len()
+        self.stripes.iter().map(|s| s.lock().slots.len()).sum()
     }
 
     /// True when no devices are registered.
@@ -181,7 +213,11 @@ impl Registry {
 
     /// All registered TiDs.
     pub fn tids(&self) -> Vec<Tid> {
-        self.inner.lock().slots.keys().copied().collect()
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            out.extend(stripe.lock().slots.keys().copied());
+        }
+        out
     }
 }
 

@@ -1,0 +1,179 @@
+//! Loom model of the multi-worker FIFO-steal handoff.
+//!
+//! Mirrors `src/queue.rs` + `src/executive.rs` exactly: a per-TiD
+//! dispatch claim is acquired *under the shard's level lock* —
+//! atomically with the queue removal — by both the home worker
+//! (`pop_claimed`, one frame) and a thief (`steal_fifo`, the whole
+//! device FIFO), and released only after the removed frames have been
+//! dispatched. Keep the model in sync when touching either side. Run
+//! with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p xdaq-core --test loom --release
+//! ```
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+use std::collections::VecDeque;
+
+/// Frames queued for the one modelled device.
+const FRAMES: u32 = 8;
+
+/// One device FIFO inside a shard level, plus the device's
+/// `ClaimTable` slot. The slot is only ever acquired while the level
+/// lock is held — that pairing is the protocol under test.
+struct ModelShard {
+    fifo: Mutex<VecDeque<u32>>,
+    claim: AtomicBool,
+}
+
+enum Popped {
+    /// One frame removed; the claim is held by the caller.
+    Frame(u32),
+    /// Device busy on another worker; nothing removed.
+    Contended,
+    /// Nothing queued.
+    Empty,
+}
+
+impl ModelShard {
+    fn new() -> ModelShard {
+        ModelShard {
+            fifo: Mutex::new((0..FRAMES).collect()),
+            claim: AtomicBool::new(false),
+        }
+    }
+
+    /// `SchedQueue::pop_claimed` — the home worker's path: claim the
+    /// device and remove exactly one frame, atomically under the lock.
+    fn pop_claimed(&self) -> Popped {
+        let mut fifo = self.fifo.lock().unwrap();
+        if fifo.is_empty() {
+            return Popped::Empty;
+        }
+        if self
+            .claim
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return Popped::Contended;
+        }
+        Popped::Frame(fifo.pop_front().unwrap())
+    }
+
+    /// `SchedQueue::steal_fifo` — the thief's path: claim the device
+    /// and remove its *entire* FIFO, atomically under the lock.
+    fn steal_fifo(&self) -> Option<VecDeque<u32>> {
+        let mut fifo = self.fifo.lock().unwrap();
+        if fifo.is_empty()
+            || self
+                .claim
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            return None;
+        }
+        Some(std::mem::take(&mut *fifo))
+    }
+
+    /// `ClaimTable::release`, called only after dispatch completes.
+    fn release(&self) {
+        self.claim.store(false, Ordering::Release);
+    }
+
+    fn drained(&self) -> bool {
+        self.fifo.lock().unwrap().is_empty()
+    }
+}
+
+/// The property the protocol exists for: a device's frames come out in
+/// exact FIFO order — no loss, duplication or reordering — even while
+/// a thief races the home worker for the same device.
+#[test]
+fn fifo_steal_handoff_preserves_device_order() {
+    loom::model(|| {
+        let shard = Arc::new(ModelShard::new());
+        let out = Arc::new(Mutex::new(Vec::new()));
+
+        let thief = {
+            let shard = Arc::clone(&shard);
+            let out = Arc::clone(&out);
+            thread::spawn(move || loop {
+                match shard.steal_fifo() {
+                    Some(fifo) => {
+                        // `steal_into`: dispatch the whole FIFO in
+                        // order, then release the claim.
+                        for f in fifo {
+                            out.lock().unwrap().push(f);
+                        }
+                        shard.release();
+                        return;
+                    }
+                    None if shard.drained() => return,
+                    None => thread::yield_now(),
+                }
+            })
+        };
+
+        // Home worker: `pump_shard` — one frame at a time, dispatch
+        // before releasing the claim.
+        loop {
+            match shard.pop_claimed() {
+                Popped::Frame(f) => {
+                    out.lock().unwrap().push(f);
+                    shard.release();
+                }
+                Popped::Contended => thread::yield_now(),
+                Popped::Empty => break,
+            }
+        }
+        thief.join().unwrap();
+
+        let got = out.lock().unwrap().clone();
+        let expect: Vec<u32> = (0..FRAMES).collect();
+        assert_eq!(got, expect, "per-device FIFO violated across steal handoff");
+    });
+}
+
+/// The claim is a true mutual-exclusion token: at no interleaving do
+/// the home worker and the thief both believe they own the device.
+#[test]
+fn dispatch_claim_is_mutually_exclusive() {
+    loom::model(|| {
+        let shard = Arc::new(ModelShard::new());
+        let holders = Arc::new(AtomicU32::new(0));
+
+        let thief = {
+            let shard = Arc::clone(&shard);
+            let holders = Arc::clone(&holders);
+            thread::spawn(move || loop {
+                match shard.steal_fifo() {
+                    Some(fifo) => {
+                        assert_eq!(holders.fetch_add(1, Ordering::SeqCst), 0);
+                        drop(fifo);
+                        holders.fetch_sub(1, Ordering::SeqCst);
+                        shard.release();
+                        return;
+                    }
+                    None if shard.drained() => return,
+                    None => thread::yield_now(),
+                }
+            })
+        };
+
+        loop {
+            match shard.pop_claimed() {
+                Popped::Frame(_) => {
+                    assert_eq!(holders.fetch_add(1, Ordering::SeqCst), 0);
+                    holders.fetch_sub(1, Ordering::SeqCst);
+                    shard.release();
+                }
+                Popped::Contended => thread::yield_now(),
+                Popped::Empty => break,
+            }
+        }
+        thief.join().unwrap();
+    });
+}

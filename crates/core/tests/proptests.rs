@@ -58,6 +58,58 @@ proptest! {
         }
     }
 
+    /// Overload eviction leaks nothing: churning a bounded queue under
+    /// `DropLowestPriority` (displaced victims handed back to the
+    /// caller, exactly as the executive's enqueue path treats them)
+    /// and then draining it returns the shared pool to its baseline
+    /// live-block watermark, with every per-priority depth gauge back
+    /// to zero and always in step with the queue length.
+    #[test]
+    fn eviction_recycles_frames_and_balances_gauges(
+        msgs in proptest::collection::vec((0x10u16..0x18, 0u8..7), 1..200),
+        cap in 1usize..16,
+    ) {
+        use xdaq_core::{OverloadPolicy, PushOutcome};
+        use xdaq_i2o::NUM_PRIORITIES;
+        use xdaq_mempool::FrameAllocator;
+
+        let pool = TablePool::with_defaults();
+        let reg = xdaq_mon::Registry::new();
+        let gauges: [xdaq_mon::Gauge; NUM_PRIORITIES] =
+            std::array::from_fn(|i| reg.gauge(&format!("queue.depth.p{i}")));
+        let q = SchedQueue::with_gauges(gauges)
+            .with_limits(Some(cap), OverloadPolicy::DropLowestPriority);
+        let baseline = pool.stats().live_blocks;
+
+        for (i, (tid, pri)) in msgs.iter().enumerate() {
+            let m = Message::build_private(Tid::new(*tid).unwrap(), Tid::HOST, 1, 1)
+                .priority(Priority::new(*pri).unwrap())
+                .transaction(i as u32)
+                .finish();
+            let d = Delivery::from_message(&m, &*pool).unwrap();
+            match q.push(d) {
+                PushOutcome::Accepted => {}
+                PushOutcome::Rejected(victim) | PushOutcome::Displaced(victim) => {
+                    drop(victim.into_buf());
+                }
+            }
+            prop_assert!(q.len() <= cap, "capacity respected");
+            let depth: i64 = (0..NUM_PRIORITIES)
+                .map(|p| reg.gauge(&format!("queue.depth.p{p}")).get())
+                .sum();
+            prop_assert_eq!(depth as usize, q.len(), "gauges track evictions");
+        }
+
+        while q.pop().is_some() {}
+        prop_assert_eq!(
+            pool.stats().live_blocks, baseline,
+            "every frame — dispatched or evicted — recycled to the pool"
+        );
+        for p in 0..NUM_PRIORITIES {
+            prop_assert_eq!(reg.gauge(&format!("queue.depth.p{p}")).get(), 0);
+        }
+    }
+
     /// Purging one device never affects others' messages.
     #[test]
     fn queue_purge_is_isolated(

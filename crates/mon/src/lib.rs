@@ -41,6 +41,8 @@ pub struct PtCounters {
     pub recv_bytes: AtomicU64,
     /// Failed sends.
     pub send_errors: AtomicU64,
+    /// Inbound frames discarded as truncated or corrupt.
+    pub recv_errors: AtomicU64,
 }
 
 impl PtCounters {
@@ -66,6 +68,12 @@ impl PtCounters {
         self.send_errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one discarded inbound frame (truncated chain, corrupt
+    /// descriptor, malformed encoding).
+    pub fn on_recv_error(&self) {
+        self.recv_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current values as a JSON object.
     pub fn to_value(&self) -> serde_json::Value {
         serde_json::json!({
@@ -74,6 +82,7 @@ impl PtCounters {
             "recv_frames": self.recv_frames.load(Ordering::Relaxed),
             "recv_bytes": self.recv_bytes.load(Ordering::Relaxed),
             "send_errors": self.send_errors.load(Ordering::Relaxed),
+            "recv_errors": self.recv_errors.load(Ordering::Relaxed),
         })
     }
 
@@ -84,6 +93,7 @@ impl PtCounters {
         self.recv_frames.store(0, Ordering::Relaxed);
         self.recv_bytes.store(0, Ordering::Relaxed);
         self.send_errors.store(0, Ordering::Relaxed);
+        self.recv_errors.store(0, Ordering::Relaxed);
     }
 }
 

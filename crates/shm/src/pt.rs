@@ -37,6 +37,12 @@ use xdaq_mon::{PtCounters, Registry, ShmCounters};
 /// How long a sleeping task thread waits per doorbell ppoll. Doubles
 /// as the liveness-check cadence while idle.
 const SLEEP_SLICE: Duration = Duration::from_millis(2);
+/// Longest a consumer waits for the tail fragments of a chained frame
+/// whose producer looks alive. A healthy producer pushes the whole
+/// chain (nanoseconds apart) before ringing, so this only trips on a
+/// corrupt chain (e.g. a fault-injected FLAG_MORE on the final
+/// fragment) — without it a polling executive would spin forever.
+const CHAIN_STALL_TIMEOUT: Duration = Duration::from_millis(200);
 /// Polling-mode liveness check every this many `poll` calls.
 const POLL_LIVENESS_PERIOD: u64 = 1024;
 
@@ -376,62 +382,94 @@ impl ShmLink {
         Some(FrameBuf::new(block, self.pool.recycler()))
     }
 
+    /// Frees whatever blocks of a broken descriptor chain did arrive,
+    /// counts one receive error (surfaced as `pt.shm.errors`) and
+    /// drops the frame. Never panics and never leaks pool blocks.
+    fn discard_chain(&self, parts: Vec<Descriptor>, counters: &PtCounters) -> Option<FrameBuf> {
+        for d in parts {
+            if let Some(i) = self.region.offset_to_index(d.offset as usize) {
+                self.region.free_block(i);
+            }
+        }
+        counters.on_recv_error();
+        None
+    }
+
     /// Pops one complete frame (gathering chained descriptors).
     fn recv_one(&self, counters: &PtCounters, shm: &ShmCounters) -> Option<FrameBuf> {
         let first = self.rx.pop()?;
         shm.rx.inc();
         if first.flags & FLAG_MORE == 0 {
-            let f = self.frame_from(first)?;
-            counters.on_recv(f.len());
-            return Some(f);
+            return match self.frame_from(first) {
+                Some(f) => {
+                    counters.on_recv(f.len());
+                    Some(f)
+                }
+                // Corrupt descriptor (bad offset or oversize length):
+                // `frame_from` already returned the block, if any.
+                None => {
+                    counters.on_recv_error();
+                    None
+                }
+            };
         }
         // Chained frame: gather fragments. The producer pushes the
         // whole chain before ringing, but a polling consumer can catch
-        // it mid-push — spin for the tail fragments.
+        // it mid-push — wait for the tail fragments, bounded by peer
+        // death and by CHAIN_STALL_TIMEOUT so a corrupt chain (a
+        // FLAG_MORE bit flipped onto the final fragment) cannot hang
+        // the dispatch loop.
+        let nblocks = self.region.config().nblocks;
         let mut parts = vec![first];
-        loop {
-            if parts.last().unwrap().flags & FLAG_MORE == 0 {
-                break;
+        let mut stalled_since = None;
+        while parts.last().is_some_and(|d| d.flags & FLAG_MORE != 0) {
+            if parts.len() > nblocks {
+                // More fragments than blocks exist: corrupt chain.
+                return self.discard_chain(parts, counters);
             }
             match self.rx.pop() {
                 Some(d) => {
                     shm.rx.inc();
+                    stalled_since = None;
                     parts.push(d);
                 }
                 None => {
                     if self.check_peer() == PeerHealth::Dead {
-                        // Truncated chain from a dead peer: free what
-                        // arrived and drop the frame.
-                        for d in parts {
-                            if let Some(i) = self.region.offset_to_index(d.offset as usize) {
-                                self.region.free_block(i);
-                            }
-                        }
-                        return None;
+                        // Truncated chain from a dead peer.
+                        return self.discard_chain(parts, counters);
+                    }
+                    let t0 = *stalled_since.get_or_insert_with(std::time::Instant::now);
+                    if t0.elapsed() > CHAIN_STALL_TIMEOUT {
+                        return self.discard_chain(parts, counters);
                     }
                     std::hint::spin_loop();
                 }
             }
         }
+        // Validate every fragment before touching any payload byte: a
+        // corrupt offset or a length beyond the block size must not
+        // read out of bounds.
+        let bs = self.pool.block_size();
+        if parts.iter().any(|d| {
+            d.len as usize > bs || self.region.offset_to_index(d.offset as usize).is_none()
+        }) {
+            return self.discard_chain(parts, counters);
+        }
         let total: usize = parts.iter().map(|d| d.len as usize).sum();
         let mut gathered = FrameBuf::detached(total);
         let mut at = 0usize;
-        let mut ok = true;
         for d in &parts {
-            match self.region.offset_to_index(d.offset as usize) {
-                Some(idx) => {
-                    let n = d.len as usize;
-                    // SAFETY: exclusive ownership via the descriptor.
-                    let src = unsafe { std::slice::from_raw_parts(self.region.block_ptr(idx), n) };
-                    gathered[at..at + n].copy_from_slice(src);
-                    at += n;
-                    self.region.free_block(idx);
-                }
-                None => ok = false,
-            }
-        }
-        if !ok {
-            return None;
+            let idx = self
+                .region
+                .offset_to_index(d.offset as usize)
+                .expect("validated");
+            let n = d.len as usize;
+            // SAFETY: exclusive ownership via the descriptor; `n` is
+            // within the block (validated above).
+            let src = unsafe { std::slice::from_raw_parts(self.region.block_ptr(idx), n) };
+            gathered[at..at + n].copy_from_slice(src);
+            at += n;
+            self.region.free_block(idx);
         }
         counters.on_recv(total);
         Some(gathered)
@@ -778,6 +816,75 @@ mod tests {
         // 3000 bytes over 1024-byte blocks = 3 descriptors.
         assert_eq!(a.shm_counters().tx.get(), 3);
         assert_eq!(la.pool().region().free_blocks(), 32, "fragments recycled");
+    }
+
+    /// Transfers one pool block to the peer by hand-crafting its
+    /// descriptor — the fault-injection surface for corrupt chains.
+    fn push_raw(link: &ShmLink, len: u32, flags: u16) {
+        let pool = link.pool();
+        let block = pool.take_block(8).expect("free block");
+        let idx = unpack_token(pool.region().id(), block.external_token().unwrap()).unwrap();
+        pool.forget_live();
+        drop(block);
+        let d = Descriptor {
+            offset: pool.region().block_offset(idx) as u32,
+            len,
+            tid: 0,
+            flags,
+            seq: 0,
+        };
+        link.tx.push(d).expect("ring has room");
+    }
+
+    #[test]
+    fn corrupt_chain_tail_flag_is_discarded_not_hung() {
+        let (_a, la, b, _lb) = pair("badchain");
+        // A single fragment wrongly carrying FLAG_MORE: the tail the
+        // consumer waits for will never arrive, and the peer stays
+        // alive — previously this spun the dispatch loop forever.
+        push_raw(&la, 8, FLAG_MORE);
+        let t0 = std::time::Instant::now();
+        assert!(b.poll().is_none(), "corrupt chain yields no frame");
+        let waited = t0.elapsed();
+        assert!(
+            waited >= CHAIN_STALL_TIMEOUT,
+            "bounded wait ran: {waited:?}"
+        );
+        assert!(waited < CHAIN_STALL_TIMEOUT * 10, "but did not hang");
+        assert_eq!(
+            la.pool().region().free_blocks(),
+            32,
+            "arrived fragment returned to the pool"
+        );
+        assert_eq!(b.shared.counters.recv_errors.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn oversize_descriptor_len_is_discarded() {
+        let (_a, la, b, _lb) = pair("badlen");
+        // Unchained descriptor claiming more bytes than a block holds:
+        // must not read out of bounds, must recycle the block.
+        push_raw(&la, 5000, 0);
+        assert!(b.poll().is_none());
+        assert_eq!(la.pool().region().free_blocks(), 32);
+        assert_eq!(b.shared.counters.recv_errors.load(Ordering::Relaxed), 1);
+        // The link still works afterwards.
+        let mut f = la.pool().alloc(16).unwrap();
+        f.copy_from_slice(&[9u8; 16]);
+        _a.send(la.peer_addr(), f).unwrap();
+        assert_eq!(&b.poll().unwrap().0[..], &[9u8; 16][..]);
+    }
+
+    #[test]
+    fn corrupt_fragment_in_chain_is_discarded() {
+        let (_a, la, b, _lb) = pair("badfrag");
+        // Two-fragment chain whose tail fragment lies about its
+        // length: the whole chain is dropped, both blocks recycle.
+        push_raw(&la, 8, FLAG_MORE);
+        push_raw(&la, 4096, 0);
+        assert!(b.poll().is_none());
+        assert_eq!(la.pool().region().free_blocks(), 32);
+        assert_eq!(b.shared.counters.recv_errors.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Multi-worker executive: sharded dispatch with per-device ordering.
+//!
+//! One executive is built with `workers(4)`: four dispatch workers,
+//! each owning a shard of the TiD space with its own seven-priority
+//! queue. Frames for one device are always dispatched in order by one
+//! worker at a time — idle workers steal whole device FIFOs, never
+//! individual frames — so scaling out never reorders a device's
+//! stream. Four producers flood four sink devices; each sink verifies
+//! its own sequence numbers arrive strictly monotonic, and the
+//! monitoring registry shows the per-worker queue gauges and steal
+//! counter the scrape surface grows at `workers > 1`.
+//!
+//! Run with: `cargo run --example multiworker`
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdaq::core::{Delivery, Dispatcher, Executive, I2oListener};
+use xdaq::i2o::{DeviceClass, Message, Tid};
+
+const ORG: u16 = 0x0E;
+const XFN_SEQ: u16 = 0x0061;
+const SINKS: usize = 4;
+const PER_SINK: u32 = 25_000;
+
+/// A sink that checks its frames arrive in exactly the order they
+/// were posted (the per-device FIFO guarantee).
+struct OrderedSink {
+    next: AtomicU32,
+    reorders: Arc<AtomicU64>,
+}
+
+impl I2oListener for OrderedSink {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG)
+    }
+    fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let want = self.next.fetch_add(1, Ordering::Relaxed);
+        if msg.header.transaction_context != want {
+            self.reorders.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn main() {
+    let exec = Executive::builder("mw-demo").workers(4).build();
+    println!(
+        "executive '{}' with {} dispatch workers",
+        exec.node(),
+        exec.core().workers()
+    );
+
+    let reorders = Arc::new(AtomicU64::new(0));
+    let tids: Vec<Tid> = (0..SINKS)
+        .map(|i| {
+            exec.register(
+                &format!("sink{i}"),
+                Box::new(OrderedSink {
+                    next: AtomicU32::new(0),
+                    reorders: reorders.clone(),
+                }),
+                &[],
+            )
+            .unwrap()
+        })
+        .collect();
+    exec.enable_all();
+    let handle = exec.spawn();
+
+    // One producer thread per sink, all flooding at once.
+    let producers: Vec<_> = tids
+        .iter()
+        .map(|&tid| {
+            let exec = exec.clone();
+            std::thread::spawn(move || {
+                for seq in 0..PER_SINK {
+                    exec.post(
+                        Message::build_private(tid, Tid::HOST, ORG, XFN_SEQ)
+                            .transaction(seq)
+                            .finish(),
+                    )
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    let total = (SINKS as u64) * PER_SINK as u64;
+    while exec.core().mon_snapshot()["metrics"]["counters"]["exec.dispatched"]
+        .as_u64()
+        .unwrap()
+        < total
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let snap = exec.core().mon_snapshot();
+    let dispatched = snap["metrics"]["counters"]["exec.dispatched"]
+        .as_u64()
+        .unwrap();
+    let steals = snap["metrics"]["counters"]["exec.steals"]
+        .as_u64()
+        .unwrap_or(0);
+    println!(
+        "dispatched {} frames across {} workers ({} FIFO steals)",
+        dispatched,
+        snap["workers"].as_u64().unwrap(),
+        steals
+    );
+    assert_eq!(
+        reorders.load(Ordering::Relaxed),
+        0,
+        "per-device order held under 4 workers"
+    );
+    println!(
+        "per-device ordering: OK (0 reorders in {} frames)",
+        dispatched
+    );
+    handle.shutdown();
+}

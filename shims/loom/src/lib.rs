@@ -27,7 +27,7 @@ where
 }
 
 pub mod sync {
-    pub use std::sync::Arc;
+    pub use std::sync::{Arc, Mutex, MutexGuard};
 
     pub mod atomic {
         pub use std::sync::atomic::{
