@@ -269,6 +269,22 @@ impl ExecCore {
         self.shards.iter().map(|q| q.len()).sum()
     }
 
+    /// Retunes every shard's overload valve at runtime. Used by
+    /// devices that apply backpressure — the event recorder tightens
+    /// the queue to `Block` while its store is behind on durability,
+    /// then restores the previous limits.
+    pub fn set_overload(&self, capacity: Option<usize>, policy: crate::queue::OverloadPolicy) {
+        for shard in &self.shards {
+            shard.set_limits(capacity, policy.clone());
+        }
+    }
+
+    /// Current overload limits (all shards share them; shard 0 is
+    /// authoritative).
+    pub fn overload(&self) -> (Option<usize>, crate::queue::OverloadPolicy) {
+        self.shards[0].limits()
+    }
+
     /// Purges a TiD's pending frames from its home shard.
     pub(crate) fn purge_tid(&self, tid: Tid) -> usize {
         self.shards[self.shard_of(tid)].purge(tid)

@@ -283,6 +283,25 @@ impl<'a> Dispatcher<'a> {
     pub fn lookup(&self, name: &str) -> Option<Tid> {
         self.core.lookup_name(name)
     }
+
+    /// The executive's metric registry, for devices that publish their
+    /// own counters (the recorder's `rec.*` family, for instance).
+    pub fn metrics(&self) -> &xdaq_mon::Registry {
+        self.core.monitors().registry()
+    }
+
+    /// Current scheduler overload limits (capacity, policy).
+    pub fn overload(&self) -> (Option<usize>, crate::queue::OverloadPolicy) {
+        self.core.overload()
+    }
+
+    /// Retunes the scheduler's overload valve — the backpressure hook.
+    /// A device that falls behind (a recorder with too many unsynced
+    /// bytes) can tighten the policy to `Block`, making producers wait
+    /// instead of growing the queue, then restore the previous limits.
+    pub fn set_overload(&self, capacity: Option<usize>, policy: crate::queue::OverloadPolicy) {
+        self.core.set_overload(capacity, policy);
+    }
 }
 
 #[cfg(test)]

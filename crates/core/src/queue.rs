@@ -13,7 +13,7 @@
 //! granularity.
 
 use crate::listener::Delivery;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -114,12 +114,14 @@ pub struct SchedQueue {
     /// Per-priority depth gauges (level + high-water), when the owner
     /// wired the queue into a metric registry.
     depth: Option<[Gauge; NUM_PRIORITIES]>,
-    /// Total queued-delivery limit; `None` = unbounded (historical
-    /// behaviour). The check is approximate under concurrency — a
-    /// racing producer can overshoot by a few entries, which is fine
-    /// for an overload valve.
-    capacity: Option<usize>,
-    policy: OverloadPolicy,
+    /// Total queued-delivery limit; `usize::MAX` = unbounded
+    /// (historical behaviour). The check is approximate under
+    /// concurrency — a racing producer can overshoot by a few entries,
+    /// which is fine for an overload valve. Atomic so overload control
+    /// can be retuned at runtime (the recorder's backpressure hook
+    /// tightens it while the store is behind on fsync).
+    capacity: AtomicUsize,
+    policy: RwLock<OverloadPolicy>,
 }
 
 impl Default for SchedQueue {
@@ -135,8 +137,8 @@ impl SchedQueue {
             levels: std::array::from_fn(|_| Mutex::new(Level::default())),
             pending: AtomicUsize::new(0),
             depth: None,
-            capacity: None,
-            policy: OverloadPolicy::DropNewest,
+            capacity: AtomicUsize::new(usize::MAX),
+            policy: RwLock::new(OverloadPolicy::DropNewest),
         }
     }
 
@@ -151,24 +153,35 @@ impl SchedQueue {
     }
 
     /// Caps the queue at `capacity` deliveries, handled per `policy`.
-    pub fn with_limits(mut self, capacity: Option<usize>, policy: OverloadPolicy) -> SchedQueue {
-        self.capacity = capacity;
-        self.policy = policy;
+    pub fn with_limits(self, capacity: Option<usize>, policy: OverloadPolicy) -> SchedQueue {
+        self.set_limits(capacity, policy);
         self
+    }
+
+    /// Retunes the overload valve at runtime. Producers mid-`push`
+    /// observe the new limits on their next capacity check.
+    pub fn set_limits(&self, capacity: Option<usize>, policy: OverloadPolicy) {
+        self.capacity
+            .store(capacity.unwrap_or(usize::MAX), Ordering::Release);
+        *self.policy.write() = policy;
+    }
+
+    /// Current capacity (`None` = unbounded) and overload policy.
+    pub fn limits(&self) -> (Option<usize>, OverloadPolicy) {
+        let cap = self.capacity.load(Ordering::Acquire);
+        let cap = (cap != usize::MAX).then_some(cap);
+        (cap, self.policy.read().clone())
     }
 
     /// Enqueues a delivery according to its frame priority and target,
     /// applying the overload policy when the queue is at capacity.
     pub fn push(&self, d: Delivery) -> PushOutcome {
-        let Some(cap) = self.capacity else {
-            self.insert(d);
-            return PushOutcome::Accepted;
-        };
+        let cap = self.capacity.load(Ordering::Acquire);
         if self.pending.load(Ordering::Acquire) < cap {
             self.insert(d);
             return PushOutcome::Accepted;
         }
-        match self.policy {
+        match self.policy.read().clone() {
             OverloadPolicy::DropNewest => PushOutcome::Rejected(d),
             OverloadPolicy::DropLowestPriority => {
                 match self.steal_lowest_below(d.priority().level()) {
@@ -182,6 +195,9 @@ impl SchedQueue {
             OverloadPolicy::Block { deadline } => {
                 let until = Instant::now() + deadline;
                 loop {
+                    // Reload the limit: a runtime retune releases
+                    // blocked producers immediately.
+                    let cap = self.capacity.load(Ordering::Acquire);
                     if self.pending.load(Ordering::Acquire) < cap {
                         self.insert(d);
                         return PushOutcome::Accepted;
@@ -650,6 +666,25 @@ mod tests {
         assert_eq!(reg.gauge("queue.depth.p2").get(), 0);
         assert_eq!(q.len(), 0);
         c.release(tid);
+    }
+
+    #[test]
+    fn limits_retunable_at_runtime() {
+        let q = SchedQueue::new();
+        assert_eq!(q.limits(), (None, OverloadPolicy::DropNewest));
+        push_ok(&q, mk(0x10, 3, 1));
+        push_ok(&q, mk(0x10, 3, 2));
+        // Tighten below the current depth: the next push is rejected.
+        q.set_limits(Some(1), OverloadPolicy::DropNewest);
+        assert_eq!(q.limits(), (Some(1), OverloadPolicy::DropNewest));
+        match q.push(mk(0x10, 3, 3)) {
+            PushOutcome::Rejected(d) => assert_eq!(d.payload()[0], 3),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        // Relax again: pushes flow.
+        q.set_limits(None, OverloadPolicy::DropNewest);
+        push_ok(&q, mk(0x10, 3, 4));
+        assert_eq!(q.len(), 3);
     }
 
     #[test]

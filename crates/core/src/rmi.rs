@@ -286,6 +286,35 @@ impl Skeleton {
         }
         true
     }
+
+    /// Like [`Skeleton::serve`], but the handler picks the error reply
+    /// status itself — a device that validates arguments *semantically*
+    /// (a block address off the end of the disk, say) should answer
+    /// `DeviceError`, not the marshalling-level `BadFrame`.
+    pub fn serve_with(
+        &self,
+        ctx: &mut Dispatcher<'_>,
+        msg: &Delivery,
+        f: impl FnOnce(&mut ArgReader<'_>) -> Result<ArgWriter, (ReplyStatus, String)>,
+    ) -> bool {
+        let Some(p) = msg.private else { return false };
+        if p.org_id != self.org
+            || p.x_function != self.x_function
+            || msg.header.flags.contains(xdaq_i2o::MsgFlags::IS_REPLY)
+        {
+            return false;
+        }
+        let mut reader = ArgReader::new(msg.payload());
+        match f(&mut reader) {
+            Ok(result) => {
+                let _ = ctx.reply(msg, ReplyStatus::Success, &result.finish());
+            }
+            Err((status, detail)) => {
+                let _ = ctx.reply(msg, status, detail.as_bytes());
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]

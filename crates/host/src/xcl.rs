@@ -23,6 +23,8 @@
 //! destroy ru0 16
 //! release ru0
 //! faults pt0 fail=300 kill=0    # reprogram a ChaosPt fault plan
+//! rec    r0 sync=1               # drive a Recorder (rec.* knobs)
+//! replay rp0 pace_us=250         # tune a replay transport (replay.*)
 //! mon    results/mon.json        # scrape every node into one JSON doc
 //! monreset ru0                   # zero a node's monitoring state
 //! trace  ru0 on                  # frame-lifecycle tracer on|off
@@ -130,6 +132,37 @@ impl<'a> XclInterpreter<'a> {
                     .ok_or_else(|| format!("expected k=v, got '{w}'"))
             })
             .collect()
+    }
+
+    /// Shared body of the `faults`/`rec`/`replay` commands: sets k=v
+    /// parameters on a device, prefixing plain keys with `{prefix}.`
+    /// while dotted keys pass unchanged.
+    fn prefixed_set(
+        &mut self,
+        cmd: &str,
+        prefix: &str,
+        handle: &str,
+        rest: &[&str],
+        line: usize,
+    ) -> Result<String, XclError> {
+        let t = self.resolve(handle, line)?;
+        let params = Self::parse_params(rest).map_err(|m| XclError { line, message: m })?;
+        let prefixed: Vec<(String, &str)> = params
+            .iter()
+            .map(|(k, v)| {
+                let key = if k.contains('.') {
+                    k.to_string()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                (key, *v)
+            })
+            .collect();
+        let borrowed: Vec<(&str, &str)> = prefixed.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        self.host
+            .params_set(t, &borrowed)
+            .map_err(|e| Self::fail(line, e))?;
+        Ok(format!("{cmd} {handle}: {} knobs", borrowed.len()))
     }
 
     fn exec_command(&mut self, words: &[&str], line: usize) -> Result<String, XclError> {
@@ -243,25 +276,19 @@ impl<'a> XclInterpreter<'a> {
                 // Reprogram a fault-injecting transport through its PT
                 // device: plain keys get the `chaos.` prefix (`fail=300`
                 // -> `chaos.fail=300`); dotted keys pass unchanged.
-                let t = self.resolve(handle, line)?;
-                let params = Self::parse_params(rest).map_err(err)?;
-                let prefixed: Vec<(String, &str)> = params
-                    .iter()
-                    .map(|(k, v)| {
-                        let key = if k.contains('.') {
-                            k.to_string()
-                        } else {
-                            format!("chaos.{k}")
-                        };
-                        (key, *v)
-                    })
-                    .collect();
-                let borrowed: Vec<(&str, &str)> =
-                    prefixed.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-                self.host
-                    .params_set(t, &borrowed)
-                    .map_err(|e| Self::fail(line, e))?;
-                Ok(format!("faults {handle}: {} knobs", borrowed.len()))
+                self.prefixed_set("faults", "chaos", handle, rest, line)
+            }
+            ["rec", handle, rest @ ..] => {
+                // Drive a Recorder device at runtime: plain keys get the
+                // `rec.` prefix, so `rec r0 sync=1 fsync_bytes=1048576`
+                // forces a durability point and retunes batching.
+                self.prefixed_set("rec", "rec", handle, rest, line)
+            }
+            ["replay", handle, rest @ ..] => {
+                // Tune a replay transport through its PT device: plain
+                // keys get the `replay.` prefix (`pace_us=250` ->
+                // `replay.pace_us=250`).
+                self.prefixed_set("replay", "replay", handle, rest, line)
             }
             ["watch", node] => {
                 let t = self.resolve(node, line)?;

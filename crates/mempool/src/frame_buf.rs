@@ -89,6 +89,15 @@ impl FrameBuf {
         self.block_ref().external_token()
     }
 
+    /// The frame's valid bytes as one vectored-I/O element (`IoSlice`
+    /// is ABI-compatible with `struct iovec` on Unix). Gather-writing
+    /// consumers — the event recorder foremost — hand a chain of these
+    /// straight to the kernel, so the frame's pool block is the I/O
+    /// buffer and the payload is never copied.
+    pub fn io_slice(&self) -> std::io::IoSlice<'_> {
+        std::io::IoSlice::new(self.block_ref().bytes())
+    }
+
     /// Dismantles the frame into its block and recycler without
     /// recycling. The caller takes over the block's lifecycle — used
     /// by descriptor-passing transports that hand ownership of a

@@ -151,6 +151,62 @@ impl Default for ShmCounters {
     }
 }
 
+/// Event-recorder counters (`xdaq-rec`).
+///
+/// A `Recorder` device bound to its node's [`Registry`] surfaces
+/// `rec.records` / `rec.bytes` / `rec.segments` / `rec.fsyncs` /
+/// `rec.backpressure` plus the `rec.fsync_latency_ns` histogram in
+/// MonSnapshot scrapes — the fsync latency distribution is what tells
+/// an operator whether the durability interval or the disk is the
+/// bottleneck.
+#[derive(Clone)]
+pub struct RecCounters {
+    /// Complete event records appended to the store.
+    pub records: Counter,
+    /// Payload bytes persisted (framing excluded).
+    pub bytes: Counter,
+    /// Segment files opened (rotation count + 1).
+    pub segments: Counter,
+    /// `fdatasync` calls issued by the batching policy.
+    pub fsyncs: Counter,
+    /// Times the watermark tripped and producers were blocked.
+    pub backpressure: Counter,
+    /// Latency of each `fdatasync`, in nanoseconds.
+    pub fsync_latency_ns: Histogram,
+}
+
+impl RecCounters {
+    /// Standalone counters (not visible in any registry).
+    pub fn new() -> RecCounters {
+        RecCounters {
+            records: Counter::new(),
+            bytes: Counter::new(),
+            segments: Counter::new(),
+            fsyncs: Counter::new(),
+            backpressure: Counter::new(),
+            fsync_latency_ns: Histogram::new(),
+        }
+    }
+
+    /// Counters registered under the `rec.*` names.
+    pub fn bound_to(registry: &Registry) -> RecCounters {
+        RecCounters {
+            records: registry.counter("rec.records"),
+            bytes: registry.counter("rec.bytes"),
+            segments: registry.counter("rec.segments"),
+            fsyncs: registry.counter("rec.fsyncs"),
+            backpressure: registry.counter("rec.backpressure"),
+            fsync_latency_ns: registry.histogram("rec.fsync_latency_ns"),
+        }
+    }
+}
+
+impl Default for RecCounters {
+    fn default() -> RecCounters {
+        RecCounters::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,41 @@
+//! xdaq-rec: durable zero-copy event recording and deterministic
+//! replay.
+//!
+//! The paper's DAQ pipeline ends at a storage stage — readout units
+//! feed builder units, builders feed a filter and, eventually, mass
+//! storage. This crate is that stage made concrete, in the same style
+//! as the rest of the repo:
+//!
+//! * **The store** ([`RecWriter`] / [`RecReader`]) is an append-only
+//!   directory of segments ([`segment`]) with per-record length+CRC
+//!   framing, written through raw syscalls ([`sys`], no libc) with one
+//!   gathered `pwritev` per record — the SGL of a chained event turned
+//!   into an iovec list, zero payload copies. Durability is batched
+//!   (`fdatasync` every N bytes / T ms) and crash recovery
+//!   ([`recover`]) truncates the torn tail deterministically.
+//! * **The recorder** ([`Recorder`]) is an ordinary device class:
+//!   plugged into a node, it taps completed event chains, persists each
+//!   as one record and (optionally) forwards the frames onward.
+//! * **The replayer** ([`ReplayPt`]) is a peer transport
+//!   (`replay://<dir>`): it re-injects a recording through the
+//!   executive's normal peer-ingest path, in original order, paced or
+//!   as fast as possible — so a recorded run can be reproduced against
+//!   a fresh topology, chaos transport and all.
+//! * [`BlockFile`] reuses the same syscall layer to give the classic
+//!   block-storage DDM a durable backing file.
+
+pub mod blockfile;
+pub mod crc;
+pub mod reader;
+pub mod recorder;
+pub mod replay;
+pub mod segment;
+pub mod sys;
+pub mod writer;
+
+pub use blockfile::BlockFile;
+pub use crc::{crc32, Crc32};
+pub use reader::{recover, scan, RecReader, ScanReport, TornTail};
+pub use recorder::Recorder;
+pub use replay::ReplayPt;
+pub use writer::{RecConfig, RecWriter};

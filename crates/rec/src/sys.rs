@@ -1,0 +1,277 @@
+//! Minimal raw-syscall layer for the event store.
+//!
+//! The build environment vendors no `libc`, so the kernel services the
+//! recorder's hot path needs — `openat` to create segment files,
+//! `pwritev` for gathered zero-copy appends (a chained frame's pool
+//! blocks become the iovec list directly), `fdatasync` for the
+//! durability interval and `ftruncate` to cut a torn tail during crash
+//! recovery — are issued directly via inline assembly on the supported
+//! Linux targets (x86_64, aarch64), mirroring `xdaq-shm`'s layer.
+//! Everything else (directory scans, sequential reads) goes through
+//! `std`.
+//!
+//! On unsupported targets every entry point returns `ENOSYS`, so the
+//! crate still compiles and `RecWriter::create` fails cleanly.
+
+/// `O_WRONLY | O_CREAT | O_CLOEXEC` (generic Linux flag values shared
+/// by x86_64 and aarch64).
+pub const OPEN_APPENDABLE: usize = 0o1 | 0o100 | 0o2000000;
+/// `O_RDWR | O_CREAT | O_CLOEXEC`.
+pub const OPEN_RDWR: usize = 0o2 | 0o100 | 0o2000000;
+/// Segment file creation mode (0644).
+pub const MODE_0644: usize = 0o644;
+/// `AT_FDCWD`: resolve paths relative to the working directory.
+pub const AT_FDCWD: isize = -100;
+/// Errno for "not supported here".
+pub const ENOSYS: i32 = 38;
+/// Errno for an interrupted syscall (writes are retried on it).
+pub const EINTR: i32 = 4;
+
+/// `struct iovec` — identical layout to `std::io::IoSlice`, which the
+/// standard library guarantees to be ABI-compatible with `iovec` on
+/// Unix. The writer passes `IoSlice` arrays straight to the kernel.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct IoVec {
+    /// Starting address.
+    pub base: *const u8,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod arch {
+    pub const SYS_OPENAT: usize = 257;
+    pub const SYS_PWRITEV: usize = 296;
+    pub const SYS_FDATASYNC: usize = 75;
+    pub const SYS_FTRUNCATE: usize = 77;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod arch {
+    pub const SYS_OPENAT: usize = 56;
+    pub const SYS_PWRITEV: usize = 70;
+    pub const SYS_FDATASYNC: usize = 83;
+    pub const SYS_FTRUNCATE: usize = 46;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+/// True when the running target has a real syscall backend.
+pub const fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::arch::*;
+    use super::*;
+
+    fn check(ret: isize) -> Result<usize, i32> {
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// Opens (creating if needed) `path` with raw `flags`/`mode`,
+    /// returning the file descriptor. The caller owns the fd.
+    pub fn openat(path: &std::path::Path, flags: usize, mode: usize) -> Result<i32, i32> {
+        use std::os::unix::ffi::OsStrExt;
+        let mut bytes = path.as_os_str().as_bytes().to_vec();
+        bytes.push(0);
+        // SAFETY: bytes is a live NUL-terminated path buffer.
+        let ret = unsafe {
+            syscall6(
+                SYS_OPENAT,
+                AT_FDCWD as usize,
+                bytes.as_ptr() as usize,
+                flags,
+                mode,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    /// Gathered positional write: writes the iovec list at `offset`
+    /// without moving the file cursor. Returns bytes written (the
+    /// kernel may write a prefix; callers loop). Retries `EINTR`.
+    ///
+    /// # Safety
+    /// Every iovec must reference live, readable memory for the whole
+    /// call.
+    pub unsafe fn pwritev(fd: i32, iov: &[IoVec], offset: u64) -> Result<usize, i32> {
+        loop {
+            let ret = syscall6(
+                SYS_PWRITEV,
+                fd as usize,
+                iov.as_ptr() as usize,
+                iov.len(),
+                (offset & 0xFFFF_FFFF) as usize,
+                (offset >> 32) as usize,
+                0,
+            );
+            match check(ret) {
+                Err(EINTR) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    /// Flushes file *data* (not metadata timestamps) to stable storage
+    /// — the durability point of the fsync-batching interval.
+    pub fn fdatasync(fd: i32) -> Result<(), i32> {
+        loop {
+            // SAFETY: plain value arguments.
+            let ret = unsafe { syscall6(SYS_FDATASYNC, fd as usize, 0, 0, 0, 0, 0) };
+            match check(ret) {
+                Err(EINTR) => continue,
+                other => return other.map(|_| ()),
+            }
+        }
+    }
+
+    /// Truncates the file to `len` bytes — how recovery removes a torn
+    /// tail record.
+    pub fn ftruncate(fd: i32, len: u64) -> Result<(), i32> {
+        // SAFETY: plain value arguments.
+        let ret = unsafe { syscall6(SYS_FTRUNCATE, fd as usize, len as usize, 0, 0, 0, 0) };
+        check(ret).map(|_| ())
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::{IoVec, ENOSYS};
+
+    pub fn openat(_path: &std::path::Path, _flags: usize, _mode: usize) -> Result<i32, i32> {
+        Err(ENOSYS)
+    }
+
+    /// # Safety
+    /// No-op stub; never writes anything.
+    pub unsafe fn pwritev(_fd: i32, _iov: &[IoVec], _offset: u64) -> Result<usize, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn fdatasync(_fd: i32) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn ftruncate(_fd: i32, _len: u64) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+}
+
+pub use imp::{fdatasync, ftruncate, openat, pwritev};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::FromRawFd;
+
+    #[test]
+    fn openat_pwritev_fdatasync_ftruncate_round_trip() {
+        if !supported() {
+            return;
+        }
+        let path = std::env::temp_dir().join(format!("xdaq-rec-sys-{}", std::process::id()));
+        let fd = openat(&path, OPEN_RDWR, MODE_0644).expect("openat");
+        assert!(fd >= 0);
+        // Own the fd through std so it closes on drop.
+        let file = unsafe { std::fs::File::from_raw_fd(fd) };
+        let a = b"hello ";
+        let b = b"gathered world";
+        let iov = [
+            IoVec {
+                base: a.as_ptr(),
+                len: a.len(),
+            },
+            IoVec {
+                base: b.as_ptr(),
+                len: b.len(),
+            },
+        ];
+        // SAFETY: both slices outlive the call.
+        let n = unsafe { pwritev(fd, &iov, 0) }.expect("pwritev");
+        assert_eq!(n, a.len() + b.len());
+        fdatasync(fd).expect("fdatasync");
+        ftruncate(fd, 5).expect("ftruncate");
+        drop(file);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn openat_reports_missing_directory() {
+        if !supported() {
+            return;
+        }
+        let path = std::path::Path::new("/nonexistent-xdaq-rec/seg");
+        assert!(openat(path, OPEN_APPENDABLE, MODE_0644).is_err());
+    }
+}

@@ -12,13 +12,19 @@
 //! ```text
 //!   event manager ──triggers──▶ 4 readout nodes
 //!   readout nodes ──fragments─▶ 3 builder nodes   (4×3 crossing mesh)
-//!   builder nodes ──events────▶ 1 filter node
+//!   builder nodes ──events────▶ recorder ──▶ 1 filter node
 //!   builder nodes ──credits───▶ event manager
 //! ```
+//!
+//! A Recorder device taps the builder→filter stream and persists every
+//! built event to disk; after the run a second phase replays the
+//! recording through a `replay://` transport into a fresh filter node
+//! and checks the event and accept counts reproduce exactly.
 //!
 //! Run with: `cargo run --release --example event_builder`
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdaq::app::{
     xfn, BuilderStats, BuilderUnit, EventManager, EvtMgrStats, FilterStats, FilterUnit,
@@ -27,6 +33,7 @@ use xdaq::app::{
 use xdaq::core::{Executive, ExecutiveConfig};
 use xdaq::i2o::{Message, Tid};
 use xdaq::pt::{LoopbackHub, LoopbackPt};
+use xdaq::rec::{scan, Recorder, ReplayPt};
 
 const READOUTS: usize = 4;
 const BUILDERS: usize = 3;
@@ -70,6 +77,20 @@ fn main() {
         )
         .unwrap();
 
+    // Recorder tap in front of the filter: persists every built event
+    // to disk (zero-copy, crash-consistent) and forwards it on.
+    let rec_dir = std::env::temp_dir().join(format!("xdaq-rec-example-{}", std::process::id()));
+    let recorder_tid = filter_node
+        .register(
+            "rec0",
+            Box::new(Recorder::new()),
+            &[
+                ("dir", &rec_dir.to_string_lossy()),
+                ("forward", &filter_tid.raw().to_string()),
+            ],
+        )
+        .unwrap();
+
     // Event manager.
     let m_stats = EvtMgrStats::new();
     let mgr_tid = mgr_node
@@ -84,7 +105,8 @@ fn main() {
     let mut builder_stats = Vec::new();
     let mut bu_tids = Vec::new();
     for (i, bu) in bu_nodes.iter().enumerate() {
-        let filter_proxy = bu.proxy("loop://flt", filter_tid, None).unwrap();
+        // Builders address the recorder; it forwards to the filter.
+        let filter_proxy = bu.proxy("loop://flt", recorder_tid, None).unwrap();
         let mgr_proxy = bu.proxy("loop://mgr", mgr_tid, None).unwrap();
         let stats = BuilderStats::new();
         let tid = bu
@@ -222,6 +244,22 @@ fn main() {
             s.corrupt.load(Ordering::SeqCst)
         );
     }
+    // Wait for the recorder to drain its forward path into the filter
+    // (the run completes on builder credits, which can race the tap).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while f_stats.received.load(Ordering::SeqCst) < built && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Force a durability point before reading the store back.
+    filter_node
+        .post(
+            Message::util(recorder_tid, Tid::HOST, xdaq::i2o::UtilFn::ParamsSet)
+                .payload(xdaq::core::config::kv(&[("rec.sync", "1")]))
+                .finish(),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
     println!(
         "filter: received={} accepted={} ({:.1}%)",
         f_stats.received.load(Ordering::SeqCst),
@@ -231,4 +269,63 @@ fn main() {
     for h in handles {
         h.shutdown();
     }
+
+    // ── Phase 2: deterministic replay ────────────────────────────────
+    // Scan the store, then re-inject every recorded event through a
+    // `replay://` peer transport into a brand-new filter node. The
+    // filter's accept decision is a pure hash of the event id, so both
+    // the received and accepted counts must reproduce exactly.
+    let report = scan(&rec_dir).expect("scan recording");
+    println!(
+        "recorded {} events in {} segment(s) at {}",
+        report.records,
+        report.segments,
+        rec_dir.display()
+    );
+
+    let replay_node = Executive::new(ExecutiveConfig::named("flt2"));
+    let f2_stats = FilterStats::new();
+    let filter2_tid = replay_node
+        .register(
+            "filter1",
+            Box::new(FilterUnit::new(f2_stats.clone())),
+            &[("accept_percent", "25")],
+        )
+        .unwrap();
+    let replay = Arc::new(ReplayPt::new(&rec_dir).retarget(filter2_tid));
+    replay_node
+        .register_pt("flt2.replay", replay.clone())
+        .unwrap();
+    replay_node.enable_all();
+    let h2 = replay_node.spawn();
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while Instant::now() < deadline {
+        if replay.is_done() && f2_stats.received.load(Ordering::SeqCst) >= replay.injected() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    h2.shutdown();
+
+    let orig = (
+        f_stats.received.load(Ordering::SeqCst),
+        f_stats.accepted.load(Ordering::SeqCst),
+    );
+    let rep = (
+        f2_stats.received.load(Ordering::SeqCst),
+        f2_stats.accepted.load(Ordering::SeqCst),
+    );
+    println!(
+        "replay: injected={} received={} accepted={}",
+        replay.injected(),
+        rep.0,
+        rep.1
+    );
+    let _ = std::fs::remove_dir_all(&rec_dir);
+    if rep != orig {
+        eprintln!("replay mismatch: live {orig:?} vs replay {rep:?}");
+        std::process::exit(1);
+    }
+    println!("replay reproduced the run exactly");
 }

@@ -22,11 +22,34 @@ echo "== multi-worker executive dispatch scaling (1/2/4 workers) =="
 cargo run -p xdaq-bench --release --bin exec_scaling -- \
     --json results/BENCH_pr4.json
 
+echo "== event-store append/scan throughput (1 KiB .. 256 KiB) =="
+# Verifies internally that every append iovec aliases its pool block
+# (zero payload copies) and that the store scans back clean.
+cargo run -p xdaq-bench --release --bin rec_throughput -- \
+    --json results/BENCH_pr5.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo "== paper harnesses =="
     cargo run -p xdaq-bench --release --bin fig6
     cargo run -p xdaq-bench --release --bin table1
     cargo run -p xdaq-bench --release --bin ptmode
 fi
+
+echo "== consolidated benchmark trajectory =="
+# Merge every per-PR benchmark document into one array, ordered by PR,
+# so a single file tracks the performance trajectory across the stack.
+{
+    echo "["
+    first=1
+    for f in $(ls results/BENCH_pr*.json 2>/dev/null | sort -V); do
+        [[ $first -eq 1 ]] || echo ","
+        first=0
+        cat "$f"
+    done
+    echo "]"
+} > results/BENCH_trajectory.json
+python3 -c "import json; json.load(open('results/BENCH_trajectory.json'))" \
+    2>/dev/null || echo "warning: BENCH_trajectory.json failed validation"
+echo "wrote results/BENCH_trajectory.json"
 
 echo "bench: done (see results/)"

@@ -30,6 +30,13 @@ XDAQ_WORKERS=4 cargo test -q --test faults \
 XDAQ_WORKERS=4 cargo test -q --test faults \
     primary_killed_mid_run_fails_over_with_zero_loss -- --exact
 
+echo "== event recording: round-trip, replay, crash recovery =="
+# Covers the zero-copy append path (iovec aliasing asserted), the
+# record→replay determinism loop (live filter decisions reproduced from
+# the store), and SIGKILLing a recorder process mid-write followed by
+# torn-tail recovery.
+cargo test -q --test rec
+
 echo "== shm multi-process smoke (echo + kill) =="
 # Spawns real child processes on the far side of the region; covers
 # zero-copy descriptor passing, chained frames, and SIGKILL detection.

@@ -47,6 +47,10 @@ pub use xdaq_pt as pt;
 /// Zero-copy shared-memory peer transport (`shm://` scheme).
 pub use xdaq_shm as shm;
 
+/// Durable event recording (`Recorder` device) and deterministic
+/// replay (`replay://` peer transport).
+pub use xdaq_rec as rec;
+
 /// Control hosts and the xcl configuration language.
 pub use xdaq_host as host;
 
