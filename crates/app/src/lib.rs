@@ -7,49 +7,45 @@
 //! * [`pingpong`] — the flood/echo pair of the blackbox benchmark
 //!   (§5): a [`pingpong::Pinger`] floods a remote [`pingpong::Ponger`]
 //!   with fixed-payload messages and records round-trip times.
-//! * [`fragment`] — event-fragment headers shared by the DAQ classes.
-//! * [`readout`] — readout units: produce detector fragments on
-//!   trigger.
-//! * [`builder`] — builder units: assemble full events from all
-//!   sources (the n×m crossing traffic that gave XDAQ its name).
-//! * [`evtmgr`] — the event manager: trigger generation with a
-//!   credit-based window.
 //! * [`filter`] — filter units: consume built events and accept or
 //!   reject them.
+//! * [`bstore`] — block storage: a sink device draining event data.
+//!
+//! The event-building classes — readout units, builder units, the
+//! event manager and the fragment format — live in their own
+//! subsystem crate, `xdaq-evb`, and are re-exported here so existing
+//! `xdaq::app::*` paths keep working. The old push-style toys
+//! (`EVT_DONE` and friends) are gone; the re-exports are the
+//! credit-based pull implementation.
 
 pub mod bstore;
-pub mod builder;
-pub mod evtmgr;
 pub mod filter;
-pub mod fragment;
 pub mod pingpong;
-pub mod readout;
 
 pub use bstore::BlockStorage;
-pub use builder::{BuilderStats, BuilderUnit};
-pub use evtmgr::{EventManager, EvtMgrStats};
 pub use filter::{FilterStats, FilterUnit};
-pub use fragment::FragmentHeader;
 pub use pingpong::{PingState, Pinger, Ponger};
-pub use readout::ReadoutUnit;
 
-/// Organization id of the DAQ application classes.
-pub const ORG_DAQ: u16 = 0x0da0;
+pub use xdaq_evb::{
+    Assembler, BuilderStats, BuilderUnit, Completed, EventManager, EvmStats, FragmentHeader, Offer,
+    ReadoutUnit, FRAGMENT_HEADER_LEN,
+};
 
-/// Private x-function codes of the DAQ protocol.
+/// Former name of [`EvmStats`], kept for source compatibility.
+pub use xdaq_evb::EvmStats as EvtMgrStats;
+
+/// Organization id of the DAQ application classes (shared with
+/// `xdaq-evb`).
+pub use xdaq_evb::ORG_DAQ;
+
+/// Private x-function codes of the DAQ protocol. The event-builder
+/// codes are aliases of [`xdaq_evb::xfn`].
 pub mod xfn {
     /// Ping payload (pinger → ponger and echoed back).
     pub const PING: u16 = 0x0010;
     /// Kick a pinger into its flood loop.
     pub const PING_START: u16 = 0x0011;
-    /// Trigger: "produce your fragment of event N".
-    pub const TRIGGER: u16 = 0x0020;
-    /// A detector fragment (readout → builder).
-    pub const FRAGMENT: u16 = 0x0021;
-    /// A fully built event (builder → filter).
-    pub const EVENT: u16 = 0x0022;
-    /// Event-complete credit (builder → event manager).
-    pub const EVT_DONE: u16 = 0x0023;
-    /// Start a run of N events (host → event manager).
-    pub const RUN: u16 = 0x0024;
+    pub use xdaq_evb::xfn::{
+        ASSIGN, CLEAR, CREDIT, DONE, EVENT, FRAGMENT, INVITE, PULL, RUN, TRIGGER,
+    };
 }

@@ -249,6 +249,15 @@ impl ExecCore {
         self.registry.lookup_name(name)
     }
 
+    /// Registers `tid` as the executive's fault listener — the device
+    /// that receives `XFN_PEER_DOWN` / `XFN_WATCHDOG` / `XFN_FAULT`
+    /// notifications. Same effect as a `UtilFn::EventRegister` frame,
+    /// without the frame round trip (usable from `plugged`, before the
+    /// dispatch loop runs).
+    pub(crate) fn set_fault_listener(&self, tid: Tid) {
+        *self.fault_listener.lock() = Some(tid);
+    }
+
     /// Dispatch worker count (≥ 1).
     pub fn workers(&self) -> usize {
         self.workers

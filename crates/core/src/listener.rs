@@ -290,6 +290,16 @@ impl<'a> Dispatcher<'a> {
         self.core.monitors().registry()
     }
 
+    /// Subscribes this device to the executive's fault events: peer
+    /// deaths (`XFN_PEER_DOWN`), watchdog trips (`XFN_WATCHDOG`) and
+    /// dispatch faults (`XFN_FAULT`) arrive at
+    /// [`I2oListener::on_private`] under `ORG_XDAQ`. One listener per
+    /// executive (last subscriber wins) — the event manager uses this
+    /// to reclaim credits from builder units whose node died.
+    pub fn watch_faults(&self) {
+        self.core.set_fault_listener(self.meta.tid);
+    }
+
     /// Current scheduler overload limits (capacity, policy).
     pub fn overload(&self) -> (Option<usize>, crate::queue::OverloadPolicy) {
         self.core.overload()

@@ -1,0 +1,521 @@
+//! Builder units: the event assemblers.
+//!
+//! A builder grants buffer credits to the event manager (`CREDIT` in
+//! answer to `INVITE`), receives one `ASSIGN` per credit, and *pulls*
+//! the event's fragments from every readout unit. Fragments land in the
+//! [`Assembler`] zero-copy and in any order; when the last source
+//! arrives the unit ships an `EVENT` summary to its filter and returns
+//! the credit with `DONE`. Missing fragments are re-pulled when the
+//! per-event timeout (riding the executive's timer wheel) expires;
+//! after `max_retries` fruitless rounds the partial event is discarded
+//! — every pool block recycles — and reported `DONE_DISCARDED` so the
+//! event manager can reassign it.
+
+use crate::assembler::{Assembler, Offer};
+use crate::fragment::FragmentHeader;
+use crate::{u64_at, xfn, DONE_BUILT, DONE_DISCARDED, ORG_DAQ};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use xdaq_core::{Delivery, Dispatcher, I2oListener, TimerId};
+use xdaq_i2o::{DeviceClass, Message, Tid};
+use xdaq_mon::{Counter, Gauge, Histogram};
+
+/// Shared observable counters of one builder unit.
+#[derive(Debug, Default)]
+pub struct BuilderStats {
+    /// Events fully assembled and shipped.
+    pub events_built: AtomicU64,
+    /// Partial events given up after the retry budget.
+    pub discarded: AtomicU64,
+    /// Fragments accepted into the table.
+    pub fragments: AtomicU64,
+    /// Payload bytes of built events.
+    pub bytes: AtomicU64,
+    /// Fragments failing header decode or pattern verification.
+    pub corrupt: AtomicU64,
+    /// Fragments rejected because the slot was already filled.
+    pub duplicates: AtomicU64,
+    /// Event ids in completion order.
+    pub built_ids: Mutex<Vec<u64>>,
+}
+
+/// One builder unit.
+///
+/// Parameters:
+/// * `rus` — comma-separated device names of the readout units (proxy
+///   aliases work),
+/// * `filter` — device name to ship `EVENT` summaries to (optional),
+/// * `credits` — buffer credits granted per `INVITE` (default 8),
+/// * `timeout_ms` — per-event reassembly timeout (default 50),
+/// * `max_retries` — re-pull rounds before discarding (default 10).
+pub struct BuilderUnit {
+    rus: Vec<Tid>,
+    filter: Option<Tid>,
+    credits: u32,
+    timeout: Duration,
+    max_retries: u32,
+    evm: Option<Tid>,
+    run: u64,
+    assembler: Assembler,
+    timers: HashMap<TimerId, u64>,
+    stats: Arc<BuilderStats>,
+    configured: bool,
+    metrics: Option<BuMetrics>,
+}
+
+struct BuMetrics {
+    assigned: Counter,
+    built: Counter,
+    discarded: Counter,
+    repulls: Counter,
+    duplicates: Counter,
+    corrupt: Counter,
+    stale: Counter,
+    open: Gauge,
+    latency: Histogram,
+}
+
+impl BuilderUnit {
+    /// Creates an unconfigured builder unit.
+    pub fn new() -> BuilderUnit {
+        BuilderUnit {
+            rus: Vec::new(),
+            filter: None,
+            credits: 8,
+            timeout: Duration::from_millis(50),
+            max_retries: 10,
+            evm: None,
+            run: 0,
+            assembler: Assembler::new(),
+            timers: HashMap::new(),
+            stats: Arc::new(BuilderStats::default()),
+            configured: false,
+            metrics: None,
+        }
+    }
+
+    /// Shared handle to the unit's counters.
+    pub fn stats(&self) -> Arc<BuilderStats> {
+        self.stats.clone()
+    }
+
+    fn configure(&mut self, ctx: &Dispatcher<'_>) {
+        if self.configured {
+            return;
+        }
+        if let Some(names) = ctx.param("rus") {
+            self.rus = names
+                .split(',')
+                .filter(|n| !n.is_empty())
+                .filter_map(|n| ctx.lookup(n.trim()))
+                .collect();
+        }
+        self.filter = ctx.param("filter").and_then(|n| ctx.lookup(n));
+        if let Some(v) = ctx.param("credits").and_then(|s| s.parse().ok()) {
+            self.credits = v;
+        }
+        if let Some(v) = ctx.param("timeout_ms").and_then(|s| s.parse().ok()) {
+            self.timeout = Duration::from_millis(v);
+        }
+        if let Some(v) = ctx.param("max_retries").and_then(|s| s.parse().ok()) {
+            self.max_retries = v;
+        }
+        self.configured = true;
+    }
+
+    fn arm_timer(&mut self, ctx: &mut Dispatcher<'_>, event: u64) {
+        let id = ctx.start_timer(self.timeout);
+        self.assembler.set_timer(event, id);
+        self.timers.insert(id, event);
+    }
+
+    fn pull(&mut self, ctx: &mut Dispatcher<'_>, event: u64, sources: &[usize]) {
+        for &s in sources {
+            let Some(&ru) = self.rus.get(s) else { continue };
+            let msg = Message::build_private(ru, ctx.own_tid(), ORG_DAQ, xfn::PULL)
+                .payload(event.to_le_bytes().to_vec())
+                .finish();
+            let _ = ctx.send(msg);
+        }
+    }
+
+    fn send_done(&mut self, ctx: &mut Dispatcher<'_>, event: u64, status: u8) {
+        let Some(evm) = self.evm else { return };
+        let mut p = Vec::with_capacity(17);
+        p.extend_from_slice(&self.run.to_le_bytes());
+        p.extend_from_slice(&event.to_le_bytes());
+        p.push(status);
+        let msg = Message::build_private(evm, ctx.own_tid(), ORG_DAQ, xfn::DONE)
+            .payload(p)
+            .finish();
+        let _ = ctx.send(msg);
+    }
+
+    fn on_invite(&mut self, ctx: &mut Dispatcher<'_>, run: u64, evm: Tid) {
+        self.run = run;
+        self.evm = Some(evm);
+        // A new run supersedes anything still in flight.
+        for t in self.assembler.discard_all() {
+            ctx.cancel_timer(t);
+        }
+        self.timers.clear();
+        if let Some(m) = &self.metrics {
+            m.open.set(0);
+        }
+        let mut p = Vec::with_capacity(12);
+        p.extend_from_slice(&run.to_le_bytes());
+        p.extend_from_slice(&self.credits.to_le_bytes());
+        let msg = Message::build_private(evm, ctx.own_tid(), ORG_DAQ, xfn::CREDIT)
+            .payload(p)
+            .finish();
+        let _ = ctx.send(msg);
+    }
+
+    fn on_assign(&mut self, ctx: &mut Dispatcher<'_>, run: u64, event: u64) {
+        if run != self.run {
+            if let Some(m) = &self.metrics {
+                m.stale.inc();
+            }
+            return;
+        }
+        let sources = self.rus.len().max(1);
+        if !self
+            .assembler
+            .begin(event, sources, std::time::Instant::now())
+        {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.assigned.inc();
+            m.open.set(self.assembler.len() as i64);
+        }
+        let all: Vec<usize> = (0..sources).collect();
+        self.pull(ctx, event, &all);
+        self.arm_timer(ctx, event);
+    }
+
+    fn on_fragment(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let Some(h) = FragmentHeader::decode(msg.payload()) else {
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.corrupt.inc();
+            }
+            return;
+        };
+        if !h.verify_payload(msg.payload()) {
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.corrupt.inc();
+            }
+            return;
+        }
+        let plen = msg.payload().len();
+        let offer = self
+            .assembler
+            .offer(h.event_id, h.source_id as usize, (msg.into_buf(), plen));
+        match offer {
+            Offer::Stored => {
+                self.stats.fragments.fetch_add(1, Ordering::Relaxed);
+            }
+            Offer::Duplicate => {
+                self.stats.duplicates.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.duplicates.inc();
+                }
+            }
+            Offer::Invalid => {
+                self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.corrupt.inc();
+                }
+            }
+            Offer::Unknown => {
+                // Never assigned here, or already complete/discarded —
+                // a late answer to a pull that stopped mattering.
+                if let Some(m) = &self.metrics {
+                    m.stale.inc();
+                }
+            }
+            Offer::Complete(done) => {
+                self.stats.fragments.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = done.timer {
+                    ctx.cancel_timer(t);
+                    self.timers.remove(&t);
+                }
+                let bytes = done.bytes() as u64;
+                let event = done.event_id;
+                if let Some(m) = &self.metrics {
+                    m.built.inc();
+                    m.open.set(self.assembler.len() as i64);
+                    m.latency.record(done.started.elapsed().as_nanos() as u64);
+                }
+                // `done` drops here: every fragment block recycles.
+                drop(done);
+                if let Some(filter) = self.filter {
+                    let mut p = Vec::with_capacity(16);
+                    p.extend_from_slice(&event.to_le_bytes());
+                    p.extend_from_slice(&bytes.to_le_bytes());
+                    let m = Message::build_private(filter, ctx.own_tid(), ORG_DAQ, xfn::EVENT)
+                        .payload(p)
+                        .finish();
+                    let _ = ctx.send(m);
+                }
+                self.send_done(ctx, event, DONE_BUILT);
+                self.stats.events_built.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.stats.built_ids.lock().push(event);
+            }
+        }
+    }
+}
+
+impl Default for BuilderUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl I2oListener for BuilderUnit {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+
+    fn plugged(&mut self, ctx: &mut Dispatcher<'_>) {
+        let reg = ctx.metrics();
+        self.metrics = Some(BuMetrics {
+            assigned: reg.counter("evb.bu.assigned"),
+            built: reg.counter("evb.bu.built"),
+            discarded: reg.counter("evb.bu.discarded"),
+            repulls: reg.counter("evb.bu.repulls"),
+            duplicates: reg.counter("evb.bu.duplicates"),
+            corrupt: reg.counter("evb.bu.corrupt"),
+            stale: reg.counter("evb.bu.stale"),
+            open: reg.gauge("evb.bu.open"),
+            latency: reg.histogram("evb.build_latency_ns"),
+        });
+    }
+
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let Some(p) = msg.private else { return };
+        if p.org_id != ORG_DAQ {
+            return;
+        }
+        self.configure(ctx);
+        match p.x_function {
+            xfn::INVITE => {
+                if let Some(run) = u64_at(msg.payload(), 0) {
+                    let evm = msg.header.initiator;
+                    self.on_invite(ctx, run, evm);
+                }
+            }
+            xfn::ASSIGN => {
+                if let (Some(run), Some(event)) =
+                    (u64_at(msg.payload(), 0), u64_at(msg.payload(), 8))
+                {
+                    self.on_assign(ctx, run, event);
+                }
+            }
+            xfn::FRAGMENT => self.on_fragment(ctx, msg),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Dispatcher<'_>, id: TimerId) {
+        let Some(event) = self.timers.remove(&id) else {
+            return;
+        };
+        if !self.assembler.contains(event) {
+            return;
+        }
+        if self.assembler.retries(event) >= self.max_retries {
+            if let Some(t) = self.assembler.discard(event).flatten() {
+                ctx.cancel_timer(t);
+                self.timers.remove(&t);
+            }
+            self.stats.discarded.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.discarded.inc();
+                m.open.set(self.assembler.len() as i64);
+            }
+            self.send_done(ctx, event, DONE_DISCARDED);
+            return;
+        }
+        self.assembler.bump_retries(event);
+        let missing = self.assembler.missing(event);
+        if let Some(m) = &self.metrics {
+            m.repulls.add(missing.len() as u64);
+        }
+        self.pull(ctx, event, &missing);
+        self.arm_timer(ctx, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ru::ReadoutUnit;
+    use std::time::Instant;
+    use xdaq_core::{Executive, ExecutiveConfig};
+
+    /// Records EVENT (at a filter tid) and DONE (at an evm tid) frames.
+    #[derive(Default)]
+    struct Sink {
+        events: Arc<Mutex<Vec<(u64, u64)>>>,
+        dones: Arc<Mutex<Vec<(u64, u64, u8)>>>,
+    }
+    impl I2oListener for Sink {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            match msg.private.map(|p| p.x_function) {
+                Some(xfn::EVENT) => {
+                    let id = u64_at(msg.payload(), 0).unwrap();
+                    let bytes = u64_at(msg.payload(), 8).unwrap();
+                    self.events.lock().push((id, bytes));
+                }
+                Some(xfn::DONE) => {
+                    let run = u64_at(msg.payload(), 0).unwrap();
+                    let ev = u64_at(msg.payload(), 8).unwrap();
+                    let st = msg.payload()[16];
+                    self.dones.lock().push((run, ev, st));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    struct Rig {
+        exec: Executive,
+        bu: Tid,
+        evm: Tid,
+        events: Arc<Mutex<Vec<(u64, u64)>>>,
+        dones: Arc<Mutex<Vec<(u64, u64, u8)>>>,
+    }
+
+    fn rig(timeout_ms: &str, max_retries: &str) -> Rig {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let sink = Sink::default();
+        let (events, dones) = (sink.events.clone(), sink.dones.clone());
+        let evm = exec.register("evm", Box::new(sink), &[]).unwrap();
+        let filter = {
+            let s = Sink {
+                events: events.clone(),
+                dones: dones.clone(),
+            };
+            exec.register("filter", Box::new(s), &[]).unwrap()
+        };
+        let _ = filter;
+        for i in 0..2u16 {
+            exec.register(
+                &format!("ru{i}"),
+                Box::new(ReadoutUnit::new()),
+                &[
+                    ("source_id", &i.to_string()),
+                    ("sources", "2"),
+                    ("size", "64"),
+                ],
+            )
+            .unwrap();
+        }
+        let bu = exec
+            .register(
+                "bu",
+                Box::new(BuilderUnit::new()),
+                &[
+                    ("rus", "ru0,ru1"),
+                    ("filter", "filter"),
+                    ("credits", "4"),
+                    ("timeout_ms", timeout_ms),
+                    ("max_retries", max_retries),
+                ],
+            )
+            .unwrap();
+        exec.enable_all();
+        Rig {
+            exec,
+            bu,
+            evm,
+            events,
+            dones,
+        }
+    }
+
+    fn post(r: &Rig, to: Tid, from: Tid, f: u16, payload: Vec<u8>) {
+        r.exec
+            .post(
+                Message::build_private(to, from, ORG_DAQ, f)
+                    .payload(payload)
+                    .finish(),
+            )
+            .unwrap();
+    }
+
+    fn assign(run: u64, event: u64) -> Vec<u8> {
+        let mut p = run.to_le_bytes().to_vec();
+        p.extend_from_slice(&event.to_le_bytes());
+        p
+    }
+
+    #[test]
+    fn builds_one_event_end_to_end() {
+        let r = rig("1000", "10");
+        post(&r, r.bu, r.evm, xfn::INVITE, 1u64.to_le_bytes().to_vec());
+        // Digitize event 1 at both readout units, then assign it.
+        for name in ["ru0", "ru1"] {
+            let tid = r.exec.core().lookup_name(name).unwrap();
+            post(&r, tid, r.evm, xfn::TRIGGER, 1u64.to_le_bytes().to_vec());
+        }
+        post(&r, r.bu, r.evm, xfn::ASSIGN, assign(1, 1));
+        while r.exec.run_once() > 0 {}
+        assert_eq!(r.events.lock().as_slice(), &[(1, 2 * (16 + 64))]);
+        assert_eq!(r.dones.lock().as_slice(), &[(1, 1, DONE_BUILT)]);
+    }
+
+    #[test]
+    fn repulls_until_trigger_arrives() {
+        let r = rig("5", "50");
+        post(&r, r.bu, r.evm, xfn::INVITE, 3u64.to_le_bytes().to_vec());
+        // Assign before the readout units have digitized: the pulls
+        // park, the timer re-pulls, and once TRIGGER lands it builds.
+        post(&r, r.bu, r.evm, xfn::ASSIGN, assign(3, 9));
+        while r.exec.run_once() > 0 {}
+        assert!(r.events.lock().is_empty());
+        for name in ["ru0", "ru1"] {
+            let tid = r.exec.core().lookup_name(name).unwrap();
+            post(&r, tid, r.evm, xfn::TRIGGER, 9u64.to_le_bytes().to_vec());
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.events.lock().is_empty() && Instant::now() < deadline {
+            r.exec.run_once();
+        }
+        assert_eq!(r.events.lock().len(), 1);
+        assert_eq!(r.dones.lock().as_slice(), &[(3, 9, DONE_BUILT)]);
+    }
+
+    #[test]
+    fn discards_after_retry_budget_and_reports_it() {
+        let r = rig("2", "1");
+        post(&r, r.bu, r.evm, xfn::INVITE, 7u64.to_le_bytes().to_vec());
+        post(&r, r.bu, r.evm, xfn::ASSIGN, assign(7, 4));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.dones.lock().is_empty() && Instant::now() < deadline {
+            r.exec.run_once();
+        }
+        assert_eq!(r.dones.lock().as_slice(), &[(7, 4, DONE_DISCARDED)]);
+        assert!(r.events.lock().is_empty());
+    }
+
+    #[test]
+    fn stale_run_assign_is_ignored() {
+        let r = rig("1000", "10");
+        post(&r, r.bu, r.evm, xfn::INVITE, 2u64.to_le_bytes().to_vec());
+        post(&r, r.bu, r.evm, xfn::ASSIGN, assign(1, 5));
+        while r.exec.run_once() > 0 {}
+        assert!(r.events.lock().is_empty());
+        assert!(r.dones.lock().iter().all(|d| d.0 != 1));
+    }
+}

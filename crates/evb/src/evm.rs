@@ -1,0 +1,605 @@
+//! The event manager: event-id allocation and credit-based flow
+//! control.
+//!
+//! One EVM runs per event-builder mesh. A `RUN` frame opens a run
+//! epoch: the EVM `INVITE`s every builder unit, collects their
+//! `CREDIT` grants, and then drives the fabric — each credit buys one
+//! `ASSIGN`, and an assignment is preceded by a `TRIGGER` to every
+//! readout unit so the sources digitize the event before the builder
+//! pulls. Builders return credits with `DONE`; a built event earns a
+//! `CLEAR` broadcast so the sources drop their stored fragments, a
+//! discarded one is re-queued (bounded by `max_reassign`) or counted
+//! lost.
+//!
+//! Backpressure is structural: the EVM never has more events in flight
+//! than the builders granted credits for, so a slow or stalled builder
+//! throttles the trigger rate instead of overflowing queues — flow
+//! control propagates source-ward.
+//!
+//! The EVM registers as the executive's fault listener
+//! ([`xdaq_core::Dispatcher::watch_faults`]). When a builder's node
+//! dies (`XFN_PEER_DOWN`), its credits are reclaimed and its in-flight
+//! events re-queued for the survivors; the readout units still hold
+//! those fragments (they clear only on `CLEAR`), so nothing is lost.
+
+use crate::{u32_at, u64_at, xfn, DONE_BUILT, ORG_DAQ};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use xdaq_core::config::parse_kv;
+use xdaq_core::listener::UtilOutcome;
+use xdaq_core::xfn::XFN_PEER_DOWN;
+use xdaq_core::{Delivery, Dispatcher, I2oListener};
+use xdaq_i2o::{DeviceClass, Message, Tid, UtilFn, ORG_XDAQ};
+use xdaq_mon::{Counter, Gauge};
+
+/// Shared observable counters of one event manager.
+#[derive(Debug, Default)]
+pub struct EvmStats {
+    /// Trigger broadcasts issued (== events launched).
+    pub triggered: AtomicU64,
+    /// Events built and cleared.
+    pub completed: AtomicU64,
+    /// Events re-queued after a discard or a builder death.
+    pub reassigned: AtomicU64,
+    /// Events abandoned after `max_reassign` attempts.
+    pub lost: AtomicU64,
+    /// Set once `completed + lost` reaches the run target.
+    pub run_done: AtomicBool,
+}
+
+/// One event manager.
+///
+/// Parameters:
+/// * `readouts` — comma-separated device names of the readout units,
+/// * `bus` — comma-separated device names of the builder units,
+/// * `bu_urls` — peer URLs aligned with `bus` (optional; enables
+///   credit reclamation when a builder's node dies),
+/// * `max_reassign` — reassignment attempts per event before it is
+///   counted lost (default 3).
+pub struct EventManager {
+    rus: Vec<Tid>,
+    bus: Vec<Tid>,
+    bu_by_url: HashMap<String, Tid>,
+    max_reassign: u32,
+    run: u64,
+    /// Next event id — globally monotonic, never reset across runs:
+    /// readout-unit stale-pull detection relies on ids only growing.
+    next_event: u64,
+    target: u64,
+    launched: u64,
+    finished: u64,
+    credits: HashMap<Tid, u32>,
+    dead: HashSet<Tid>,
+    rr: usize,
+    /// Events awaiting (re)assignment. Re-queued events are already
+    /// digitized at the sources; fresh ones get a TRIGGER first.
+    queue: VecDeque<u64>,
+    assigned: HashMap<u64, Tid>,
+    attempts: HashMap<u64, u32>,
+    stats: Arc<EvmStats>,
+    configured: bool,
+    metrics: Option<EvmMetrics>,
+}
+
+struct EvmMetrics {
+    triggers: Counter,
+    assigns: Counter,
+    completed: Counter,
+    reassigned: Counter,
+    lost: Counter,
+    bu_down: Counter,
+    credits: Gauge,
+    inflight: Gauge,
+    queued: Gauge,
+}
+
+impl EventManager {
+    /// Creates an unconfigured event manager.
+    pub fn new() -> EventManager {
+        EventManager {
+            rus: Vec::new(),
+            bus: Vec::new(),
+            bu_by_url: HashMap::new(),
+            max_reassign: 3,
+            run: 0,
+            next_event: 1,
+            target: 0,
+            launched: 0,
+            finished: 0,
+            credits: HashMap::new(),
+            dead: HashSet::new(),
+            rr: 0,
+            queue: VecDeque::new(),
+            assigned: HashMap::new(),
+            attempts: HashMap::new(),
+            stats: Arc::new(EvmStats::default()),
+            configured: false,
+            metrics: None,
+        }
+    }
+
+    /// Shared handle to the manager's counters.
+    pub fn stats(&self) -> Arc<EvmStats> {
+        self.stats.clone()
+    }
+
+    fn configure(&mut self, ctx: &Dispatcher<'_>) {
+        if self.configured {
+            return;
+        }
+        let resolve = |names: &str| -> Vec<Tid> {
+            names
+                .split(',')
+                .filter(|n| !n.is_empty())
+                .filter_map(|n| ctx.lookup(n.trim()))
+                .collect()
+        };
+        if let Some(names) = ctx.param("readouts") {
+            self.rus = resolve(names);
+        }
+        if let Some(names) = ctx.param("bus") {
+            self.bus = resolve(names);
+        }
+        if let Some(urls) = ctx.param("bu_urls") {
+            for (url, &bu) in urls
+                .split(',')
+                .filter(|u| !u.is_empty())
+                .zip(self.bus.iter())
+            {
+                self.bu_by_url.insert(url.trim().to_string(), bu);
+            }
+        }
+        if let Some(v) = ctx.param("max_reassign").and_then(|s| s.parse().ok()) {
+            self.max_reassign = v;
+        }
+        self.configured = true;
+    }
+
+    fn gauge_sync(&self) {
+        if let Some(m) = &self.metrics {
+            m.credits
+                .set(self.credits.values().map(|&c| c as i64).sum());
+            m.inflight.set(self.assigned.len() as i64);
+            m.queued.set(self.queue.len() as i64);
+        }
+    }
+
+    fn broadcast_rus(&mut self, ctx: &mut Dispatcher<'_>, f: u16, event: u64) {
+        for &ru in &self.rus {
+            let msg = Message::build_private(ru, ctx.own_tid(), ORG_DAQ, f)
+                .payload(event.to_le_bytes().to_vec())
+                .finish();
+            let _ = ctx.send(msg);
+        }
+    }
+
+    fn on_run(&mut self, ctx: &mut Dispatcher<'_>, target: u64) {
+        self.configure(ctx);
+        self.run += 1;
+        self.target = target;
+        self.launched = 0;
+        self.finished = 0;
+        self.queue.clear();
+        self.assigned.clear();
+        self.attempts.clear();
+        self.credits.clear();
+        self.dead.clear();
+        self.rr = 0;
+        self.stats.run_done.store(target == 0, Ordering::SeqCst);
+        self.gauge_sync();
+        for i in 0..self.bus.len() {
+            let bu = self.bus[i];
+            let msg = Message::build_private(bu, ctx.own_tid(), ORG_DAQ, xfn::INVITE)
+                .payload(self.run.to_le_bytes().to_vec())
+                .finish();
+            if ctx.send(msg).is_err() {
+                self.mark_dead(ctx, bu);
+            }
+        }
+    }
+
+    /// Assigns queued and fresh events while any builder has credits.
+    fn pump(&mut self, ctx: &mut Dispatcher<'_>) {
+        loop {
+            if self.queue.is_empty() && self.launched >= self.target {
+                break;
+            }
+            let Some(bu) = self.pick_bu() else { break };
+            let (event, fresh) = match self.queue.pop_front() {
+                Some(e) => (e, false),
+                None => {
+                    let e = self.next_event;
+                    self.next_event += 1;
+                    self.launched += 1;
+                    (e, true)
+                }
+            };
+            if fresh {
+                self.broadcast_rus(ctx, xfn::TRIGGER, event);
+                self.stats.triggered.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.triggers.inc();
+                }
+            }
+            *self.credits.get_mut(&bu).expect("picked with credit") -= 1;
+            self.assigned.insert(event, bu);
+            let mut p = Vec::with_capacity(16);
+            p.extend_from_slice(&self.run.to_le_bytes());
+            p.extend_from_slice(&event.to_le_bytes());
+            let msg = Message::build_private(bu, ctx.own_tid(), ORG_DAQ, xfn::ASSIGN)
+                .payload(p)
+                .finish();
+            if ctx.send(msg).is_err() {
+                // The builder's link is gone: reclaim and re-queue.
+                self.mark_dead(ctx, bu);
+                continue;
+            }
+            if let Some(m) = &self.metrics {
+                m.assigns.inc();
+            }
+        }
+        self.gauge_sync();
+    }
+
+    /// Round-robin over builders holding at least one credit.
+    fn pick_bu(&mut self) -> Option<Tid> {
+        if self.bus.is_empty() {
+            return None;
+        }
+        for step in 0..self.bus.len() {
+            let bu = self.bus[(self.rr + step) % self.bus.len()];
+            if self.dead.contains(&bu) {
+                continue;
+            }
+            if self.credits.get(&bu).copied().unwrap_or(0) > 0 {
+                self.rr = (self.rr + step + 1) % self.bus.len();
+                return Some(bu);
+            }
+        }
+        None
+    }
+
+    fn on_credit(&mut self, ctx: &mut Dispatcher<'_>, run: u64, count: u32, bu: Tid) {
+        if run != self.run || self.dead.contains(&bu) {
+            return;
+        }
+        *self.credits.entry(bu).or_insert(0) += count;
+        self.pump(ctx);
+    }
+
+    fn on_done(&mut self, ctx: &mut Dispatcher<'_>, run: u64, event: u64, status: u8, bu: Tid) {
+        if run != self.run {
+            return;
+        }
+        // Exactly-once completion accounting: only the current owner's
+        // DONE counts; anything else is a duplicate from a reassigned
+        // (or wrongly-declared-dead) builder.
+        if self.assigned.get(&event) != Some(&bu) {
+            return;
+        }
+        self.assigned.remove(&event);
+        if !self.dead.contains(&bu) {
+            *self.credits.entry(bu).or_insert(0) += 1;
+        }
+        if status == DONE_BUILT {
+            self.finish(ctx, event, true);
+        } else {
+            let tries = self.attempts.entry(event).or_insert(0);
+            *tries += 1;
+            if *tries <= self.max_reassign {
+                self.queue.push_back(event);
+                self.stats.reassigned.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.reassigned.inc();
+                }
+            } else {
+                self.finish(ctx, event, false);
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Terminal accounting for one event: clear the sources, count it,
+    /// and flip `run_done` when the run drains.
+    fn finish(&mut self, ctx: &mut Dispatcher<'_>, event: u64, built: bool) {
+        self.broadcast_rus(ctx, xfn::CLEAR, event);
+        self.attempts.remove(&event);
+        self.finished += 1;
+        if built {
+            self.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.completed.inc();
+            }
+        } else {
+            self.stats.lost.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.lost.inc();
+            }
+        }
+        if self.finished >= self.target {
+            self.stats.run_done.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Declares a builder dead: reclaims its credits and re-queues its
+    /// in-flight events for the survivors.
+    fn mark_dead(&mut self, ctx: &mut Dispatcher<'_>, bu: Tid) {
+        if !self.dead.insert(bu) {
+            return;
+        }
+        self.credits.remove(&bu);
+        if let Some(m) = &self.metrics {
+            m.bu_down.inc();
+        }
+        let orphaned: Vec<u64> = self
+            .assigned
+            .iter()
+            .filter(|(_, &owner)| owner == bu)
+            .map(|(&e, _)| e)
+            .collect();
+        for event in orphaned {
+            self.assigned.remove(&event);
+            self.queue.push_back(event);
+            self.stats.reassigned.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.reassigned.inc();
+            }
+        }
+        self.pump(ctx);
+    }
+
+    fn on_peer_down(&mut self, ctx: &mut Dispatcher<'_>, payload: &[u8]) {
+        let Ok(kv) = parse_kv(payload) else { return };
+        let Some(url) = kv.get("peer") else { return };
+        if let Some(&bu) = self.bu_by_url.get(url.as_str()) {
+            self.mark_dead(ctx, bu);
+        }
+    }
+}
+
+impl Default for EventManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl I2oListener for EventManager {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+
+    fn plugged(&mut self, ctx: &mut Dispatcher<'_>) {
+        ctx.watch_faults();
+        let reg = ctx.metrics();
+        self.metrics = Some(EvmMetrics {
+            triggers: reg.counter("evb.evm.triggers"),
+            assigns: reg.counter("evb.evm.assigns"),
+            completed: reg.counter("evb.evm.completed"),
+            reassigned: reg.counter("evb.evm.reassigned"),
+            lost: reg.counter("evb.evm.lost"),
+            bu_down: reg.counter("evb.evm.bu_down"),
+            credits: reg.gauge("evb.evm.credits"),
+            inflight: reg.gauge("evb.evm.inflight"),
+            queued: reg.gauge("evb.evm.queued"),
+        });
+    }
+
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let Some(p) = msg.private else { return };
+        if p.org_id == ORG_XDAQ {
+            if p.x_function == XFN_PEER_DOWN {
+                let payload = msg.payload().to_vec();
+                self.on_peer_down(ctx, &payload);
+            }
+            return;
+        }
+        if p.org_id != ORG_DAQ {
+            return;
+        }
+        match p.x_function {
+            xfn::RUN => {
+                if let Some(target) = u64_at(msg.payload(), 0) {
+                    self.on_run(ctx, target);
+                }
+            }
+            xfn::CREDIT => {
+                if let (Some(run), Some(count)) =
+                    (u64_at(msg.payload(), 0), u32_at(msg.payload(), 8))
+                {
+                    let bu = msg.header.initiator;
+                    self.on_credit(ctx, run, count, bu);
+                }
+            }
+            xfn::DONE => {
+                if let (Some(run), Some(event), Some(&status)) = (
+                    u64_at(msg.payload(), 0),
+                    u64_at(msg.payload(), 8),
+                    msg.payload().get(16),
+                ) {
+                    let bu = msg.header.initiator;
+                    self.on_done(ctx, run, event, status, bu);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_util(&mut self, ctx: &mut Dispatcher<'_>, f: UtilFn, _msg: &Delivery) -> UtilOutcome {
+        if f == UtilFn::ParamsGet {
+            // Mirror live state into the parameter map so the default
+            // ParamsGet reply carries it (the `xcl` `evb` command).
+            ctx.set_param("evb.run", &self.run.to_string());
+            ctx.set_param("evb.next_event", &self.next_event.to_string());
+            ctx.set_param("evb.target", &self.target.to_string());
+            ctx.set_param("evb.launched", &self.launched.to_string());
+            ctx.set_param("evb.finished", &self.finished.to_string());
+            ctx.set_param(
+                "evb.completed",
+                &self.stats.completed.load(Ordering::Relaxed).to_string(),
+            );
+            ctx.set_param(
+                "evb.lost",
+                &self.stats.lost.load(Ordering::Relaxed).to_string(),
+            );
+            ctx.set_param(
+                "evb.reassigned",
+                &self.stats.reassigned.load(Ordering::Relaxed).to_string(),
+            );
+            let total: u32 = self.credits.values().sum();
+            ctx.set_param("evb.credits", &total.to_string());
+            ctx.set_param("evb.inflight", &self.assigned.len().to_string());
+            ctx.set_param("evb.queued", &self.queue.len().to_string());
+            ctx.set_param("evb.bus", &self.bus.len().to_string());
+            ctx.set_param("evb.bus_dead", &self.dead.len().to_string());
+            ctx.set_param(
+                "evb.run_done",
+                if self.stats.run_done.load(Ordering::SeqCst) {
+                    "1"
+                } else {
+                    "0"
+                },
+            );
+        }
+        UtilOutcome::Default
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bu::BuilderUnit;
+    use crate::ru::ReadoutUnit;
+    use std::time::{Duration, Instant};
+    use xdaq_core::{Executive, ExecutiveConfig};
+
+    /// Full single-executive mesh: 3 RU × 2 BU × 1 EVM + filter sink.
+    struct Mesh {
+        exec: Executive,
+        evm_tid: Tid,
+        evm: Arc<EvmStats>,
+        bu_stats: Vec<Arc<crate::bu::BuilderStats>>,
+        received: Arc<parking_lot::Mutex<Vec<u64>>>,
+    }
+
+    struct FilterSink(Arc<parking_lot::Mutex<Vec<u64>>>);
+    impl I2oListener for FilterSink {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            if msg.private.map(|p| p.x_function) == Some(xfn::EVENT) {
+                self.0.lock().push(u64_at(msg.payload(), 0).unwrap());
+            }
+        }
+    }
+
+    fn mesh(n_ru: usize, n_bu: usize) -> Mesh {
+        let exec = Executive::new(ExecutiveConfig::named("mesh"));
+        let received = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        exec.register("filter", Box::new(FilterSink(received.clone())), &[])
+            .unwrap();
+        let ru_names: Vec<String> = (0..n_ru).map(|i| format!("ru{i}")).collect();
+        for (i, name) in ru_names.iter().enumerate() {
+            exec.register(
+                name,
+                Box::new(ReadoutUnit::new()),
+                &[
+                    ("source_id", &i.to_string()),
+                    ("sources", &n_ru.to_string()),
+                    ("size", "128"),
+                ],
+            )
+            .unwrap();
+        }
+        let bu_names: Vec<String> = (0..n_bu).map(|i| format!("bu{i}")).collect();
+        let mut bu_stats = Vec::new();
+        for name in &bu_names {
+            let bu = BuilderUnit::new();
+            bu_stats.push(bu.stats());
+            exec.register(
+                name,
+                Box::new(bu),
+                &[
+                    ("rus", &ru_names.join(",")),
+                    ("filter", "filter"),
+                    ("credits", "4"),
+                    ("timeout_ms", "20"),
+                    ("max_retries", "10"),
+                ],
+            )
+            .unwrap();
+        }
+        let evm = EventManager::new();
+        let stats = evm.stats();
+        let evm_tid = exec
+            .register(
+                "evm",
+                Box::new(evm),
+                &[
+                    ("readouts", &ru_names.join(",")),
+                    ("bus", &bu_names.join(",")),
+                ],
+            )
+            .unwrap();
+        exec.enable_all();
+        Mesh {
+            exec,
+            evm_tid,
+            evm: stats,
+            bu_stats,
+            received,
+        }
+    }
+
+    fn run_to_completion(m: &Mesh, target: u64) {
+        // The flag may still be set from a previous run; clear it
+        // before the RUN frame is posted so the wait loop below
+        // can't exit on stale state.
+        m.evm.run_done.store(false, Ordering::SeqCst);
+        m.exec
+            .post(
+                Message::build_private(m.evm_tid, Tid::HOST, ORG_DAQ, xfn::RUN)
+                    .payload(target.to_le_bytes().to_vec())
+                    .finish(),
+            )
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !m.evm.run_done.load(Ordering::SeqCst) && Instant::now() < deadline {
+            m.exec.run_once();
+        }
+        assert!(m.evm.run_done.load(Ordering::SeqCst), "run stalled");
+    }
+
+    #[test]
+    fn builds_a_full_run_without_loss() {
+        let m = mesh(3, 2);
+        run_to_completion(&m, 100);
+        assert_eq!(m.evm.completed.load(Ordering::SeqCst), 100);
+        assert_eq!(m.evm.lost.load(Ordering::SeqCst), 0);
+        let mut ids = m.received.lock().clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100, "every event reached the filter once");
+        // Both builders participated (credits spread the load).
+        for s in &m.bu_stats {
+            assert!(s.events_built.load(Ordering::SeqCst) > 0);
+        }
+    }
+
+    #[test]
+    fn event_ids_stay_monotonic_across_runs() {
+        let m = mesh(2, 1);
+        run_to_completion(&m, 10);
+        let first: Vec<u64> = m.received.lock().clone();
+        run_to_completion(&m, 10);
+        let all = m.received.lock().clone();
+        let second = &all[first.len()..];
+        let max1 = first.iter().max().unwrap();
+        assert!(
+            second.iter().all(|e| e > max1),
+            "second run reuses event ids"
+        );
+        assert_eq!(m.evm.completed.load(Ordering::SeqCst), 20);
+    }
+}

@@ -1,0 +1,257 @@
+//! Readout units: the data sources of the event builder.
+//!
+//! A `TRIGGER` from the event manager "digitizes" one fragment of the
+//! event into the unit's local store. Builders *pull*: a `PULL` request
+//! answers with the fragment; the store entry survives until the EVM
+//! broadcasts `CLEAR`, so a builder that dies mid-event can be replaced
+//! and the survivor re-pulls the same fragments. A `PULL` racing ahead
+//! of its `TRIGGER` (the two ride different links) is parked and served
+//! the moment the trigger lands.
+
+use crate::fragment::FragmentHeader;
+use crate::{u64_at, xfn, ORG_DAQ};
+use std::collections::{HashMap, HashSet};
+use xdaq_core::{Delivery, Dispatcher, I2oListener};
+use xdaq_i2o::{DeviceClass, Message, Tid};
+use xdaq_mon::{Counter, Gauge};
+
+/// One readout unit.
+///
+/// Parameters:
+/// * `source_id` — this unit's index among the sources,
+/// * `sources` — total number of readout units,
+/// * `size` — fragment payload bytes.
+pub struct ReadoutUnit {
+    source_id: u16,
+    total_sources: u16,
+    size: u32,
+    /// Events digitized and not yet cleared. The payload itself is a
+    /// deterministic pattern of (event, source), so the store holds
+    /// only the id — regeneration on pull costs nothing and the store
+    /// stays bounded by the EVM's trigger window.
+    store: HashSet<u64>,
+    /// Highest event id ever triggered (stale-pull detection).
+    highest: Option<u64>,
+    /// Pulls that arrived before their trigger: event → requesters.
+    parked: HashMap<u64, Vec<Tid>>,
+    configured: bool,
+    metrics: Option<RuMetrics>,
+    /// Fragments produced (observable for tests).
+    pub produced: u64,
+}
+
+struct RuMetrics {
+    triggers: Counter,
+    fragments: Counter,
+    stale_pulls: Counter,
+    parked: Counter,
+    store: Gauge,
+}
+
+impl ReadoutUnit {
+    /// Creates an unconfigured readout unit (parameters are read on
+    /// first frame).
+    pub fn new() -> ReadoutUnit {
+        ReadoutUnit {
+            source_id: 0,
+            total_sources: 1,
+            size: 1024,
+            store: HashSet::new(),
+            highest: None,
+            parked: HashMap::new(),
+            configured: false,
+            metrics: None,
+            produced: 0,
+        }
+    }
+
+    fn configure(&mut self, ctx: &Dispatcher<'_>) {
+        if self.configured {
+            return;
+        }
+        if let Some(v) = ctx.param("source_id").and_then(|s| s.parse().ok()) {
+            self.source_id = v;
+        }
+        if let Some(v) = ctx.param("sources").and_then(|s| s.parse().ok()) {
+            self.total_sources = v;
+        }
+        if let Some(v) = ctx.param("size").and_then(|s| s.parse().ok()) {
+            self.size = v;
+        }
+        self.configured = true;
+    }
+
+    fn send_fragment(&mut self, ctx: &mut Dispatcher<'_>, event: u64, dest: Tid) {
+        let header = FragmentHeader {
+            event_id: event,
+            source_id: self.source_id,
+            total_sources: self.total_sources,
+            len: self.size,
+        };
+        let frag = Message::build_private(dest, ctx.own_tid(), ORG_DAQ, xfn::FRAGMENT)
+            .payload(header.build_payload())
+            .finish();
+        let _ = ctx.send(frag);
+        self.produced += 1;
+        if let Some(m) = &self.metrics {
+            m.fragments.inc();
+        }
+    }
+}
+
+impl Default for ReadoutUnit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl I2oListener for ReadoutUnit {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+
+    fn plugged(&mut self, ctx: &mut Dispatcher<'_>) {
+        let reg = ctx.metrics();
+        self.metrics = Some(RuMetrics {
+            triggers: reg.counter("evb.ru.triggers"),
+            fragments: reg.counter("evb.ru.fragments"),
+            stale_pulls: reg.counter("evb.ru.stale_pulls"),
+            parked: reg.counter("evb.ru.parked_pulls"),
+            store: reg.gauge("evb.ru.store"),
+        });
+    }
+
+    fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        let Some(p) = msg.private else { return };
+        if p.org_id != ORG_DAQ {
+            return;
+        }
+        self.configure(ctx);
+        let Some(event) = u64_at(msg.payload(), 0) else {
+            return;
+        };
+        match p.x_function {
+            xfn::TRIGGER => {
+                self.store.insert(event);
+                self.highest = Some(self.highest.map_or(event, |h| h.max(event)));
+                if let Some(m) = &self.metrics {
+                    m.triggers.inc();
+                    m.store.set(self.store.len() as i64);
+                }
+                if let Some(waiters) = self.parked.remove(&event) {
+                    for dest in waiters {
+                        self.send_fragment(ctx, event, dest);
+                    }
+                }
+            }
+            xfn::PULL => {
+                let requester = msg.header.initiator;
+                if self.store.contains(&event) {
+                    self.send_fragment(ctx, event, requester);
+                } else if self.highest.is_some_and(|h| event <= h) {
+                    // Already cleared: the event finished elsewhere and
+                    // this is a stale re-pull crossing its completion.
+                    if let Some(m) = &self.metrics {
+                        m.stale_pulls.inc();
+                    }
+                } else {
+                    // Pull overtook the trigger: park the requester.
+                    self.parked.entry(event).or_default().push(requester);
+                    if let Some(m) = &self.metrics {
+                        m.parked.inc();
+                    }
+                }
+            }
+            xfn::CLEAR => {
+                self.store.remove(&event);
+                self.parked.remove(&event);
+                if let Some(m) = &self.metrics {
+                    m.store.set(self.store.len() as i64);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use xdaq_core::{Executive, ExecutiveConfig};
+
+    struct Collector(Arc<AtomicU64>, Arc<parking_lot::Mutex<Vec<u64>>>);
+    impl I2oListener for Collector {
+        fn class(&self) -> DeviceClass {
+            DeviceClass::Application(ORG_DAQ)
+        }
+        fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+            if msg.private.map(|p| p.x_function) == Some(xfn::FRAGMENT) {
+                let h = FragmentHeader::decode(msg.payload()).unwrap();
+                assert!(h.verify_payload(msg.payload()));
+                self.0.fetch_add(1, Ordering::SeqCst);
+                self.1.lock().push(h.event_id);
+            }
+        }
+    }
+
+    fn send(exec: &Executive, ru: Tid, from: Tid, f: u16, event: u64) {
+        exec.post(
+            Message::build_private(ru, from, ORG_DAQ, f)
+                .payload(event.to_le_bytes().to_vec())
+                .finish(),
+        )
+        .unwrap();
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn harness() -> (
+        Executive,
+        Tid,
+        Tid,
+        Arc<AtomicU64>,
+        Arc<parking_lot::Mutex<Vec<u64>>>,
+    ) {
+        let exec = Executive::new(ExecutiveConfig::named("n"));
+        let count = Arc::new(AtomicU64::new(0));
+        let ids = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let bu = exec
+            .register("bu", Box::new(Collector(count.clone(), ids.clone())), &[])
+            .unwrap();
+        let ru = exec
+            .register(
+                "ru",
+                Box::new(ReadoutUnit::new()),
+                &[("source_id", "0"), ("sources", "2"), ("size", "256")],
+            )
+            .unwrap();
+        exec.enable_all();
+        (exec, ru, bu, count, ids)
+    }
+
+    #[test]
+    fn pull_after_trigger_serves_fragment_until_clear() {
+        let (exec, ru, bu, count, _) = harness();
+        send(&exec, ru, bu, xfn::TRIGGER, 5);
+        send(&exec, ru, bu, xfn::PULL, 5);
+        // Re-pull before clear: served again (builder retry).
+        send(&exec, ru, bu, xfn::PULL, 5);
+        send(&exec, ru, bu, xfn::CLEAR, 5);
+        send(&exec, ru, bu, xfn::PULL, 5);
+        while exec.run_once() > 0 {}
+        assert_eq!(count.load(Ordering::SeqCst), 2, "stale pull unanswered");
+    }
+
+    #[test]
+    fn early_pull_is_parked_until_the_trigger_lands() {
+        let (exec, ru, bu, count, ids) = harness();
+        send(&exec, ru, bu, xfn::PULL, 9);
+        while exec.run_once() > 0 {}
+        assert_eq!(count.load(Ordering::SeqCst), 0, "not yet digitized");
+        send(&exec, ru, bu, xfn::TRIGGER, 9);
+        while exec.run_once() > 0 {}
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert_eq!(*ids.lock(), vec![9]);
+    }
+}

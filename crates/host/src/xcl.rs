@@ -25,6 +25,8 @@
 //! faults pt0 fail=300 kill=0    # reprogram a ChaosPt fault plan
 //! rec    r0 sync=1               # drive a Recorder (rec.* knobs)
 //! replay rp0 pace_us=250         # tune a replay transport (replay.*)
+//! evb    evm 200                 # event-builder status: EVM credit and
+//!                                # event-id state + per-BU build rates
 //! mon    results/mon.json        # scrape every node into one JSON doc
 //! monreset ru0                   # zero a node's monitoring state
 //! trace  ru0 on                  # frame-lifecycle tracer on|off
@@ -289,6 +291,72 @@ impl<'a> XclInterpreter<'a> {
                 // keys get the `replay.` prefix (`pace_us=250` ->
                 // `replay.pace_us=250`).
                 self.prefixed_set("replay", "replay", handle, rest, line)
+            }
+            ["evb", handle, rest @ ..] => {
+                // Event-builder status. The EVM mirrors its live
+                // credit/event-id state into its parameters on every
+                // ParamsGet; per-BU build rates and latency percentiles
+                // come from two mon scrapes `window_ms` apart across
+                // the defined nodes.
+                let t = self.resolve(handle, line)?;
+                let window_ms: u64 = match rest.first() {
+                    Some(w) => w.parse().map_err(|_| err(format!("bad window '{w}'")))?,
+                    None => 200,
+                };
+                let params = self.host.params_get(t).map_err(|e| Self::fail(line, e))?;
+                let g = |k: &str| params.get(k).map(String::as_str).unwrap_or("?");
+                let mut log = format!(
+                    "evb {handle}: run={} done={} target={} completed={} lost={} \
+                     reassigned={} next_event={} credits={} inflight={} queued={} \
+                     bus={} dead={}",
+                    g("evb.run"),
+                    g("evb.run_done"),
+                    g("evb.target"),
+                    g("evb.completed"),
+                    g("evb.lost"),
+                    g("evb.reassigned"),
+                    g("evb.next_event"),
+                    g("evb.credits"),
+                    g("evb.inflight"),
+                    g("evb.queued"),
+                    g("evb.bus"),
+                    g("evb.bus_dead"),
+                );
+                let mut latency: Option<xdaq_mon::HistogramSnapshot> = None;
+                for name in self.nodes.clone() {
+                    let nt = self.resolve(&name, line)?;
+                    let before = self.host.scrape(nt).map_err(|e| Self::fail(line, e))?;
+                    let Some(built0) = before["metrics"]["counters"]["evb.bu.built"].as_u64()
+                    else {
+                        continue; // not a builder node
+                    };
+                    std::thread::sleep(std::time::Duration::from_millis(window_ms));
+                    let after = self.host.scrape(nt).map_err(|e| Self::fail(line, e))?;
+                    let built1 = after["metrics"]["counters"]["evb.bu.built"]
+                        .as_u64()
+                        .unwrap_or(built0);
+                    let rate = (built1 - built0) as f64 * 1000.0 / window_ms.max(1) as f64;
+                    log.push_str(&format!("\n  {name}: built={built1} rate={rate:.1} ev/s"));
+                    if let Some(h) = xdaq_mon::HistogramSnapshot::from_value(
+                        &after["metrics"]["histograms"]["evb.build_latency_ns"],
+                    ) {
+                        match &mut latency {
+                            Some(total) => total.merge(&h),
+                            None => latency = Some(h),
+                        }
+                    }
+                }
+                if let Some(h) = latency {
+                    let ms = |q: f64| h.quantile(q).map_or(-1.0, |ns| ns as f64 / 1e6);
+                    log.push_str(&format!(
+                        "\n  build latency: p50={:.3}ms p90={:.3}ms p99={:.3}ms ({} events)",
+                        ms(0.5),
+                        ms(0.9),
+                        ms(0.99),
+                        h.count
+                    ));
+                }
+                Ok(log)
             }
             ["watch", node] => {
                 let t = self.resolve(node, line)?;

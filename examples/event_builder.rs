@@ -7,13 +7,16 @@
 //! that cross over."*
 //!
 //! Topology built here (all in one process over the loopback PT, one
-//! executive per "machine"):
+//! executive per "machine"), on the `xdaq-evb` credit-based pull
+//! protocol:
 //!
 //! ```text
 //!   event manager ──triggers──▶ 4 readout nodes
-//!   readout nodes ──fragments─▶ 3 builder nodes   (4×3 crossing mesh)
+//!   event manager ──assigns───▶ 3 builder nodes   (1 credit each)
+//!   builder nodes ──pulls─────▶ readout nodes
+//!   readout nodes ──fragments─▶ builder nodes     (4×3 crossing mesh)
 //!   builder nodes ──events────▶ recorder ──▶ 1 filter node
-//!   builder nodes ──credits───▶ event manager
+//!   builder nodes ──done──────▶ event manager     (credit returns)
 //! ```
 //!
 //! A Recorder device taps the builder→filter stream and persists every
@@ -26,11 +29,9 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xdaq::app::{
-    xfn, BuilderStats, BuilderUnit, EventManager, EvtMgrStats, FilterStats, FilterUnit,
-    ReadoutUnit, ORG_DAQ,
-};
+use xdaq::app::{xfn, FilterStats, FilterUnit, ORG_DAQ};
 use xdaq::core::{Executive, ExecutiveConfig};
+use xdaq::evb::{BuilderUnit, EventManager, ReadoutUnit};
 use xdaq::i2o::{Message, Tid};
 use xdaq::pt::{LoopbackHub, LoopbackPt};
 use xdaq::rec::{scan, Recorder, ReplayPt};
@@ -91,53 +92,9 @@ fn main() {
         )
         .unwrap();
 
-    // Event manager.
-    let m_stats = EvtMgrStats::new();
-    let mgr_tid = mgr_node
-        .register(
-            "evm",
-            Box::new(EventManager::new(m_stats.clone())),
-            &[("window", "32")],
-        )
-        .unwrap();
-
-    // Builders: each needs proxies for the filter and the manager.
-    let mut builder_stats = Vec::new();
-    let mut bu_tids = Vec::new();
-    for (i, bu) in bu_nodes.iter().enumerate() {
-        // Builders address the recorder; it forwards to the filter.
-        let filter_proxy = bu.proxy("loop://flt", recorder_tid, None).unwrap();
-        let mgr_proxy = bu.proxy("loop://mgr", mgr_tid, None).unwrap();
-        let stats = BuilderStats::new();
-        let tid = bu
-            .register(
-                &format!("builder{i}"),
-                Box::new(BuilderUnit::new(stats.clone())),
-                &[
-                    ("filter", &filter_proxy.raw().to_string()),
-                    ("evtmgr", &mgr_proxy.raw().to_string()),
-                    ("verify", "1"),
-                ],
-            )
-            .unwrap();
-        builder_stats.push(stats);
-        bu_tids.push(tid);
-    }
-
-    // Readouts: each needs proxies for every builder (the crossing
-    // mesh) — built once at configuration time, per the paper.
+    // Readouts first: builders and the manager address them by proxy.
     let mut ru_tids = Vec::new();
     for (i, ru) in ru_nodes.iter().enumerate() {
-        let builder_proxies: Vec<String> = bu_tids
-            .iter()
-            .enumerate()
-            .map(|(b, tid)| {
-                ru.proxy(&format!("loop://bu{b}"), *tid, None)
-                    .unwrap()
-                    .raw()
-                    .to_string()
-            })
-            .collect();
         let tid = ru
             .register(
                 &format!("readout{i}"),
@@ -146,33 +103,82 @@ fn main() {
                     ("source_id", &i.to_string()),
                     ("sources", &READOUTS.to_string()),
                     ("size", &FRAGMENT_SIZE.to_string()),
-                    ("builders", &builder_proxies.join(",")),
                 ],
             )
             .unwrap();
         ru_tids.push(tid);
     }
 
-    // Manager needs proxies for every readout.
-    let ru_proxies: Vec<String> = ru_tids
+    // Builders: proxies for every readout (the crossing mesh — pulls
+    // go n×m) plus the recorder tap. The event manager announces
+    // itself with INVITE, so no manager proxy is configured.
+    let mut builder_stats = Vec::new();
+    let mut bu_tids = Vec::new();
+    for (i, bu) in bu_nodes.iter().enumerate() {
+        let ru_names: Vec<String> = ru_tids
+            .iter()
+            .enumerate()
+            .map(|(r, tid)| {
+                let alias = format!("ru{r}");
+                bu.proxy(&format!("loop://ru{r}"), *tid, Some(&alias))
+                    .unwrap();
+                alias
+            })
+            .collect();
+        bu.proxy("loop://flt", recorder_tid, Some("rec")).unwrap();
+        let unit = BuilderUnit::new();
+        let stats = unit.stats();
+        let tid = bu
+            .register(
+                &format!("builder{i}"),
+                Box::new(unit),
+                &[
+                    ("rus", &ru_names.join(",")),
+                    ("filter", "rec"),
+                    ("credits", "8"),
+                    ("timeout_ms", "100"),
+                    ("max_retries", "20"),
+                ],
+            )
+            .unwrap();
+        builder_stats.push(stats);
+        bu_tids.push(tid);
+    }
+
+    // Event manager: proxies for every readout (triggers, clears) and
+    // every builder (invites, assignments).
+    let ru_names: Vec<String> = ru_tids
         .iter()
         .enumerate()
         .map(|(i, tid)| {
+            let alias = format!("ru{i}");
             mgr_node
-                .proxy(&format!("loop://ru{i}"), *tid, None)
-                .unwrap()
-                .raw()
-                .to_string()
+                .proxy(&format!("loop://ru{i}"), *tid, Some(&alias))
+                .unwrap();
+            alias
         })
         .collect();
-    mgr_node
-        .post(
-            Message::util(mgr_tid, Tid::HOST, xdaq::i2o::UtilFn::ParamsSet)
-                .payload(xdaq::core::config::kv(&[(
-                    "readouts",
-                    &ru_proxies.join(","),
-                )]))
-                .finish(),
+    let bu_names: Vec<String> = bu_tids
+        .iter()
+        .enumerate()
+        .map(|(i, tid)| {
+            let alias = format!("bu{i}");
+            mgr_node
+                .proxy(&format!("loop://bu{i}"), *tid, Some(&alias))
+                .unwrap();
+            alias
+        })
+        .collect();
+    let evm = EventManager::new();
+    let m_stats = evm.stats();
+    let mgr_tid = mgr_node
+        .register(
+            "evm",
+            Box::new(evm),
+            &[
+                ("readouts", &ru_names.join(",")),
+                ("bus", &bu_names.join(",")),
+            ],
         )
         .unwrap();
 
@@ -221,6 +227,11 @@ fn main() {
         }
     }
     let elapsed = t0.elapsed();
+    assert_eq!(
+        m_stats.lost.load(Ordering::SeqCst),
+        0,
+        "events lost on a fault-free fabric"
+    );
 
     let built: u64 = builder_stats
         .iter()

@@ -28,6 +28,13 @@ echo "== event-store append/scan throughput (1 KiB .. 256 KiB) =="
 cargo run -p xdaq-bench --release --bin rec_throughput -- \
     --json results/BENCH_pr5.json
 
+echo "== event-builder scaling (n x m executives over shm + tcp, chaos) =="
+# Asserts the PR acceptance floor internally: every mesh point (up to
+# 16x8 executives, tcp stragglers included) finishes with zero event
+# loss while readouts drop 10% of fragments under a fixed-seed plan.
+cargo run -p xdaq-bench --release --bin evb_scaling -- \
+    --json results/BENCH_pr6.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo "== paper harnesses =="
     cargo run -p xdaq-bench --release --bin fig6

@@ -42,6 +42,14 @@ echo "== shm multi-process smoke (echo + kill) =="
 # zero-copy descriptor passing, chained frames, and SIGKILL detection.
 cargo test -q --test shm
 
+echo "== event builder: chaos mesh + builder kill (multi-process) =="
+# A real 4x2 RU/BU mesh, one process per node over shm regions. The
+# chaos run drops 10% of fragments (fixed seed) and must finish with
+# zero loss; the kill run SIGKILLs a builder mid-run and the event
+# manager must reclaim its credits and reassign its events.
+cargo test -q --test evb
+cargo test -q -p xdaq-evb
+
 echo "== loom model of the shm SPSC ring =="
 RUSTFLAGS="--cfg loom" cargo test -q -p xdaq-shm --test loom --release
 

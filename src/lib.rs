@@ -59,3 +59,7 @@ pub use xdaq_probe as probe;
 
 /// DAQ application device classes.
 pub use xdaq_app as app;
+
+/// The N×M event builder: readout/builder/event-manager device
+/// classes with credit-based flow control.
+pub use xdaq_evb as evb;

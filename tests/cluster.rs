@@ -645,6 +645,124 @@ fn chained_bulk_transfer_across_nodes() {
     hb.shutdown();
 }
 
+/// The `evb` xcl command surfaces the event manager's credit/event-id
+/// state through ParamsGet and per-builder build rates + latency
+/// percentiles through mon scrapes of the defined nodes.
+#[test]
+fn xcl_evb_command_reports_builder_state() {
+    use xdaq::app::{FilterStats, FilterUnit};
+    use xdaq::evb::{BuilderUnit, EventManager, ReadoutUnit};
+
+    const EVENTS: u64 = 200;
+    let hub = LoopbackHub::new();
+    let mgr_node = node_on(&hub, "mgr");
+    let flt_node = node_on(&hub, "flt");
+    let ru_nodes: Vec<Executive> = (0..2).map(|i| node_on(&hub, &format!("ru{i}"))).collect();
+    let bu_node = node_on(&hub, "bu0");
+
+    let f_stats = FilterStats::new();
+    let filter_tid = flt_node
+        .register("filter0", Box::new(FilterUnit::new(f_stats)), &[])
+        .unwrap();
+    let ru_tids: Vec<Tid> = ru_nodes
+        .iter()
+        .enumerate()
+        .map(|(i, ru)| {
+            ru.register(
+                &format!("readout{i}"),
+                Box::new(ReadoutUnit::new()),
+                &[
+                    ("source_id", &i.to_string()),
+                    ("sources", "2"),
+                    ("size", "512"),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    for (i, tid) in ru_tids.iter().enumerate() {
+        bu_node
+            .proxy(&format!("loop://ru{i}"), *tid, Some(&format!("ru{i}")))
+            .unwrap();
+    }
+    bu_node
+        .proxy("loop://flt", filter_tid, Some("flt"))
+        .unwrap();
+    let bu_tid = bu_node
+        .register(
+            "builder0",
+            Box::new(BuilderUnit::new()),
+            &[("rus", "ru0,ru1"), ("filter", "flt"), ("credits", "4")],
+        )
+        .unwrap();
+    for (i, tid) in ru_tids.iter().enumerate() {
+        mgr_node
+            .proxy(&format!("loop://ru{i}"), *tid, Some(&format!("ru{i}")))
+            .unwrap();
+    }
+    mgr_node.proxy("loop://bu0", bu_tid, Some("bu0")).unwrap();
+    let evm = EventManager::new();
+    let m_stats = evm.stats();
+    let mgr_tid = mgr_node
+        .register(
+            "evm",
+            Box::new(evm),
+            &[("readouts", "ru0,ru1"), ("bus", "bu0")],
+        )
+        .unwrap();
+
+    let mut handles = Vec::new();
+    for exec in std::iter::once(&mgr_node)
+        .chain(std::iter::once(&flt_node))
+        .chain(ru_nodes.iter())
+        .chain(std::iter::once(&bu_node))
+    {
+        exec.enable_all();
+        handles.push(exec.spawn());
+    }
+    mgr_node
+        .post(
+            Message::build_private(mgr_tid, Tid::HOST, ORG_DAQ, xdaq::evb::xfn::RUN)
+                .payload(EVENTS.to_le_bytes().to_vec())
+                .finish(),
+        )
+        .unwrap();
+    assert!(
+        wait_until(
+            || m_stats.run_done.load(Ordering::SeqCst),
+            Duration::from_secs(30)
+        ),
+        "run incomplete: {}",
+        m_stats.completed.load(Ordering::SeqCst)
+    );
+
+    // Host side: device proxy for the EVM, node handle for the builder.
+    let host = ControlHost::new("ctl");
+    host.executive()
+        .register_pt("ctl.pt", LoopbackPt::new(&hub, "ctl"))
+        .unwrap();
+    host.start();
+    let mut interp = XclInterpreter::new(&host);
+    let bu_handle = host.connect_node("loop://bu0", Some("bu0")).unwrap();
+    interp.define_node("bu0", bu_handle);
+    let evm_dev = host.device_proxy("loop://mgr", mgr_tid).unwrap();
+    interp.define("evm", evm_dev);
+
+    let out = interp.run("evb evm 20\n").unwrap();
+    let log = &out.log[0];
+    assert!(log.contains("completed=200"), "{log}");
+    assert!(log.contains("lost=0"), "{log}");
+    assert!(log.contains("done=1"), "{log}");
+    assert!(log.contains("bu0: built=200"), "{log}");
+    assert!(log.contains("build latency: p50="), "{log}");
+    assert!(log.contains("(200 events)"), "{log}");
+
+    host.stop();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
 /// Tentpole regression: two chatty devices flooding one executive at
 /// equal priority across 4 dispatch workers. Per-device delivery must
 /// be strictly in post order — the sharded queues plus the per-TiD

@@ -1,0 +1,459 @@
+//! Multi-process event-builder integration tests: a real N×M mesh with
+//! one OS process per node over `shm://` regions.
+//!
+//! Topology (7 processes): this test binary is the host node running
+//! the event manager and the filter collector; it re-executes itself
+//! (`std::env::current_exe`) for 4 readout-unit children and 2
+//! builder-unit children. Parent↔child control rides per-child
+//! regions; fragment traffic crosses over dedicated RU↔BU regions —
+//! the n×m crossing channels of paper footnote 1.
+//!
+//! * `chaotic_mesh_builds_every_event` — the readout children wrap
+//!   their transport in a `ChaosPt` with a fixed-seed 10% drop plan:
+//!   fragments vanish silently, the builders' timeout re-pull recovers
+//!   them, and the run completes with zero event loss.
+//! * `killed_builder_is_reclaimed_and_survivors_finish` — one builder
+//!   child is SIGKILLed mid-run; the shm region reports the death, the
+//!   executive's supervisor forces the link Down, and the event
+//!   manager (fault listener) reclaims the dead builder's credits and
+//!   reassigns its in-flight events. The readout units still hold
+//!   those fragments (cleared only on `CLEAR`), so the surviving
+//!   builder rebuilds them: zero loss.
+
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdaq::app::{xfn, ORG_DAQ};
+use xdaq::core::pta::PtMode;
+use xdaq::core::{
+    Delivery, Dispatcher, Executive, ExecutiveConfig, I2oListener, SupervisionConfig,
+};
+use xdaq::evb::{BuilderUnit, EventManager, EvmStats, ReadoutUnit};
+use xdaq::i2o::{DeviceClass, Message, Tid};
+use xdaq::pt::{ChaosPt, FaultPlan};
+use xdaq::shm::{ShmConfig, ShmLink, ShmPt};
+
+const N_RU: usize = 4;
+const N_BU: usize = 2;
+const FRAGMENT_SIZE: u32 = 1024;
+
+fn cfg() -> ShmConfig {
+    ShmConfig {
+        block_size: 4096,
+        nblocks: 256,
+        ring_capacity: 512,
+    }
+}
+
+fn base_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("xdaq-evb-it-{name}-{}", std::process::id()))
+}
+
+fn spawn_child(test_fn: &str, base: &Path, idx: usize, chaos: bool) -> Child {
+    let mut cmd = Command::new(std::env::current_exe().unwrap());
+    cmd.args([
+        "--ignored",
+        "--exact",
+        test_fn,
+        "--nocapture",
+        "--test-threads",
+        "1",
+    ])
+    .env("XDAQ_EVB_BASE", base)
+    .env("XDAQ_EVB_IDX", idx.to_string())
+    .stdout(Stdio::null())
+    .stderr(Stdio::null());
+    if chaos {
+        cmd.env("XDAQ_EVB_CHAOS", "1");
+    }
+    cmd.spawn().expect("spawn child test process")
+}
+
+/// Attaches to a region the peer may not have created yet.
+fn attach_retry(pt: &ShmPt, path: &Path) -> Arc<ShmLink> {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if path.exists() {
+            if let Ok(link) = pt.attach_link(path) {
+                return link;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "region {} never appeared",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Publishes a TiD for the other processes (write + rename: readers
+/// never observe a half-written file).
+fn write_tid(base: &Path, name: &str, tid: Tid) {
+    let tmp = base.join(format!(".{name}.tid.tmp"));
+    std::fs::write(&tmp, tid.raw().to_string()).unwrap();
+    std::fs::rename(&tmp, base.join(format!("{name}.tid"))).unwrap();
+}
+
+fn read_tid(base: &Path, name: &str) -> Tid {
+    let path = base.join(format!("{name}.tid"));
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(s) = std::fs::read_to_string(&path) {
+            if let Ok(raw) = s.trim().parse::<u16>() {
+                return Tid::new(raw).unwrap();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "tid file {} never appeared",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The filter-side collector: counts EVENT frames and dedups event
+/// ids (reassignment after a builder death makes delivery
+/// at-least-once; completion accounting at the EVM is exactly-once).
+struct Collector {
+    ids: Arc<Mutex<HashSet<u64>>>,
+    received: Arc<AtomicU64>,
+}
+
+impl I2oListener for Collector {
+    fn class(&self) -> DeviceClass {
+        DeviceClass::Application(ORG_DAQ)
+    }
+    fn on_private(&mut self, _ctx: &mut Dispatcher<'_>, msg: Delivery) {
+        if msg.private.map(|p| p.x_function) == Some(xfn::EVENT) {
+            let id = u64::from_le_bytes(msg.payload()[0..8].try_into().unwrap());
+            self.ids.lock().insert(id);
+            self.received.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+struct Host {
+    exec: Executive,
+    evm_tid: Tid,
+    evm: Arc<EvmStats>,
+    ids: Arc<Mutex<HashSet<u64>>>,
+    children: Vec<Child>,
+    base: PathBuf,
+    bu_children: Vec<Child>,
+}
+
+/// Builds the whole 7-process mesh and returns once every child has
+/// published its TiD and all proxies are wired.
+fn build_mesh(name: &str, chaos: bool, ru_child: &str, bu_child: &str) -> Host {
+    let base = base_dir(name);
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let shm = ShmPt::new(PtMode::Polling);
+    let mut ru_urls = Vec::new();
+    for i in 0..N_RU {
+        let link = shm
+            .create_link(&base.join(format!("p-ru{i}")), cfg())
+            .unwrap();
+        ru_urls.push(link.peer_addr().to_string());
+    }
+    let mut bu_urls = Vec::new();
+    for j in 0..N_BU {
+        let link = shm
+            .create_link(&base.join(format!("p-bu{j}")), cfg())
+            .unwrap();
+        bu_urls.push(link.peer_addr().to_string());
+    }
+
+    let mut children = Vec::new();
+    for i in 0..N_RU {
+        children.push(spawn_child(ru_child, &base, i, chaos));
+    }
+    let mut bu_children = Vec::new();
+    for j in 0..N_BU {
+        bu_children.push(spawn_child(bu_child, &base, j, false));
+    }
+
+    let mut ecfg = ExecutiveConfig::named("host");
+    ecfg.supervision = Some(SupervisionConfig {
+        interval: Duration::from_millis(50),
+        suspect_after: 3,
+        down_after: 6,
+    });
+    let exec = Executive::new(ecfg);
+    exec.register_pt("host.shm", shm).unwrap();
+
+    let ids = Arc::new(Mutex::new(HashSet::new()));
+    let received = Arc::new(AtomicU64::new(0));
+    let flt_tid = exec
+        .register(
+            "flt",
+            Box::new(Collector {
+                ids: ids.clone(),
+                received,
+            }),
+            &[],
+        )
+        .unwrap();
+    write_tid(&base, "flt", flt_tid);
+
+    // Wire proxies once the children report in.
+    let mut ru_names = Vec::new();
+    for (i, url) in ru_urls.iter().enumerate() {
+        let tid = read_tid(&base, &format!("ru{i}"));
+        let alias = format!("ru{i}");
+        exec.proxy(url, tid, Some(&alias)).unwrap();
+        ru_names.push(alias);
+    }
+    let mut bu_names = Vec::new();
+    for (j, url) in bu_urls.iter().enumerate() {
+        let tid = read_tid(&base, &format!("bu{j}"));
+        let alias = format!("bu{j}");
+        exec.proxy(url, tid, Some(&alias)).unwrap();
+        exec.supervise(url).unwrap();
+        bu_names.push(alias);
+    }
+
+    let evm = EventManager::new();
+    let stats = evm.stats();
+    let evm_tid = exec
+        .register(
+            "evm",
+            Box::new(evm),
+            &[
+                ("readouts", &ru_names.join(",")),
+                ("bus", &bu_names.join(",")),
+                ("bu_urls", &bu_urls.join(",")),
+                ("max_reassign", "5"),
+            ],
+        )
+        .unwrap();
+    exec.enable_all();
+
+    Host {
+        exec,
+        evm_tid,
+        evm: stats,
+        ids,
+        children,
+        base,
+        bu_children,
+    }
+}
+
+impl Host {
+    fn start_run(&self, target: u64) {
+        self.exec
+            .post(
+                Message::build_private(self.evm_tid, Tid::HOST, ORG_DAQ, xfn::RUN)
+                    .payload(target.to_le_bytes().to_vec())
+                    .finish(),
+            )
+            .unwrap();
+    }
+
+    fn teardown(mut self) {
+        for c in self.children.iter_mut().chain(self.bu_children.iter_mut()) {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.base);
+    }
+}
+
+fn wait_until(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn chaotic_mesh_builds_every_event() {
+    if !xdaq::shm::sys::supported() {
+        return;
+    }
+    const TARGET: u64 = 400;
+    let host = build_mesh("chaos", true, "child_evb_ru", "child_evb_bu");
+    let handle = host.exec.spawn();
+    host.start_run(TARGET);
+    let done = wait_until(
+        || host.evm.run_done.load(Ordering::SeqCst),
+        Duration::from_secs(120),
+    );
+    assert!(
+        done,
+        "run stalled under chaos: completed {} of {TARGET} (lost {})",
+        host.evm.completed.load(Ordering::SeqCst),
+        host.evm.lost.load(Ordering::SeqCst),
+    );
+    assert_eq!(host.evm.lost.load(Ordering::SeqCst), 0, "events lost");
+    assert_eq!(host.evm.completed.load(Ordering::SeqCst), TARGET);
+    // Credits + re-pull turned a 10%-drop fabric into zero loss; every
+    // event reached the filter (dedup: delivery is at-least-once).
+    assert!(wait_until(
+        || host.ids.lock().len() as u64 == TARGET,
+        Duration::from_secs(10)
+    ));
+    handle.shutdown();
+    host.teardown();
+}
+
+#[test]
+fn killed_builder_is_reclaimed_and_survivors_finish() {
+    if !xdaq::shm::sys::supported() {
+        return;
+    }
+    const TARGET: u64 = 3000;
+    let mut host = build_mesh("kill", false, "child_evb_ru", "child_evb_bu");
+    let handle = host.exec.spawn();
+    host.start_run(TARGET);
+
+    // Let the run get going, then murder builder 0.
+    assert!(
+        wait_until(
+            || host.evm.completed.load(Ordering::SeqCst) >= 300,
+            Duration::from_secs(60)
+        ),
+        "run never got going: {}",
+        host.evm.completed.load(Ordering::SeqCst)
+    );
+    host.bu_children[0].kill().unwrap();
+    host.bu_children[0].wait().unwrap();
+
+    let done = wait_until(
+        || host.evm.run_done.load(Ordering::SeqCst),
+        Duration::from_secs(120),
+    );
+    assert!(
+        done,
+        "survivors stalled: completed {} of {TARGET} (reassigned {}, lost {})",
+        host.evm.completed.load(Ordering::SeqCst),
+        host.evm.reassigned.load(Ordering::SeqCst),
+        host.evm.lost.load(Ordering::SeqCst),
+    );
+    assert_eq!(host.evm.lost.load(Ordering::SeqCst), 0, "events lost");
+    assert_eq!(host.evm.completed.load(Ordering::SeqCst), TARGET);
+    assert_eq!(host.ids.lock().len() as u64, TARGET);
+    // The EVM saw the death and reclaimed the builder.
+    let snap = host.exec.core().monitors().registry().snapshot();
+    assert!(
+        snap["counters"]["evb.evm.bu_down"].as_u64().unwrap() >= 1,
+        "builder death never reached the EVM: {snap}"
+    );
+    handle.shutdown();
+    host.teardown();
+}
+
+// ───────────────────────── child processes ──────────────────────────
+
+/// Readout-unit child: attaches the parent control region, creates the
+/// crossing regions toward every builder, and serves fragments until
+/// killed. With `XDAQ_EVB_CHAOS` set, the transport drops 10% of
+/// outgoing fragments (fixed seed per unit).
+#[test]
+#[ignore]
+fn child_evb_ru() {
+    let Ok(base) = std::env::var("XDAQ_EVB_BASE") else {
+        return;
+    };
+    let base = PathBuf::from(base);
+    let i: usize = std::env::var("XDAQ_EVB_IDX").unwrap().parse().unwrap();
+    let chaos = std::env::var("XDAQ_EVB_CHAOS").is_ok();
+
+    let shm = ShmPt::new(PtMode::Polling);
+    attach_retry(&shm, &base.join(format!("p-ru{i}")));
+    for j in 0..N_BU {
+        shm.create_link(&base.join(format!("x-ru{i}-bu{j}")), cfg())
+            .unwrap();
+    }
+    let exec = Executive::new(ExecutiveConfig::named(&format!("ru{i}")));
+    if chaos {
+        let plan = FaultPlan {
+            drop_per_mille: 100,
+            ..FaultPlan::default()
+        };
+        exec.register_pt("pt", ChaosPt::wrap(shm, 0xDA0 + i as u64, plan))
+            .unwrap();
+    } else {
+        exec.register_pt("pt", shm).unwrap();
+    }
+    let tid = exec
+        .register(
+            "readout",
+            Box::new(ReadoutUnit::new()),
+            &[
+                ("source_id", &i.to_string()),
+                ("sources", &N_RU.to_string()),
+                ("size", &FRAGMENT_SIZE.to_string()),
+            ],
+        )
+        .unwrap();
+    exec.enable_all();
+    let _h = exec.spawn();
+    write_tid(&base, &format!("ru{i}"), tid);
+    std::thread::sleep(Duration::from_secs(600)); // killed by the parent
+}
+
+/// Builder-unit child: attaches the parent and crossing regions, wires
+/// proxies for every readout and the filter, and builds events until
+/// killed.
+#[test]
+#[ignore]
+fn child_evb_bu() {
+    let Ok(base) = std::env::var("XDAQ_EVB_BASE") else {
+        return;
+    };
+    let base = PathBuf::from(base);
+    let j: usize = std::env::var("XDAQ_EVB_IDX").unwrap().parse().unwrap();
+
+    let shm = ShmPt::new(PtMode::Polling);
+    let plink = attach_retry(&shm, &base.join(format!("p-bu{j}")));
+    let parent_url = plink.peer_addr().to_string();
+    let ru_links: Vec<String> = (0..N_RU)
+        .map(|i| {
+            attach_retry(&shm, &base.join(format!("x-ru{i}-bu{j}")))
+                .peer_addr()
+                .to_string()
+        })
+        .collect();
+
+    let exec = Executive::new(ExecutiveConfig::named(&format!("bu{j}")));
+    exec.register_pt("pt", shm).unwrap();
+    let flt_tid = read_tid(&base, "flt");
+    exec.proxy(&parent_url, flt_tid, Some("flt")).unwrap();
+    let mut ru_names = Vec::new();
+    for (i, url) in ru_links.iter().enumerate() {
+        let ru_tid = read_tid(&base, &format!("ru{i}"));
+        let alias = format!("ru{i}");
+        exec.proxy(url, ru_tid, Some(&alias)).unwrap();
+        ru_names.push(alias);
+    }
+    let tid = exec
+        .register(
+            "builder",
+            Box::new(BuilderUnit::new()),
+            &[
+                ("rus", &ru_names.join(",")),
+                ("filter", "flt"),
+                ("credits", "6"),
+                ("timeout_ms", "40"),
+                ("max_retries", "400"),
+            ],
+        )
+        .unwrap();
+    exec.enable_all();
+    let _h = exec.spawn();
+    write_tid(&base, &format!("bu{j}"), tid);
+    std::thread::sleep(Duration::from_secs(600)); // killed by the parent
+}
