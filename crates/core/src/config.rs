@@ -1,5 +1,6 @@
 //! Executive configuration and the key=value control-payload codec.
 
+use crate::credit::FlowConfig;
 use crate::pta::RetryPolicy;
 use crate::queue::OverloadPolicy;
 use crate::supervisor::SupervisionConfig;
@@ -46,6 +47,11 @@ pub struct ExecutiveConfig {
     /// `Executive::set_retry_policy`). The default is one attempt —
     /// the historical fire-and-forget behaviour.
     pub retry: RetryPolicy,
+    /// When `Some`, link-level credit-based flow control meters every
+    /// private data frame on the send path and grants credits on the
+    /// receive path (DESIGN.md §13). `None` (the default) keeps the
+    /// historical unmetered behaviour, bit-for-bit.
+    pub flow: Option<FlowConfig>,
     /// Scheduling-queue capacity; `None` = unbounded (historical).
     pub queue_capacity: Option<usize>,
     /// Reaction when the bounded queue is full.
@@ -74,6 +80,7 @@ impl Default for ExecutiveConfig {
             trace_capacity: 1024,
             supervision: None,
             retry: RetryPolicy::default(),
+            flow: None,
             queue_capacity: None,
             overload: OverloadPolicy::DropNewest,
             workers: 1,

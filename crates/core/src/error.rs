@@ -30,6 +30,9 @@ pub enum ExecError {
     Stopped,
     /// Malformed control-message payload.
     BadControl(String),
+    /// Admission control shed the frame: the initiator's tenant class
+    /// is over its token-bucket rate.
+    Shed(Tid),
 }
 
 impl fmt::Display for ExecError {
@@ -46,6 +49,7 @@ impl fmt::Display for ExecError {
             ExecError::DuplicateName(s) => write!(f, "device instance '{s}' already exists"),
             ExecError::Stopped => write!(f, "executive stopped"),
             ExecError::BadControl(s) => write!(f, "malformed control payload: {s}"),
+            ExecError::Shed(t) => write!(f, "admission control shed frame from {t}"),
         }
     }
 }
@@ -89,6 +93,11 @@ pub enum PtError {
     Io(String),
     /// The transport has been stopped.
     Closed,
+    /// Link-level flow control: the credit lane to this peer is dry
+    /// and the configured policy gave up (fail-fast, or the blocking
+    /// deadline expired). The frame rides back via [`SendFailure`]
+    /// so the caller keeps the pool block zero-copy.
+    CreditExhausted(String),
 }
 
 impl fmt::Display for PtError {
@@ -99,6 +108,9 @@ impl fmt::Display for PtError {
             PtError::WouldBlock => write!(f, "transport backpressure"),
             PtError::Io(e) => write!(f, "transport I/O error: {e}"),
             PtError::Closed => write!(f, "transport closed"),
+            PtError::CreditExhausted(p) => {
+                write!(f, "credit lane to peer '{p}' exhausted")
+            }
         }
     }
 }

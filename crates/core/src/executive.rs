@@ -8,7 +8,9 @@
 //! TiDs; control flows through executive-class messages, so a primary
 //! host can drive a whole cluster of executives with frames alone.
 
+use crate::admission::AdmissionControl;
 use crate::config::{encode_kv, kv, parse_kv, AllocatorKind, ExecutiveConfig};
+use crate::credit::{self, CreditManager, FlowCmd};
 use crate::dispatch::{DispatchProbes, ProbedAllocator};
 use crate::error::{ExecError, PtError};
 use crate::listener::{Delivery, Dispatcher, I2oListener, TimerId, UtilOutcome};
@@ -27,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xdaq_i2o::{
     DeviceClass, DeviceState, ExecFn, FunctionCode, Message, MsgFlags, MsgHeader, Priority,
-    ReplyStatus, Tid, TidAllocator, UtilFn, NUM_PRIORITIES, ORG_XDAQ,
+    ReplyStatus, Tid, TidAllocator, UtilFn, HEADER_LEN, NUM_PRIORITIES, ORG_XDAQ,
 };
 use xdaq_mempool::{FrameAllocator, FrameBuf, SimplePool, TablePool};
 use xdaq_mon::{Counter, FrameTracer, Gauge, Histogram, TraceEvent};
@@ -197,6 +199,11 @@ pub struct ExecCore {
     probes: Option<Arc<DispatchProbes>>,
     watchdog: Option<Duration>,
     supervisor: Option<LinkSupervisor>,
+    /// Link-level credit flow control, when configured (DESIGN.md §13).
+    flow: Option<Arc<CreditManager>>,
+    /// Per-initiator tenant admission (token buckets); empty = admit
+    /// everything with zero data-path cost beyond one branch.
+    admission: AdmissionControl,
     fault_listener: Mutex<Option<Tid>>,
     running: AtomicBool,
     started_at: Instant,
@@ -242,6 +249,17 @@ impl ExecCore {
     /// The link supervisor, when supervision is configured.
     pub fn supervisor(&self) -> Option<&LinkSupervisor> {
         self.supervisor.as_ref()
+    }
+
+    /// The credit flow-control manager, when flow control is
+    /// configured (DESIGN.md §13).
+    pub fn flow(&self) -> Option<&Arc<CreditManager>> {
+        self.flow.as_ref()
+    }
+
+    /// The tenant admission table (`qos.*` runtime parameters).
+    pub fn admission(&self) -> &AdmissionControl {
+        &self.admission
     }
 
     /// Name → TiD lookup (local devices and named proxies).
@@ -331,6 +349,23 @@ impl ExecCore {
     /// Routes a delivery to its target: local queue, peer transport, or
     /// broadcast fan-out.
     pub fn route(&self, d: Delivery) -> Result<(), ExecError> {
+        // Tenant admission: private data frames from an over-rate
+        // class are shed here, before they cost a scheduler slot or a
+        // peer-link credit. Control frames and replies are exempt —
+        // shedding a reply would break request/reply for a tenant
+        // whose request was already admitted.
+        if !self.admission.is_empty()
+            && d.header.function_code() == FunctionCode::Private
+            && !d.header.flags.contains(MsgFlags::CONTROL)
+            && !d.header.flags.contains(MsgFlags::IS_REPLY)
+            && !self.admission.admit(d.header.initiator)
+        {
+            self.mon.dropped.inc();
+            self.mon
+                .tracer
+                .record(TraceEvent::Drop, d.header.initiator.raw() as u32, 3);
+            return Err(ExecError::Shed(d.header.initiator));
+        }
         let target = d.header.target;
         if target.is_broadcast() {
             return self.broadcast(d);
@@ -440,6 +475,38 @@ impl ExecCore {
                 return;
             }
         };
+        // Credit protocol: grants and syncs are consumed right here at
+        // ingest, never queued — the reserved control lane. A blocked
+        // dispatch worker or a saturated scheduler queue can therefore
+        // never delay, shed or deadlock credit replenishment. Inbound
+        // private data frames account against the receiver lane and
+        // may trigger a replenishing grant back to the sender.
+        if let Some(mgr) = &self.flow {
+            match header.function_code() {
+                FunctionCode::Util(UtilFn::CreditGrant) => {
+                    if let Some((epoch, total)) = credit::decode_credit_payload(&buf[HEADER_LEN..])
+                    {
+                        mgr.on_grant(&src, epoch, total);
+                    }
+                    return;
+                }
+                FunctionCode::Util(UtilFn::CreditSync) => {
+                    if let Some((epoch, total)) = credit::decode_credit_payload(&buf[HEADER_LEN..])
+                    {
+                        if let Some(cmd) = mgr.on_sync(&src, epoch, total, self.queued()) {
+                            self.send_flow_cmd(cmd);
+                        }
+                    }
+                    return;
+                }
+                FunctionCode::Private if !header.flags.contains(MsgFlags::CONTROL) => {
+                    if let Some(cmd) = mgr.on_data(&src, self.queued()) {
+                        self.send_flow_cmd(cmd);
+                    }
+                }
+                _ => {}
+            }
+        }
         if header.initiator.is_addressable() {
             match self.proxy_for(src, header.initiator) {
                 Ok(proxy) => MsgHeader::patch_initiator(&mut buf, proxy),
@@ -464,6 +531,50 @@ impl ExecCore {
             self.mon.forwarded.inc();
         }
         let _ = self.route(d);
+    }
+
+    /// Emits one credit-protocol frame (grant or sync) straight to the
+    /// peer transport. Utility function codes are never metered by the
+    /// credit gate, so grants flow even when the data lane is
+    /// exhausted.
+    fn send_flow_cmd(&self, cmd: FlowCmd) {
+        let (peer, func, epoch, total) = match cmd {
+            FlowCmd::Grant { peer, epoch, total } => (peer, UtilFn::CreditGrant, epoch, total),
+            FlowCmd::Sync { peer, epoch, total } => (peer, UtilFn::CreditSync, epoch, total),
+        };
+        let msg = Message::util(Tid::EXECUTIVE, Tid::EXECUTIVE, func)
+            .priority(Priority::MAX)
+            .payload(credit::encode_credit_payload(epoch, total).to_vec())
+            .finish();
+        if let Ok(d) = Delivery::from_message(&msg, self.allocator()) {
+            let _ = self.pta.send(&peer, d.into_buf());
+        }
+    }
+
+    /// Periodic flow maintenance, driven from the supervision/PTA
+    /// timer slot: re-advertise receiver windows (heals lost grants)
+    /// and nudge stalled metered senders with a sync.
+    pub(crate) fn flow_tick(&self) {
+        let Some(mgr) = &self.flow else { return };
+        for cmd in mgr.tick(self.queued()) {
+            self.send_flow_cmd(cmd);
+        }
+    }
+
+    /// Applies runtime `flow.*` / `qos.*` parameters (from a
+    /// `ParamsSet` frame addressed to the executive, or `xcl qos`).
+    pub(crate) fn apply_runtime_params(&self, map: &HashMap<String, String>) -> Result<(), String> {
+        for (k, v) in map {
+            if k.starts_with("flow.") {
+                match &self.flow {
+                    Some(mgr) => mgr.apply_param(k, v)?,
+                    None => return Err("flow control is not enabled on this node".to_string()),
+                }
+            } else if k.starts_with("qos.") {
+                self.admission.apply_param(k, v, &self.mon.registry)?;
+            }
+        }
+        Ok(())
     }
 
     fn snapshot(&self) -> ExecStats {
@@ -527,6 +638,16 @@ impl ExecCore {
         if self.workers > 1 {
             if let serde_json::Value::Object(m) = &mut doc {
                 m.insert("workers".to_string(), json!(self.workers as u64));
+            }
+        }
+        // Likewise: flow/qos sections only appear once configured, so
+        // nodes without them scrape identically to historical output.
+        if let serde_json::Value::Object(m) = &mut doc {
+            if let Some(mgr) = &self.flow {
+                m.insert("flow".to_string(), mgr.snapshot());
+            }
+            if !self.admission.is_empty() {
+                m.insert("qos".to_string(), self.admission.snapshot());
             }
         }
         doc
@@ -596,6 +717,10 @@ impl Executive {
             })
             .collect();
         let supervisor = config.supervision.clone().map(LinkSupervisor::new);
+        let flow = config
+            .flow
+            .clone()
+            .map(|fc| Arc::new(CreditManager::bound_to(fc, mon.registry())));
         let core = Arc::new(ExecCore {
             node: config.node,
             alloc,
@@ -613,6 +738,8 @@ impl Executive {
             probes,
             watchdog: config.watchdog,
             supervisor,
+            flow,
+            admission: AdmissionControl::new(),
             fault_listener: Mutex::new(None),
             running: AtomicBool::new(true),
             started_at: Instant::now(),
@@ -624,10 +751,18 @@ impl Executive {
         core.routes.add_local(Tid::PTA);
         core.pta.bind_registry(core.mon.registry());
         core.pta.set_retry_policy(None, config.retry);
+        if let Some(mgr) = &core.flow {
+            core.pta.bind_flow(mgr.clone());
+        }
         if let Some(sup) = &core.supervisor {
             // The heartbeat timer is owned by the PTA pseudo-device;
             // run_once intercepts it instead of synthesizing a frame.
+            // With flow control on, the same slot drives flow_tick.
             core.timers.register(Tid::PTA, sup.interval(), true);
+        } else if let Some(mgr) = &core.flow {
+            // No supervision: flow maintenance still needs the PTA
+            // timer slot (grant re-advertisement, stalled-sender sync).
+            core.timers.register(Tid::PTA, mgr.config().tick, true);
         }
         Executive { core }
     }
@@ -940,6 +1075,7 @@ impl Executive {
             core.mon.timers_fired.inc();
             if owner == Tid::PTA {
                 self.heartbeat_tick();
+                core.flow_tick();
                 return;
             }
             let msg = Message::build_private(owner, Tid::EXECUTIVE, ORG_XDAQ, xfn::XFN_TIMER)
@@ -1315,6 +1451,16 @@ impl Executive {
             }
             UtilFn::ParamsSet => match parse_kv(d.payload()) {
                 Ok(map) => {
+                    // `flow.*` / `qos.*` keys addressed to the
+                    // executive retune flow control and tenant
+                    // admission live; a bad key rejects the whole
+                    // frame before any param is stored.
+                    if ctx.meta.tid == Tid::EXECUTIVE {
+                        if let Err(e) = core.apply_runtime_params(&map) {
+                            let _ = ctx.reply(d, ReplyStatus::BadFrame, e.as_bytes());
+                            return;
+                        }
+                    }
                     for (k, v) in map {
                         ctx.meta.params.insert(k, v);
                     }
@@ -1390,6 +1536,11 @@ impl Executive {
                         let _ = sup.on_pong(&peer, seq);
                     }
                 }
+            }
+            UtilFn::CreditGrant | UtilFn::CreditSync => {
+                // Normally consumed at peer ingest (the reserved
+                // control lane); one reaching dispatch means flow
+                // control is disabled on this node — ignore it.
             }
         }
     }
@@ -1716,6 +1867,13 @@ impl Executive {
     fn on_peer_down(&self, peer: &PeerAddr) {
         let core = &self.core;
         core.mon.peer_down.inc();
+        // Credit lanes die with the link: sender credit is forgotten
+        // (the lane re-opens unmetered on the next grant) and the
+        // receiver epoch bumps so stale in-flight grants from the old
+        // incarnation can never be adopted.
+        if let Some(mgr) = &core.flow {
+            mgr.on_link_down(peer);
+        }
         let ev = core.routes.evict_peer(peer);
         core.proxy_index.lock().retain(|(p, _), _| p != peer);
         for tid in &ev.evicted {
@@ -1801,6 +1959,12 @@ impl ExecutiveBuilder {
     /// Enables heartbeat link supervision.
     pub fn supervision(mut self, cfg: SupervisionConfig) -> ExecutiveBuilder {
         self.config.supervision = Some(cfg);
+        self
+    }
+
+    /// Enables link-level credit-based flow control (DESIGN.md §13).
+    pub fn flow(mut self, cfg: crate::credit::FlowConfig) -> ExecutiveBuilder {
+        self.config.flow = Some(cfg);
         self
     }
 

@@ -30,8 +30,10 @@
 //!   register here like any other device.
 //! * [`DispatchProbes`] — the whitebox probe points of Table 1.
 
+pub mod admission;
 pub mod chainio;
 pub mod config;
+pub mod credit;
 pub mod dispatch;
 pub mod error;
 pub mod executive;
@@ -46,8 +48,10 @@ pub mod supervisor;
 pub mod timer;
 pub mod xfn;
 
+pub use admission::AdmissionControl;
 pub use chainio::ChainCollector;
 pub use config::{AllocatorKind, ExecutiveConfig};
+pub use credit::{CreditManager, FlowCmd, FlowConfig, FlowPolicy};
 pub use dispatch::{DispatchProbes, ProbedAllocator};
 pub use error::{ExecError, PtError};
 pub use executive::{ExecMonitors, ExecStats, Executive, ExecutiveBuilder, ExecutiveHandle};

@@ -17,6 +17,7 @@
 //! the next transport on a hard failure. Because transports hand the
 //! frame back on failure ([`SendFailure`]), retries stay zero-copy.
 
+use crate::credit::{self, CreditManager, FlowPolicy};
 use crate::error::PtError;
 use core::fmt;
 use parking_lot::RwLock;
@@ -337,6 +338,10 @@ pub struct Pta {
     policies: RwLock<HashMap<String, RetryPolicy>>,
     default_policy: RwLock<RetryPolicy>,
     metrics: RwLock<PtaMetrics>,
+    /// Link-level flow control, when the executive enabled it. The
+    /// gate sits here — above every transport — so `tcp://`, `shm://`,
+    /// `loop://` and `ChaosPt` wrappers are all metered identically.
+    flow: RwLock<Option<Arc<CreditManager>>>,
     /// xorshift64* state for deterministic backoff jitter; never uses
     /// the wall clock, so a fixed seed gives a fixed pause sequence.
     jitter: AtomicU64,
@@ -355,6 +360,19 @@ impl Pta {
     /// node's metric registry so they appear in `MonSnapshot` scrapes.
     pub fn bind_registry(&self, registry: &Registry) {
         *self.metrics.write() = PtaMetrics::bound_to(registry);
+    }
+
+    /// Enables link-level credit metering on the send path: every
+    /// private data frame must take a credit from `mgr` before it
+    /// reaches a transport (DESIGN.md §13). Utility/executive frames
+    /// bypass the gate entirely (the reserved control lane).
+    pub fn bind_flow(&self, mgr: Arc<CreditManager>) {
+        *self.flow.write() = Some(mgr);
+    }
+
+    /// The bound credit manager, if flow control is enabled.
+    pub fn flow(&self) -> Option<Arc<CreditManager>> {
+        self.flow.read().clone()
     }
 
     /// Seeds the deterministic backoff jitter. Zero (the one invalid
@@ -453,13 +471,43 @@ impl Pta {
         self.send_failover(std::slice::from_ref(dest), frame)
     }
 
+    /// Like [`Pta::send`], but on failure the untouched frame rides
+    /// back in the [`SendFailure`] — the zero-copy path a sender
+    /// needs to keep its pool block across credit exhaustion instead
+    /// of recycling and re-encoding.
+    pub fn send_returning(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        self.send_failover_returning(std::slice::from_ref(dest), frame)
+    }
+
     /// Sends a frame down a failover chain: the first address is the
     /// primary, the rest are alternates tried in order after the
     /// primary's retry budget is exhausted. Each hop applies its own
     /// scheme's [`RetryPolicy`]; the first hop's deadline (if any)
     /// bounds the whole frame. Retries and failovers are counted in
-    /// `pta.retries` / `pta.failovers`.
+    /// `pta.retries` / `pta.failovers`. Dropping the failure recycles
+    /// the frame's pool block; use
+    /// [`Pta::send_failover_returning`] to keep it.
     pub fn send_failover(&self, chain: &[PeerAddr], frame: FrameBuf) -> Result<(), PtError> {
+        self.send_failover_returning(chain, frame)
+            .map_err(|f| f.error)
+    }
+
+    /// [`Pta::send_failover`] with the frame handed back on failure
+    /// whenever no transport consumed it.
+    ///
+    /// When flow control is bound ([`Pta::bind_flow`]), every private
+    /// data frame takes one credit toward the hop before touching the
+    /// transport. A dry lane applies the configured [`FlowPolicy`] —
+    /// fail fast, or block up to a deadline waiting for a grant — and
+    /// then falls through to the next hop in the chain (an alternate
+    /// link has its own credit lane). Credits refund whenever the
+    /// frame provably never reached the wire, so failed sends cannot
+    /// leak window.
+    pub fn send_failover_returning(
+        &self,
+        chain: &[PeerAddr],
+        frame: FrameBuf,
+    ) -> Result<(), SendFailure> {
         let started = Instant::now();
         let overall_deadline = chain
             .first()
@@ -469,6 +517,13 @@ impl Pta {
                 Some(d) if started.elapsed() >= d => Some(last.clone()),
                 _ => None,
             }
+        };
+        let meter = match self.flow.read().clone() {
+            Some(mgr) if credit::is_data_frame(&frame) => {
+                let pri = credit::frame_priority(&frame);
+                Some((mgr, pri))
+            }
+            _ => None,
         };
         let mut frame = Some(frame);
         let mut last = PtError::Unreachable("empty failover chain".to_string());
@@ -482,10 +537,27 @@ impl Pta {
             if tried > 1 {
                 self.metrics.read().failovers.inc();
             }
+            let held = match &meter {
+                Some((mgr, pri)) => {
+                    if !self.acquire_credit(mgr, dest, *pri, started, overall_deadline) {
+                        last = PtError::CreditExhausted(dest.to_string());
+                        continue; // an alternate hop has its own lane
+                    }
+                    true
+                }
+                None => false,
+            };
+            let refund = || {
+                if held {
+                    if let Some((mgr, _)) = &meter {
+                        mgr.refund(dest);
+                    }
+                }
+            };
             let policy = self.retry_policy(dest.scheme());
             for attempt in 1..=policy.max_attempts {
                 let Some(f) = frame.take() else {
-                    return Err(last);
+                    return Err(SendFailure::consumed(last));
                 };
                 match pt.send(dest, f) {
                     Ok(()) => return Ok(()),
@@ -496,10 +568,17 @@ impl Pta {
                         if frame.is_none() {
                             // The transport consumed the frame; there
                             // is nothing left to retry or fail over.
-                            return Err(last);
+                            // The credit stays spent: the frame may
+                            // have reached the wire, and a lost one is
+                            // reconciled by the next CreditSync.
+                            return Err(SendFailure::consumed(last));
                         }
                         if let Some(e) = expired(&last) {
-                            return Err(e);
+                            refund();
+                            return Err(SendFailure {
+                                error: e,
+                                frame: frame.take(),
+                            });
                         }
                         if attempt < policy.max_attempts {
                             self.metrics.read().retries.inc();
@@ -511,11 +590,59 @@ impl Pta {
                     }
                 }
             }
+            // Leaving this hop with the frame still in hand: nothing
+            // reached the wire, so the hop's credit must not leak.
+            refund();
             if let Some(e) = expired(&last) {
-                return Err(e);
+                return Err(SendFailure {
+                    error: e,
+                    frame: frame.take(),
+                });
             }
         }
-        Err(last)
+        Err(SendFailure {
+            error: last,
+            frame: frame.take(),
+        })
+    }
+
+    /// Takes one credit toward `dest`, applying the flow policy. The
+    /// blocking variant re-checks on a short spin — grants arrive on
+    /// ingest threads — and gives up at its own deadline or the
+    /// overall send deadline, whichever lands first.
+    fn acquire_credit(
+        &self,
+        mgr: &CreditManager,
+        dest: &PeerAddr,
+        priority: u8,
+        started: Instant,
+        overall_deadline: Option<Duration>,
+    ) -> bool {
+        if mgr.try_acquire(dest, priority) {
+            return true;
+        }
+        let FlowPolicy::Block { deadline } = mgr.config().policy else {
+            mgr.counters().credit_failures.inc();
+            return false;
+        };
+        mgr.counters().credit_waits.inc();
+        let wait_started = Instant::now();
+        loop {
+            std::thread::sleep(Duration::from_micros(50));
+            if mgr.try_acquire(dest, priority) {
+                return true;
+            }
+            if wait_started.elapsed() >= deadline {
+                break;
+            }
+            if let Some(d) = overall_deadline {
+                if started.elapsed() >= d {
+                    break;
+                }
+            }
+        }
+        mgr.counters().credit_failures.inc();
+        false
     }
 
     /// Polls every polling-mode PT once, invoking `f` per frame;

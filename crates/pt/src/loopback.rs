@@ -16,7 +16,7 @@
 use crossbeam::queue::SegQueue;
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use xdaq_core::{PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
 use xdaq_mempool::{DynAllocator, FrameBuf};
@@ -75,6 +75,13 @@ pub struct LoopbackPt {
     /// When set, frames are copied into buffers from this pool instead
     /// of handed off zero-copy (the copy-path ablation).
     copy_pool: Option<DynAllocator>,
+    /// Outbound refusal threshold: a send toward a mailbox already
+    /// holding this many frames is refused with the frame handed back
+    /// (`0` = unbounded, the historical behaviour). Models a receiver
+    /// that stopped draining — the flow-control tests use it to create
+    /// hard backpressure without a real slow network. Set at runtime
+    /// via `configure("loop.capacity", n)`.
+    capacity: AtomicUsize,
     counters: PtCounters,
 }
 
@@ -99,6 +106,7 @@ impl LoopbackPt {
             mode,
             stopped: AtomicBool::new(false),
             copy_pool,
+            capacity: AtomicUsize::new(0),
             counters: PtCounters::new(),
         })
     }
@@ -133,6 +141,14 @@ impl PeerTransport for LoopbackPt {
                 ));
             }
         };
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap > 0 && target.queue.len() >= cap {
+            self.counters.on_send_error();
+            return Err(SendFailure::with_frame(
+                PtError::Io(format!("loop: mailbox {} full ({cap})", dest.rest())),
+                frame,
+            ));
+        }
         let frame = match &self.copy_pool {
             None => frame,
             Some(pool) => {
@@ -168,6 +184,17 @@ impl PeerTransport for LoopbackPt {
         // frames parked in a dead mailbox would otherwise keep pool
         // occupancy nonzero forever (the chained-send leak).
         while self.mailbox.queue.pop().is_some() {}
+    }
+
+    fn configure(&self, key: &str, value: &str) -> Result<(), PtError> {
+        if key == "loop.capacity" {
+            let cap: usize = value
+                .parse()
+                .map_err(|_| PtError::BadAddress(format!("loop: bad value {key}={value}")))?;
+            self.capacity.store(cap, Ordering::Relaxed);
+            return Ok(());
+        }
+        Ok(())
     }
 
     fn counters(&self) -> Option<&PtCounters> {
@@ -250,6 +277,24 @@ mod tests {
         let cb = b.counters().unwrap();
         assert_eq!(cb.recv_frames.load(Ordering::Relaxed), 1);
         assert_eq!(cb.recv_bytes.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn bounded_mailbox_refuses_with_frame_back() {
+        let hub = LoopbackHub::new();
+        let a = LoopbackPt::new(&hub, "a");
+        let b = LoopbackPt::new(&hub, "b");
+        a.configure("loop.capacity", "2").unwrap();
+        a.send(&"loop://b".parse().unwrap(), frame(1)).unwrap();
+        a.send(&"loop://b".parse().unwrap(), frame(1)).unwrap();
+        let err = a.send(&"loop://b".parse().unwrap(), frame(1)).unwrap_err();
+        assert!(matches!(err.error, PtError::Io(_)));
+        assert!(err.frame.is_some(), "refused frame must come back");
+        // Draining the receiver reopens the mailbox.
+        b.poll().unwrap();
+        a.send(&"loop://b".parse().unwrap(), frame(1)).unwrap();
+        assert!(a.configure("loop.capacity", "x").is_err());
+        a.configure("loop.capacity", "0").unwrap(); // unbounded again
     }
 
     #[test]

@@ -35,6 +35,13 @@ echo "== event-builder scaling (n x m executives over shm + tcp, chaos) =="
 cargo run -p xdaq-bench --release --bin evb_scaling -- \
     --json results/BENCH_pr6.json
 
+echo "== qos fairness (two tenants, one credit-metered link) =="
+# Asserts the PR acceptance floor internally: with a token-bucket
+# class shedding the bulk flooder at admission, the high-priority
+# tenant must retain >= 90% of its solo throughput.
+cargo run -p xdaq-bench --release --bin qos_fairness -- \
+    --json results/BENCH_pr7.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo "== paper harnesses =="
     cargo run -p xdaq-bench --release --bin fig6

@@ -50,6 +50,18 @@ echo "== event builder: chaos mesh + builder kill (multi-process) =="
 cargo test -q --test evb
 cargo test -q -p xdaq-evb
 
+echo "== overload: credit backpressure, reserved lane, two-tenant QoS =="
+# End-to-end flow control (DESIGN.md §13): a saturated link must never
+# false-Suspect a live peer (heartbeats ride the reserved lane), the
+# Block policy must hand frames back without leaking pool blocks, the
+# grant protocol must converge under fixed-seed grant drop/dup chaos,
+# and the slow-consumer soaks (loopback, shm, tcp) must finish with
+# zero loss while a rate-limited bulk tenant is shed, not serviced.
+cargo test -q --test flow
+cargo test -q -p xdaq-core credit
+cargo test -q -p xdaq-core admission
+cargo test -q -p xdaq-core --test proptests credit
+
 echo "== loom model of the shm SPSC ring =="
 RUSTFLAGS="--cfg loom" cargo test -q -p xdaq-shm --test loom --release
 
