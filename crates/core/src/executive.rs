@@ -971,6 +971,26 @@ impl Executive {
         }
     }
 
+    /// Stops heartbeat supervision of a peer link (no-op when the link
+    /// is not supervised or supervision is off). Used when a managed
+    /// peer is retired on purpose — its old address must not keep
+    /// generating Suspect/Down churn after the replacement comes up.
+    pub fn unsupervise(&self, peer: &str) -> Result<(), ExecError> {
+        let addr: PeerAddr = peer.parse().map_err(ExecError::Transport)?;
+        if let Some(sup) = &self.core.supervisor {
+            sup.unsupervise(&addr);
+        }
+        Ok(())
+    }
+
+    /// Registers `tid` as this executive's fault listener: peer-down
+    /// events arrive as `XFN_PEER_DOWN` private frames. Equivalent to
+    /// `Dispatcher::watch_faults` but callable from outside a dispatch
+    /// (host agents, control planes). Last caller wins.
+    pub fn watch_faults(&self, tid: Tid) {
+        self.core.set_fault_listener(tid);
+    }
+
     /// Current supervised-link states (empty when supervision is off).
     pub fn link_states(&self) -> Vec<(String, LinkState)> {
         self.core
@@ -1461,10 +1481,19 @@ impl Executive {
                             return;
                         }
                     }
+                    // `exec.stop=1` addressed to the executive is the
+                    // orderly retirement path: the reply goes out
+                    // first (the controller is waiting on it), then
+                    // the dispatch loop winds down.
+                    let stop = ctx.meta.tid == Tid::EXECUTIVE
+                        && map.get("exec.stop").map(String::as_str) == Some("1");
                     for (k, v) in map {
                         ctx.meta.params.insert(k, v);
                     }
                     let _ = ctx.reply(d, ReplyStatus::Success, &[]);
+                    if stop {
+                        self.stop();
+                    }
                 }
                 Err(e) => {
                     let _ = ctx.reply(d, ReplyStatus::BadFrame, e.as_bytes());
@@ -1708,6 +1737,21 @@ impl Executive {
                             let alias = map.get("alias").map(|s| s.as_str());
                             match self.proxy(&peer, rt, alias) {
                                 Ok(tid) => {
+                                    // `supervise=1` puts the new link
+                                    // under heartbeat supervision in
+                                    // the same round trip — the way a
+                                    // control plane wires managed
+                                    // peers.
+                                    if map.get("supervise").map(String::as_str) == Some("1") {
+                                        if let Err(err) = self.supervise(&peer) {
+                                            self.exec_reply(
+                                                d,
+                                                ReplyStatus::DeviceError,
+                                                err.to_string().as_bytes(),
+                                            );
+                                            return;
+                                        }
+                                    }
                                     let body = format!("tid={}\n", tid.raw());
                                     self.exec_reply(d, ReplyStatus::Success, body.as_bytes());
                                 }

@@ -125,17 +125,23 @@ impl Registry {
         }
     }
 
-    /// Removes a device. Returns the unit if it was checked in.
+    /// Removes a device **or alias**. Returns the unit if one existed
+    /// and was checked in. Alias names registered for the TiD (proxy
+    /// TiDs have a name but no unit) are dropped too — a route
+    /// eviction must leave the alias free for the peer's next
+    /// incarnation.
     pub fn remove(&self, tid: Tid) -> Option<DeviceUnit> {
-        let unit = self.stripe(tid).lock().slots.remove(&tid)?;
+        let unit = self.stripe(tid).lock().slots.remove(&tid);
         let mut names = self.names.lock();
-        if let Some(u) = &unit {
-            names.remove(&u.meta.name);
-        } else {
-            // Checked out: drop the name by scanning (rare path).
-            names.retain(|_, t| *t != tid);
+        match &unit {
+            Some(Some(u)) => {
+                names.remove(&u.meta.name);
+            }
+            // Checked out, or an alias without a unit: drop any name
+            // mapped to the TiD by scanning (rare path).
+            _ => names.retain(|_, t| *t != tid),
         }
-        unit
+        unit.flatten()
     }
 
     /// Name → TiD lookup.
@@ -302,6 +308,18 @@ mod tests {
         assert_eq!(r.lookup_name("remote.dev"), Some(t(0x55)));
         assert!(r.alias("remote.dev", t(0x56)).is_err());
         assert!(r.checkout(t(0x55)).is_none(), "alias has no unit");
+    }
+
+    #[test]
+    fn remove_frees_alias_names() {
+        // Eviction of a proxy TiD must release its alias so the
+        // peer's next incarnation can claim the same name.
+        let r = Registry::new();
+        r.alias("bu0", t(0x55)).unwrap();
+        assert!(r.remove(t(0x55)).is_none(), "aliases carry no unit");
+        assert_eq!(r.lookup_name("bu0"), None, "alias name released");
+        r.alias("bu0", t(0x60)).unwrap();
+        assert_eq!(r.lookup_name("bu0"), Some(t(0x60)));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Process launching: how the convergence loop turns a [`NodeDecl`]
+//! into a running executive.
+//!
+//! The controller is policy, the [`Launcher`] is mechanism. The stock
+//! [`SelfExec`] re-executes the current binary with a fixed argument
+//! vector and per-node environment — the same trick the integration
+//! suite uses for multi-process tests, and the closest local-process
+//! analogue to the paper's "boot an executive on every IOP". A custom
+//! `Launcher` can wrap the spawn in anything (rsh in the paper's era;
+//! containers today) as long as the child honours the `XDAQ_CTL_*`
+//! contract below and calls [`crate::runner::run_managed_node`].
+//!
+//! [`NodeDecl`]: crate::decl::NodeDecl
+
+use std::io;
+use std::process::{Child, Command, Stdio};
+
+/// Environment: node name the child must assume.
+pub const ENV_NODE: &str = "XDAQ_CTL_NODE";
+/// Environment: path of the topology declaration file.
+pub const ENV_TOPO: &str = "XDAQ_CTL_TOPO";
+/// Environment: rundir for url files (overrides the declaration's).
+pub const ENV_RUNDIR: &str = "XDAQ_CTL_RUNDIR";
+/// Environment: incarnation generation, echoed into the url file so
+/// the controller never reads a stale incarnation's address.
+pub const ENV_GEN: &str = "XDAQ_CTL_GEN";
+
+/// What to launch.
+#[derive(Debug, Clone)]
+pub struct LaunchSpec {
+    /// Node name.
+    pub node: String,
+    /// Topology file path.
+    pub topo_path: String,
+    /// Rundir for url files.
+    pub rundir: String,
+    /// Incarnation generation (1-based).
+    pub generation: u64,
+}
+
+/// Spawns managed executives.
+pub trait Launcher: Send + Sync {
+    /// Starts the node's process. The child must publish
+    /// `<rundir>/<node>.url` containing `<generation> <url>` once its
+    /// transport is listening.
+    fn spawn(&self, spec: &LaunchSpec) -> io::Result<Child>;
+}
+
+/// Re-executes the current binary with fixed arguments plus the
+/// `XDAQ_CTL_*` environment.
+pub struct SelfExec {
+    /// Arguments passed to the child (e.g. a test-harness filter that
+    /// routes it into the node entry point).
+    pub args: Vec<String>,
+}
+
+impl SelfExec {
+    /// Launcher with the given child argument vector.
+    pub fn new(args: &[&str]) -> Self {
+        SelfExec {
+            args: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl Launcher for SelfExec {
+    fn spawn(&self, spec: &LaunchSpec) -> io::Result<Child> {
+        let exe = std::env::current_exe()?;
+        Command::new(exe)
+            .args(&self.args)
+            .env(ENV_NODE, &spec.node)
+            .env(ENV_TOPO, &spec.topo_path)
+            .env(ENV_RUNDIR, &spec.rundir)
+            .env(ENV_GEN, spec.generation.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+    }
+}
+
+/// Atomically publishes `<rundir>/<node>.url` with `<gen> <url>`.
+pub fn publish_url(rundir: &str, node: &str, generation: u64, url: &str) -> io::Result<()> {
+    std::fs::create_dir_all(rundir)?;
+    let tmp = format!("{rundir}/.{node}.url.tmp");
+    let fin = format!("{rundir}/{node}.url");
+    std::fs::write(&tmp, format!("{generation} {url}\n"))?;
+    std::fs::rename(&tmp, &fin)
+}
+
+/// Reads a node's url file if it matches `generation`.
+pub fn read_url(rundir: &str, node: &str, generation: u64) -> Option<String> {
+    let text = std::fs::read_to_string(format!("{rundir}/{node}.url")).ok()?;
+    let (gen, url) = text.trim().split_once(' ')?;
+    (gen.parse::<u64>().ok()? == generation).then(|| url.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_file_roundtrip_is_generation_gated() {
+        let dir = std::env::temp_dir().join("xdaq-ctl-launch-test");
+        let dir = dir.to_str().unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+        assert_eq!(read_url(dir, "n", 1), None, "missing file");
+        publish_url(dir, "n", 1, "tcp://127.0.0.1:4000").unwrap();
+        assert_eq!(
+            read_url(dir, "n", 1).as_deref(),
+            Some("tcp://127.0.0.1:4000")
+        );
+        assert_eq!(read_url(dir, "n", 2), None, "stale incarnation rejected");
+        publish_url(dir, "n", 2, "tcp://127.0.0.1:4001").unwrap();
+        assert_eq!(
+            read_url(dir, "n", 2).as_deref(),
+            Some("tcp://127.0.0.1:4001")
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

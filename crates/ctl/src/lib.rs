@@ -1,0 +1,49 @@
+//! # xdaq-ctl — declarative control plane
+//!
+//! The paper configures its cluster imperatively: a script on the
+//! primary host sends executive-class I2O frames — download this
+//! device class, connect that peer, enable — to every node (§4). That
+//! works until a node dies mid-run and a human has to replay the right
+//! prefix of the script against a half-alive fleet.
+//!
+//! This crate closes the loop. The cluster is described once, as
+//! data, and a controller owns the difference between that declaration
+//! and reality:
+//!
+//! * [`toml`] / [`decl`] — a TOML-ish topology format: nodes, device
+//!   classes to load on them, routes between them, `flow.*`/`qos.*`
+//!   parameters, plus `@url:<node>@` templates resolved against live
+//!   transport addresses.
+//! * [`registry`] — a live [`ServiceRegistry`]: desired vs actual
+//!   health per node, generation counters, and a streamed event feed
+//!   (spawned, published, up, link-down, exited, draining, drained)
+//!   fed by the convergence loop, by `XFN_PEER_DOWN` faults scraped
+//!   off the control host, and by child-process exit.
+//! * [`launch`] / [`runner`] — the process side: a [`Launcher`]
+//!   spawns each node (the stock [`SelfExec`] re-executes the current
+//!   binary), and [`run_managed_node`] turns the child into the
+//!   declared executive, publishing a generation-stamped url file.
+//! * [`controller`] — the [`Controller`] itself: `apply` converges
+//!   the fleet (spawn → attach → load → route → enable), a background
+//!   tick reaps deaths and respawns-with-reroute, and `drain` does a
+//!   rolling restart that empties a node through the data plane's own
+//!   retry/failover paths before stopping it.
+//!
+//! The controller implements `xdaq_host::ControlPlane`, so the xcl
+//! interpreter drives it from script — `plan`, `apply`, `registry`,
+//! `drain <node>` — and `mon` grows a `ctl_status` section.
+
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod decl;
+pub mod launch;
+pub mod registry;
+pub mod runner;
+pub mod toml;
+
+pub use controller::{control_host, Controller, ControllerConfig};
+pub use decl::{DeclError, ModuleDecl, NodeDecl, RouteDecl, Topology};
+pub use launch::{LaunchSpec, Launcher, SelfExec};
+pub use registry::{Event, EventKind, Health, NodeStatus, ServiceRegistry, Subscription};
+pub use runner::{node_config, run_managed_node, ManagedEnv};

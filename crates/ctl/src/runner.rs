@@ -1,0 +1,163 @@
+//! Per-node runner: turns a managed child process into the executive
+//! its declaration asks for.
+//!
+//! The convergence loop spawns children through a [`Launcher`]; each
+//! child calls [`run_managed_node`] with a closure that registers the
+//! application's module factories, and the runner does the rest:
+//! locate its own [`NodeDecl`] via the `XDAQ_CTL_*` environment,
+//! build the executive (workers, supervision, flow control from node
+//! params), bind a TCP peer transport on an ephemeral port, publish
+//! the generation-stamped url file, and run until told to stop.
+//!
+//! The runner deliberately loads **no modules**: module load, routes
+//! and enable are the controller's job over I2O executive frames
+//! (`ExecSwDownload`, `ExecIopConnect`, `SysEnable`), exactly as the
+//! paper configures remote executives from the primary host.
+//!
+//! [`Launcher`]: crate::launch::Launcher
+//! [`NodeDecl`]: crate::decl::NodeDecl
+
+use crate::decl::Topology;
+use crate::launch::{self, ENV_GEN, ENV_NODE, ENV_RUNDIR, ENV_TOPO};
+use std::sync::Arc;
+use std::time::Duration;
+use xdaq_core::{Executive, ExecutiveConfig, FlowConfig, SupervisionConfig};
+use xdaq_mempool::TablePool;
+use xdaq_pt::TcpPt;
+
+/// Environment handed to a managed child, decoded.
+#[derive(Debug, Clone)]
+pub struct ManagedEnv {
+    /// Node name to assume.
+    pub node: String,
+    /// Topology file path.
+    pub topo_path: String,
+    /// Rundir for the url file.
+    pub rundir: String,
+    /// Incarnation generation.
+    pub generation: u64,
+}
+
+impl ManagedEnv {
+    /// Reads the `XDAQ_CTL_*` contract; `None` when not launched by a
+    /// controller (lets one binary serve both roles).
+    pub fn from_env() -> Option<ManagedEnv> {
+        let node = std::env::var(ENV_NODE).ok()?;
+        Some(ManagedEnv {
+            node,
+            topo_path: std::env::var(ENV_TOPO).ok()?,
+            rundir: std::env::var(ENV_RUNDIR).ok()?,
+            generation: std::env::var(ENV_GEN).ok()?.parse().ok()?,
+        })
+    }
+}
+
+fn param_u64(decl: &crate::decl::NodeDecl, key: &str, default: u64) -> u64 {
+    decl.params
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Builds the [`ExecutiveConfig`] a declaration implies for `node`.
+///
+/// * `workers` — worker threads (default 1).
+/// * `supervision.interval_ms` / `.suspect_after` / `.down_after` —
+///   link supervision cadence. Supervision is **always** on for
+///   managed nodes (default 50 ms / 3 / 6): convergence depends on
+///   peers noticing a dead node, evicting its routes, and freeing its
+///   alias for the respawned incarnation.
+/// * any `flow.*` key — enables credit-based flow control so those
+///   keys are settable at bring-up ([`FlowConfig::default`] base).
+pub fn node_config(topo: &Topology, node: &str) -> Result<ExecutiveConfig, String> {
+    let decl = topo
+        .node(node)
+        .ok_or_else(|| format!("node '{node}' not in topology '{}'", topo.cluster))?;
+    if decl.external {
+        return Err(format!("node '{node}' is external, not runnable"));
+    }
+    let mut config = ExecutiveConfig::named(node);
+    config.workers = param_u64(decl, "workers", 1) as usize;
+    config.supervision = Some(SupervisionConfig {
+        interval: Duration::from_millis(param_u64(decl, "supervision.interval_ms", 50)),
+        suspect_after: param_u64(decl, "supervision.suspect_after", 3) as u32,
+        down_after: param_u64(decl, "supervision.down_after", 6) as u32,
+    });
+    if decl.params.keys().any(|k| k.starts_with("flow.")) {
+        config.flow = Some(FlowConfig::default());
+    }
+    Ok(config)
+}
+
+/// Runs this process as the managed node named in its environment.
+///
+/// `setup` registers the application's module factories (and anything
+/// else node-local) on the fresh executive before transports start.
+/// Blocks until the controller stops the node (`exec.stop=1` via
+/// `ParamsSet`) or the process is killed.
+pub fn run_managed_node(setup: impl FnOnce(&Executive)) -> Result<(), String> {
+    let env = ManagedEnv::from_env().ok_or("XDAQ_CTL_* environment missing or incomplete")?;
+    let text = std::fs::read_to_string(&env.topo_path)
+        .map_err(|e| format!("read {}: {e}", env.topo_path))?;
+    let topo = Topology::parse(&text).map_err(|e| format!("{}: {e}", env.topo_path))?;
+    let config = node_config(&topo, &env.node)?;
+    let exec = Executive::new(config);
+
+    let pt = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults())
+        .map_err(|e| format!("bind tcp: {e:?}"))?;
+    let url = pt.addr().to_string();
+    exec.register_pt("tcp", pt as Arc<_>)
+        .map_err(|e| format!("register tcp pt: {e:?}"))?;
+
+    setup(&exec);
+    exec.enable_all();
+    exec.start_transports()
+        .map_err(|e| format!("start transports: {e:?}"))?;
+    launch::publish_url(&env.rundir, &env.node, env.generation, &url)
+        .map_err(|e| format!("publish url: {e}"))?;
+
+    exec.run();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPO: &str = r#"
+        [cluster]
+        name   = "t"
+        rundir = "/tmp/xdaq-ctl-runner-test"
+        [defaults]
+        workers = 2
+        [node.a]
+        flow.window = 8
+        supervision.interval_ms = 20
+        [node.b]
+        workers = 1
+        [node.x]
+        external = true
+    "#;
+
+    #[test]
+    fn node_config_reflects_declaration() {
+        let topo = Topology::parse(TOPO).unwrap();
+        let a = node_config(&topo, "a").unwrap();
+        assert_eq!(a.node, "a");
+        assert_eq!(a.workers, 2, "defaults apply");
+        let sup = a.supervision.unwrap();
+        assert_eq!(sup.interval, Duration::from_millis(20));
+        assert_eq!((sup.suspect_after, sup.down_after), (3, 6));
+        assert!(a.flow.is_some(), "flow.* params enable flow control");
+
+        let b = node_config(&topo, "b").unwrap();
+        assert_eq!(b.workers, 1, "node overrides defaults");
+        assert!(b.flow.is_none());
+        assert!(b.supervision.is_some(), "supervision always on");
+
+        assert!(node_config(&topo, "x").unwrap_err().contains("external"));
+        assert!(node_config(&topo, "nope")
+            .unwrap_err()
+            .contains("not in topology"));
+    }
+}

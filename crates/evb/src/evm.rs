@@ -30,7 +30,7 @@ use xdaq_core::config::parse_kv;
 use xdaq_core::listener::UtilOutcome;
 use xdaq_core::xfn::XFN_PEER_DOWN;
 use xdaq_core::{Delivery, Dispatcher, I2oListener};
-use xdaq_i2o::{DeviceClass, Message, Tid, UtilFn, ORG_XDAQ};
+use xdaq_i2o::{DeviceClass, Message, ReplyStatus, Tid, UtilFn, ORG_XDAQ};
 use xdaq_mon::{Counter, Gauge};
 
 /// Shared observable counters of one event manager.
@@ -71,6 +71,11 @@ pub struct EventManager {
     finished: u64,
     credits: HashMap<Tid, u32>,
     dead: HashSet<Tid>,
+    /// Builders being drained for a rolling restart: they keep their
+    /// credits and finish their in-flight events, but `pick_bu` stops
+    /// assigning them new ones. `evb.drain_inflight` (ParamsGet)
+    /// reaches zero once a drained builder is idle.
+    draining: HashSet<Tid>,
     rr: usize,
     /// Events awaiting (re)assignment. Re-queued events are already
     /// digitized at the sources; fresh ones get a TRIGGER first.
@@ -109,6 +114,7 @@ impl EventManager {
             finished: 0,
             credits: HashMap::new(),
             dead: HashSet::new(),
+            draining: HashSet::new(),
             rr: 0,
             queue: VecDeque::new(),
             assigned: HashMap::new(),
@@ -185,6 +191,7 @@ impl EventManager {
         self.attempts.clear();
         self.credits.clear();
         self.dead.clear();
+        self.draining.clear();
         self.rr = 0;
         self.stats.run_done.store(target == 0, Ordering::SeqCst);
         self.gauge_sync();
@@ -249,7 +256,7 @@ impl EventManager {
         }
         for step in 0..self.bus.len() {
             let bu = self.bus[(self.rr + step) % self.bus.len()];
-            if self.dead.contains(&bu) {
+            if self.dead.contains(&bu) || self.draining.contains(&bu) {
                 continue;
             }
             if self.credits.get(&bu).copied().unwrap_or(0) > 0 {
@@ -329,6 +336,7 @@ impl EventManager {
             return;
         }
         self.credits.remove(&bu);
+        self.draining.remove(&bu);
         if let Some(m) = &self.metrics {
             m.bu_down.inc();
         }
@@ -344,6 +352,60 @@ impl EventManager {
             self.stats.reassigned.fetch_add(1, Ordering::Relaxed);
             if let Some(m) = &self.metrics {
                 m.reassigned.inc();
+            }
+        }
+        self.pump(ctx);
+    }
+
+    /// Re-resolves the mesh from the (freshly updated) parameters —
+    /// the control plane pushes new `bus`/`bu_urls`/`readouts` values
+    /// and `evb.rescan=1` after it respawns a node. Builders already
+    /// holding a credits entry (live through the whole incident, even
+    /// at zero credits) are *not* re-invited: a second INVITE to a
+    /// live builder would double its credit grant. Everyone else —
+    /// the respawned builder's fresh proxy in particular — gets an
+    /// INVITE for the current run.
+    fn rescan(&mut self, ctx: &mut Dispatcher<'_>) {
+        let resolve = |names: &str| -> Vec<Tid> {
+            names
+                .split(',')
+                .filter(|n| !n.is_empty())
+                .filter_map(|n| ctx.lookup(n.trim()))
+                .collect()
+        };
+        if let Some(names) = ctx.param("readouts") {
+            self.rus = resolve(names);
+        }
+        if let Some(names) = ctx.param("bus") {
+            self.bus = resolve(names);
+        }
+        self.bu_by_url.clear();
+        if let Some(urls) = ctx.param("bu_urls") {
+            for (url, &bu) in urls
+                .split(',')
+                .filter(|u| !u.is_empty())
+                .zip(self.bus.iter())
+            {
+                self.bu_by_url.insert(url.trim().to_string(), bu);
+            }
+        }
+        self.configured = true;
+        self.dead.clear();
+        self.draining.clear();
+        let live: HashSet<Tid> = self.bus.iter().copied().collect();
+        self.credits.retain(|t, _| live.contains(t));
+        if self.target > 0 && !self.stats.run_done.load(Ordering::SeqCst) {
+            for i in 0..self.bus.len() {
+                let bu = self.bus[i];
+                if self.credits.contains_key(&bu) {
+                    continue;
+                }
+                let msg = Message::build_private(bu, ctx.own_tid(), ORG_DAQ, xfn::INVITE)
+                    .payload(self.run.to_le_bytes().to_vec())
+                    .finish();
+                if ctx.send(msg).is_err() {
+                    self.mark_dead(ctx, bu);
+                }
             }
         }
         self.pump(ctx);
@@ -425,7 +487,38 @@ impl I2oListener for EventManager {
         }
     }
 
-    fn on_util(&mut self, ctx: &mut Dispatcher<'_>, f: UtilFn, _msg: &Delivery) -> UtilOutcome {
+    fn on_util(&mut self, ctx: &mut Dispatcher<'_>, f: UtilFn, msg: &Delivery) -> UtilOutcome {
+        if f == UtilFn::ParamsSet {
+            // Control-plane verbs ride on ParamsSet:
+            //   evb.drain=<name>  stop assigning to that builder,
+            //   evb.rescan=1      re-resolve the mesh and invite
+            //                     builders that have no credit entry.
+            // Frames without control keys fall through to the default
+            // handler (plain parameter stores).
+            let Ok(map) = parse_kv(msg.payload()) else {
+                return UtilOutcome::Default;
+            };
+            if !map.contains_key("evb.drain") && !map.contains_key("evb.rescan") {
+                return UtilOutcome::Default;
+            }
+            // Store every key first: a rescan in the same frame must
+            // resolve against the freshly pushed `bus`/`bu_urls`.
+            for (k, v) in &map {
+                ctx.set_param(k, v);
+            }
+            if let Some(name) = map.get("evb.drain") {
+                let Some(tid) = ctx.lookup(name) else {
+                    let _ = ctx.reply(msg, ReplyStatus::DeviceError, b"unknown builder");
+                    return UtilOutcome::Handled;
+                };
+                self.draining.insert(tid);
+            }
+            if map.get("evb.rescan").map(String::as_str) == Some("1") {
+                self.rescan(ctx);
+            }
+            let _ = ctx.reply(msg, ReplyStatus::Success, &[]);
+            return UtilOutcome::Handled;
+        }
         if f == UtilFn::ParamsGet {
             // Mirror live state into the parameter map so the default
             // ParamsGet reply carries it (the `xcl` `evb` command).
@@ -452,6 +545,13 @@ impl I2oListener for EventManager {
             ctx.set_param("evb.queued", &self.queue.len().to_string());
             ctx.set_param("evb.bus", &self.bus.len().to_string());
             ctx.set_param("evb.bus_dead", &self.dead.len().to_string());
+            ctx.set_param("evb.draining", &self.draining.len().to_string());
+            let drain_inflight = self
+                .assigned
+                .values()
+                .filter(|bu| self.draining.contains(bu))
+                .count();
+            ctx.set_param("evb.drain_inflight", &drain_inflight.to_string());
             ctx.set_param(
                 "evb.run_done",
                 if self.stats.run_done.load(Ordering::SeqCst) {

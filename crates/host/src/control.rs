@@ -159,7 +159,14 @@ impl ControlHost {
     /// Builds a host node named `name` (its own executive, not yet
     /// running — register PTs first, then call [`ControlHost::start`]).
     pub fn new(name: &str) -> ControlHost {
-        let exec = Executive::new(ExecutiveConfig::named(name));
+        ControlHost::with_config(ExecutiveConfig::named(name))
+    }
+
+    /// Builds a host node from a full [`ExecutiveConfig`] — a control
+    /// plane wants supervision (and possibly flow control) on the
+    /// host's own links so managed-node deaths surface as faults here.
+    pub fn with_config(config: ExecutiveConfig) -> ControlHost {
+        let exec = Executive::new(config);
         let hub = Arc::new(ReplyHub::default());
         let agent_tid = exec
             .register("host-agent", Box::new(HostAgent { hub: hub.clone() }), &[])
@@ -173,6 +180,13 @@ impl ControlHost {
             timeout: Duration::from_secs(5),
             handle: Mutex::new(None),
         }
+    }
+
+    /// Routes this host's own `XFN_PEER_DOWN` faults (from supervised
+    /// links) to the host agent, where [`ControlHost::take_events`]
+    /// surfaces them. Requires supervision in the host's config.
+    pub fn watch_local_faults(&self) {
+        self.exec.watch_faults(self.agent_tid);
     }
 
     /// The host's own executive (to register PTs / local modules).

@@ -22,8 +22,10 @@
 
 pub mod control;
 pub mod inventory;
+pub mod plane;
 pub mod xcl;
 
 pub use control::{ControlError, ControlHost, ControlReply};
 pub use inventory::{ClusterInventory, ModuleSpec, NodeSpec, RouteSpec};
+pub use plane::{ControlPlane, RegistryRow};
 pub use xcl::{XclError, XclInterpreter, XclOutcome};

@@ -1,0 +1,49 @@
+//! The control-plane surface xcl scripts drive.
+//!
+//! The declarative controller lives in `xdaq-ctl`, which depends on
+//! this crate (it drives nodes through a [`crate::ControlHost`]). xcl
+//! must not depend on `ctl` in turn, so the interpreter talks to the
+//! controller through this object-safe trait: attach an implementation
+//! with [`crate::XclInterpreter::with_plane`] and the `plan` / `apply`
+//! / `registry` / `drain` verbs come alive, plus a `ctl_status`
+//! section in `mon` output.
+
+/// One row of the live service registry: a managed node's desired and
+/// observed state.
+#[derive(Debug, Clone)]
+pub struct RegistryRow {
+    /// Node name from the topology declaration.
+    pub node: String,
+    /// Desired state (`up`, `absent`).
+    pub desired: String,
+    /// Observed state (`pending`, `up`, `degraded`, `draining`,
+    /// `down`).
+    pub actual: String,
+    /// Incarnation counter — bumped on every (re)spawn.
+    pub generation: u64,
+    /// The node's transport URL (empty until first publish).
+    pub url: String,
+}
+
+/// A declarative cluster controller, as seen from xcl.
+pub trait ControlPlane: Send + Sync {
+    /// Diffs desired vs actual without changing anything; returns one
+    /// human-readable pending action per line (empty = converged).
+    fn plan(&self) -> Vec<String>;
+
+    /// Converges the fleet to the declaration (spawn, configure,
+    /// route, enable). Returns a summary line, or an error message.
+    fn apply(&self) -> Result<String, String>;
+
+    /// The live registry, one row per declared node.
+    fn registry(&self) -> Vec<RegistryRow>;
+
+    /// Rolling restart of one node: drain it through the data-plane
+    /// failover paths, stop it, respawn it, restore routes. Returns a
+    /// summary line, or an error message.
+    fn drain(&self, node: &str) -> Result<String, String>;
+
+    /// Controller status for the `mon` aggregation (`ctl_status`
+    /// section): registry rows, event counts, convergence state.
+    fn status_json(&self) -> serde_json::Value;
+}

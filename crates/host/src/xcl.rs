@@ -30,13 +30,29 @@
 //! mon    results/mon.json        # scrape every node into one JSON doc
 //! monreset ru0                   # zero a node's monitoring state
 //! trace  ru0 on                  # frame-lifecycle tracer on|off
+//! plan                           # control plane: pending actions
+//! apply                          # control plane: converge the fleet
+//! registry                       # control plane: live node registry
+//! drain  bu0                     # control plane: rolling restart
 //! sleep  10                      # milliseconds
 //! echo   text...
 //! ```
+//!
+//! The four control-plane verbs need a [`ControlPlane`] attached via
+//! [`XclInterpreter::with_plane`] (the `xdaq-ctl` controller
+//! implements it); without one they fail with a pointed message.
 
 use crate::control::{ControlError, ControlHost};
+use crate::plane::ControlPlane;
 use std::collections::HashMap;
 use xdaq_i2o::Tid;
+
+/// Every verb the interpreter knows, for the unknown-command error.
+const VERBS: &[&str] = &[
+    "node", "proxy", "claim", "release", "status", "lct", "enable", "quiesce", "reset", "clear",
+    "load", "destroy", "connect", "set", "get", "faults", "rec", "replay", "qos", "evb", "watch",
+    "mon", "monreset", "trace", "plan", "apply", "registry", "drain", "sleep", "echo",
+];
 
 /// A script failure, located by line.
 #[derive(Debug)]
@@ -71,6 +87,8 @@ pub struct XclInterpreter<'a> {
     /// Handle names created by the `node` command, in definition order —
     /// the executives the `mon` command scrapes.
     nodes: Vec<String>,
+    /// Declarative controller behind `plan`/`apply`/`registry`/`drain`.
+    plane: Option<&'a dyn ControlPlane>,
 }
 
 impl<'a> XclInterpreter<'a> {
@@ -80,7 +98,15 @@ impl<'a> XclInterpreter<'a> {
             host,
             handles: HashMap::new(),
             nodes: Vec::new(),
+            plane: None,
         }
+    }
+
+    /// Attaches a control plane, enabling the `plan` / `apply` /
+    /// `registry` / `drain` verbs and the `ctl_status` mon section.
+    pub fn with_plane(mut self, plane: &'a dyn ControlPlane) -> XclInterpreter<'a> {
+        self.plane = Some(plane);
+        self
     }
 
     /// Pre-defines a handle (e.g. a TiD obtained programmatically).
@@ -99,6 +125,13 @@ impl<'a> XclInterpreter<'a> {
         self.handles.get(name).copied().ok_or_else(|| XclError {
             line,
             message: format!("unknown handle '{name}'"),
+        })
+    }
+
+    fn plane(&self, line: usize) -> Result<&'a dyn ControlPlane, XclError> {
+        self.plane.ok_or_else(|| XclError {
+            line,
+            message: "no control plane attached (XclInterpreter::with_plane)".to_string(),
         })
     }
 
@@ -428,7 +461,7 @@ impl<'a> XclInterpreter<'a> {
                 Ok(format!("watching {node}"))
             }
             ["mon", rest @ ..] => {
-                if self.nodes.is_empty() {
+                if self.nodes.is_empty() && self.plane.is_none() {
                     return Err(err("no nodes defined before 'mon'".to_string()));
                 }
                 let mut cluster = serde_json::Map::new();
@@ -436,6 +469,9 @@ impl<'a> XclInterpreter<'a> {
                     let t = self.resolve(&name, line)?;
                     let snap = self.host.scrape(t).map_err(|e| Self::fail(line, e))?;
                     cluster.insert(name, snap);
+                }
+                if let Some(plane) = self.plane {
+                    cluster.insert("ctl_status".to_string(), plane.status_json());
                 }
                 let doc = serde_json::Value::Object(cluster);
                 let path = rest.first().copied().unwrap_or("results/mon.json");
@@ -467,6 +503,49 @@ impl<'a> XclInterpreter<'a> {
                     .map_err(|e| Self::fail(line, e))?;
                 Ok(format!("trace {state} on {node}"))
             }
+            ["plan"] => {
+                let plane = self.plane(line)?;
+                let actions = plane.plan();
+                if actions.is_empty() {
+                    Ok("plan: converged, nothing to do".to_string())
+                } else {
+                    Ok(format!(
+                        "plan: {} pending\n  {}",
+                        actions.len(),
+                        actions.join("\n  ")
+                    ))
+                }
+            }
+            ["apply"] => {
+                let plane = self.plane(line)?;
+                plane
+                    .apply()
+                    .map(|s| format!("apply: {s}"))
+                    .map_err(|m| err(format!("apply failed: {m}")))
+            }
+            ["registry"] => {
+                let plane = self.plane(line)?;
+                let rows = plane.registry();
+                let mut log = format!("registry: {} nodes", rows.len());
+                for r in rows {
+                    log.push_str(&format!(
+                        "\n  {} desired={} actual={} gen={} url={}",
+                        r.node,
+                        r.desired,
+                        r.actual,
+                        r.generation,
+                        if r.url.is_empty() { "-" } else { &r.url },
+                    ));
+                }
+                Ok(log)
+            }
+            ["drain", node] => {
+                let plane = self.plane(line)?;
+                plane
+                    .drain(node)
+                    .map(|s| format!("drain {node}: {s}"))
+                    .map_err(|m| err(format!("drain {node} failed: {m}")))
+            }
             ["sleep", ms] => {
                 let ms: u64 = ms
                     .parse()
@@ -475,7 +554,10 @@ impl<'a> XclInterpreter<'a> {
                 Ok(format!("slept {ms}ms"))
             }
             ["echo", rest @ ..] => Ok(rest.join(" ")),
-            [cmd, ..] => Err(err(format!("unknown command '{cmd}'"))),
+            [cmd, ..] => Err(err(format!(
+                "unknown command '{cmd}' (available: {})",
+                VERBS.join(" ")
+            ))),
             [] => unreachable!("blank lines filtered"),
         }
     }
@@ -510,6 +592,34 @@ mod tests {
         let mut x = XclInterpreter::new(&host);
         let err = x.run("frobnicate all").unwrap_err();
         assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_command_lists_available_verbs() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        let err = x.run("frobnicate all").unwrap_err();
+        for verb in ["node", "apply", "drain", "evb", "echo"] {
+            assert!(
+                err.message.contains(verb),
+                "error should list '{verb}': {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn plane_verbs_need_a_plane() {
+        let host = ControlHost::new("h");
+        let mut x = XclInterpreter::new(&host);
+        for script in ["plan", "apply", "registry", "drain bu0"] {
+            let err = x.run(script).unwrap_err();
+            assert!(
+                err.message.contains("control plane"),
+                "{script}: {}",
+                err.message
+            );
+        }
     }
 
     #[test]

@@ -2,10 +2,37 @@
 # Benchmark driver: rebuilds the release harnesses and regenerates the
 # experiment outputs under results/. Run from the repo root.
 #
-#   scripts/bench.sh          # shm transport comparison only (fast)
-#   scripts/bench.sh --all    # also regenerate the paper harnesses
+#   scripts/bench.sh                # shm transport comparison only (fast)
+#   scripts/bench.sh --all          # also regenerate the paper harnesses
+#   scripts/bench.sh --consolidate  # only re-fold results/BENCH_pr*.json
+#                                   # into BENCH_trajectory.json (no runs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+consolidate() {
+    echo "== consolidated benchmark trajectory =="
+    # Merge every per-PR benchmark document into one array, ordered by
+    # PR, so a single file tracks the performance trajectory across the
+    # stack.
+    {
+        echo "["
+        first=1
+        for f in $(ls results/BENCH_pr*.json 2>/dev/null | sort -V); do
+            [[ $first -eq 1 ]] || echo ","
+            first=0
+            cat "$f"
+        done
+        echo "]"
+    } > results/BENCH_trajectory.json
+    python3 -c "import json; json.load(open('results/BENCH_trajectory.json'))" \
+        2>/dev/null || echo "warning: BENCH_trajectory.json failed validation"
+    echo "wrote results/BENCH_trajectory.json"
+}
+
+if [[ "${1:-}" == "--consolidate" ]]; then
+    consolidate
+    exit 0
+fi
 
 echo "== build (release) =="
 cargo build --release -p xdaq-bench
@@ -49,21 +76,6 @@ if [[ "${1:-}" == "--all" ]]; then
     cargo run -p xdaq-bench --release --bin ptmode
 fi
 
-echo "== consolidated benchmark trajectory =="
-# Merge every per-PR benchmark document into one array, ordered by PR,
-# so a single file tracks the performance trajectory across the stack.
-{
-    echo "["
-    first=1
-    for f in $(ls results/BENCH_pr*.json 2>/dev/null | sort -V); do
-        [[ $first -eq 1 ]] || echo ","
-        first=0
-        cat "$f"
-    done
-    echo "]"
-} > results/BENCH_trajectory.json
-python3 -c "import json; json.load(open('results/BENCH_trajectory.json'))" \
-    2>/dev/null || echo "warning: BENCH_trajectory.json failed validation"
-echo "wrote results/BENCH_trajectory.json"
+consolidate
 
 echo "bench: done (see results/)"

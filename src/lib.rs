@@ -54,6 +54,10 @@ pub use xdaq_rec as rec;
 /// Control hosts and the xcl configuration language.
 pub use xdaq_host as host;
 
+/// Declarative control plane: topology declarations, the live
+/// service registry, and convergence loops.
+pub use xdaq_ctl as ctl;
+
 /// Time probes and measurement statistics.
 pub use xdaq_probe as probe;
 

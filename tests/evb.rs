@@ -53,6 +53,15 @@ fn base_dir(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("xdaq-evb-it-{name}-{}", std::process::id()))
 }
 
+/// The 7-process mesh tiers (chaos drops, builder SIGKILL) run only
+/// when the environment opts in with `XDAQ_TEST_HEAVY=1` — CI sets it;
+/// a plain `cargo test` stays fast and deterministic.
+fn heavy_enabled() -> bool {
+    std::env::var("XDAQ_TEST_HEAVY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn spawn_child(test_fn: &str, base: &Path, idx: usize, chaos: bool) -> Child {
     let mut cmd = Command::new(std::env::current_exe().unwrap());
     cmd.args([
@@ -280,7 +289,7 @@ fn wait_until(cond: impl Fn() -> bool, timeout: Duration) -> bool {
 
 #[test]
 fn chaotic_mesh_builds_every_event() {
-    if !xdaq::shm::sys::supported() {
+    if !xdaq::shm::sys::supported() || !heavy_enabled() {
         return;
     }
     const TARGET: u64 = 400;
@@ -311,7 +320,7 @@ fn chaotic_mesh_builds_every_event() {
 
 #[test]
 fn killed_builder_is_reclaimed_and_survivors_finish() {
-    if !xdaq::shm::sys::supported() {
+    if !xdaq::shm::sys::supported() || !heavy_enabled() {
         return;
     }
     const TARGET: u64 = 3000;

@@ -23,6 +23,15 @@ fn tmp(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("xdaq-rec-it-{name}-{}", std::process::id()))
 }
 
+/// The multi-process SIGKILL crash tier runs only when the environment
+/// opts in with `XDAQ_TEST_HEAVY=1` — CI sets it; a plain `cargo test`
+/// stays fast and deterministic.
+fn heavy_enabled() -> bool {
+    std::env::var("XDAQ_TEST_HEAVY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn wait_until(cond: impl Fn() -> bool, timeout: Duration) -> bool {
     let deadline = Instant::now() + timeout;
     while Instant::now() < deadline {
@@ -329,7 +338,7 @@ fn spawn_child(test_fn: &str, dir: &std::path::Path) -> Child {
 /// checked) and truncate the torn tail so the store scans clean.
 #[test]
 fn sigkilled_recorder_leaves_a_recoverable_store() {
-    if !xdaq::rec::sys::supported() {
+    if !xdaq::rec::sys::supported() || !heavy_enabled() {
         return;
     }
     let dir = tmp("crash");

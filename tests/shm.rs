@@ -69,6 +69,15 @@ fn region_path(name: &str) -> PathBuf {
     std::env::temp_dir().join(format!("xdaq-shm-it-{name}-{}", std::process::id()))
 }
 
+/// Heavy multi-process tiers (10k-frame echo, SIGKILL chaos) run only
+/// when the environment opts in with `XDAQ_TEST_HEAVY=1` — CI sets it;
+/// a plain `cargo test` stays fast and deterministic.
+fn heavy_enabled() -> bool {
+    std::env::var("XDAQ_TEST_HEAVY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 fn wait_for_peer(pt: &ShmPt, peer: &PeerAddr) {
     let deadline = Instant::now() + Duration::from_secs(20);
     while !pt.link_for(peer).unwrap().peer_attached() {
@@ -79,7 +88,7 @@ fn wait_for_peer(pt: &ShmPt, peer: &PeerAddr) {
 
 #[test]
 fn ten_thousand_chained_frames_echo_with_zero_loss() {
-    if !xdaq_shm::sys::supported() {
+    if !xdaq_shm::sys::supported() || !heavy_enabled() {
         return;
     }
     let path = region_path("echo");
@@ -200,7 +209,7 @@ fn child_echo_main() {
 
 #[test]
 fn killed_child_is_reported_to_the_supervisor() {
-    if !xdaq_shm::sys::supported() {
+    if !xdaq_shm::sys::supported() || !heavy_enabled() {
         return;
     }
     let path = region_path("kill");
