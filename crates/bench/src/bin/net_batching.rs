@@ -1,0 +1,218 @@
+//! NET BATCHING — throughput of the `xpt://` submission/completion
+//! transport (DESIGN.md §15) against plain `tcp://` and the `shm://`
+//! descriptor ring, at 4 KiB and 64 KiB frames over localhost.
+//!
+//! `tcp://` costs one write syscall per frame on the sender and two
+//! reads per frame on the receiver; `xpt://` coalesces up to 64 queued
+//! frames into one `writev` gather batch, rings the driver's doorbell
+//! only when it sleeps, and donates pool blocks to the kernel so large
+//! inbound bodies skip the staging copy. Both xpt backends run the
+//! identical driver loop — io_uring submits the same batches through a
+//! ring, epoll through direct vectored syscalls — so the uring row
+//! isolates the completion-ring overhead, not a different design.
+//!
+//! Per xpt row the mon registry is scraped for `pt.xpt.doorbells` to
+//! report frames-per-doorbell, the coalescing the batch design exists
+//! to buy.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p xdaq-bench --release --bin net_batching
+//!     [--bytes 33554432] [--json results/BENCH_pr9.json]
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use xdaq_bench::Args;
+use xdaq_core::pta::{PeerTransport, PtMode};
+use xdaq_mempool::{FrameAllocator, FrameBuf, TablePool};
+use xdaq_pt::{TcpPt, XptBackend, XptPt};
+use xdaq_shm::{ShmConfig, ShmPt};
+
+const SIZES: &[usize] = &[4096, 65536];
+const SHM_BLOCK: usize = 65536;
+
+fn frames_for(bytes_target: usize, size: usize) -> usize {
+    (bytes_target / size).clamp(400, 200_000)
+}
+
+/// Streams `n` self-delimiting frames of ~`size` bytes from `tx` to
+/// `dest` and waits until `rx` surfaced all of them.
+fn pt_run(
+    tx: Arc<dyn PeerTransport>,
+    rx: Arc<dyn PeerTransport>,
+    dest: &str,
+    size: usize,
+    bytes_target: usize,
+) -> f64 {
+    let n = frames_for(bytes_target, size);
+    let dest = dest.parse().unwrap();
+    let got = Arc::new(AtomicU64::new(0));
+    if rx.mode() == PtMode::Task {
+        let got = got.clone();
+        rx.start(Arc::new(move |_f, _src| {
+            got.fetch_add(1, Ordering::Relaxed);
+        }))
+        .unwrap();
+    }
+    if tx.mode() == PtMode::Task {
+        tx.start(Arc::new(|_f, _src| {})).unwrap();
+    }
+
+    let flen = size.clamp(xdaq_i2o::HEADER_LEN, u16::MAX as usize * 4) & !3;
+    let mut payload = vec![0xA5u8; flen];
+    payload[2..4].copy_from_slice(&((flen / 4) as u16).to_le_bytes());
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    while sent < n {
+        match tx.send(&dest, FrameBuf::from_bytes(&payload)) {
+            Ok(()) => sent += 1,
+            Err(_) => std::thread::yield_now(), // ring full: let rx drain
+        }
+    }
+    while (got.load(Ordering::Relaxed) as usize) < n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    rx.stop();
+    tx.stop();
+    (n * flen) as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()
+}
+
+/// One xpt run on `backend`; `None` when the kernel refuses rings.
+/// Returns (MiB/s, frames sent per doorbell rung).
+fn xpt_run(backend: XptBackend, size: usize, bytes_target: usize) -> Option<(f64, f64)> {
+    let reg = xdaq_mon::Registry::new();
+    let a = XptPt::bind_with("127.0.0.1:0", TablePool::with_defaults(), backend).ok()?;
+    let b = XptPt::bind_with("127.0.0.1:0", TablePool::with_defaults(), backend).ok()?;
+    a.bind_registry(&reg);
+    let b_url = b.addr().to_string();
+    let mib_s = pt_run(a, b, &b_url, size, bytes_target);
+    let snap = reg.snapshot();
+    let doorbells = snap["counters"]["pt.xpt.doorbells"].as_u64().unwrap_or(0);
+    let n = frames_for(bytes_target, size) as f64;
+    Some((mib_s, n / doorbells.max(1) as f64))
+}
+
+fn shm_run(size: usize, bytes_target: usize) -> f64 {
+    let n = frames_for(bytes_target, size);
+    let path = std::env::temp_dir().join(format!("xdaq-net-bench-{}-{size}", std::process::id()));
+    let tx_pt = ShmPt::new(PtMode::Polling);
+    let link = tx_pt
+        .create_link(
+            &path,
+            ShmConfig {
+                block_size: SHM_BLOCK,
+                nblocks: 512,
+                ring_capacity: 1024,
+            },
+        )
+        .unwrap();
+    let peer = link.peer_addr().clone();
+    let rx_pt = ShmPt::new(PtMode::Polling);
+    rx_pt.attach_link(&path).unwrap();
+
+    let got = Arc::new(AtomicU64::new(0));
+    let drainer = {
+        let rx_pt = rx_pt.clone();
+        let got = got.clone();
+        std::thread::spawn(move || {
+            while (got.load(Ordering::Relaxed) as usize) < n {
+                let mut any = false;
+                while rx_pt.poll().is_some() {
+                    got.fetch_add(1, Ordering::Relaxed);
+                    any = true;
+                }
+                if !any {
+                    std::thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let pool = link.pool().clone();
+    let t0 = Instant::now();
+    let mut sent = 0usize;
+    while sent < n {
+        match pool.alloc(size) {
+            Ok(f) => match tx_pt.send(&peer, f) {
+                Ok(()) => sent += 1,
+                Err(_) => std::thread::yield_now(),
+            },
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+    while (got.load(Ordering::Relaxed) as usize) < n {
+        std::thread::yield_now();
+    }
+    let elapsed = t0.elapsed();
+    drainer.join().unwrap();
+    let _ = std::fs::remove_file(&path);
+    (n * size) as f64 / (1 << 20) as f64 / elapsed.as_secs_f64()
+}
+
+fn main() {
+    let args = Args::parse();
+    let bytes_target: usize = args.get("bytes", 32 * 1024 * 1024);
+    let json_path = args.get_str("json", "results/BENCH_pr9.json");
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>10} {:>14}",
+        "size", "tcp MiB/s", "xpt(ur) MiB/s", "xpt(ep) MiB/s", "shm MiB/s", "frames/doorbell"
+    );
+    let mut rows = Vec::new();
+    let mut tcp_4k = 0.0f64;
+    let mut xpt_4k = 0.0f64;
+    for &size in SIZES {
+        let ta = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap();
+        let tb = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap();
+        let tb_url = tb.addr().to_string();
+        let tcp = pt_run(ta, tb, &tb_url, size, bytes_target);
+
+        let uring = xpt_run(XptBackend::Uring, size, bytes_target);
+        let (epoll, ep_coalesce) =
+            xpt_run(XptBackend::Epoll, size, bytes_target).expect("epoll backend always binds");
+        let shm = shm_run(size, bytes_target);
+
+        let best_xpt = uring.map_or(epoll, |(u, _)| u.max(epoll));
+        if size == 4096 {
+            tcp_4k = tcp;
+            xpt_4k = best_xpt;
+        }
+        let coalesce = uring.map_or(ep_coalesce, |(_, c)| c.max(ep_coalesce));
+        println!(
+            "{size:>8} {tcp:>10.0} {:>12} {epoll:>12.0} {shm:>10.0} {coalesce:>14.1}",
+            uring.map_or("n/a".into(), |(u, _)| format!("{u:.0}")),
+        );
+        rows.push(serde_json::json!({
+            "size": size,
+            "tcp_mib_s": tcp,
+            "xpt_uring_mib_s": uring.map(|(u, _)| u),
+            "xpt_epoll_mib_s": epoll,
+            "shm_mib_s": shm,
+            "frames_per_doorbell": coalesce,
+            "frames": frames_for(bytes_target, size),
+        }));
+    }
+
+    let speedup = xpt_4k / tcp_4k;
+    println!("xpt vs tcp at 4 KiB: {speedup:.1}x");
+    assert!(
+        speedup >= 3.0,
+        "acceptance: xpt must beat tcp-localhost by >=3x at 4 KiB (got {speedup:.1}x)"
+    );
+
+    let doc = serde_json::json!({
+        "bench": "net_batching",
+        "bytes_target": bytes_target,
+        "uring_available": !rows[0]["xpt_uring_mib_s"].is_null(),
+        "rows": rows,
+        "xpt_vs_tcp_4k_speedup": speedup,
+    });
+    if let Some(dir) = std::path::Path::new(&json_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&json_path, format!("{doc:#}")).unwrap();
+    println!("wrote {json_path}");
+}

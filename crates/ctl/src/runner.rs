@@ -21,9 +21,9 @@ use crate::decl::Topology;
 use crate::launch::{self, ENV_GEN, ENV_NODE, ENV_RUNDIR, ENV_TOPO};
 use std::sync::Arc;
 use std::time::Duration;
-use xdaq_core::{Executive, ExecutiveConfig, FlowConfig, SupervisionConfig};
+use xdaq_core::{Executive, ExecutiveConfig, FlowConfig, PeerTransport, SupervisionConfig};
 use xdaq_mempool::TablePool;
-use xdaq_pt::TcpPt;
+use xdaq_pt::{TcpPt, XptBackend, XptPt};
 
 /// Environment handed to a managed child, decoded.
 #[derive(Debug, Clone)]
@@ -89,6 +89,47 @@ pub fn node_config(topo: &Topology, node: &str) -> Result<ExecutiveConfig, Strin
     Ok(config)
 }
 
+/// Binds the peer transport a declaration asks for, on an ephemeral
+/// port. Params:
+///
+/// * `transport` — `tcp` (default) or `xpt`, the batched
+///   submission/completion transport (DESIGN.md §15).
+/// * `xpt.backend` — `auto` (default: io_uring where the kernel
+///   grants rings, epoll otherwise), `uring` (fail if refused) or
+///   `epoll`.
+///
+/// Returns the registration key and the canonical url to publish.
+pub fn bind_transport(
+    decl: &crate::decl::NodeDecl,
+) -> Result<(&'static str, Arc<dyn PeerTransport>, String), String> {
+    let transport = decl.params.get("transport").map_or("tcp", String::as_str);
+    match transport {
+        "tcp" => {
+            let pt = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults())
+                .map_err(|e| format!("bind tcp: {e:?}"))?;
+            let url = pt.addr().to_string();
+            Ok(("tcp", pt, url))
+        }
+        "xpt" => {
+            let backend = match decl
+                .params
+                .get("xpt.backend")
+                .map_or("auto", String::as_str)
+            {
+                "auto" => XptBackend::Auto,
+                "uring" => XptBackend::Uring,
+                "epoll" => XptBackend::Epoll,
+                other => return Err(format!("unknown xpt.backend '{other}'")),
+            };
+            let pt = XptPt::bind_with("127.0.0.1:0", TablePool::with_defaults(), backend)
+                .map_err(|e| format!("bind xpt ({backend:?}): {e:?}"))?;
+            let url = pt.addr().to_string();
+            Ok(("xpt", pt, url))
+        }
+        other => Err(format!("unknown transport '{other}'")),
+    }
+}
+
 /// Runs this process as the managed node named in its environment.
 ///
 /// `setup` registers the application's module factories (and anything
@@ -103,11 +144,12 @@ pub fn run_managed_node(setup: impl FnOnce(&Executive)) -> Result<(), String> {
     let config = node_config(&topo, &env.node)?;
     let exec = Executive::new(config);
 
-    let pt = TcpPt::bind("127.0.0.1:0", TablePool::with_defaults())
-        .map_err(|e| format!("bind tcp: {e:?}"))?;
-    let url = pt.addr().to_string();
-    exec.register_pt("tcp", pt as Arc<_>)
-        .map_err(|e| format!("register tcp pt: {e:?}"))?;
+    let decl = topo
+        .node(&env.node)
+        .expect("node_config validated the declaration");
+    let (key, pt, url) = bind_transport(decl)?;
+    exec.register_pt(key, pt)
+        .map_err(|e| format!("register {key} pt: {e:?}"))?;
 
     setup(&exec);
     exec.enable_all();
@@ -135,6 +177,11 @@ mod tests {
         supervision.interval_ms = 20
         [node.b]
         workers = 1
+        [node.c]
+        transport = "xpt"
+        xpt.backend = "epoll"
+        [node.bad]
+        transport = "carrier-pigeon"
         [node.x]
         external = true
     "#;
@@ -159,5 +206,23 @@ mod tests {
         assert!(node_config(&topo, "nope")
             .unwrap_err()
             .contains("not in topology"));
+    }
+
+    #[test]
+    fn transport_selection_honors_declaration() {
+        let topo = Topology::parse(TOPO).unwrap();
+        let (key, pt, url) = bind_transport(topo.node("a").unwrap()).unwrap();
+        assert_eq!((key, pt.scheme()), ("tcp", "tcp"), "tcp is the default");
+        assert!(url.starts_with("tcp://127.0.0.1:"), "got {url}");
+
+        let (key, pt, url) = bind_transport(topo.node("c").unwrap()).unwrap();
+        assert_eq!((key, pt.scheme()), ("xpt", "xpt"));
+        assert!(url.starts_with("xpt://127.0.0.1:"), "got {url}");
+        pt.stop();
+
+        let Err(err) = bind_transport(topo.node("bad").unwrap()) else {
+            panic!("carrier-pigeon transport must be rejected");
+        };
+        assert!(err.contains("unknown transport"), "got {err}");
     }
 }

@@ -28,22 +28,34 @@ use xdaq_mon::PtCounters;
 const HELLO_PREFIX: &str = "XDAQPT1 ";
 const MAX_FRAME: usize = xdaq_i2o::MAX_BLOCK_LEN;
 
+/// One reader spawned by the accept loop: a handle to join plus a
+/// socket clone `stop` uses to shut the blocking read down.
+type Reader = (Option<TcpStream>, std::thread::JoinHandle<()>);
+
 /// The TCP peer transport (task mode).
 pub struct TcpPt {
     listener: TcpListener,
     self_addr: PeerAddr,
     alloc: DynAllocator,
     stopped: Arc<AtomicBool>,
-    conns: Mutex<HashMap<String, TcpStream>>,
+    /// Outbound connections, each behind its **own** lock so a
+    /// stalled peer only blocks senders to that peer — the registry
+    /// lock is held for lookup/insert only, never across a write.
+    conns: Mutex<HashMap<String, Arc<Mutex<TcpStream>>>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    /// Reader threads spawned by the accept loop; joined (and panic-
-    /// checked) in `stop`.
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    /// Live reader threads; the accept loop reaps finished entries on
+    /// every accept (no JoinHandle leak under reconnect churn) and
+    /// `stop` joins the remainder.
+    readers: Arc<Mutex<Vec<Reader>>>,
     /// Task threads observed to have panicked, drained by
-    /// [`PeerTransport::take_panics`].
-    panics: AtomicU64,
+    /// [`PeerTransport::take_panics`]. Shared with the accept loop,
+    /// which harvests panics while reaping.
+    panics: Arc<AtomicU64>,
     /// Shared with reader threads, which account received frames.
     counters: Arc<PtCounters>,
+    /// Canonical addresses of peers whose connection died, drained by
+    /// [`PeerTransport::take_down_peers`].
+    down: Arc<Mutex<Vec<PeerAddr>>>,
 }
 
 impl TcpPt {
@@ -61,8 +73,9 @@ impl TcpPt {
             conns: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
             readers: Arc::new(Mutex::new(Vec::new())),
-            panics: AtomicU64::new(0),
+            panics: Arc::new(AtomicU64::new(0)),
             counters: Arc::new(PtCounters::new()),
+            down: Arc::new(Mutex::new(Vec::new())),
         }))
     }
 
@@ -81,23 +94,25 @@ impl TcpPt {
     }
 
     /// Reads frames off one accepted connection until EOF/stop.
+    ///
+    /// Reads are fully **blocking** — zero CPU while the link is idle.
+    /// `stop` unblocks them by shutting the socket down (the clone the
+    /// accept loop kept). Every post-hello exit surfaces the peer via
+    /// `take_down_peers`, and protocol/pool failures additionally
+    /// count in `pt.tcp.errors` instead of vanishing silently.
     fn reader_loop(
         mut stream: TcpStream,
         alloc: DynAllocator,
         sink: IngestSink,
         stopped: Arc<AtomicBool>,
         counters: Arc<PtCounters>,
+        down: Arc<Mutex<Vec<PeerAddr>>>,
     ) {
-        stream
-            .set_read_timeout(Some(Duration::from_millis(100)))
-            .ok();
-        // Hello line first.
+        // Hello line first. Pre-hello failures are anonymous (we don't
+        // know the peer yet): just drop the connection.
         let mut hello = Vec::new();
         let mut byte = [0u8; 1];
         loop {
-            if stopped.load(Ordering::Acquire) {
-                return;
-            }
             match stream.read(&mut byte) {
                 Ok(0) => return,
                 Ok(_) => {
@@ -109,12 +124,7 @@ impl TcpPt {
                         return; // not our protocol
                     }
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue
-                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => return,
             }
         }
@@ -129,55 +139,52 @@ impl TcpPt {
             return;
         };
 
+        // Exit bookkeeping: `abnormal` exits (corrupt stream, pool
+        // exhaustion) count as receive errors; every exit while the
+        // transport is live reports the peer dead so the link
+        // supervisor reacts now, not at heartbeat timeout.
+        let bail = |abnormal: bool| {
+            if stopped.load(Ordering::Acquire) {
+                return;
+            }
+            if abnormal {
+                counters.on_recv_error();
+            }
+            down.lock().push(peer.clone());
+        };
+
         // Frame loop: header first, then the declared remainder.
         let mut header = [0u8; HEADER_LEN];
-        'frames: loop {
+        loop {
             let mut got = 0usize;
             while got < HEADER_LEN {
-                if stopped.load(Ordering::Acquire) {
-                    return;
-                }
                 match stream.read(&mut header[got..]) {
-                    Ok(0) => return,
+                    Ok(0) => return bail(false),
                     Ok(n) => got += n,
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue
-                    }
-                    Err(_) => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return bail(false),
                 }
             }
             let words = u16::from_le_bytes([header[2], header[3]]) as usize;
             let total = words * 4;
             if !(HEADER_LEN..=MAX_FRAME).contains(&total) {
-                return; // corrupt stream
+                return bail(true); // corrupt stream
             }
             let Ok(mut buf) = alloc.alloc(total) else {
-                return;
+                return bail(true); // pool exhausted
             };
             buf[..HEADER_LEN].copy_from_slice(&header);
             let mut off = HEADER_LEN;
             while off < total {
-                if stopped.load(Ordering::Acquire) {
-                    return;
-                }
                 match stream.read(&mut buf[off..total]) {
-                    Ok(0) => return,
+                    Ok(0) => return bail(false),
                     Ok(n) => off += n,
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue
-                    }
-                    Err(_) => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => return bail(false),
                 }
             }
             counters.on_recv(total);
             sink(buf, peer.clone());
-            continue 'frames;
         }
     }
 }
@@ -197,19 +204,28 @@ impl PeerTransport for TcpPt {
             return Err(SendFailure::with_frame(PtError::Closed, frame));
         }
         let key = dest.rest().to_string();
-        let mut conns = self.conns.lock();
-        if !conns.contains_key(&key) {
-            match self.connect(dest) {
+        // Registry lock: lookup/insert only. The blocking write below
+        // happens under the connection's own lock, so a stalled peer
+        // never head-of-line-blocks sends to other peers.
+        let cached = self.conns.lock().get(&key).cloned();
+        let conn = match cached {
+            Some(c) => c,
+            None => match self.connect(dest) {
                 Ok(stream) => {
-                    conns.insert(key.clone(), stream);
+                    let fresh = Arc::new(Mutex::new(stream));
+                    self.conns
+                        .lock()
+                        .entry(key.clone())
+                        .or_insert(fresh)
+                        .clone()
                 }
                 Err(e) => {
                     self.counters.on_send_error();
                     return Err(SendFailure::with_frame(e, frame));
                 }
-            }
-        }
-        let stream = conns.get_mut(&key).expect("just inserted");
+            },
+        };
+        let mut stream = conn.lock();
         match stream.write_all(&frame) {
             Ok(()) => {
                 self.counters.on_send(frame.len());
@@ -220,7 +236,10 @@ impl PeerTransport for TcpPt {
                 // on a fresh stream, so re-submitting this frame is
                 // framing-safe even after a partial write (the peer's
                 // reader abandons the corrupt tail of the old stream).
-                conns.remove(&key);
+                let mut conns = self.conns.lock();
+                if conns.get(&key).is_some_and(|c| Arc::ptr_eq(c, &conn)) {
+                    conns.remove(&key);
+                }
                 self.counters.on_send_error();
                 Err(SendFailure::with_frame(PtError::Io(e.to_string()), frame))
             }
@@ -236,7 +255,9 @@ impl PeerTransport for TcpPt {
         let alloc = self.alloc.clone();
         let stopped = self.stopped.clone();
         let counters = self.counters.clone();
+        let down = self.down.clone();
         let threads_in = self.readers.clone();
+        let panics = self.panics.clone();
         let accept = std::thread::Builder::new()
             .name(format!("tcp-pt-accept-{}", self.self_addr.rest()))
             .spawn(move || {
@@ -247,13 +268,30 @@ impl PeerTransport for TcpPt {
                             let sink = sink.clone();
                             let stopped = stopped.clone();
                             let counters = counters.clone();
+                            let down = down.clone();
+                            let sock = stream.try_clone().ok();
                             let h = std::thread::Builder::new()
                                 .name("tcp-pt-reader".into())
                                 .spawn(move || {
-                                    TcpPt::reader_loop(stream, alloc, sink, stopped, counters)
+                                    TcpPt::reader_loop(stream, alloc, sink, stopped, counters, down)
                                 })
                                 .expect("spawn reader");
-                            threads_in.lock().push(h);
+                            // Reap finished readers so reconnect churn
+                            // cannot grow the handle list without bound,
+                            // harvesting any panics on the way.
+                            let mut readers = threads_in.lock();
+                            let mut i = 0;
+                            while i < readers.len() {
+                                if readers[i].1.is_finished() {
+                                    let (_, done) = readers.swap_remove(i);
+                                    if done.join().is_err() {
+                                        panics.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                } else {
+                                    i += 1;
+                                }
+                            }
+                            readers.push((sock, h));
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(20));
@@ -270,12 +308,19 @@ impl PeerTransport for TcpPt {
     fn stop(&self) {
         self.stopped.store(true, Ordering::Release);
         self.conns.lock().clear();
+        // Readers block in `read`; shutting their sockets down is what
+        // unblocks them (they poll no flag — idle readers burn no CPU).
+        for (sock, _) in self.readers.lock().iter() {
+            if let Some(s) = sock {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
         for t in self.threads.lock().drain(..) {
             if t.join().is_err() {
                 self.panics.fetch_add(1, Ordering::Relaxed);
             }
         }
-        for t in self.readers.lock().drain(..) {
+        for (_, t) in self.readers.lock().drain(..) {
             if t.join().is_err() {
                 self.panics.fetch_add(1, Ordering::Relaxed);
             }
@@ -288,6 +333,10 @@ impl PeerTransport for TcpPt {
 
     fn counters(&self) -> Option<&PtCounters> {
         Some(&self.counters)
+    }
+
+    fn take_down_peers(&self) -> Vec<PeerAddr> {
+        std::mem::take(&mut self.down.lock())
     }
 }
 
@@ -384,6 +433,184 @@ mod tests {
             .send(&"tcp://127.0.0.1:9".parse().unwrap(), frame(b"x"))
             .unwrap_err();
         assert!(matches!(err.error, PtError::Closed));
+    }
+
+    /// Regression (issue 9): a stalled peer must not head-of-line
+    /// block sends to healthy peers. The old code held the global
+    /// `conns` mutex across `write_all`, so one wedged connection
+    /// serialized every sender behind it.
+    #[test]
+    fn stalled_peer_does_not_block_sends_to_other_peers() {
+        // A "peer" that accepts and then never reads: the sender's
+        // socket buffers fill and its write_all wedges.
+        let stall = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stall_addr: PeerAddr = format!("tcp://{}", stall.local_addr().unwrap())
+            .parse()
+            .unwrap();
+        let keep: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let k = keep.clone();
+        std::thread::spawn(move || {
+            while let Ok((s, _)) = stall.accept() {
+                k.lock().push(s);
+            }
+        });
+
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let healthy = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let got: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        healthy
+            .start(Arc::new(move |f, _| g.lock().push(f.len())))
+            .unwrap();
+
+        let flooder = {
+            let a = a.clone();
+            std::thread::spawn(move || {
+                for _ in 0..256 {
+                    if a.send(&stall_addr, frame(&[0u8; 200_000])).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+        std::thread::sleep(Duration::from_millis(300)); // let it wedge
+        assert!(!flooder.is_finished(), "flooder should be stuck writing");
+
+        // With per-connection locks this completes immediately; with
+        // one global lock it would queue behind the wedged write_all.
+        let t0 = Instant::now();
+        a.send(&healthy.addr(), frame(b"independent")).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "head-of-line blocked for {:?}",
+            t0.elapsed()
+        );
+        wait_for(&got, 1);
+
+        keep.lock().clear(); // RST the stalled link; flooder unwedges
+        a.stop();
+        let _ = flooder.join();
+        healthy.stop();
+    }
+
+    fn reader_cpu_ticks() -> u64 {
+        let mut total = 0;
+        let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+            return 0;
+        };
+        for entry in tasks.flatten() {
+            let Ok(stat) = std::fs::read_to_string(entry.path().join("stat")) else {
+                continue;
+            };
+            // Fields: pid (comm) state ... utime=14 stime=15; comm may
+            // hold spaces, so split after its closing paren.
+            let (Some(open), Some(close)) = (stat.find('('), stat.rfind(')')) else {
+                continue;
+            };
+            if !stat[open + 1..close].starts_with("tcp-pt-reader") {
+                continue;
+            }
+            let rest: Vec<&str> = stat[close + 2..].split(' ').collect();
+            total += rest
+                .get(11)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+                + rest
+                    .get(12)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+        }
+        total
+    }
+
+    /// Regression (issue 9): idle connections must cost no reader
+    /// CPU. The old loop spun on `continue` after every read timeout;
+    /// the new one blocks in `read` until bytes arrive or `stop`
+    /// shuts the socket down.
+    #[test]
+    fn idle_connections_burn_no_reader_cpu() {
+        let a = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        let got: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        b.start(Arc::new(move |f, _| g.lock().push(f.len())))
+            .unwrap();
+        a.start(Arc::new(|_, _| {})).unwrap();
+        a.send(&b.addr(), frame(b"warm")).unwrap();
+        wait_for(&got, 1);
+
+        let before = reader_cpu_ticks();
+        std::thread::sleep(Duration::from_millis(1200));
+        let delta = reader_cpu_ticks().saturating_sub(before);
+        // A spinning reader burns ~120 ticks/core over this window; a
+        // blocking one none. Slack covers other tests' readers that
+        // share this process.
+        assert!(delta <= 20, "idle readers burned {delta} ticks");
+        a.stop();
+        b.stop();
+    }
+
+    /// Regression (issue 9): reconnect churn must not leak reader
+    /// JoinHandles, reader deaths must surface the peer through
+    /// `take_down_peers`, and corrupt streams must count in
+    /// `pt.tcp.errors` instead of tearing down silently.
+    #[test]
+    fn reconnect_churn_reaps_readers_and_surfaces_down_peers() {
+        let b = TcpPt::bind("127.0.0.1:0", pool()).unwrap();
+        b.start(Arc::new(|_, _| {})).unwrap();
+
+        for i in 0..30 {
+            let mut s = TcpStream::connect(b.addr().rest()).unwrap();
+            s.write_all(format!("{HELLO_PREFIX}tcp://127.0.0.1:{}\n", 40_000 + i).as_bytes())
+                .unwrap();
+            drop(s); // EOF: reader exits, reports the peer down
+        }
+        let mut down: Vec<PeerAddr> = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while down.len() < 30 && Instant::now() < deadline {
+            down.extend(b.take_down_peers());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(down.len(), 30, "every churned peer reported down");
+
+        // Each new accept reaps finished readers; poke until the
+        // handle list shrinks to just the live tail.
+        let mut live = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let mut s = TcpStream::connect(b.addr().rest()).unwrap();
+            s.write_all(format!("{HELLO_PREFIX}tcp://127.0.0.1:39999\n").as_bytes())
+                .unwrap();
+            live.push(s);
+            std::thread::sleep(Duration::from_millis(20));
+            if b.readers.lock().len() <= live.len() + 1 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "readers never reaped: {} handles for {} live conns",
+                b.readers.lock().len(),
+                live.len()
+            );
+        }
+
+        // Corrupt stream: an all-zero header (length word 0) is a
+        // protocol violation — counted, and the peer reported down.
+        let mut evil = TcpStream::connect(b.addr().rest()).unwrap();
+        evil.write_all(format!("{HELLO_PREFIX}tcp://127.0.0.1:39998\n").as_bytes())
+            .unwrap();
+        evil.write_all(&[0u8; HEADER_LEN]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while b.counters.recv_errors.load(Ordering::Relaxed) == 0 {
+            assert!(Instant::now() < deadline, "corrupt stream never counted");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let down = b.take_down_peers();
+        assert!(
+            down.iter().any(|p| p.rest().ends_with(":39998")),
+            "corrupt peer surfaced via take_down_peers, got {down:?}"
+        );
+        b.stop();
     }
 
     #[test]

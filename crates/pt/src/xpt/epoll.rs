@@ -1,0 +1,301 @@
+//! Portable completion driver: `epoll_wait` + batched `readv`/`writev`.
+//!
+//! One thread owns every link. Each wakeup it (1) adopts freshly
+//! dialed links, (2) moves submission rings into per-link egress
+//! queues and flushes them with vectored writes until the socket
+//! pushes back, (3) sleeps under the doorbell-coalescing protocol,
+//! then (4) services readiness: accepts, gather-writes, and reads
+//! that land large frame bodies directly in donated pool blocks.
+
+use super::wire::{Event, OutQueue, RecvAssembler};
+use super::{sys, Conn, Metrics, Shared};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use xdaq_core::IngestSink;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_DOORBELL: u64 = 1;
+/// Staging buffer for hello lines, headers and small frame bodies.
+const SCRATCH: usize = 64 * 1024;
+
+/// Driver-private per-link state (no locks: single owner).
+struct EConn {
+    conn: Arc<Conn>,
+    out: OutQueue,
+    rasm: RecvAssembler,
+    want_write: bool,
+    donations_published: u64,
+}
+
+enum ReadOutcome {
+    Open,
+    /// Peer went away (EOF or socket error): report down, not corrupt.
+    Eof,
+    /// Protocol violation or pool exhaustion: count a receive error.
+    Abnormal,
+}
+
+pub(super) fn run(shared: Arc<Shared>, sink: IngestSink) -> Result<(), String> {
+    let ep = sys::epoll_create().map_err(|e| format!("epoll_create: errno {e}"))?;
+    use std::os::fd::FromRawFd;
+    // SAFETY: fresh epoll fd owned by this driver; closed on drop.
+    let _ep_owner = unsafe { std::fs::File::from_raw_fd(ep) };
+    for (fd, token) in [
+        (shared.listener.as_raw_fd(), TOKEN_LISTENER),
+        (shared.doorbell.as_raw_fd(), TOKEN_DOORBELL),
+    ] {
+        sys::epoll_ctl(ep, sys::EPOLL_CTL_ADD, fd, sys::EPOLLIN, token)
+            .map_err(|e| format!("epoll_ctl add: errno {e}"))?;
+    }
+
+    let mut conns: HashMap<u64, EConn> = HashMap::new();
+    let mut next_token: u64 = 2;
+    let mut scratch = vec![0u8; SCRATCH];
+    let mut events = [sys::EpollEvent::default(); 64];
+
+    loop {
+        for conn in shared.pending.lock().drain(..) {
+            adopt(ep, &shared, &mut conns, &mut next_token, conn);
+        }
+        if shared.stopped.load(Ordering::Acquire) {
+            break;
+        }
+        let metrics = shared.metrics.lock().clone();
+
+        // Move submission rings to the wire.
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let ec = conns.get_mut(&token).expect("token just listed");
+            ec.conn.sub.lock().drain_into(&mut ec.out);
+            if !ec.out.is_empty() && flush(ep, token, ec, &shared, &metrics).is_err() {
+                let ec = conns.remove(&token).expect("still present");
+                teardown(ep, &shared, ec, false);
+            }
+        }
+
+        // Sleep under the doorbell protocol: advertise, recheck, wait.
+        shared.sleeping.store(true, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if shared.has_pending_work() || shared.stopped.load(Ordering::Acquire) {
+            shared.sleeping.store(false, Ordering::SeqCst);
+            continue;
+        }
+        let n = sys::epoll_wait(ep, &mut events, 100).map_err(|e| format!("epoll_wait: {e}"))?;
+        shared.sleeping.store(false, Ordering::SeqCst);
+
+        for ev in events.iter().take(n) {
+            let ev = *ev; // copy out of the (packed on x86_64) array
+            match ev.data {
+                TOKEN_LISTENER => accept_all(ep, &shared, &mut conns, &mut next_token),
+                TOKEN_DOORBELL => {
+                    let mut b = [0u8; 8];
+                    let _ = (&shared.doorbell).read(&mut b);
+                }
+                token => {
+                    let Some(ec) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut outcome = ReadOutcome::Open;
+                    if ev.events & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+                        outcome = read_all(ec, &shared, &sink, &mut scratch, &metrics);
+                    }
+                    let write_dead = matches!(outcome, ReadOutcome::Open)
+                        && ev.events & sys::EPOLLOUT != 0
+                        && flush(ep, token, ec, &shared, &metrics).is_err();
+                    match (outcome, write_dead) {
+                        (ReadOutcome::Open, false) => {}
+                        (abnormal, _) => {
+                            let ec = conns.remove(&token).expect("still present");
+                            teardown(ep, &shared, ec, matches!(abnormal, ReadOutcome::Abnormal));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for (_, ec) in conns.drain() {
+        teardown(ep, &shared, ec, false);
+    }
+    Ok(())
+}
+
+fn adopt(
+    ep: i32,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, EConn>,
+    next_token: &mut u64,
+    conn: Arc<Conn>,
+) {
+    let token = *next_token;
+    *next_token += 1;
+    if sys::epoll_ctl(
+        ep,
+        sys::EPOLL_CTL_ADD,
+        conn.stream.as_raw_fd(),
+        sys::EPOLLIN,
+        token,
+    )
+    .is_err()
+    {
+        shared.teardown(&conn, false);
+        return;
+    }
+    conns.insert(
+        token,
+        EConn {
+            conn,
+            out: OutQueue::default(),
+            rasm: RecvAssembler::new(shared.alloc.clone()),
+            want_write: false,
+            donations_published: 0,
+        },
+    );
+}
+
+fn accept_all(
+    ep: i32,
+    shared: &Arc<Shared>,
+    conns: &mut HashMap<u64, EConn>,
+    next_token: &mut u64,
+) {
+    while let Ok((stream, _)) = shared.listener.accept() {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let conn = Arc::new(Conn {
+            key: String::new(),
+            stream,
+            peer: parking_lot::Mutex::new(None),
+            sub: parking_lot::Mutex::new(Default::default()),
+            dead: std::sync::atomic::AtomicBool::new(false),
+        });
+        adopt(ep, shared, conns, next_token, conn);
+    }
+}
+
+/// Gather-writes the egress queue until empty or the socket pushes
+/// back, retiring completed frames, then reconciles EPOLLOUT interest.
+fn flush(
+    ep: i32,
+    token: u64,
+    ec: &mut EConn,
+    shared: &Arc<Shared>,
+    metrics: &Metrics,
+) -> Result<(), ()> {
+    loop {
+        let bufs = ec.out.slices();
+        if bufs.is_empty() {
+            break;
+        }
+        let wrote = (&ec.conn.stream).write_vectored(&bufs);
+        let batch = bufs.len();
+        drop(bufs);
+        match wrote {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                if let Some(h) = &metrics.batch {
+                    h.record(batch as u64);
+                }
+                for len in ec.out.advance(n) {
+                    shared.counters.on_send(len);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    let want = !ec.out.is_empty();
+    if want != ec.want_write {
+        let evs = sys::EPOLLIN | if want { sys::EPOLLOUT } else { 0 };
+        let _ = sys::epoll_ctl(
+            ep,
+            sys::EPOLL_CTL_MOD,
+            ec.conn.stream.as_raw_fd(),
+            evs,
+            token,
+        );
+        ec.want_write = want;
+    }
+    Ok(())
+}
+
+/// Reads until the socket drains, steering large frame bodies into
+/// donated pool blocks and everything else through staging memory.
+fn read_all(
+    ec: &mut EConn,
+    shared: &Arc<Shared>,
+    sink: &IngestSink,
+    scratch: &mut [u8],
+    metrics: &Metrics,
+) -> ReadOutcome {
+    let mut evq = Vec::new();
+    let outcome = loop {
+        let want = ec.rasm.direct_read_len();
+        let res = if want > 0 {
+            (&ec.conn.stream).read(ec.rasm.direct_buf())
+        } else {
+            (&ec.conn.stream).read(scratch)
+        };
+        match res {
+            Ok(0) => break ReadOutcome::Eof,
+            Ok(n) => {
+                let parsed = if want > 0 {
+                    ec.rasm.direct_advance(n, &mut evq);
+                    Ok(())
+                } else {
+                    ec.rasm.ingest(&scratch[..n], &mut evq)
+                };
+                deliver(&mut evq, ec, shared, sink);
+                if parsed.is_err() {
+                    break ReadOutcome::Abnormal;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break ReadOutcome::Open,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break ReadOutcome::Eof,
+        }
+    };
+    let donated = ec.rasm.donations();
+    if donated > ec.donations_published {
+        if let Some(c) = &metrics.donations {
+            c.add(donated - ec.donations_published);
+        }
+        ec.donations_published = donated;
+    }
+    outcome
+}
+
+fn deliver(evq: &mut Vec<Event>, ec: &mut EConn, shared: &Arc<Shared>, sink: &IngestSink) {
+    for event in evq.drain(..) {
+        match event {
+            Event::Hello(addr) => {
+                if let Ok(peer) = addr.parse() {
+                    *ec.conn.peer.lock() = Some(peer);
+                }
+            }
+            Event::Frame(frame) => {
+                let peer = ec.conn.peer.lock().clone();
+                if let Some(peer) = peer {
+                    shared.counters.on_recv(frame.len());
+                    sink(frame, peer);
+                } else {
+                    // Frame from a peer that never identified itself.
+                    shared.counters.on_recv_error();
+                }
+            }
+        }
+    }
+}
+
+fn teardown(ep: i32, shared: &Arc<Shared>, ec: EConn, abnormal: bool) {
+    let _ = sys::epoll_ctl(ep, sys::EPOLL_CTL_DEL, ec.conn.stream.as_raw_fd(), 0, 0);
+    shared.teardown(&ec.conn, abnormal);
+    // EConn drop recycles every frame still in `out` and the
+    // assembler's in-flight frame back to their pools.
+}

@@ -1,0 +1,502 @@
+//! Raw-syscall layer for the `xpt://` completion-based transport.
+//!
+//! Mirrors `xdaq-shm`'s no-libc idiom: the handful of kernel services
+//! the drivers need — `eventfd2` doorbells, the `epoll` family for the
+//! portable backend, `io_uring_setup`/`io_uring_enter` plus offset
+//! `mmap` for the ring backend — are issued via inline assembly on the
+//! supported Linux targets (x86_64, aarch64). Everything else (connect,
+//! accept, vectored reads/writes) goes through `std`.
+//!
+//! On unsupported targets every entry point returns `ENOSYS`, so the
+//! crate still compiles and `XptPt::bind` fails cleanly.
+
+/// `PROT_READ | PROT_WRITE`.
+pub const PROT_RW: usize = 0x3;
+/// `MAP_SHARED | MAP_POPULATE` — ring mappings must never fault-block.
+pub const MAP_SHARED_POPULATE: usize = 0x1 | 0x8000;
+/// `EFD_CLOEXEC | EFD_NONBLOCK`.
+pub const EFD_FLAGS: usize = 0o2000000 | 0o4000;
+/// Errno for "not supported here".
+pub const ENOSYS: i32 = 38;
+/// Errno returned by a nonblocking op that would block.
+pub const EAGAIN: i32 = 11;
+/// Errno for interrupted syscall.
+pub const EINTR: i32 = 4;
+
+/// `epoll_ctl` op: add an fd to the interest set.
+pub const EPOLL_CTL_ADD: usize = 1;
+/// `epoll_ctl` op: remove an fd from the interest set.
+pub const EPOLL_CTL_DEL: usize = 2;
+/// `epoll_ctl` op: change an fd's interest mask.
+pub const EPOLL_CTL_MOD: usize = 3;
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported; listed for clarity).
+pub const EPOLLERR: u32 = 0x008;
+/// Peer hung up.
+pub const EPOLLHUP: u32 = 0x010;
+
+/// `struct epoll_event`. The kernel packs this on x86_64 only.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+// ---- io_uring ABI ----------------------------------------------------
+
+/// `io_uring_enter` flag: block until `min_complete` completions.
+pub const IORING_ENTER_GETEVENTS: usize = 1;
+/// Feature bit: SQ and CQ rings share one mapping (kernel ≥ 5.4).
+pub const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+/// Offsets passed to `mmap` to select which ring region to map.
+pub const IORING_OFF_SQ_RING: usize = 0;
+pub const IORING_OFF_SQES: usize = 0x1000_0000;
+
+/// Opcode: vectored write (gather send).
+pub const IORING_OP_WRITEV: u8 = 2;
+/// Opcode: one-shot poll (used for the accept listener).
+pub const IORING_OP_POLL_ADD: u8 = 6;
+/// Opcode: plain read into a buffer (donated pool block or scratch).
+pub const IORING_OP_READ: u8 = 22;
+
+/// `struct io_sqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct SqringOffsets {
+    pub head: u32,
+    pub tail: u32,
+    pub ring_mask: u32,
+    pub ring_entries: u32,
+    pub flags: u32,
+    pub dropped: u32,
+    pub array: u32,
+    pub resv1: u32,
+    pub user_addr: u64,
+}
+
+/// `struct io_cqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct CqringOffsets {
+    pub head: u32,
+    pub tail: u32,
+    pub ring_mask: u32,
+    pub ring_entries: u32,
+    pub overflow: u32,
+    pub cqes: u32,
+    pub flags: u32,
+    pub resv1: u32,
+    pub user_addr: u64,
+}
+
+/// `struct io_uring_params` (120 bytes).
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct IoUringParams {
+    pub sq_entries: u32,
+    pub cq_entries: u32,
+    pub flags: u32,
+    pub sq_thread_cpu: u32,
+    pub sq_thread_idle: u32,
+    pub features: u32,
+    pub wq_fd: u32,
+    pub resv: [u32; 3],
+    pub sq_off: SqringOffsets,
+    pub cq_off: CqringOffsets,
+}
+
+/// One 64-byte submission queue entry. Only the fields this transport
+/// uses are named; the tail is explicit zero padding.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct IoUringSqe {
+    pub opcode: u8,
+    pub flags: u8,
+    pub ioprio: u16,
+    pub fd: i32,
+    pub off: u64,
+    pub addr: u64,
+    pub len: u32,
+    pub op_flags: u32,
+    pub user_data: u64,
+    pub pad: [u64; 3],
+}
+
+/// One completion queue entry.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct IoUringCqe {
+    pub user_data: u64,
+    pub res: i32,
+    pub flags: u32,
+}
+
+/// `struct iovec`, kept alive by the driver for the life of a WRITEV.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct Iovec {
+    pub base: *const u8,
+    pub len: usize,
+}
+
+/// `struct timespec` (64-bit ABI) for `epoll_pwait2`-free timeouts —
+/// we use millisecond `epoll_pwait`, so this is only for doc parity.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct Timespec {
+    pub sec: i64,
+    pub nsec: i64,
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod arch {
+    pub const SYS_MMAP: usize = 9;
+    pub const SYS_MUNMAP: usize = 11;
+    pub const SYS_EVENTFD2: usize = 290;
+    pub const SYS_EPOLL_CREATE1: usize = 291;
+    pub const SYS_EPOLL_CTL: usize = 233;
+    pub const SYS_EPOLL_PWAIT: usize = 281;
+    pub const SYS_IO_URING_SETUP: usize = 425;
+    pub const SYS_IO_URING_ENTER: usize = 426;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod arch {
+    pub const SYS_MMAP: usize = 222;
+    pub const SYS_MUNMAP: usize = 215;
+    pub const SYS_EVENTFD2: usize = 19;
+    pub const SYS_EPOLL_CREATE1: usize = 20;
+    pub const SYS_EPOLL_CTL: usize = 21;
+    pub const SYS_EPOLL_PWAIT: usize = 22;
+    pub const SYS_IO_URING_SETUP: usize = 425;
+    pub const SYS_IO_URING_ENTER: usize = 426;
+
+    /// # Safety
+    /// Caller must pass arguments valid for the given syscall number.
+    pub unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "svc 0",
+            inlateout("x0") a1 => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+}
+
+/// True when the running target has a real syscall backend.
+pub const fn supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::arch::*;
+    use super::*;
+
+    fn check(ret: isize) -> Result<usize, i32> {
+        if (-4095..0).contains(&ret) {
+            Err(-ret as i32)
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// New nonblocking close-on-exec eventfd (driver doorbell).
+    pub fn eventfd() -> Result<i32, i32> {
+        // SAFETY: plain value arguments.
+        let ret = unsafe { syscall6(SYS_EVENTFD2, 0, EFD_FLAGS, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    /// New close-on-exec epoll instance.
+    pub fn epoll_create() -> Result<i32, i32> {
+        const EPOLL_CLOEXEC: usize = 0o2000000;
+        // SAFETY: plain value argument.
+        let ret = unsafe { syscall6(SYS_EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    /// Add/modify/delete `fd` in `epfd`'s interest set.
+    pub fn epoll_ctl(epfd: i32, op: usize, fd: i32, events: u32, data: u64) -> Result<(), i32> {
+        let ev = EpollEvent { events, data };
+        // SAFETY: ev outlives the call; DEL ignores the event pointer.
+        let ret = unsafe {
+            syscall6(
+                SYS_EPOLL_CTL,
+                epfd as usize,
+                op,
+                fd as usize,
+                &ev as *const EpollEvent as usize,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|_| ())
+    }
+
+    /// Waits up to `timeout_ms` for events; returns the ready count.
+    pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> Result<usize, i32> {
+        // SAFETY: events is a live mutable buffer; null sigmask allowed.
+        let ret = unsafe {
+            syscall6(
+                SYS_EPOLL_PWAIT,
+                epfd as usize,
+                events.as_mut_ptr() as usize,
+                events.len(),
+                timeout_ms as usize,
+                0,
+                8,
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            // EINTR: treat as a timeout; callers loop anyway.
+            Err(EINTR) => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Creates an io_uring instance; fills `params` with ring geometry.
+    pub fn io_uring_setup(entries: u32, params: &mut IoUringParams) -> Result<i32, i32> {
+        // SAFETY: params is a live zeroed struct of the right size.
+        let ret = unsafe {
+            syscall6(
+                SYS_IO_URING_SETUP,
+                entries as usize,
+                params as *mut IoUringParams as usize,
+                0,
+                0,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|fd| fd as i32)
+    }
+
+    /// Submits `to_submit` SQEs and optionally waits for completions.
+    pub fn io_uring_enter(
+        fd: i32,
+        to_submit: u32,
+        min_complete: u32,
+        flags: usize,
+    ) -> Result<usize, i32> {
+        // SAFETY: plain value arguments; null sigmask.
+        let ret = unsafe {
+            syscall6(
+                SYS_IO_URING_ENTER,
+                fd as usize,
+                to_submit as usize,
+                min_complete as usize,
+                flags,
+                0,
+                8,
+            )
+        };
+        match check(ret) {
+            Ok(n) => Ok(n),
+            Err(EINTR) => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Maps `len` bytes of an io_uring fd at ring `offset`.
+    pub fn mmap_ring(fd: i32, len: usize, offset: usize) -> Result<*mut u8, i32> {
+        // SAFETY: all-arguments-by-value syscall; the kernel validates.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len,
+                PROT_RW,
+                MAP_SHARED_POPULATE,
+                fd as usize,
+                offset,
+            )
+        };
+        check(ret).map(|p| p as *mut u8)
+    }
+
+    /// Unmaps a region previously returned by [`mmap_ring`].
+    ///
+    /// # Safety
+    /// `(ptr, len)` must be an exact live mapping with no outstanding
+    /// references into it.
+    pub unsafe fn munmap(ptr: *mut u8, len: usize) -> Result<(), i32> {
+        check(syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0)).map(|_| ())
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::*;
+
+    pub fn eventfd() -> Result<i32, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn epoll_create() -> Result<i32, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn epoll_ctl(
+        _epfd: i32,
+        _op: usize,
+        _fd: i32,
+        _events: u32,
+        _data: u64,
+    ) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn epoll_wait(
+        _epfd: i32,
+        _events: &mut [EpollEvent],
+        _timeout_ms: i32,
+    ) -> Result<usize, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn io_uring_setup(_entries: u32, _params: &mut IoUringParams) -> Result<i32, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn io_uring_enter(
+        _fd: i32,
+        _to_submit: u32,
+        _min_complete: u32,
+        _flags: usize,
+    ) -> Result<usize, i32> {
+        Err(ENOSYS)
+    }
+
+    pub fn mmap_ring(_fd: i32, _len: usize, _offset: usize) -> Result<*mut u8, i32> {
+        Err(ENOSYS)
+    }
+
+    /// # Safety
+    /// No-op stub; never maps anything.
+    pub unsafe fn munmap(_ptr: *mut u8, _len: usize) -> Result<(), i32> {
+        Err(ENOSYS)
+    }
+}
+
+pub use imp::{
+    epoll_create, epoll_ctl, epoll_wait, eventfd, io_uring_enter, io_uring_setup, mmap_ring, munmap,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_struct_sizes_match_kernel() {
+        assert_eq!(std::mem::size_of::<IoUringParams>(), 120);
+        assert_eq!(std::mem::size_of::<IoUringSqe>(), 64);
+        assert_eq!(std::mem::size_of::<IoUringCqe>(), 16);
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        }
+    }
+
+    #[test]
+    fn epoll_sees_eventfd_signal() {
+        if !supported() {
+            return;
+        }
+        let ep = epoll_create().expect("epoll_create");
+        let ev = eventfd().expect("eventfd");
+        epoll_ctl(ep, EPOLL_CTL_ADD, ev, EPOLLIN, 7).expect("ctl add");
+
+        let mut events = [EpollEvent::default(); 4];
+        assert_eq!(epoll_wait(ep, &mut events, 0), Ok(0), "idle eventfd");
+
+        use std::io::Write;
+        use std::os::fd::FromRawFd;
+        // SAFETY: ev is a fresh eventfd owned by this test.
+        let mut f = unsafe { std::fs::File::from_raw_fd(ev) };
+        f.write_all(&1u64.to_ne_bytes()).unwrap();
+        let n = epoll_wait(ep, &mut events, 100).expect("wait");
+        assert_eq!(n, 1);
+        let (events0, data0) = (events[0].events, events[0].data);
+        assert_ne!(events0 & EPOLLIN, 0);
+        assert_eq!(data0, 7);
+        // SAFETY: ep is a fresh epoll fd owned by this test.
+        drop(unsafe { std::fs::File::from_raw_fd(ep) });
+    }
+
+    #[test]
+    fn uring_probe_reports_cleanly() {
+        if !supported() {
+            return;
+        }
+        // Either the kernel gives us a ring (close it) or refuses with a
+        // recognizable errno — both are valid outcomes for the gate.
+        let mut params = IoUringParams::default();
+        match io_uring_setup(8, &mut params) {
+            Ok(fd) => {
+                assert!(params.sq_entries >= 8);
+                use std::os::fd::FromRawFd;
+                // SAFETY: fd is a fresh uring owned by this test.
+                drop(unsafe { std::os::fd::OwnedFd::from_raw_fd(fd) });
+            }
+            Err(e) => assert!(e > 0, "errno must be positive, got {e}"),
+        }
+    }
+}

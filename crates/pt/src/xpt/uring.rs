@@ -1,0 +1,605 @@
+//! io_uring completion driver.
+//!
+//! The real submission/completion rings: every gather write and every
+//! (donated-buffer) read is an SQE; the driver parks in one
+//! `io_uring_enter(GETEVENTS)` and retires CQEs as the kernel
+//! completes them. An always-armed READ on the doorbell eventfd and a
+//! one-shot POLL on the listener make a single wait cover sends,
+//! receives, accepts and shutdown.
+//!
+//! Buffer-lifetime discipline (the part the borrow checker cannot see
+//! because the kernel holds the references):
+//!
+//! * a WRITEV's iovec array and the frames it points into live in the
+//!   per-link [`UConn`] and are not touched until its CQE arrives;
+//! * a READ targets either the link's private scratch buffer or the
+//!   assembler's donated pool block; the assembler is not advanced
+//!   until the CQE arrives;
+//! * a dying link's `UConn` is only freed once its outstanding
+//!   read/write CQEs have drained (`shutdown(2)` forces them); at
+//!   driver exit, links that somehow still have kernel references
+//!   after the grace period are leaked rather than freed.
+
+use super::wire::{Event, OutQueue, RecvAssembler};
+use super::{sys, Conn, Metrics, Shared};
+use std::collections::HashMap;
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use xdaq_core::IngestSink;
+
+const UD_LISTENER: u64 = u64::MAX;
+const UD_DOORBELL: u64 = u64::MAX - 1;
+const KIND_READ: u64 = 0;
+const KIND_WRITE: u64 = 1;
+/// `poll(2)` readable mask for `IORING_OP_POLL_ADD`.
+const POLLIN: u32 = 0x1;
+const SCRATCH: usize = 64 * 1024;
+const ENTRIES: u32 = 256;
+
+/// True when this kernel will give us a usable single-mmap ring.
+pub(super) fn probe() -> bool {
+    Uring::new(8).is_ok()
+}
+
+/// Minimal io_uring instance: setup, mmap, SQE push, CQE pop.
+struct Uring {
+    fd: i32,
+    ring_ptr: *mut u8,
+    ring_len: usize,
+    sqes: *mut sys::IoUringSqe,
+    sqes_len: usize,
+    sq_head: *const AtomicU32,
+    sq_tail: *const AtomicU32,
+    sq_mask: u32,
+    sq_entries: u32,
+    sq_array: *mut u32,
+    cq_head: *const AtomicU32,
+    cq_tail: *const AtomicU32,
+    cq_mask: u32,
+    cqes: *const sys::IoUringCqe,
+    to_submit: u32,
+}
+
+fn close_fd(fd: i32) {
+    use std::os::fd::FromRawFd;
+    // SAFETY: callers pass an fd they exclusively own.
+    drop(unsafe { std::fs::File::from_raw_fd(fd) });
+}
+
+impl Uring {
+    fn new(entries: u32) -> Result<Uring, String> {
+        let mut p = sys::IoUringParams::default();
+        let fd = sys::io_uring_setup(entries, &mut p)
+            .map_err(|e| format!("io_uring_setup: errno {e}"))?;
+        if p.features & sys::IORING_FEAT_SINGLE_MMAP == 0 {
+            close_fd(fd);
+            return Err("kernel predates IORING_FEAT_SINGLE_MMAP".into());
+        }
+        let sq_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_len =
+            p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<sys::IoUringCqe>();
+        let ring_len = sq_len.max(cq_len);
+        let ring_ptr = match sys::mmap_ring(fd, ring_len, sys::IORING_OFF_SQ_RING) {
+            Ok(p) => p,
+            Err(e) => {
+                close_fd(fd);
+                return Err(format!("mmap sq ring: errno {e}"));
+            }
+        };
+        let sqes_len = p.sq_entries as usize * std::mem::size_of::<sys::IoUringSqe>();
+        let sqes = match sys::mmap_ring(fd, sqes_len, sys::IORING_OFF_SQES) {
+            Ok(ptr) => ptr as *mut sys::IoUringSqe,
+            Err(e) => {
+                // SAFETY: exact mapping we just created.
+                unsafe { sys::munmap(ring_ptr, ring_len).ok() };
+                close_fd(fd);
+                return Err(format!("mmap sqes: errno {e}"));
+            }
+        };
+        // SAFETY: the kernel-published offsets index into the live
+        // ring mapping; head/tail are shared u32s we access atomically.
+        unsafe {
+            Ok(Uring {
+                fd,
+                ring_ptr,
+                ring_len,
+                sqes,
+                sqes_len,
+                sq_head: ring_ptr.add(p.sq_off.head as usize) as *const AtomicU32,
+                sq_tail: ring_ptr.add(p.sq_off.tail as usize) as *const AtomicU32,
+                sq_mask: *(ring_ptr.add(p.sq_off.ring_mask as usize) as *const u32),
+                sq_entries: p.sq_entries,
+                sq_array: ring_ptr.add(p.sq_off.array as usize) as *mut u32,
+                cq_head: ring_ptr.add(p.cq_off.head as usize) as *const AtomicU32,
+                cq_tail: ring_ptr.add(p.cq_off.tail as usize) as *const AtomicU32,
+                cq_mask: *(ring_ptr.add(p.cq_off.ring_mask as usize) as *const u32),
+                cqes: ring_ptr.add(p.cq_off.cqes as usize) as *const sys::IoUringCqe,
+                to_submit: 0,
+            })
+        }
+    }
+
+    /// Queues one SQE, submitting eagerly if the ring is full.
+    fn push(&mut self, sqe: sys::IoUringSqe) -> Result<(), String> {
+        // SAFETY: ring pointers are live for self's lifetime; index is
+        // masked; the tail store publishes the fully-written SQE.
+        unsafe {
+            let mut head = (*self.sq_head).load(Ordering::Acquire);
+            let tail = (*self.sq_tail).load(Ordering::Relaxed);
+            if tail.wrapping_sub(head) >= self.sq_entries {
+                self.flush(0)?;
+                head = (*self.sq_head).load(Ordering::Acquire);
+                if tail.wrapping_sub(head) >= self.sq_entries {
+                    return Err("submission ring overflow".into());
+                }
+            }
+            let idx = (tail & self.sq_mask) as usize;
+            self.sqes.add(idx).write(sqe);
+            self.sq_array.add(idx).write(idx as u32);
+            (*self.sq_tail).store(tail.wrapping_add(1), Ordering::Release);
+        }
+        self.to_submit += 1;
+        Ok(())
+    }
+
+    /// Submits queued SQEs; blocks for `min_complete` completions.
+    fn flush(&mut self, min_complete: u32) -> Result<usize, String> {
+        let flags = if min_complete > 0 {
+            sys::IORING_ENTER_GETEVENTS
+        } else {
+            0
+        };
+        let consumed = sys::io_uring_enter(self.fd, self.to_submit, min_complete, flags)
+            .map_err(|e| format!("io_uring_enter: errno {e}"))?;
+        self.to_submit = self.to_submit.saturating_sub(consumed as u32);
+        Ok(consumed)
+    }
+
+    fn pop(&mut self) -> Option<sys::IoUringCqe> {
+        // SAFETY: CQ pointers are live; the Acquire tail load pairs
+        // with the kernel's publish; index is masked.
+        unsafe {
+            let head = (*self.cq_head).load(Ordering::Relaxed);
+            let tail = (*self.cq_tail).load(Ordering::Acquire);
+            if head == tail {
+                return None;
+            }
+            let cqe = *self.cqes.add((head & self.cq_mask) as usize);
+            (*self.cq_head).store(head.wrapping_add(1), Ordering::Release);
+            Some(cqe)
+        }
+    }
+}
+
+impl Drop for Uring {
+    fn drop(&mut self) {
+        // SAFETY: exact mappings created in `new`, no references left.
+        unsafe {
+            sys::munmap(self.sqes as *mut u8, self.sqes_len).ok();
+            sys::munmap(self.ring_ptr, self.ring_len).ok();
+        }
+        close_fd(self.fd);
+    }
+}
+
+/// Driver-private per-link state.
+struct UConn {
+    conn: Arc<Conn>,
+    out: OutQueue,
+    rasm: RecvAssembler,
+    /// Staging buffer for hellos/headers/small bodies; the kernel
+    /// holds its address while a staging READ is in flight.
+    scratch: Vec<u8>,
+    /// Iovec array for the in-flight WRITEV; stable until its CQE.
+    iov: Vec<sys::Iovec>,
+    read_inflight: bool,
+    write_inflight: bool,
+    /// The in-flight READ targets the assembler's donated block.
+    read_direct: bool,
+    /// Torn down; waiting for outstanding CQEs before freeing.
+    dying: bool,
+    donations_published: u64,
+}
+
+/// Entry point: `Err` means the ring could not be set up (the caller
+/// falls back to the epoll driver — no links have been adopted yet).
+/// Errors after setup are can't-happen kernel-contract violations and
+/// panic (surfaced through `take_panics` at stop).
+pub(super) fn run(shared: Arc<Shared>, sink: IngestSink) -> Result<(), String> {
+    let ring = Uring::new(ENTRIES)?;
+    if let Err(e) = drive(ring, shared, sink) {
+        panic!("xpt uring driver: {e}");
+    }
+    Ok(())
+}
+
+fn drive(ring: Uring, shared: Arc<Shared>, sink: IngestSink) -> Result<(), String> {
+    // Declaration order is load-bearing: locals drop in reverse, so
+    // the ring (rebound below) is torn down first — while `conns` and
+    // `db_buf`, whose buffers inflight ops may still reference, are
+    // still alive.
+    let db_buf: Box<[u8; 8]> = Box::new([0u8; 8]);
+    let mut conns: HashMap<u64, UConn> = HashMap::new();
+    let mut ring = ring;
+    let mut next_token: u64 = 0;
+    let mut evq: Vec<Event> = Vec::new();
+
+    submit_listener_poll(&mut ring, &shared)?;
+    submit_doorbell_read(&mut ring, &shared, &db_buf)?;
+
+    loop {
+        for conn in shared.pending.lock().drain(..) {
+            adopt(&mut ring, &mut conns, &mut next_token, &shared, conn);
+        }
+        if shared.stopped.load(Ordering::Acquire) {
+            break;
+        }
+        let metrics = shared.metrics.lock().clone();
+
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let uc = conns.get_mut(&token).expect("token just listed");
+            if uc.dying {
+                continue;
+            }
+            uc.conn.sub.lock().drain_into(&mut uc.out);
+            if !uc.out.is_empty() && !uc.write_inflight {
+                submit_writev(&mut ring, token, uc, &metrics);
+            }
+        }
+
+        // Sleep under the doorbell protocol: advertise, recheck, wait.
+        shared.sleeping.store(true, Ordering::SeqCst);
+        std::sync::atomic::fence(Ordering::SeqCst);
+        if shared.has_pending_work() || shared.stopped.load(Ordering::Acquire) {
+            shared.sleeping.store(false, Ordering::SeqCst);
+            ring.flush(0)?;
+        } else {
+            ring.flush(1)?;
+            shared.sleeping.store(false, Ordering::SeqCst);
+        }
+
+        while let Some(cqe) = ring.pop() {
+            dispatch(
+                cqe,
+                &mut ring,
+                &mut conns,
+                &mut next_token,
+                &shared,
+                &sink,
+                &metrics,
+                &db_buf,
+                &mut evq,
+            )?;
+        }
+    }
+
+    // Orderly drain: force outstanding ops to complete so no kernel
+    // reference outlives the buffers it targets.
+    for uc in conns.values() {
+        let _ = uc.conn.stream.shutdown(std::net::Shutdown::Both);
+    }
+    let mut rounds = 0;
+    while conns
+        .values()
+        .any(|uc| uc.read_inflight || uc.write_inflight)
+    {
+        rounds += 1;
+        if rounds > 1000 || ring.flush(1).is_err() {
+            // Grace exceeded: leak rather than free memory the kernel
+            // may still write to.
+            for (_, uc) in conns.drain() {
+                if uc.read_inflight || uc.write_inflight {
+                    std::mem::forget(uc);
+                }
+            }
+            break;
+        }
+        while let Some(cqe) = ring.pop() {
+            let token = cqe.user_data >> 1;
+            if cqe.user_data >= UD_DOORBELL {
+                continue;
+            }
+            if let Some(uc) = conns.get_mut(&token) {
+                match cqe.user_data & 1 {
+                    KIND_READ => uc.read_inflight = false,
+                    _ => uc.write_inflight = false,
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn submit_listener_poll(ring: &mut Uring, shared: &Shared) -> Result<(), String> {
+    ring.push(sys::IoUringSqe {
+        opcode: sys::IORING_OP_POLL_ADD,
+        fd: shared.listener.as_raw_fd(),
+        op_flags: POLLIN,
+        user_data: UD_LISTENER,
+        ..Default::default()
+    })
+}
+
+fn submit_doorbell_read(ring: &mut Uring, shared: &Shared, db_buf: &[u8; 8]) -> Result<(), String> {
+    ring.push(sys::IoUringSqe {
+        opcode: sys::IORING_OP_READ,
+        fd: shared.doorbell.as_raw_fd(),
+        addr: db_buf.as_ptr() as u64,
+        len: 8,
+        user_data: UD_DOORBELL,
+        ..Default::default()
+    })
+}
+
+fn adopt(
+    ring: &mut Uring,
+    conns: &mut HashMap<u64, UConn>,
+    next_token: &mut u64,
+    shared: &Arc<Shared>,
+    conn: Arc<Conn>,
+) {
+    let token = *next_token;
+    *next_token += 1;
+    let mut uc = UConn {
+        conn,
+        out: OutQueue::default(),
+        rasm: RecvAssembler::new(shared.alloc.clone()),
+        scratch: vec![0u8; SCRATCH],
+        iov: Vec::new(),
+        read_inflight: false,
+        write_inflight: false,
+        read_direct: false,
+        dying: false,
+        donations_published: 0,
+    };
+    if submit_read(ring, token, &mut uc).is_err() {
+        shared.teardown(&uc.conn, false);
+        return;
+    }
+    conns.insert(token, uc);
+}
+
+/// Arms the link's single outstanding READ, steering it at the
+/// assembler's donated pool block when a large body is in flight.
+fn submit_read(ring: &mut Uring, token: u64, uc: &mut UConn) -> Result<(), String> {
+    debug_assert!(!uc.read_inflight);
+    let want = uc.rasm.direct_read_len();
+    let (addr, len, direct) = if want > 0 {
+        let buf = uc.rasm.direct_buf();
+        (buf.as_mut_ptr() as u64, want as u32, true)
+    } else {
+        (
+            uc.scratch.as_mut_ptr() as u64,
+            uc.scratch.len() as u32,
+            false,
+        )
+    };
+    ring.push(sys::IoUringSqe {
+        opcode: sys::IORING_OP_READ,
+        fd: uc.conn.stream.as_raw_fd(),
+        addr,
+        len,
+        user_data: (token << 1) | KIND_READ,
+        ..Default::default()
+    })?;
+    uc.read_inflight = true;
+    uc.read_direct = direct;
+    Ok(())
+}
+
+/// Arms the link's single outstanding gather write over the whole
+/// egress queue (one syscall-free submission per batch).
+fn submit_writev(ring: &mut Uring, token: u64, uc: &mut UConn, metrics: &Metrics) {
+    debug_assert!(!uc.write_inflight);
+    {
+        let UConn { out, iov, .. } = &mut *uc;
+        iov.clear();
+        for s in out.slices() {
+            iov.push(sys::Iovec {
+                base: s.as_ptr(),
+                len: s.len(),
+            });
+        }
+    }
+    if uc.iov.is_empty() {
+        return;
+    }
+    if let Some(h) = &metrics.batch {
+        h.record(uc.iov.len() as u64);
+    }
+    if ring
+        .push(sys::IoUringSqe {
+            opcode: sys::IORING_OP_WRITEV,
+            fd: uc.conn.stream.as_raw_fd(),
+            addr: uc.iov.as_ptr() as u64,
+            len: uc.iov.len() as u32,
+            user_data: (token << 1) | KIND_WRITE,
+            ..Default::default()
+        })
+        .is_ok()
+    {
+        uc.write_inflight = true;
+    }
+}
+
+fn begin_teardown(
+    conns: &mut HashMap<u64, UConn>,
+    token: u64,
+    shared: &Arc<Shared>,
+    abnormal: bool,
+) {
+    let Some(uc) = conns.get_mut(&token) else {
+        return;
+    };
+    shared.teardown(&uc.conn, abnormal);
+    uc.dying = true;
+    // Forces any outstanding READ/WRITEV to complete promptly so the
+    // UConn (and the buffers the kernel references) can be freed.
+    let _ = uc.conn.stream.shutdown(std::net::Shutdown::Both);
+    if !uc.read_inflight && !uc.write_inflight {
+        conns.remove(&token);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    cqe: sys::IoUringCqe,
+    ring: &mut Uring,
+    conns: &mut HashMap<u64, UConn>,
+    next_token: &mut u64,
+    shared: &Arc<Shared>,
+    sink: &IngestSink,
+    metrics: &Metrics,
+    db_buf: &[u8; 8],
+    evq: &mut Vec<Event>,
+) -> Result<(), String> {
+    match cqe.user_data {
+        UD_LISTENER => {
+            accept_all(ring, conns, next_token, shared);
+            submit_listener_poll(ring, shared)
+        }
+        UD_DOORBELL => submit_doorbell_read(ring, shared, db_buf),
+        ud => {
+            let token = ud >> 1;
+            let kind = ud & 1;
+            let Some(uc) = conns.get_mut(&token) else {
+                return Ok(());
+            };
+            if kind == KIND_READ {
+                uc.read_inflight = false;
+            } else {
+                uc.write_inflight = false;
+            }
+            if uc.dying {
+                if !uc.read_inflight && !uc.write_inflight {
+                    conns.remove(&token);
+                }
+                return Ok(());
+            }
+            if kind == KIND_READ {
+                on_read_cqe(cqe.res, ring, conns, token, shared, sink, metrics, evq);
+            } else {
+                on_write_cqe(cqe.res, ring, conns, token, shared, metrics);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn on_read_cqe(
+    res: i32,
+    ring: &mut Uring,
+    conns: &mut HashMap<u64, UConn>,
+    token: u64,
+    shared: &Arc<Shared>,
+    sink: &IngestSink,
+    metrics: &Metrics,
+    evq: &mut Vec<Event>,
+) {
+    let uc = conns.get_mut(&token).expect("caller checked");
+    if res == 0 {
+        begin_teardown(conns, token, shared, false);
+        return;
+    }
+    if res < 0 {
+        if -res == sys::EAGAIN || -res == sys::EINTR {
+            if submit_read(ring, token, uc).is_err() {
+                begin_teardown(conns, token, shared, false);
+            }
+        } else {
+            begin_teardown(conns, token, shared, false);
+        }
+        return;
+    }
+    let n = res as usize;
+    let parsed = if uc.read_direct {
+        uc.rasm.direct_advance(n, evq);
+        Ok(())
+    } else {
+        let UConn { rasm, scratch, .. } = uc;
+        rasm.ingest(&scratch[..n], evq)
+    };
+    for event in evq.drain(..) {
+        match event {
+            Event::Hello(addr) => {
+                if let Ok(peer) = addr.parse() {
+                    *uc.conn.peer.lock() = Some(peer);
+                }
+            }
+            Event::Frame(frame) => {
+                let peer = uc.conn.peer.lock().clone();
+                if let Some(peer) = peer {
+                    shared.counters.on_recv(frame.len());
+                    sink(frame, peer);
+                } else {
+                    shared.counters.on_recv_error();
+                }
+            }
+        }
+    }
+    let donated = uc.rasm.donations();
+    if donated > uc.donations_published {
+        if let Some(c) = &metrics.donations {
+            c.add(donated - uc.donations_published);
+        }
+        uc.donations_published = donated;
+    }
+    if parsed.is_err() {
+        begin_teardown(conns, token, shared, true);
+        return;
+    }
+    if submit_read(ring, token, uc).is_err() {
+        begin_teardown(conns, token, shared, false);
+    }
+}
+
+fn on_write_cqe(
+    res: i32,
+    ring: &mut Uring,
+    conns: &mut HashMap<u64, UConn>,
+    token: u64,
+    shared: &Arc<Shared>,
+    metrics: &Metrics,
+) {
+    let uc = conns.get_mut(&token).expect("caller checked");
+    if res < 0 {
+        if -res == sys::EAGAIN || -res == sys::EINTR {
+            submit_writev(ring, token, uc, metrics);
+        } else {
+            begin_teardown(conns, token, shared, false);
+        }
+        return;
+    }
+    for len in uc.out.advance(res as usize) {
+        shared.counters.on_send(len);
+    }
+    uc.conn.sub.lock().drain_into(&mut uc.out);
+    if !uc.out.is_empty() {
+        submit_writev(ring, token, uc, metrics);
+    }
+}
+
+fn accept_all(
+    ring: &mut Uring,
+    conns: &mut HashMap<u64, UConn>,
+    next_token: &mut u64,
+    shared: &Arc<Shared>,
+) {
+    while let Ok((stream, _)) = shared.listener.accept() {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let conn = Arc::new(Conn {
+            key: String::new(),
+            stream,
+            peer: parking_lot::Mutex::new(None),
+            sub: parking_lot::Mutex::new(Default::default()),
+            dead: std::sync::atomic::AtomicBool::new(false),
+        });
+        adopt(ring, conns, next_token, shared, conn);
+    }
+}

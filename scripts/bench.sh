@@ -69,6 +69,14 @@ echo "== qos fairness (two tenants, one credit-metered link) =="
 cargo run -p xdaq-bench --release --bin qos_fairness -- \
     --json results/BENCH_pr7.json
 
+echo "== net batching (tcp vs xpt-uring vs xpt-epoll vs shm) =="
+# Asserts the PR acceptance floor internally: the batched xpt://
+# transport must beat plain tcp-localhost by >=3x at 4 KiB frames.
+# Falls back to the epoll driver where the kernel refuses io_uring
+# (the JSON records which backends ran).
+cargo run -p xdaq-bench --release --bin net_batching -- \
+    --json results/BENCH_pr9.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo "== paper harnesses =="
     cargo run -p xdaq-bench --release --bin fig6

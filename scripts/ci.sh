@@ -75,6 +75,20 @@ cargo test -q -p xdaq-core credit
 cargo test -q -p xdaq-core admission
 cargo test -q -p xdaq-core --test proptests credit
 
+echo "== network transports: tcp regressions + xpt on both backends =="
+# The issue-9 tcp regressions (per-connection locking so a stalled
+# peer cannot head-of-line block others, fully blocking reads with
+# zero idle CPU, reader reaping + down-peer surfacing) plus the xpt
+# submission/completion suite. The epoll driver always runs; the
+# uring tests probe the kernel and skip themselves gracefully where
+# rings are refused, so this stage passes on uring-less kernels with
+# the same correctness coverage via the fallback. The proptest model
+# pins the wire layer (chunking/donation/completion equivalence).
+cargo test -q -p xdaq-pt --lib tcp::
+cargo test -q -p xdaq-pt --lib xpt::
+cargo test -q -p xdaq-pt --test xpt_wire
+cargo test -q --test flow xpt_slow_consumer_soak -- --exact
+
 echo "== loom model of the shm SPSC ring =="
 RUSTFLAGS="--cfg loom" cargo test -q -p xdaq-shm --test loom --release
 

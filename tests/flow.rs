@@ -13,7 +13,7 @@ use xdaq::core::{
 };
 use xdaq::i2o::{DeviceClass, Message, Priority, Tid, UtilFn};
 use xdaq::mempool::TablePool;
-use xdaq::pt::{ChaosPt, FaultPlan, LoopbackHub, LoopbackPt, TcpPt};
+use xdaq::pt::{ChaosPt, FaultPlan, LoopbackHub, LoopbackPt, TcpPt, XptPt};
 
 const XFN_DATA: u16 = 0x0300;
 
@@ -537,6 +537,66 @@ fn shm_slow_consumer_soak() {
     let sa = a.core().allocator().stats();
     assert_eq!(sa.live_blocks, 0, "sender pool leak: {sa:?}");
     let _ = std::fs::remove_file(&region);
+}
+
+/// The xpt slow-consumer soak (issue 9): the batched
+/// submission/completion transport honors the same credit wall as
+/// tcp — retry/failover and credit gating compose unchanged through
+/// `Pta::send_failover_returning` — and a slow consumer leaks no pool
+/// blocks even though sends complete asynchronously on the driver
+/// thread (submission-ring frames must come home on teardown too).
+#[test]
+fn xpt_slow_consumer_soak() {
+    const COUNT: u64 = 400;
+    let mut ca = ExecutiveConfig::named("a");
+    ca.flow = Some(flow_cfg());
+    let mut cb = ExecutiveConfig::named("b");
+    cb.flow = Some(flow_cfg());
+    let a = Executive::new(ca);
+    let b = Executive::new(cb);
+    a.register_pt(
+        "a.xpt",
+        XptPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap(),
+    )
+    .unwrap();
+    let b_xpt = XptPt::bind("127.0.0.1:0", TablePool::with_defaults()).unwrap();
+    let b_url = b_xpt.addr().to_string();
+    b.register_pt("b.xpt", b_xpt).unwrap();
+
+    let (sink, received) = Sink::new(Duration::from_micros(500));
+    let sink_tid = b.register("sink", Box::new(sink), &[]).unwrap();
+    let proxy = a.proxy(&b_url, sink_tid, None).unwrap();
+    a.enable_all();
+    b.enable_all();
+    let ha = a.spawn();
+    let hb = b.spawn();
+
+    let peer = b_url.parse().unwrap();
+    a.post(data_frame(proxy)).unwrap();
+    let mgr = a.core().flow().unwrap().clone();
+    assert!(
+        wait_until(|| mgr.available(&peer).is_some(), Duration::from_secs(10)),
+        "bring-up grant never arrived over xpt"
+    );
+
+    let delivered = flood_with_retry(&a, proxy, COUNT - 1, Duration::from_secs(60));
+    assert_eq!(delivered, COUNT - 1, "xpt sender wedged");
+    assert!(
+        wait_until(
+            || received.load(Ordering::Relaxed) >= COUNT,
+            Duration::from_secs(60)
+        ),
+        "frames lost over xpt: {} of {COUNT}",
+        received.load(Ordering::Relaxed)
+    );
+    assert!(
+        mgr.counters().credit_failures.get() > 0,
+        "flood never exercised xpt backpressure"
+    );
+    ha.shutdown();
+    hb.shutdown();
+    let sa = a.core().allocator().stats();
+    assert_eq!(sa.live_blocks, 0, "sender pool leak: {sa:?}");
 }
 
 /// The `qos` xcl command retunes admission and flow on a remote node
