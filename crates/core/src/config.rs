@@ -1,5 +1,6 @@
 //! Executive configuration and the key=value control-payload codec.
 
+use crate::clock::Clock;
 use crate::credit::FlowConfig;
 use crate::pta::RetryPolicy;
 use crate::queue::OverloadPolicy;
@@ -66,6 +67,12 @@ pub struct ExecutiveConfig {
     /// set to a positive integer) overrides it — the CI multi-worker
     /// sweep uses this to re-run unmodified tests at `workers=4`.
     pub workers: usize,
+    /// The executive's time source. [`Clock::Wall`] (the default) is
+    /// the real monotonic clock — bit-for-bit the historical
+    /// behaviour. Simulations pass a shared [`Clock::Virtual`] so
+    /// timers, heartbeats, retry backoff and flow ticks all run on
+    /// manually-advanced time (DESIGN.md §16).
+    pub clock: Clock,
 }
 
 impl Default for ExecutiveConfig {
@@ -84,6 +91,7 @@ impl Default for ExecutiveConfig {
             queue_capacity: None,
             overload: OverloadPolicy::DropNewest,
             workers: 1,
+            clock: Clock::Wall,
         }
     }
 }

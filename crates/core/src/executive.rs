@@ -9,6 +9,7 @@
 //! host can drive a whole cluster of executives with frames alone.
 
 use crate::admission::AdmissionControl;
+use crate::clock::Clock;
 use crate::config::{encode_kv, kv, parse_kv, AllocatorKind, ExecutiveConfig};
 use crate::credit::{self, CreditManager, FlowCmd};
 use crate::dispatch::{DispatchProbes, ProbedAllocator};
@@ -206,6 +207,9 @@ pub struct ExecCore {
     admission: AdmissionControl,
     fault_listener: Mutex<Option<Tid>>,
     running: AtomicBool,
+    /// The executive's time source (DESIGN.md §16). Wall by default;
+    /// simulations share one virtual clock across a whole cluster.
+    clock: Clock,
     started_at: Instant,
     dispatch_batch: usize,
     idle_spins: u32,
@@ -238,6 +242,11 @@ impl ExecCore {
     /// The timer wheel.
     pub fn timers(&self) -> &TimerWheel {
         &self.timers
+    }
+
+    /// The executive's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// The Peer Transport Agent (retry/failover machinery, transport
@@ -728,8 +737,8 @@ impl Executive {
             claims: ClaimTable::new(),
             workers,
             routes: RouteTable::new(),
-            pta: Pta::new(),
-            timers: TimerWheel::new(),
+            pta: Pta::with_clock(config.clock.clone()),
+            timers: TimerWheel::with_clock(config.clock.clone()),
             registry: Registry::new(),
             tids: Mutex::new(TidAllocator::new()),
             proxy_index: Mutex::new(HashMap::new()),
@@ -742,6 +751,7 @@ impl Executive {
             admission: AdmissionControl::new(),
             fault_listener: Mutex::new(None),
             running: AtomicBool::new(true),
+            clock: config.clock,
             started_at: Instant::now(),
             dispatch_batch: config.dispatch_batch.max(1),
             idle_spins: config.idle_spins,
@@ -1091,7 +1101,7 @@ impl Executive {
         // heartbeat timer is owned by the PTA pseudo-device and is
         // serviced directly instead of synthesizing a frame (no device
         // can own Tid::PTA).
-        work += core.timers.fire_due(|owner, id| {
+        work += core.timers.fire_due(core.clock.now(), |owner, id| {
             core.mon.timers_fired.inc();
             if owner == Tid::PTA {
                 self.heartbeat_tick();
@@ -2015,6 +2025,14 @@ impl ExecutiveBuilder {
     /// Default PTA retry policy.
     pub fn retry(mut self, policy: RetryPolicy) -> ExecutiveBuilder {
         self.config.retry = policy;
+        self
+    }
+
+    /// Time source for timers, heartbeats, retry backoff and flow
+    /// ticks. Defaults to [`Clock::Wall`]; simulations pass a shared
+    /// virtual clock (DESIGN.md §16).
+    pub fn clock(mut self, clock: Clock) -> ExecutiveBuilder {
+        self.config.clock = clock;
         self
     }
 

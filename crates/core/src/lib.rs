@@ -32,6 +32,7 @@
 
 pub mod admission;
 pub mod chainio;
+pub mod clock;
 pub mod config;
 pub mod credit;
 pub mod dispatch;
@@ -50,6 +51,7 @@ pub mod xfn;
 
 pub use admission::AdmissionControl;
 pub use chainio::ChainCollector;
+pub use clock::{Clock, VirtualClock};
 pub use config::{AllocatorKind, ExecutiveConfig};
 pub use credit::{CreditManager, FlowCmd, FlowConfig, FlowPolicy};
 pub use dispatch::{DispatchProbes, ProbedAllocator};

@@ -267,6 +267,14 @@ impl<'a> Dispatcher<'a> {
         self.core.timers().register(self.meta.tid, delay, false)
     }
 
+    /// The current instant on the executive's clock. Devices that
+    /// timestamp protocol state (e.g. the event builder's assembly
+    /// latency) read time here instead of `Instant::now()` so their
+    /// behaviour virtualizes under simulation (DESIGN.md §16).
+    pub fn now(&self) -> std::time::Instant {
+        self.core.clock().now()
+    }
+
     /// Registers a periodic timer.
     pub fn start_periodic(&self, period: std::time::Duration) -> TimerId {
         self.core.timers().register(self.meta.tid, period, true)

@@ -17,6 +17,7 @@
 //! the next transport on a hard failure. Because transports hand the
 //! frame back on failure ([`SendFailure`]), retries stay zero-copy.
 
+use crate::clock::Clock;
 use crate::credit::{self, CreditManager, FlowPolicy};
 use crate::error::PtError;
 use core::fmt;
@@ -36,7 +37,7 @@ use xdaq_mon::{Counter, Registry};
 /// format (paper §3.4's answer to the "Babylonic confusion" of address
 /// formats — applications only ever see TiDs, addresses appear solely
 /// in configuration data).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeerAddr {
     scheme: String,
     rest: String,
@@ -345,6 +346,11 @@ pub struct Pta {
     /// xorshift64* state for deterministic backoff jitter; never uses
     /// the wall clock, so a fixed seed gives a fixed pause sequence.
     jitter: AtomicU64,
+    /// Time source for retry deadlines, backoff pauses and credit
+    /// waits. Wall by default; the executive installs its own clock so
+    /// a simulated cluster's send-path pauses advance virtual time
+    /// instead of blocking the discrete-event loop.
+    clock: Clock,
 }
 
 impl Pta {
@@ -353,6 +359,18 @@ impl Pta {
         let pta = Pta::default();
         pta.jitter.store(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
         pta
+    }
+
+    /// Empty agent reading `clock` for retry/backoff/credit timing.
+    pub fn with_clock(clock: Clock) -> Pta {
+        let mut pta = Pta::new();
+        pta.clock = clock;
+        pta
+    }
+
+    /// The agent's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Points the agent's fault counters (`pta.retries`,
@@ -508,13 +526,13 @@ impl Pta {
         chain: &[PeerAddr],
         frame: FrameBuf,
     ) -> Result<(), SendFailure> {
-        let started = Instant::now();
+        let started = self.clock.now();
         let overall_deadline = chain
             .first()
             .and_then(|d| self.retry_policy(d.scheme()).deadline);
         let expired = |last: &PtError| -> Option<PtError> {
             match overall_deadline {
-                Some(d) if started.elapsed() >= d => Some(last.clone()),
+                Some(d) if self.clock.since(started) >= d => Some(last.clone()),
                 _ => None,
             }
         };
@@ -584,7 +602,7 @@ impl Pta {
                             self.metrics.read().retries.inc();
                             let pause = self.backoff(&policy, attempt);
                             if !pause.is_zero() {
-                                std::thread::sleep(pause);
+                                self.clock.sleep(pause);
                             }
                         }
                     }
@@ -626,17 +644,20 @@ impl Pta {
             return false;
         };
         mgr.counters().credit_waits.inc();
-        let wait_started = Instant::now();
+        let wait_started = self.clock.now();
         loop {
-            std::thread::sleep(Duration::from_micros(50));
+            // Under a virtual clock this "sleep" advances time, so a
+            // grant that will never arrive burns through the deadline
+            // in microseconds of wall time instead of really waiting.
+            self.clock.sleep(Duration::from_micros(50));
             if mgr.try_acquire(dest, priority) {
                 return true;
             }
-            if wait_started.elapsed() >= deadline {
+            if self.clock.since(wait_started) >= deadline {
                 break;
             }
             if let Some(d) = overall_deadline {
-                if started.elapsed() >= d {
+                if self.clock.since(started) >= d {
                     break;
                 }
             }

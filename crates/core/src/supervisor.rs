@@ -34,7 +34,7 @@
 
 use crate::pta::PeerAddr;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Health of one supervised peer link.
@@ -104,7 +104,11 @@ pub struct TickOutcome {
 /// the timer wheel.
 pub struct LinkSupervisor {
     config: SupervisionConfig,
-    peers: Mutex<HashMap<PeerAddr, PeerHealth>>,
+    /// Keyed by address in sorted order so `tick` emits pings and
+    /// transitions deterministically — the discrete-event simulator
+    /// (DESIGN.md §16) replays runs bit-for-bit and a hash-seeded map
+    /// here would reorder simultaneous Down transitions between runs.
+    peers: Mutex<BTreeMap<PeerAddr, PeerHealth>>,
 }
 
 impl LinkSupervisor {
@@ -112,7 +116,7 @@ impl LinkSupervisor {
     pub fn new(config: SupervisionConfig) -> LinkSupervisor {
         LinkSupervisor {
             config,
-            peers: Mutex::new(HashMap::new()),
+            peers: Mutex::new(BTreeMap::new()),
         }
     }
 

@@ -10,6 +10,7 @@
 //! implemented making use of the I2O core timer facilities"*; the
 //! executive's watchdog builds on this wheel.
 
+use crate::clock::Clock;
 use crate::listener::TimerId;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -48,25 +49,46 @@ struct Inner {
 }
 
 /// Deadline tracker for device timers.
+///
+/// Deadlines are computed against the wheel's [`Clock`] — wall time by
+/// default, a shared [`crate::clock::VirtualClock`] under simulation —
+/// and expiry is judged against the `now` the caller passes to
+/// [`TimerWheel::fire_due`], so the wheel itself never consults the
+/// OS clock on the hot path.
 #[derive(Default)]
 pub struct TimerWheel {
     inner: Mutex<Inner>,
+    clock: Clock,
 }
 
 impl TimerWheel {
-    /// Empty wheel.
+    /// Empty wheel on the wall clock.
     pub fn new() -> TimerWheel {
         TimerWheel::default()
+    }
+
+    /// Empty wheel reading `clock` for registration deadlines.
+    pub fn with_clock(clock: Clock) -> TimerWheel {
+        TimerWheel {
+            inner: Mutex::new(Inner::default()),
+            clock,
+        }
+    }
+
+    /// The wheel's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
     }
 
     /// Registers a timer owned by `owner`; periodic timers re-arm on
     /// fire.
     pub fn register(&self, owner: Tid, delay: Duration, periodic: bool) -> TimerId {
+        let now = self.clock.now();
         let mut inner = self.inner.lock();
         inner.next_id += 1;
         let id = TimerId(inner.next_id);
         inner.heap.push(Reverse(Entry {
-            deadline: Instant::now() + delay,
+            deadline: now + delay,
             id,
             owner,
             period: periodic.then_some(delay),
@@ -78,24 +100,29 @@ impl TimerWheel {
     /// Cancels a timer. Returns `false` for unknown/already-fired ids.
     pub fn cancel(&self, id: TimerId) -> bool {
         let mut inner = self.inner.lock();
-        if id.0 == 0 || id.0 > inner.next_id {
+        // Only an id still sitting in the heap may be cancelled: a
+        // stale cancel (the id fired already — e.g. a handler, invoked
+        // for timer X, tidying up state that still references X) must
+        // not touch `live`, or the count drifts and a later legitimate
+        // fire underflows it.
+        let armed =
+            !inner.cancelled.contains(&id) && inner.heap.iter().any(|Reverse(e)| e.id == id);
+        if !armed {
             return false;
         }
         // Lazy deletion: mark and skip at fire time.
-        if inner.cancelled.insert(id) {
-            if inner.live > 0 {
-                inner.live -= 1;
-                return true;
-            }
-            inner.cancelled.remove(&id);
-        }
-        false
+        inner.cancelled.insert(id);
+        inner.live -= 1;
+        true
     }
 
-    /// Pops every expired timer, invoking `f(owner, id)` per expiry.
-    /// Periodic timers are re-armed. Returns the number fired.
-    pub fn fire_due(&self, mut f: impl FnMut(Tid, TimerId)) -> usize {
-        let now = Instant::now();
+    /// Pops every timer expired at `now`, invoking `f(owner, id)` per
+    /// expiry. Periodic timers are re-armed off `now`. Returns the
+    /// number fired. Callers pass their clock's current instant
+    /// (`wheel.clock().now()`), which keeps one loop iteration's view
+    /// of "due" consistent and lets simulations fire at exact virtual
+    /// deadlines.
+    pub fn fire_due(&self, now: Instant, mut f: impl FnMut(Tid, TimerId)) -> usize {
         let mut fired = 0;
         loop {
             let (owner, id, period) = {
@@ -171,69 +198,79 @@ impl TimerWheel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
+    use std::sync::Arc;
 
     fn t(v: u16) -> Tid {
         Tid::new(v).unwrap()
     }
 
+    /// A wheel on a virtual clock: the tests advance time explicitly
+    /// instead of really sleeping, so they are instant and exact.
+    fn wheel() -> (TimerWheel, Arc<VirtualClock>) {
+        let (clock, v) = Clock::simulated();
+        (TimerWheel::with_clock(clock), v)
+    }
+
     #[test]
     fn one_shot_fires_once() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         let id = w.register(t(0x10), Duration::from_millis(1), false);
         assert_eq!(w.len(), 1);
-        std::thread::sleep(Duration::from_millis(5));
+        v.advance(Duration::from_millis(5));
         let mut fired = Vec::new();
-        w.fire_due(|owner, tid| fired.push((owner, tid)));
+        w.fire_due(v.now(), |owner, tid| fired.push((owner, tid)));
         assert_eq!(fired, vec![(t(0x10), id)]);
         assert_eq!(w.len(), 0);
-        assert_eq!(w.fire_due(|_, _| {}), 0);
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 0);
     }
 
     #[test]
     fn not_due_not_fired() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         w.register(t(1), Duration::from_secs(60), false);
-        assert_eq!(w.fire_due(|_, _| panic!("not due")), 0);
+        v.advance(Duration::from_secs(59));
+        assert_eq!(w.fire_due(v.now(), |_, _| panic!("not due")), 0);
         assert_eq!(w.len(), 1);
     }
 
     #[test]
     fn cancel_prevents_fire() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         let id = w.register(t(1), Duration::from_millis(1), false);
         assert!(w.cancel(id));
         assert!(!w.cancel(id), "double cancel");
-        std::thread::sleep(Duration::from_millis(3));
-        assert_eq!(w.fire_due(|_, _| panic!("cancelled")), 0);
+        v.advance(Duration::from_millis(3));
+        assert_eq!(w.fire_due(v.now(), |_, _| panic!("cancelled")), 0);
     }
 
     #[test]
     fn periodic_rearms() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         let id = w.register(t(1), Duration::from_millis(1), true);
-        std::thread::sleep(Duration::from_millis(3));
-        assert_eq!(w.fire_due(|_, _| {}), 1);
+        v.advance(Duration::from_millis(3));
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 1);
         assert_eq!(w.len(), 1, "still armed");
-        std::thread::sleep(Duration::from_millis(3));
-        assert_eq!(w.fire_due(|_, _| {}), 1);
+        v.advance(Duration::from_millis(3));
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 1);
         assert!(w.cancel(id));
         assert!(w.is_empty());
     }
 
     #[test]
     fn ordering_earliest_first() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         w.register(t(2), Duration::from_millis(2), false);
         w.register(t(1), Duration::from_millis(1), false);
-        std::thread::sleep(Duration::from_millis(5));
+        v.advance(Duration::from_millis(5));
         let mut order = Vec::new();
-        w.fire_due(|owner, _| order.push(owner));
+        w.fire_due(v.now(), |owner, _| order.push(owner));
         assert_eq!(order, vec![t(1), t(2)]);
     }
 
     #[test]
     fn cancel_owned_sweeps() {
-        let w = TimerWheel::new();
+        let (w, _v) = wheel();
         w.register(t(1), Duration::from_secs(10), false);
         w.register(t(1), Duration::from_secs(10), true);
         w.register(t(2), Duration::from_secs(10), false);
@@ -243,14 +280,46 @@ mod tests {
 
     #[test]
     fn next_deadline_reflects_earliest() {
-        let w = TimerWheel::new();
+        let (w, v) = wheel();
         assert!(w.next_deadline().is_none());
         let id = w.register(t(1), Duration::from_secs(5), false);
         w.register(t(1), Duration::from_secs(10), false);
         let d = w.next_deadline().unwrap();
-        assert!(d <= Instant::now() + Duration::from_secs(5));
+        assert_eq!(d, v.now() + Duration::from_secs(5), "exact, not fuzzy");
         w.cancel(id);
         let d2 = w.next_deadline().unwrap();
+        assert_eq!(d2, v.now() + Duration::from_secs(10));
         assert!(d2 > d);
+    }
+
+    #[test]
+    fn stale_cancel_leaves_the_live_count_alone() {
+        // Cancelling an id that already fired (the event-builder's
+        // discard path does exactly this from inside the timer's own
+        // handler) must be a no-op — a blind decrement here made a
+        // *later* one-shot fire underflow `live`.
+        let (w, v) = wheel();
+        let fired = w.register(t(1), Duration::from_millis(1), false);
+        let armed = w.register(t(1), Duration::from_millis(5), false);
+        v.advance(Duration::from_millis(1));
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 1);
+        assert!(!w.cancel(fired), "stale cancel must report failure");
+        assert_eq!(w.len(), 1, "stale cancel must not eat the live slot");
+        v.advance(Duration::from_millis(5));
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 1, "no underflow");
+        assert_eq!(w.len(), 0);
+        let _ = armed;
+    }
+
+    #[test]
+    fn periodic_rearms_off_fire_now_not_registration() {
+        // A periodic timer serviced late must re-arm relative to the
+        // `now` it fired at, not drift off the original schedule.
+        let (w, v) = wheel();
+        w.register(t(1), Duration::from_millis(10), true);
+        v.advance(Duration::from_millis(35)); // 3.5 periods late
+        assert_eq!(w.fire_due(v.now(), |_, _| {}), 1, "coalesced to one");
+        let next = w.next_deadline().unwrap();
+        assert_eq!(next, v.now() + Duration::from_millis(10));
     }
 }

@@ -40,10 +40,10 @@ use std::collections::{HashMap, HashSet};
 use std::process::Child;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use xdaq_core::config::{kv, parse_kv};
 use xdaq_core::xfn::XFN_PEER_DOWN;
-use xdaq_core::{ExecutiveConfig, SupervisionConfig};
+use xdaq_core::{Clock, ExecutiveConfig, SupervisionConfig};
 use xdaq_host::{ControlHost, ControlPlane, RegistryRow};
 use xdaq_i2o::{ExecFn, Tid};
 use xdaq_mempool::TablePool;
@@ -63,6 +63,12 @@ pub struct ControllerConfig {
     pub drain_timeout: Duration,
     /// Scrape attached nodes every this many ticks.
     pub scrape_every: u32,
+    /// Time source for the convergence tick and its wait loops
+    /// (boot/route/drain deadlines). Wall by default — the controller
+    /// manages real child processes, whose exits and url files arrive
+    /// on wall time — but in-process harnesses can virtualize the
+    /// pacing (DESIGN.md §16).
+    pub clock: Clock,
 }
 
 impl Default for ControllerConfig {
@@ -73,6 +79,7 @@ impl Default for ControllerConfig {
             route_retry: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(60),
             scrape_every: 10,
+            clock: Clock::Wall,
         }
     }
 }
@@ -186,8 +193,9 @@ impl Controller {
     pub fn start(self: &Arc<Self>) {
         let weak: Weak<Controller> = Arc::downgrade(self);
         let period = self.cfg.poll_interval;
+        let clock = self.cfg.clock.clone();
         std::thread::spawn(move || loop {
-            std::thread::sleep(period);
+            clock.sleep(period);
             let Some(me) = weak.upgrade() else { break };
             if me.stop.load(Ordering::Relaxed) {
                 break;
@@ -287,15 +295,16 @@ impl Controller {
             .get(node)
             .map(|n| n.generation)
             .unwrap_or(0);
-        let deadline = Instant::now() + self.cfg.boot_timeout;
+        let clock = &self.cfg.clock;
+        let deadline = clock.now() + self.cfg.boot_timeout;
         let url = loop {
             if let Some(url) = read_url(&self.rundir, node, generation) {
                 break url;
             }
-            if Instant::now() >= deadline {
+            if clock.now() >= deadline {
                 return Err(format!("'{node}' gen {generation} never published its url"));
             }
-            std::thread::sleep(Duration::from_millis(10));
+            clock.sleep(Duration::from_millis(10));
         };
         self.registry.published(node, &url);
         let tid = self
@@ -388,7 +397,8 @@ impl Controller {
             (on, peer_url, remote)
         };
         let remote_raw = remote.raw().to_string();
-        let deadline = Instant::now() + self.cfg.route_retry;
+        let clock = &self.cfg.clock;
+        let deadline = clock.now() + self.cfg.route_retry;
         loop {
             let mut pairs = vec![
                 ("peer", peer_url.as_str()),
@@ -410,10 +420,10 @@ impl Controller {
                     }
                     return Ok(());
                 }
-                Err(e) if Instant::now() >= deadline => {
+                Err(e) if clock.now() >= deadline => {
                     return Err(format!("route '{}': {e}", r.id));
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                Err(_) => clock.sleep(Duration::from_millis(50)),
             }
         }
     }
@@ -711,7 +721,8 @@ impl Controller {
                     .params_set(proxy, &[(drain_key.as_str(), alias.as_str())])
                     .map_err(|e| format!("drain {}/{}: {e}", w.name, m.instance))?;
                 if let Some(gate) = &m.drain_gate {
-                    let deadline = Instant::now() + self.cfg.drain_timeout;
+                    let clock = &self.cfg.clock;
+                    let deadline = clock.now() + self.cfg.drain_timeout;
                     loop {
                         let inflight = self
                             .host
@@ -721,13 +732,13 @@ impl Controller {
                         if inflight.as_deref() == Some("0") {
                             break;
                         }
-                        if Instant::now() >= deadline {
+                        if clock.now() >= deadline {
                             return Err(format!(
                                 "drain gate {}/{}:{gate} stuck at {:?}",
                                 w.name, m.instance, inflight
                             ));
                         }
-                        std::thread::sleep(Duration::from_millis(20));
+                        clock.sleep(Duration::from_millis(20));
                     }
                 }
             }
@@ -744,7 +755,8 @@ impl Controller {
         self.host
             .params_set(node_tid, &[("exec.stop", "1")])
             .map_err(|e| format!("stop {node}: {e}"))?;
-        let deadline = Instant::now() + Duration::from_secs(10);
+        let clock = &self.cfg.clock;
+        let deadline = clock.now() + Duration::from_secs(10);
         loop {
             let done = {
                 let mut st = self.state.lock();
@@ -757,10 +769,10 @@ impl Controller {
             if done {
                 break;
             }
-            if Instant::now() >= deadline {
+            if clock.now() >= deadline {
                 let _ = self.kill_node(node);
             }
-            std::thread::sleep(Duration::from_millis(20));
+            clock.sleep(Duration::from_millis(20));
         }
         self.registry.exited(node, "drained");
         self.teardown_node(node);

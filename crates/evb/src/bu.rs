@@ -182,10 +182,7 @@ impl BuilderUnit {
             return;
         }
         let sources = self.rus.len().max(1);
-        if !self
-            .assembler
-            .begin(event, sources, std::time::Instant::now())
-        {
+        if !self.assembler.begin(event, sources, ctx.now()) {
             return;
         }
         if let Some(m) = &self.metrics {
@@ -250,7 +247,8 @@ impl BuilderUnit {
                 if let Some(m) = &self.metrics {
                     m.built.inc();
                     m.open.set(self.assembler.len() as i64);
-                    m.latency.record(done.started.elapsed().as_nanos() as u64);
+                    let took = ctx.now().saturating_duration_since(done.started);
+                    m.latency.record(took.as_nanos() as u64);
                 }
                 // `done` drops here: every fragment block recycles.
                 drop(done);

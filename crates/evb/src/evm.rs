@@ -26,10 +26,11 @@ use crate::{u32_at, u64_at, xfn, DONE_BUILT, ORG_DAQ};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use xdaq_core::config::parse_kv;
 use xdaq_core::listener::UtilOutcome;
 use xdaq_core::xfn::XFN_PEER_DOWN;
-use xdaq_core::{Delivery, Dispatcher, I2oListener};
+use xdaq_core::{Delivery, Dispatcher, I2oListener, TimerId};
 use xdaq_i2o::{DeviceClass, Message, ReplyStatus, Tid, UtilFn, ORG_XDAQ};
 use xdaq_mon::{Counter, Gauge};
 
@@ -56,7 +57,12 @@ pub struct EvmStats {
 /// * `bu_urls` — peer URLs aligned with `bus` (optional; enables
 ///   credit reclamation when a builder's node dies),
 /// * `max_reassign` — reassignment attempts per event before it is
-///   counted lost (default 3).
+///   counted lost (default 3),
+/// * `trigger_interval_us` — paced trigger source: fresh events are
+///   launched at most one per interval, emulating a fixed-rate
+///   physics trigger instead of free-running as fast as credits
+///   return (default 0 = free-running). Re-assignments of already
+///   triggered events are not paced.
 pub struct EventManager {
     rus: Vec<Tid>,
     bus: Vec<Tid>,
@@ -82,6 +88,12 @@ pub struct EventManager {
     queue: VecDeque<u64>,
     assigned: HashMap<u64, Tid>,
     attempts: HashMap<u64, u32>,
+    /// Trigger pacing (zero = free-running): fresh launches are capped
+    /// at `trigger_budget`, which a periodic timer grows one event per
+    /// `trigger_interval`.
+    trigger_interval: Duration,
+    trigger_budget: u64,
+    trigger_timer: Option<TimerId>,
     stats: Arc<EvmStats>,
     configured: bool,
     metrics: Option<EvmMetrics>,
@@ -119,6 +131,9 @@ impl EventManager {
             queue: VecDeque::new(),
             assigned: HashMap::new(),
             attempts: HashMap::new(),
+            trigger_interval: Duration::ZERO,
+            trigger_budget: 0,
+            trigger_timer: None,
             stats: Arc::new(EvmStats::default()),
             configured: false,
             metrics: None,
@@ -159,6 +174,12 @@ impl EventManager {
         if let Some(v) = ctx.param("max_reassign").and_then(|s| s.parse().ok()) {
             self.max_reassign = v;
         }
+        if let Some(v) = ctx
+            .param("trigger_interval_us")
+            .and_then(|s| s.parse().ok())
+        {
+            self.trigger_interval = Duration::from_micros(v);
+        }
         self.configured = true;
     }
 
@@ -194,6 +215,16 @@ impl EventManager {
         self.draining.clear();
         self.rr = 0;
         self.stats.run_done.store(target == 0, Ordering::SeqCst);
+        if let Some(t) = self.trigger_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if !self.trigger_interval.is_zero() && target > 1 {
+            // One event is launchable now; the rest arrive on the beat.
+            self.trigger_budget = 1;
+            self.trigger_timer = Some(ctx.start_periodic(self.trigger_interval));
+        } else {
+            self.trigger_budget = target;
+        }
         self.gauge_sync();
         for i in 0..self.bus.len() {
             let bu = self.bus[i];
@@ -209,7 +240,9 @@ impl EventManager {
     /// Assigns queued and fresh events while any builder has credits.
     fn pump(&mut self, ctx: &mut Dispatcher<'_>) {
         loop {
-            if self.queue.is_empty() && self.launched >= self.target {
+            if self.queue.is_empty()
+                && (self.launched >= self.target || self.launched >= self.trigger_budget)
+            {
                 break;
             }
             let Some(bu) = self.pick_bu() else { break };
@@ -222,12 +255,20 @@ impl EventManager {
                     (e, true)
                 }
             };
+            // Triggers are broadcast fire-and-forget, so a source that
+            // was dead or partitioned when a fresh event launched never
+            // digitized it — and no amount of re-pulling can conjure the
+            // fragment. Re-broadcasting on every reassignment closes
+            // that hole: `TRIGGER` is idempotent at the readout (the
+            // store is a set, parked pulls are served on arrival), and
+            // an event is only ever re-queued while unfinished, so no
+            // source can have `CLEAR`ed it yet.
+            self.broadcast_rus(ctx, xfn::TRIGGER, event);
             if fresh {
-                self.broadcast_rus(ctx, xfn::TRIGGER, event);
                 self.stats.triggered.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = &self.metrics {
-                    m.triggers.inc();
-                }
+            }
+            if let Some(m) = &self.metrics {
+                m.triggers.inc();
             }
             *self.credits.get_mut(&bu).expect("picked with credit") -= 1;
             self.assigned.insert(event, bu);
@@ -340,12 +381,16 @@ impl EventManager {
         if let Some(m) = &self.metrics {
             m.bu_down.inc();
         }
-        let orphaned: Vec<u64> = self
+        let mut orphaned: Vec<u64> = self
             .assigned
             .iter()
             .filter(|(_, &owner)| owner == bu)
             .map(|(&e, _)| e)
             .collect();
+        // Requeue in event order, not hash order: the simulator's
+        // golden-trace replay (DESIGN.md §16) needs reclamation to be
+        // deterministic run over run.
+        orphaned.sort_unstable();
         for event in orphaned {
             self.assigned.remove(&event);
             self.queue.push_back(event);
@@ -445,6 +490,20 @@ impl I2oListener for EventManager {
             inflight: reg.gauge("evb.evm.inflight"),
             queued: reg.gauge("evb.evm.queued"),
         });
+    }
+
+    fn on_timer(&mut self, ctx: &mut Dispatcher<'_>, id: TimerId) {
+        if Some(id) != self.trigger_timer {
+            return;
+        }
+        self.trigger_budget += 1;
+        if self.trigger_budget >= self.target {
+            // Every event of the run has been paced out; stop ticking
+            // so an idle manager arms no deadlines.
+            ctx.cancel_timer(id);
+            self.trigger_timer = None;
+        }
+        self.pump(ctx);
     }
 
     fn on_private(&mut self, ctx: &mut Dispatcher<'_>, msg: Delivery) {

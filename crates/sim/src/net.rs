@@ -1,0 +1,435 @@
+//! The simulated fabric: an in-memory `sim://` peer transport with
+//! schedulable faults.
+//!
+//! [`SimNet`] plays the role of the network for a whole in-process
+//! cluster. Each node attaches one [`SimPt`]; frames cross the fabric
+//! through per-node mailboxes under a single lock, so delivery order
+//! is a pure function of send order — no thread interleaving, no hash
+//! seeds, no wall-clock races. On top of plain delivery the fabric
+//! injects the four failure modes of the sweep harness
+//! (DESIGN.md §16):
+//!
+//! * **kill / revive** — a killed node is *blacked out*: sends from it
+//!   fail `Closed`, sends toward it fail `Unreachable`, and the
+//!   simulation stops pumping its executive. Its mailbox and all
+//!   in-memory state survive, modelling a hung-then-recovered process
+//!   rather than a restarted one (a restart is a different experiment:
+//!   it needs re-registration, which the control plane owns).
+//! * **partition / heal** — an undirected node pair whose sends fail
+//!   `Unreachable` in both directions while the partition holds.
+//! * **delay** — a directed link latency: frames are parked in a
+//!   per-node delay queue and promoted to the mailbox once the
+//!   *virtual* clock passes their release time, in (release, sequence)
+//!   order.
+//! * **corrupt** — flips one payload byte of the next n event-builder
+//!   `FRAGMENT` frames on a directed link. Corruption is deliberately
+//!   restricted to fragments: they carry a checksum and a re-pull
+//!   recovery path, while the control verbs (`ASSIGN`, `CREDIT`, …)
+//!   have no end-to-end integrity layer — corrupting those would
+//!   wedge the protocol rather than exercise recovery, which models a
+//!   fabric with protected control lanes and best-effort data lanes.
+//!
+//! Everything observable is deterministic: mailboxes are `VecDeque`s,
+//! fault state lives in `BTreeMap`/`BTreeSet`, and ties in the delay
+//! queue break on a global send sequence number.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xdaq_core::{Clock, PeerAddr, PeerTransport, PtError, PtMode, SendFailure};
+use xdaq_evb::FRAGMENT_HEADER_LEN;
+use xdaq_i2o::{PRIVATE_FUNCTION, PRIVATE_HEADER_LEN};
+use xdaq_mempool::FrameBuf;
+
+/// Offset of the standard-header function byte in an encoded frame
+/// (the high byte of the little-endian address word at +4).
+const FUNCTION_BYTE: usize = 7;
+/// Offset of the private x-function field (little-endian u16).
+const X_FUNCTION: usize = xdaq_i2o::HEADER_LEN;
+
+/// A frame parked on a delayed link.
+struct Delayed {
+    release: Instant,
+    seq: u64,
+    frame: FrameBuf,
+    from: PeerAddr,
+}
+
+#[derive(Default)]
+struct NodeBox {
+    killed: bool,
+    ready: VecDeque<(FrameBuf, PeerAddr)>,
+    /// Kept sorted by (release, seq); promoted into `ready` by `poll`.
+    delayed: Vec<Delayed>,
+}
+
+#[derive(Default)]
+struct NetState {
+    nodes: BTreeMap<String, NodeBox>,
+    /// Undirected partitions, stored as sorted name pairs.
+    partitions: BTreeSet<(String, String)>,
+    /// Directed link latency (from, to) → delay.
+    delays: BTreeMap<(String, String), Duration>,
+    /// Directed budget of fragment corruptions left on (from, to).
+    corrupt: BTreeMap<(String, String), u32>,
+    /// Global send sequence: total order on frames entering the fabric.
+    seq: u64,
+    corrupted: u64,
+}
+
+fn pair(a: &str, b: &str) -> (String, String) {
+    if a <= b {
+        (a.to_string(), b.to_string())
+    } else {
+        (b.to_string(), a.to_string())
+    }
+}
+
+/// True for an encoded event-builder `FRAGMENT` frame.
+fn is_fragment(frame: &[u8]) -> bool {
+    frame.len() > PRIVATE_HEADER_LEN + FRAGMENT_HEADER_LEN
+        && frame[FUNCTION_BYTE] == PRIVATE_FUNCTION
+        && u16::from_le_bytes([frame[X_FUNCTION], frame[X_FUNCTION + 1]]) == xdaq_evb::xfn::FRAGMENT
+}
+
+/// The in-memory cluster fabric. See the module docs.
+pub struct SimNet {
+    clock: Clock,
+    state: Mutex<NetState>,
+}
+
+impl SimNet {
+    /// An empty fabric keeping time on `clock` (normally the cluster's
+    /// shared virtual clock; delays are released against it).
+    pub fn new(clock: Clock) -> Arc<SimNet> {
+        Arc::new(SimNet {
+            clock,
+            state: Mutex::new(NetState::default()),
+        })
+    }
+
+    /// Attaches a node and returns its transport endpoint.
+    pub fn attach(self: &Arc<SimNet>, node: &str) -> Arc<SimPt> {
+        self.state.lock().nodes.entry(node.to_string()).or_default();
+        Arc::new(SimPt {
+            net: self.clone(),
+            node: node.to_string(),
+            self_addr: PeerAddr::new("sim", node),
+        })
+    }
+
+    /// Blacks a node out (see module docs; idempotent).
+    pub fn kill(&self, node: &str) {
+        if let Some(b) = self.state.lock().nodes.get_mut(node) {
+            b.killed = true;
+        }
+    }
+
+    /// Lifts a blackout. Frames queued before the kill are delivered
+    /// again once the node is pumped.
+    pub fn revive(&self, node: &str) {
+        if let Some(b) = self.state.lock().nodes.get_mut(node) {
+            b.killed = false;
+        }
+    }
+
+    /// True while `node` is blacked out.
+    pub fn is_killed(&self, node: &str) -> bool {
+        self.state
+            .lock()
+            .nodes
+            .get(node)
+            .map(|b| b.killed)
+            .unwrap_or(false)
+    }
+
+    /// Severs the (undirected) link between two nodes.
+    pub fn partition(&self, a: &str, b: &str) {
+        self.state.lock().partitions.insert(pair(a, b));
+    }
+
+    /// Restores the link between two nodes.
+    pub fn heal(&self, a: &str, b: &str) {
+        self.state.lock().partitions.remove(&pair(a, b));
+    }
+
+    /// Imposes a latency on the directed link `from → to`
+    /// (`Duration::ZERO` clears it).
+    pub fn set_delay(&self, from: &str, to: &str, d: Duration) {
+        let key = (from.to_string(), to.to_string());
+        let mut st = self.state.lock();
+        if d.is_zero() {
+            st.delays.remove(&key);
+        } else {
+            st.delays.insert(key, d);
+        }
+    }
+
+    /// Corrupts one payload byte of the next `n` `FRAGMENT` frames
+    /// sent on the directed link `from → to`.
+    pub fn corrupt_next(&self, from: &str, to: &str, n: u32) {
+        let mut st = self.state.lock();
+        *st.corrupt
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(0) += n;
+    }
+
+    /// Fragments corrupted so far (assertion hook for the sweeps).
+    pub fn corrupted(&self) -> u64 {
+        self.state.lock().corrupted
+    }
+
+    /// Lifts every standing fault — revives all nodes, heals all
+    /// partitions, clears all delays (corruption budgets are one-shot
+    /// and left to drain). Returns true if anything actually changed;
+    /// the sweep runner uses this as a safety net under *shrunk*
+    /// schedules, whose windows may have lost their closing action.
+    pub fn restore_all(&self) -> bool {
+        let mut st = self.state.lock();
+        let mut changed = !st.partitions.is_empty() || !st.delays.is_empty();
+        st.partitions.clear();
+        st.delays.clear();
+        for b in st.nodes.values_mut() {
+            changed |= b.killed;
+            b.killed = false;
+        }
+        changed
+    }
+
+    /// Earliest release time over every parked (delayed) frame — the
+    /// fabric's contribution to the simulation's next-deadline scan.
+    /// Killed nodes are skipped: they are frozen and never polled, so
+    /// their past-due releases would otherwise pin the clock.
+    pub fn next_release(&self) -> Option<Instant> {
+        let st = self.state.lock();
+        st.nodes
+            .values()
+            .filter(|b| !b.killed)
+            .flat_map(|b| b.delayed.iter().map(|d| d.release))
+            .min()
+    }
+
+    fn send_from(
+        &self,
+        from: &str,
+        from_addr: &PeerAddr,
+        dest: &PeerAddr,
+        mut frame: FrameBuf,
+    ) -> Result<(), SendFailure> {
+        let to = dest.rest();
+        let mut st = self.state.lock();
+        if st.nodes.get(from).map(|b| b.killed).unwrap_or(true) {
+            return Err(SendFailure::with_frame(PtError::Closed, frame));
+        }
+        let reachable = st.nodes.get(to).map(|b| !b.killed).unwrap_or(false)
+            && !st.partitions.contains(&pair(from, to));
+        if !reachable {
+            return Err(SendFailure::with_frame(
+                PtError::Unreachable(dest.to_string()),
+                frame,
+            ));
+        }
+        let link = (from.to_string(), to.to_string());
+        if let Some(budget) = st.corrupt.get_mut(&link) {
+            if *budget > 0 && is_fragment(&frame) {
+                *budget -= 1;
+                frame[PRIVATE_HEADER_LEN + FRAGMENT_HEADER_LEN] ^= 0xFF;
+                st.corrupted += 1;
+            }
+        }
+        st.seq += 1;
+        let seq = st.seq;
+        let delay = st.delays.get(&link).copied();
+        let node = st.nodes.get_mut(to).expect("checked above");
+        match delay {
+            Some(d) => {
+                let release = self.clock.now() + d;
+                let at = node
+                    .delayed
+                    .partition_point(|p| (p.release, p.seq) <= (release, seq));
+                node.delayed.insert(
+                    at,
+                    Delayed {
+                        release,
+                        seq,
+                        frame,
+                        from: from_addr.clone(),
+                    },
+                );
+            }
+            None => node.ready.push_back((frame, from_addr.clone())),
+        }
+        Ok(())
+    }
+
+    fn poll_for(&self, node: &str) -> Option<(FrameBuf, PeerAddr)> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let b = st.nodes.get_mut(node)?;
+        if b.killed {
+            return None;
+        }
+        // Promote every due delayed frame in (release, seq) order.
+        while b.delayed.first().is_some_and(|d| d.release <= now) {
+            let d = b.delayed.remove(0);
+            b.ready.push_back((d.frame, d.from));
+        }
+        b.ready.pop_front()
+    }
+
+    fn drain(&self, node: &str) {
+        let mut st = self.state.lock();
+        if let Some(b) = st.nodes.get_mut(node) {
+            b.ready.clear();
+            b.delayed.clear();
+        }
+    }
+}
+
+/// One node's attachment to a [`SimNet`].
+pub struct SimPt {
+    net: Arc<SimNet>,
+    node: String,
+    self_addr: PeerAddr,
+}
+
+impl SimPt {
+    /// This endpoint's canonical `sim://` address.
+    pub fn addr(&self) -> &PeerAddr {
+        &self.self_addr
+    }
+}
+
+impl PeerTransport for SimPt {
+    fn scheme(&self) -> &'static str {
+        "sim"
+    }
+
+    fn mode(&self) -> PtMode {
+        PtMode::Polling
+    }
+
+    fn send(&self, dest: &PeerAddr, frame: FrameBuf) -> Result<(), SendFailure> {
+        self.net.send_from(&self.node, &self.self_addr, dest, frame)
+    }
+
+    fn poll(&self) -> Option<(FrameBuf, PeerAddr)> {
+        self.net.poll_for(&self.node)
+    }
+
+    fn stop(&self) {
+        // Frames parked for a stopping node would pin pool blocks
+        // forever (same leak the loopback PT drains against).
+        self.net.drain(&self.node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xdaq_core::VirtualClock;
+
+    fn rig() -> (Arc<SimNet>, Arc<VirtualClock>) {
+        let (clock, v) = Clock::simulated();
+        (SimNet::new(clock), v)
+    }
+
+    fn frame(n: usize) -> FrameBuf {
+        FrameBuf::from_bytes(&vec![0u8; n])
+    }
+
+    #[test]
+    fn delivers_in_send_order() {
+        let (net, _v) = rig();
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let to_b: PeerAddr = "sim://b".parse().unwrap();
+        a.send(&to_b, FrameBuf::from_bytes(b"one")).unwrap();
+        a.send(&to_b, FrameBuf::from_bytes(b"two")).unwrap();
+        assert_eq!(&b.poll().unwrap().0[..], b"one");
+        let (f, src) = b.poll().unwrap();
+        assert_eq!(&f[..], b"two");
+        assert_eq!(src.to_string(), "sim://a");
+        assert!(b.poll().is_none());
+    }
+
+    #[test]
+    fn killed_node_is_blacked_out_not_erased() {
+        let (net, _v) = rig();
+        let a = net.attach("a");
+        let b = net.attach("b");
+        let to_b: PeerAddr = "sim://b".parse().unwrap();
+        let to_a: PeerAddr = "sim://a".parse().unwrap();
+        a.send(&to_b, frame(4)).unwrap();
+        net.kill("b");
+        // Toward the dead node: unreachable, frame handed back.
+        let err = a.send(&to_b, frame(4)).unwrap_err();
+        assert!(matches!(err.error, PtError::Unreachable(_)));
+        assert!(err.frame.is_some());
+        // From the dead node: closed; and it cannot receive.
+        assert!(matches!(
+            b.send(&to_a, frame(4)).unwrap_err().error,
+            PtError::Closed
+        ));
+        assert!(b.poll().is_none());
+        // Revive: the pre-kill frame is still there.
+        net.revive("b");
+        assert!(b.poll().is_some());
+    }
+
+    #[test]
+    fn partitions_cut_both_directions_until_healed() {
+        let (net, _v) = rig();
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.partition("a", "b");
+        assert!(a.send(&"sim://b".parse().unwrap(), frame(1)).is_err());
+        assert!(b.send(&"sim://a".parse().unwrap(), frame(1)).is_err());
+        net.heal("a", "b");
+        a.send(&"sim://b".parse().unwrap(), frame(1)).unwrap();
+        assert!(b.poll().is_some());
+    }
+
+    #[test]
+    fn delayed_frames_release_on_the_virtual_clock() {
+        let (net, v) = rig();
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.set_delay("a", "b", Duration::from_millis(10));
+        a.send(&"sim://b".parse().unwrap(), frame(1)).unwrap();
+        assert!(b.poll().is_none(), "frame leaked ahead of its release");
+        assert_eq!(
+            net.next_release(),
+            Some(v.now() + Duration::from_millis(10))
+        );
+        v.advance(Duration::from_millis(10));
+        assert!(b.poll().is_some());
+        assert_eq!(net.next_release(), None);
+    }
+
+    #[test]
+    fn corruption_skips_control_frames_and_flips_fragments() {
+        let (net, _v) = rig();
+        let a = net.attach("a");
+        let b = net.attach("b");
+        net.corrupt_next("a", "b", 1);
+        let to_b: PeerAddr = "sim://b".parse().unwrap();
+        // A small control-ish frame passes untouched and keeps the budget.
+        a.send(&to_b, frame(24)).unwrap();
+        assert_eq!(net.corrupted(), 0);
+        // A synthetic FRAGMENT frame gets one payload byte flipped.
+        let mut raw = vec![0u8; PRIVATE_HEADER_LEN + FRAGMENT_HEADER_LEN + 8];
+        raw[FUNCTION_BYTE] = PRIVATE_FUNCTION;
+        raw[X_FUNCTION..X_FUNCTION + 2].copy_from_slice(&xdaq_evb::xfn::FRAGMENT.to_le_bytes());
+        a.send(&to_b, FrameBuf::from_bytes(&raw)).unwrap();
+        assert_eq!(net.corrupted(), 1);
+        let _ = b.poll().unwrap();
+        let (f, _) = b.poll().unwrap();
+        assert_eq!(f[PRIVATE_HEADER_LEN + FRAGMENT_HEADER_LEN], 0xFF);
+        // Budget spent: the next fragment passes clean.
+        a.send(&to_b, FrameBuf::from_bytes(&raw)).unwrap();
+        let (f, _) = b.poll().unwrap();
+        assert_eq!(f[PRIVATE_HEADER_LEN + FRAGMENT_HEADER_LEN], 0);
+    }
+}

@@ -77,6 +77,13 @@ echo "== net batching (tcp vs xpt-uring vs xpt-epoll vs shm) =="
 cargo run -p xdaq-bench --release --bin net_batching -- \
     --json results/BENCH_pr9.json
 
+echo "== deterministic simulation (100-seed fault-sweep throughput) =="
+# Asserts the PR acceptance floor internally: 100 seeded fault
+# schedules over the simulated 5-node evb mesh in < 10 s wall, zero
+# event loss on every seed, and a byte-identical golden-trace replay.
+cargo run -p xdaq-bench --release --bin sim_sweeps -- \
+    --json results/BENCH_pr10.json
+
 if [[ "${1:-}" == "--all" ]]; then
     echo "== paper harnesses =="
     cargo run -p xdaq-bench --release --bin fig6

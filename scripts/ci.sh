@@ -54,6 +54,14 @@ echo "== event builder: chaos mesh + builder kill (multi-process, heavy) =="
 XDAQ_TEST_HEAVY=1 cargo test -q --test evb
 cargo test -q -p xdaq-evb
 
+echo "== deterministic simulation: 100-seed fault sweeps, golden replay =="
+# Always on — no XDAQ_TEST_HEAVY gate: the whole point of the virtual
+# clock is that 100 full-cluster kill/partition/delay/corrupt
+# experiments (each asserting zero event loss) cost ~1 s of wall
+# time. Includes the fixed-seed byte-for-byte golden-trace replay and
+# the shrink-to-minimal-repro test.
+cargo test -q -p xdaq-sim
+
 echo "== control plane: declarative apply, SIGKILL respawn, rolling drain =="
 # The registry-managed event builder: an RU/BU/EVM topology booted
 # purely from a declaration file, a builder SIGKILLed mid-run (the

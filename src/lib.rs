@@ -67,3 +67,7 @@ pub use xdaq_app as app;
 /// The N×M event builder: readout/builder/event-manager device
 /// classes with credit-based flow control.
 pub use xdaq_evb as evb;
+
+/// Deterministic cluster simulation: virtual clock, in-memory fabric,
+/// seeded fault-schedule sweeps and golden-trace regression.
+pub use xdaq_sim as sim;
